@@ -1,0 +1,30 @@
+//! Criterion benchmark for single-prediction model latency (Figure 8 /
+//! Section 5 overheads): the paper's in-binary GBDT answers in ~9 us.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lava_bench::train_gbdt_predictor;
+use lava_core::time::Duration;
+use lava_model::gbdt::GbdtConfig;
+use lava_sim::workload::PoolConfig;
+use std::hint::black_box;
+
+fn bench_model_latency(c: &mut Criterion) {
+    let pool = PoolConfig::small(11);
+    let fast = train_gbdt_predictor(&pool, GbdtConfig::fast());
+    let default = train_gbdt_predictor(&pool, GbdtConfig::default());
+    let spec = lava_core::vm::VmSpec::builder(lava_core::resources::Resources::cores_gib(4, 16))
+        .category(2)
+        .build();
+
+    let mut group = c.benchmark_group("model_latency");
+    group.bench_function("gbdt_fast_predict", |b| {
+        b.iter(|| fast.predict_spec(black_box(&spec), black_box(Duration::from_hours(3))))
+    });
+    group.bench_function("gbdt_default_predict", |b| {
+        b.iter(|| default.predict_spec(black_box(&spec), black_box(Duration::from_hours(3))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_latency);
+criterion_main!(benches);

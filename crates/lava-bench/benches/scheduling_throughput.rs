@@ -1,0 +1,65 @@
+//! Criterion benchmark for scheduling throughput: how long one placement
+//! decision takes for each algorithm on a 100-host pool with a standing
+//! population (Section 5 reports 10-100 requests/second per cluster with
+//! negligible added latency from lifetime scoring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lava_core::host::HostSpec;
+use lava_core::resources::Resources;
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::{Vm, VmId, VmSpec};
+use lava_model::predictor::OraclePredictor;
+use lava_sched::cluster::Cluster;
+use lava_sched::scheduler::Scheduler;
+use lava_sched::Algorithm;
+use std::sync::Arc;
+
+fn build_scheduler(algorithm: Algorithm) -> Scheduler {
+    let cluster = Cluster::with_uniform_hosts(100, HostSpec::new(Resources::cores_gib(64, 256)));
+    let predictor = Arc::new(OraclePredictor::new());
+    let mut scheduler = Scheduler::new(cluster, algorithm.build_policy(predictor.clone()), predictor);
+    // Standing population: ~6 VMs per host.
+    for i in 0..600u64 {
+        let vm = Vm::new(
+            VmId(i),
+            VmSpec::builder(Resources::cores_gib(4, 16)).category((i % 5) as u32).build(),
+            SimTime::ZERO,
+            Duration::from_hours(1 + (i % 200)),
+        );
+        let _ = scheduler.schedule(vm, SimTime::ZERO);
+    }
+    scheduler
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_throughput");
+    for algorithm in [Algorithm::Baseline, Algorithm::LaBinary, Algorithm::Nilas, Algorithm::Lava] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm),
+            &algorithm,
+            |b, &algorithm| {
+                let mut scheduler = build_scheduler(algorithm);
+                let mut next_id = 10_000u64;
+                let now = SimTime::ZERO + Duration::from_hours(1);
+                b.iter(|| {
+                    let vm = Vm::new(
+                        VmId(next_id),
+                        VmSpec::builder(Resources::cores_gib(2, 8)).category(1).build(),
+                        now,
+                        Duration::from_mins(30),
+                    );
+                    next_id += 1;
+                    let placed = scheduler.schedule(vm, now);
+                    // Immediately exit to keep the pool occupancy steady.
+                    if placed.is_ok() {
+                        let _ = scheduler.exit(VmId(next_id - 1), now);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Minimal command-line argument parsing shared by the experiment binaries.
+//!
+//! Every binary accepts the same flags so that quick smoke runs and full
+//! paper-scale sweeps use the same code path:
+//!
+//! * `--pools N` — number of synthetic pools to simulate (where relevant),
+//! * `--days N` — trace duration in days,
+//! * `--hosts N` — hosts per pool (overrides the fleet defaults),
+//! * `--seed N` — base RNG seed,
+//! * `--full` — paper-scale settings (24 pools, 7-day traces),
+//! * `--quick` — the smallest sensible settings (for CI smoke runs).
+
+use lava_core::time::Duration;
+
+/// Parsed experiment arguments with scale-aware defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentArgs {
+    /// Number of pools to sweep.
+    pub pools: usize,
+    /// Trace duration.
+    pub duration: Duration,
+    /// Host-count override (None = use the fleet defaults).
+    pub hosts: Option<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// True when `--full` was passed.
+    pub full: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            pools: 6,
+            duration: Duration::from_days(14),
+            hosts: None,
+            seed: 1,
+            full: false,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parse from an iterator of argument strings (excluding the program
+    /// name). Unknown flags are ignored so binaries can add their own.
+    pub fn parse<I, S>(args: I) -> ExperimentArgs
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut parsed = ExperimentArgs::default();
+        let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |idx: usize| args.get(idx + 1).cloned();
+            match args[i].as_str() {
+                "--pools" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        parsed.pools = v;
+                    }
+                    i += 1;
+                }
+                "--days" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse::<u64>().ok()) {
+                        parsed.duration = Duration::from_days(v);
+                    }
+                    i += 1;
+                }
+                "--hosts" => {
+                    parsed.hosts = value(i).and_then(|v| v.parse().ok());
+                    i += 1;
+                }
+                "--seed" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        parsed.seed = v;
+                    }
+                    i += 1;
+                }
+                "--full" => {
+                    parsed.full = true;
+                    parsed.pools = 24;
+                    parsed.duration = Duration::from_days(7);
+                }
+                "--quick" => {
+                    parsed.pools = 2;
+                    parsed.duration = Duration::from_days(2);
+                    parsed.hosts = Some(32);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        parsed
+    }
+
+    /// Parse from the process environment (skipping the program name).
+    pub fn from_env() -> ExperimentArgs {
+        ExperimentArgs::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_flags() {
+        let args = ExperimentArgs::parse(Vec::<String>::new());
+        assert_eq!(args, ExperimentArgs::default());
+    }
+
+    #[test]
+    fn parses_individual_flags() {
+        let args = ExperimentArgs::parse(["--pools", "10", "--days", "3", "--seed", "7", "--hosts", "50"]);
+        assert_eq!(args.pools, 10);
+        assert_eq!(args.duration, Duration::from_days(3));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.hosts, Some(50));
+    }
+
+    #[test]
+    fn full_and_quick_presets() {
+        let full = ExperimentArgs::parse(["--full"]);
+        assert_eq!(full.pools, 24);
+        assert!(full.full);
+        let quick = ExperimentArgs::parse(["--quick"]);
+        assert_eq!(quick.pools, 2);
+        assert_eq!(quick.hosts, Some(32));
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let args = ExperimentArgs::parse(["--frobnicate", "--pools", "4"]);
+        assert_eq!(args.pools, 4);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_defaults() {
+        let args = ExperimentArgs::parse(["--pools", "not-a-number"]);
+        assert_eq!(args.pools, ExperimentArgs::default().pools);
+    }
+}

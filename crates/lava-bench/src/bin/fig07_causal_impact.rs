@@ -1,0 +1,79 @@
+//! Figure 7: CausalImpact-style analysis of a whole-pool NILAS rollout —
+//! observed vs counterfactual empty hosts, point-wise effect and cumulative
+//! effect.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin fig07_causal_impact -- [--seed N] [--days N]`
+
+use lava_bench::ExperimentArgs;
+use lava_core::time::Duration;
+use lava_model::predictor::OraclePredictor;
+use lava_sched::Algorithm;
+use lava_sim::causal::{causal_impact, CausalConfig};
+use lava_sim::simulator::{SimulationConfig, Simulator};
+use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use std::sync::Arc;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let pool = PoolConfig {
+        hosts: args.hosts.unwrap_or(120),
+        duration: args.duration,
+        seed: args.seed + 7,
+        ..PoolConfig::default()
+    };
+    let trace = WorkloadGenerator::new(pool.clone()).generate();
+    let switch_at = Duration::from_secs(args.duration.as_secs() / 2);
+    let simulator = Simulator::new(SimulationConfig {
+        warmup: switch_at,
+        warmup_with_baseline: true,
+        sample_during_warmup: true,
+        ..SimulationConfig::default()
+    });
+    let result = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Nilas,
+        Arc::new(OraclePredictor::new()),
+    );
+    // Control run: the baseline keeps scheduling for the whole trace. The
+    // causal analysis is performed on the treated-minus-control difference,
+    // which removes the pool's background occupancy trend.
+    let control = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Baseline,
+        Arc::new(OraclePredictor::new()),
+    );
+    let observed = result.series.empty_host_series();
+    let series: Vec<f64> = observed
+        .iter()
+        .zip(control.series.empty_host_series())
+        .map(|(t, c)| t - c)
+        .collect();
+    let split = series.len() / 2;
+    let (pre, post) = series.split_at(split);
+    let report = causal_impact(pre, post, CausalConfig { fit_trend: false, ..CausalConfig::default() });
+
+    println!("# Figure 7: whole-pool rollout causal analysis (policy switches from baseline to NILAS at mid-trace)");
+    println!("average effect = {:+.2} pp   95% CI [{:+.2}, {:+.2}]   p = {:.3}",
+        report.average_effect * 100.0, report.ci_low * 100.0, report.ci_high * 100.0, report.p_value);
+    let control_series = control.series.empty_host_series();
+    println!("\n{:<8} {:>10} {:>16} {:>12} {:>12}", "hour", "observed", "control", "pointwise", "cumulative");
+    for (i, ((obs, cf), (pw, cum))) in observed[split..]
+        .iter()
+        .zip(&control_series[split..])
+        .zip(report.pointwise_effect.iter().zip(&report.cumulative_effect))
+        .enumerate()
+        .step_by(12)
+    {
+        println!(
+            "{:<8} {:>9.1}% {:>15.1}% {:>11.2}pp {:>11.1}pp",
+            i, obs * 100.0, cf * 100.0, pw * 100.0, cum * 100.0
+        );
+    }
+    println!();
+    println!("# Paper: the observed empty-host series departs upward from the counterfactual after launch;");
+    println!("#        the cumulative effect grows steadily (Wave 3: +4.9 pp, 95% CI [0.54, 9.2]).");
+}

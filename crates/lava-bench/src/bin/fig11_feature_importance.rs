@@ -1,0 +1,29 @@
+//! Figure 11 (Appendix A): impact of model features on prediction accuracy,
+//! using the GBDT split-score importance.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin fig11_feature_importance -- [--seed N]`
+
+use lava_bench::{train_gbdt_predictor, ExperimentArgs};
+use lava_model::features::FEATURE_NAMES;
+use lava_model::gbdt::GbdtConfig;
+use lava_sim::workload::PoolConfig;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let pool = PoolConfig {
+        initial_fill_fraction: 0.0,
+        seed: args.seed + 41,
+        ..PoolConfig::default()
+    };
+    let predictor = train_gbdt_predictor(&pool, GbdtConfig::default());
+    let importance = predictor.model().feature_importance();
+    let mut ranked: Vec<(&str, f64)> = FEATURE_NAMES.iter().copied().zip(importance).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    println!("# Figure 11: feature importance (normalised split score)");
+    for (name, score) in ranked {
+        println!("{:<22} {:>7.3} {}", name, score, "#".repeat((score * 120.0) as usize));
+    }
+    println!();
+    println!("# Paper: admission policy, host pool (zone) and VM shape are the most influential features.");
+}

@@ -1,0 +1,42 @@
+//! Figure 14 (Appendix F): simulator validation — simulated CPU utilisation
+//! tracks the trace-implied utilisation closely.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin fig14_validation -- [--seed N] [--days N]`
+
+use lava_bench::ExperimentArgs;
+use lava_model::predictor::OraclePredictor;
+use lava_sched::Algorithm;
+use lava_sim::simulator::{SimulationConfig, Simulator};
+use lava_sim::validation::validate;
+use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use std::sync::Arc;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let pool = PoolConfig {
+        hosts: args.hosts.unwrap_or(100),
+        duration: args.duration,
+        seed: args.seed + 19,
+        ..PoolConfig::default()
+    };
+    let trace = WorkloadGenerator::new(pool.clone()).generate();
+    let simulator = Simulator::new(SimulationConfig::default());
+    let result = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Baseline,
+        Arc::new(OraclePredictor::new()),
+    );
+    let report = validate(&result.series, &trace, pool.total_cpu_milli());
+
+    println!("# Figure 14: simulator validation (simulated vs trace-implied CPU utilisation)");
+    println!("mean absolute error = {:.3}%   max = {:.3}%   rejected placements = {}",
+        report.mean_absolute_error * 100.0, report.max_absolute_error * 100.0, result.rejected_vms);
+    println!("\n{:<10} {:>12} {:>14}", "day", "simulated", "trace-implied");
+    for (time, sim, implied) in report.points.iter().step_by(12) {
+        println!("{:<10.1} {:>11.1}% {:>13.1}%", time.as_days(), sim * 100.0, implied * 100.0);
+    }
+    println!();
+    println!("# Paper: simulated CPU utilisation within ~1.6% of production ground truth on average.");
+}

@@ -1,0 +1,165 @@
+//! Experiment harness helpers: model training, algorithm sweeps and
+//! reporting utilities shared by the figure/table binaries.
+
+use lava_model::dataset::DatasetBuilder;
+use lava_model::gbdt::GbdtConfig;
+use lava_model::predictor::{GbdtPredictor, LifetimePredictor, NoisyOraclePredictor, OraclePredictor};
+use lava_sched::Algorithm;
+use lava_sim::simulator::{SimulationConfig, Simulator, SimulationResult};
+use lava_sim::trace::Trace;
+use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use std::sync::Arc;
+
+/// Which predictor drives the lifetime-aware algorithms in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// The learned GBDT model, trained on a separate historical trace.
+    Learned,
+    /// Perfect (oracular) lifetimes.
+    Oracle,
+    /// The accuracy-dial noisy oracle of Appendix G.1 (accuracy in percent).
+    Noisy(u8),
+}
+
+impl PredictorKind {
+    /// Short label used in report rows.
+    pub fn label(&self) -> String {
+        match self {
+            PredictorKind::Learned => "model".to_string(),
+            PredictorKind::Oracle => "oracle".to_string(),
+            PredictorKind::Noisy(acc) => format!("noisy-{acc}"),
+        }
+    }
+}
+
+/// Train the production-style GBDT predictor on "historical" data for a
+/// pool: a separate trace generated from the same pool configuration but a
+/// different seed, mirroring the paper's train-on-the-warehouse /
+/// evaluate-on-live-traffic split.
+pub fn train_gbdt_predictor(pool: &PoolConfig, gbdt: GbdtConfig) -> GbdtPredictor {
+    let mut historical = pool.clone();
+    historical.seed = pool.seed.wrapping_add(0x5eed);
+    historical.duration = lava_core::time::Duration::from_days(7);
+    let trace = WorkloadGenerator::new(historical).generate();
+    let mut builder = DatasetBuilder::new();
+    builder.extend(trace.observations());
+    let dataset = builder.build();
+    GbdtPredictor::train(gbdt, &dataset)
+}
+
+/// Build the predictor for a run on a given pool.
+pub fn build_predictor(
+    kind: PredictorKind,
+    pool: &PoolConfig,
+    gbdt: GbdtConfig,
+) -> Arc<dyn LifetimePredictor> {
+    match kind {
+        PredictorKind::Learned => Arc::new(train_gbdt_predictor(pool, gbdt)),
+        PredictorKind::Oracle => Arc::new(OraclePredictor::new()),
+        PredictorKind::Noisy(accuracy) => Arc::new(NoisyOraclePredictor::new(
+            accuracy as f64 / 100.0,
+            pool.seed ^ 0xab,
+        )),
+    }
+}
+
+/// The outcome of running one algorithm on one pool.
+#[derive(Debug, Clone)]
+pub struct AlgorithmRun {
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// The predictor label.
+    pub predictor: String,
+    /// The simulation result.
+    pub result: SimulationResult,
+}
+
+/// Run one algorithm over a pool's trace with the given predictor.
+pub fn run_algorithm(
+    pool: &PoolConfig,
+    trace: &Trace,
+    algorithm: Algorithm,
+    predictor: Arc<dyn LifetimePredictor>,
+    sim_config: &SimulationConfig,
+) -> AlgorithmRun {
+    let simulator = Simulator::new(sim_config.clone());
+    let predictor_label = predictor.name().to_string();
+    let result = simulator.run(trace, pool.hosts, pool.host_spec(), algorithm, predictor);
+    AlgorithmRun {
+        algorithm,
+        predictor: predictor_label,
+        result,
+    }
+}
+
+/// Empty-host improvement of `treatment` over `baseline`, in percentage
+/// points (the unit of Fig. 6 and Table 1).
+pub fn improvement_pp(treatment: &SimulationResult, baseline: &SimulationResult) -> f64 {
+    (treatment.mean_empty_host_fraction() - baseline.mean_empty_host_fraction()) * 100.0
+}
+
+/// Format a row of `name: value` pairs as an aligned report line.
+pub fn report_row(label: &str, values: &[(&str, f64)]) -> String {
+    let mut row = format!("{label:<28}");
+    for (name, value) in values {
+        row.push_str(&format!(" {name}={value:+.2}"));
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::time::Duration;
+
+    fn tiny_pool() -> PoolConfig {
+        PoolConfig {
+            hosts: 16,
+            duration: Duration::from_days(1),
+            ..PoolConfig::small(3)
+        }
+    }
+
+    #[test]
+    fn predictor_kinds_build() {
+        let pool = tiny_pool();
+        assert_eq!(PredictorKind::Learned.label(), "model");
+        assert_eq!(PredictorKind::Oracle.label(), "oracle");
+        assert_eq!(PredictorKind::Noisy(80).label(), "noisy-80");
+        let oracle = build_predictor(PredictorKind::Oracle, &pool, GbdtConfig::fast());
+        assert_eq!(oracle.name(), "oracle");
+        let noisy = build_predictor(PredictorKind::Noisy(50), &pool, GbdtConfig::fast());
+        assert_eq!(noisy.name(), "noisy-oracle");
+    }
+
+    #[test]
+    fn algorithm_run_and_improvement() {
+        let pool = tiny_pool();
+        let trace = WorkloadGenerator::new(pool.clone()).generate();
+        let sim_config = SimulationConfig {
+            warmup: Duration::from_hours(6),
+            ..SimulationConfig::default()
+        };
+        let oracle: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+        let baseline = run_algorithm(&pool, &trace, Algorithm::Baseline, oracle.clone(), &sim_config);
+        let nilas = run_algorithm(&pool, &trace, Algorithm::Nilas, oracle, &sim_config);
+        let pp = improvement_pp(&nilas.result, &baseline.result);
+        assert!(pp.is_finite());
+        assert_eq!(baseline.algorithm, Algorithm::Baseline);
+        assert_eq!(nilas.predictor, "oracle");
+    }
+
+    #[test]
+    fn report_row_formats() {
+        let row = report_row("pool-3", &[("nilas", 1.234), ("lava", -0.5)]);
+        assert!(row.contains("pool-3"));
+        assert!(row.contains("nilas=+1.23"));
+        assert!(row.contains("lava=-0.50"));
+    }
+
+    #[test]
+    fn gbdt_training_from_pool_runs() {
+        let predictor = train_gbdt_predictor(&tiny_pool(), GbdtConfig::fast());
+        assert!(predictor.model().tree_count() > 0);
+    }
+}

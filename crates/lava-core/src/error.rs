@@ -1,0 +1,85 @@
+//! Error types shared across the workspace.
+
+use crate::host::HostId;
+use crate::vm::VmId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by core placement/bookkeeping operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A VM was placed on a host that does not have enough free resources.
+    InsufficientCapacity {
+        /// The host that rejected the placement.
+        host: HostId,
+        /// The VM that could not be placed.
+        vm: VmId,
+    },
+    /// A VM id was already present on the host.
+    DuplicateVm {
+        /// The host involved.
+        host: HostId,
+        /// The duplicate VM id.
+        vm: VmId,
+    },
+    /// A VM id was not found on the host / in the pool.
+    VmNotFound {
+        /// The missing VM id.
+        vm: VmId,
+    },
+    /// A host id was not found in the pool.
+    HostNotFound {
+        /// The missing host id.
+        host: HostId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InsufficientCapacity { host, vm } => {
+                write!(f, "insufficient capacity on host {host} for vm {vm}")
+            }
+            CoreError::DuplicateVm { host, vm } => {
+                write!(f, "vm {vm} already present on host {host}")
+            }
+            CoreError::VmNotFound { vm } => write!(f, "vm {vm} not found"),
+            CoreError::HostNotFound { host } => write!(f, "host {host} not found"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            CoreError::InsufficientCapacity {
+                host: HostId(1),
+                vm: VmId(2),
+            },
+            CoreError::DuplicateVm {
+                host: HostId(1),
+                vm: VmId(2),
+            },
+            CoreError::VmNotFound { vm: VmId(2) },
+            CoreError::HostNotFound { host: HostId(1) },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

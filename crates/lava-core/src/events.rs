@@ -1,0 +1,139 @@
+//! Trace events shared by the trace generator and the simulator.
+//!
+//! The production traces used by the paper contain VM start, exit and
+//! restart events (§5.1). We model a trace as a time-ordered sequence of
+//! [`TraceEvent`]s. Create events carry the ground-truth lifetime so that
+//! oracle predictors and the evaluation harness can use it; learned
+//! predictors must only look at the [`crate::vm::VmSpec`] and uptime.
+
+use crate::time::{Duration, SimTime};
+use crate::vm::{VmId, VmSpec};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// The payload of a trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A VM creation request arrives.
+    Create {
+        /// The new VM's id.
+        vm: VmId,
+        /// Request-time attributes.
+        spec: VmSpec,
+        /// Ground-truth lifetime (visible to oracles / evaluation only).
+        lifetime: Duration,
+    },
+    /// A VM exits.
+    Exit {
+        /// The exiting VM's id.
+        vm: VmId,
+    },
+}
+
+impl TraceEventKind {
+    /// The VM this event refers to.
+    pub fn vm(&self) -> VmId {
+        match self {
+            TraceEventKind::Create { vm, .. } | TraceEventKind::Exit { vm } => *vm,
+        }
+    }
+
+    /// Ordering rank so that, at equal timestamps, exits are processed
+    /// before creates (freeing capacity before new placements).
+    fn rank(&self) -> u8 {
+        match self {
+            TraceEventKind::Exit { .. } => 0,
+            TraceEventKind::Create { .. } => 1,
+        }
+    }
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event occurs.
+    pub time: SimTime,
+    /// What happens.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// A VM creation event.
+    pub fn create(time: SimTime, vm: VmId, spec: VmSpec, lifetime: Duration) -> TraceEvent {
+        TraceEvent {
+            time,
+            kind: TraceEventKind::Create { vm, spec, lifetime },
+        }
+    }
+
+    /// A VM exit event.
+    pub fn exit(time: SimTime, vm: VmId) -> TraceEvent {
+        TraceEvent {
+            time,
+            kind: TraceEventKind::Exit { vm },
+        }
+    }
+
+    /// Total order used to sort traces: by time, then exits before creates,
+    /// then by VM id for determinism.
+    pub fn sort_key(&self) -> (SimTime, u8, VmId) {
+        (self.time, self.kind.rank(), self.kind.vm())
+    }
+}
+
+impl Eq for TraceEvent {}
+
+impl PartialOrd for TraceEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TraceEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::Resources;
+
+    fn spec() -> VmSpec {
+        VmSpec::builder(Resources::cores_gib(2, 8)).build()
+    }
+
+    #[test]
+    fn exits_sort_before_creates_at_same_time() {
+        let c = TraceEvent::create(SimTime(10), VmId(1), spec(), Duration::from_hours(1));
+        let e = TraceEvent::exit(SimTime(10), VmId(2));
+        assert!(e < c);
+    }
+
+    #[test]
+    fn sorting_is_by_time_first() {
+        let mut events = vec![
+            TraceEvent::create(SimTime(20), VmId(1), spec(), Duration::from_hours(1)),
+            TraceEvent::exit(SimTime(5), VmId(2)),
+            TraceEvent::create(SimTime(5), VmId(3), spec(), Duration::from_hours(2)),
+        ];
+        events.sort();
+        assert_eq!(events[0].kind.vm(), VmId(2));
+        assert_eq!(events[1].kind.vm(), VmId(3));
+        assert_eq!(events[2].kind.vm(), VmId(1));
+    }
+
+    #[test]
+    fn vm_accessor() {
+        assert_eq!(TraceEvent::exit(SimTime(0), VmId(9)).kind.vm(), VmId(9));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = TraceEvent::create(SimTime(42), VmId(7), spec(), Duration::from_hours(3));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,52 @@
+//! Core domain types for lifetime-aware VM allocation (LAVA).
+//!
+//! This crate contains the vocabulary shared by the model, scheduler and
+//! simulator crates:
+//!
+//! * [`resources::Resources`] — multi-dimensional resource vectors (CPU,
+//!   memory, SSD) with fit/arithmetic helpers,
+//! * [`vm`] — VM specifications and runtime records,
+//! * [`host`] — host specifications, occupancy bookkeeping and the LAVA host
+//!   state machine (empty / open / recycling),
+//! * [`lifetime`] — lifetime classes and the NILAS temporal-cost buckets,
+//! * [`pool`] — a pool (zone/cluster) of hosts,
+//! * [`time`] — the simulated clock,
+//! * [`events`] — trace events shared between trace generation and replay.
+//!
+//! # Example
+//!
+//! ```
+//! use lava_core::prelude::*;
+//!
+//! let spec = HostSpec::new(Resources::new(96_000, 768 * 1024, 3_000));
+//! let mut host = Host::new(HostId(0), spec);
+//! let vm = VmSpec::builder(Resources::new(8_000, 32 * 1024, 0))
+//!     .family(VmFamily::C2)
+//!     .build();
+//! assert!(host.can_fit(vm.resources()));
+//! let _ = &mut host;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod events;
+pub mod host;
+pub mod lifetime;
+pub mod pool;
+pub mod resources;
+pub mod time;
+pub mod vm;
+
+/// Convenient glob import of the most commonly used types.
+pub mod prelude {
+    pub use crate::error::CoreError;
+    pub use crate::events::{TraceEvent, TraceEventKind};
+    pub use crate::host::{Host, HostId, HostLifetimeState, HostSpec};
+    pub use crate::lifetime::{LifetimeClass, TemporalCostBuckets};
+    pub use crate::pool::{Pool, PoolId};
+    pub use crate::resources::Resources;
+    pub use crate::time::{Duration, SimTime};
+    pub use crate::vm::{ProvisioningModel, Vm, VmFamily, VmId, VmPriority, VmSpec};
+}

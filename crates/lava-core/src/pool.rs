@@ -1,0 +1,274 @@
+//! Pools: collections of hosts managed by one scheduler instance.
+//!
+//! A pool corresponds to the paper's "host pool" (§2.2): a set of identical
+//! hosts in one zone serving one VM family. All empty-host / stranding
+//! metrics are computed per pool.
+
+use crate::host::{Host, HostId, HostSpec};
+use crate::resources::Resources;
+use crate::vm::VmId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a pool (zone + family combination).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool-{}", self.0)
+    }
+}
+
+/// A pool of hosts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pool {
+    id: PoolId,
+    hosts: BTreeMap<HostId, Host>,
+    /// Reverse index from VM to host for O(log n) lookups.
+    vm_index: BTreeMap<VmId, HostId>,
+    next_host_id: u64,
+}
+
+impl Pool {
+    /// Create an empty pool.
+    pub fn new(id: PoolId) -> Pool {
+        Pool {
+            id,
+            hosts: BTreeMap::new(),
+            vm_index: BTreeMap::new(),
+            next_host_id: 0,
+        }
+    }
+
+    /// Create a pool of `count` identical hosts.
+    pub fn with_uniform_hosts(id: PoolId, count: usize, spec: HostSpec) -> Pool {
+        let mut pool = Pool::new(id);
+        for _ in 0..count {
+            pool.add_host(spec);
+        }
+        pool
+    }
+
+    /// The pool identifier.
+    #[inline]
+    pub fn id(&self) -> PoolId {
+        self.id
+    }
+
+    /// Add a host with the given spec, returning its new id.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        let id = HostId(self.next_host_id);
+        self.next_host_id += 1;
+        self.hosts.insert(id, Host::new(id, spec));
+        id
+    }
+
+    /// Number of hosts in the pool.
+    #[inline]
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// A host by id.
+    #[inline]
+    pub fn host(&self, id: HostId) -> Option<&Host> {
+        self.hosts.get(&id)
+    }
+
+    /// A mutable host by id.
+    #[inline]
+    pub fn host_mut(&mut self, id: HostId) -> Option<&mut Host> {
+        self.hosts.get_mut(&id)
+    }
+
+    /// Iterator over all hosts in deterministic (id) order.
+    pub fn hosts(&self) -> impl Iterator<Item = &Host> + '_ {
+        self.hosts.values()
+    }
+
+    /// Mutable iterator over all hosts in deterministic (id) order.
+    pub fn hosts_mut(&mut self) -> impl Iterator<Item = &mut Host> + '_ {
+        self.hosts.values_mut()
+    }
+
+    /// Which host a VM is currently placed on.
+    #[inline]
+    pub fn host_of(&self, vm: VmId) -> Option<HostId> {
+        self.vm_index.get(&vm).copied()
+    }
+
+    /// Number of VMs currently placed in the pool.
+    #[inline]
+    pub fn vm_count(&self) -> usize {
+        self.vm_index.len()
+    }
+
+    /// Place a VM on a specific host, updating the reverse index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying host error, or [`crate::error::CoreError::HostNotFound`]
+    /// if the host id is unknown.
+    pub fn place_vm(
+        &mut self,
+        host: HostId,
+        vm: VmId,
+        request: Resources,
+    ) -> Result<(), crate::error::CoreError> {
+        let h = self
+            .hosts
+            .get_mut(&host)
+            .ok_or(crate::error::CoreError::HostNotFound { host })?;
+        h.place(vm, request)?;
+        self.vm_index.insert(vm, host);
+        Ok(())
+    }
+
+    /// Remove a VM from whatever host it is on, returning the host id and
+    /// released resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::CoreError::VmNotFound`] if the VM is not
+    /// placed anywhere in this pool.
+    pub fn remove_vm(&mut self, vm: VmId) -> Result<(HostId, Resources), crate::error::CoreError> {
+        let host_id = self
+            .vm_index
+            .remove(&vm)
+            .ok_or(crate::error::CoreError::VmNotFound { vm })?;
+        let host = self
+            .hosts
+            .get_mut(&host_id)
+            .ok_or(crate::error::CoreError::HostNotFound { host: host_id })?;
+        let released = host.remove(vm)?;
+        Ok((host_id, released))
+    }
+
+    /// Number of completely empty hosts.
+    pub fn empty_host_count(&self) -> usize {
+        self.hosts.values().filter(|h| h.is_empty()).count()
+    }
+
+    /// Fraction of hosts that are empty, in `[0, 1]` (0 for an empty pool).
+    pub fn empty_host_fraction(&self) -> f64 {
+        if self.hosts.is_empty() {
+            0.0
+        } else {
+            self.empty_host_count() as f64 / self.hosts.len() as f64
+        }
+    }
+
+    /// Total capacity across all hosts.
+    pub fn total_capacity(&self) -> Resources {
+        self.hosts.values().map(|h| h.capacity()).sum()
+    }
+
+    /// Total reserved resources across all hosts.
+    pub fn total_used(&self) -> Resources {
+        self.hosts.values().map(|h| h.used()).sum()
+    }
+
+    /// Total free resources across all hosts.
+    pub fn total_free(&self) -> Resources {
+        self.hosts.values().map(|h| h.free()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use proptest::prelude::*;
+
+    fn pool(n: usize) -> Pool {
+        Pool::with_uniform_hosts(
+            PoolId(0),
+            n,
+            HostSpec::new(Resources::cores_gib(32, 128)),
+        )
+    }
+
+    #[test]
+    fn uniform_pool_construction() {
+        let p = pool(10);
+        assert_eq!(p.host_count(), 10);
+        assert_eq!(p.empty_host_count(), 10);
+        assert!((p.empty_host_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(p.total_capacity(), Resources::cores_gib(320, 1280));
+        assert_eq!(p.id(), PoolId(0));
+    }
+
+    #[test]
+    fn place_and_remove_updates_index() {
+        let mut p = pool(3);
+        let host = HostId(1);
+        p.place_vm(host, VmId(7), Resources::cores_gib(4, 16)).unwrap();
+        assert_eq!(p.host_of(VmId(7)), Some(host));
+        assert_eq!(p.vm_count(), 1);
+        assert_eq!(p.empty_host_count(), 2);
+
+        let (h, released) = p.remove_vm(VmId(7)).unwrap();
+        assert_eq!(h, host);
+        assert_eq!(released, Resources::cores_gib(4, 16));
+        assert_eq!(p.host_of(VmId(7)), None);
+        assert_eq!(p.empty_host_count(), 3);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut p = pool(1);
+        assert_eq!(
+            p.place_vm(HostId(99), VmId(1), Resources::ZERO),
+            Err(CoreError::HostNotFound { host: HostId(99) })
+        );
+        assert_eq!(
+            p.remove_vm(VmId(1)),
+            Err(CoreError::VmNotFound { vm: VmId(1) })
+        );
+    }
+
+    #[test]
+    fn empty_pool_fraction_is_zero() {
+        let p = Pool::new(PoolId(5));
+        assert_eq!(p.empty_host_fraction(), 0.0);
+        assert_eq!(p.total_capacity(), Resources::ZERO);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let mut p = pool(4);
+        p.place_vm(HostId(0), VmId(1), Resources::cores_gib(8, 32)).unwrap();
+        p.place_vm(HostId(2), VmId(2), Resources::cores_gib(16, 64)).unwrap();
+        assert_eq!(p.total_used(), Resources::cores_gib(24, 96));
+        assert_eq!(p.total_used() + p.total_free(), p.total_capacity());
+    }
+
+    proptest! {
+        /// The VM reverse index always agrees with per-host membership.
+        #[test]
+        fn prop_index_consistency(ops in proptest::collection::vec((0u64..6, 0u64..30, 1u64..8), 1..80)) {
+            let mut p = pool(6);
+            for (host, vm, cores) in ops {
+                let host = HostId(host);
+                let vm = VmId(vm);
+                let r = Resources::cores_gib(cores, cores * 4);
+                if p.host_of(vm).is_some() {
+                    p.remove_vm(vm).unwrap();
+                } else if p.host(host).map(|h| h.can_fit(r)).unwrap_or(false) {
+                    p.place_vm(host, vm, r).unwrap();
+                }
+            }
+            for h in p.hosts() {
+                for (vm, _) in h.vms() {
+                    prop_assert_eq!(p.host_of(vm), Some(h.id()));
+                }
+            }
+            let total_on_hosts: usize = p.hosts().map(|h| h.vm_count()).sum();
+            prop_assert_eq!(total_on_hosts, p.vm_count());
+        }
+    }
+}

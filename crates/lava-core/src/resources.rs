@@ -1,0 +1,368 @@
+//! Multi-dimensional resource vectors.
+//!
+//! VM allocation is multi-dimensional (§2.5 of the paper): a host provides
+//! CPU, memory and SSD, and a VM reserves a slice of each. [`Resources`]
+//! models a non-negative vector of the three dimensions in fixed integer
+//! units so that bookkeeping is exact:
+//!
+//! * CPU in **milli-cores** (1 physical core = 1000),
+//! * memory in **MiB**,
+//! * SSD in **GiB**.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// The resource dimensions tracked by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU, in milli-cores.
+    Cpu,
+    /// Memory, in MiB.
+    Memory,
+    /// Local SSD, in GiB.
+    Ssd,
+}
+
+impl ResourceKind {
+    /// All dimensions, in a fixed order.
+    pub const ALL: [ResourceKind; 3] = [ResourceKind::Cpu, ResourceKind::Memory, ResourceKind::Ssd];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Cpu => write!(f, "cpu"),
+            ResourceKind::Memory => write!(f, "memory"),
+            ResourceKind::Ssd => write!(f, "ssd"),
+        }
+    }
+}
+
+/// A non-negative multi-dimensional resource vector.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resources {
+    /// CPU in milli-cores.
+    pub cpu_milli: u64,
+    /// Memory in MiB.
+    pub memory_mib: u64,
+    /// Local SSD in GiB.
+    pub ssd_gib: u64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources {
+        cpu_milli: 0,
+        memory_mib: 0,
+        ssd_gib: 0,
+    };
+
+    /// Create a resource vector from raw units.
+    #[inline]
+    pub fn new(cpu_milli: u64, memory_mib: u64, ssd_gib: u64) -> Resources {
+        Resources {
+            cpu_milli,
+            memory_mib,
+            ssd_gib,
+        }
+    }
+
+    /// Create a vector from whole cores and GiB of memory (no SSD).
+    ///
+    /// This is the most common way of writing VM shapes in examples and
+    /// tests: `Resources::cores_gib(4, 16)` is a 4-vCPU / 16-GiB shape.
+    #[inline]
+    pub fn cores_gib(cores: u64, memory_gib: u64) -> Resources {
+        Resources {
+            cpu_milli: cores * 1000,
+            memory_mib: memory_gib * 1024,
+            ssd_gib: 0,
+        }
+    }
+
+    /// Value of one dimension.
+    #[inline]
+    pub fn get(&self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu_milli,
+            ResourceKind::Memory => self.memory_mib,
+            ResourceKind::Ssd => self.ssd_gib,
+        }
+    }
+
+    /// True if every dimension is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        *self == Resources::ZERO
+    }
+
+    /// True if `other` fits inside `self` on every dimension
+    /// (`other <= self` component-wise).
+    #[inline]
+    pub fn fits(&self, other: &Resources) -> bool {
+        other.cpu_milli <= self.cpu_milli
+            && other.memory_mib <= self.memory_mib
+            && other.ssd_gib <= self.ssd_gib
+    }
+
+    /// Component-wise checked addition. Returns `None` on overflow of any
+    /// dimension.
+    #[inline]
+    pub fn checked_add(&self, other: &Resources) -> Option<Resources> {
+        Some(Resources {
+            cpu_milli: self.cpu_milli.checked_add(other.cpu_milli)?,
+            memory_mib: self.memory_mib.checked_add(other.memory_mib)?,
+            ssd_gib: self.ssd_gib.checked_add(other.ssd_gib)?,
+        })
+    }
+
+    /// Component-wise checked subtraction. Returns `None` if any dimension
+    /// of `other` exceeds `self`.
+    #[inline]
+    pub fn checked_sub(&self, other: &Resources) -> Option<Resources> {
+        Some(Resources {
+            cpu_milli: self.cpu_milli.checked_sub(other.cpu_milli)?,
+            memory_mib: self.memory_mib.checked_sub(other.memory_mib)?,
+            ssd_gib: self.ssd_gib.checked_sub(other.ssd_gib)?,
+        })
+    }
+
+    /// Component-wise saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.saturating_sub(other.cpu_milli),
+            memory_mib: self.memory_mib.saturating_sub(other.memory_mib),
+            ssd_gib: self.ssd_gib.saturating_sub(other.ssd_gib),
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.min(other.cpu_milli),
+            memory_mib: self.memory_mib.min(other.memory_mib),
+            ssd_gib: self.ssd_gib.min(other.ssd_gib),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.max(other.cpu_milli),
+            memory_mib: self.memory_mib.max(other.memory_mib),
+            ssd_gib: self.ssd_gib.max(other.ssd_gib),
+        }
+    }
+
+    /// Scale every dimension by an integer factor (saturating).
+    #[inline]
+    pub fn scale(&self, factor: u64) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.saturating_mul(factor),
+            memory_mib: self.memory_mib.saturating_mul(factor),
+            ssd_gib: self.ssd_gib.saturating_mul(factor),
+        }
+    }
+
+    /// Fraction of `capacity` used by `self` on one dimension, in `[0, inf)`.
+    ///
+    /// Returns 0.0 when the capacity of that dimension is zero.
+    #[inline]
+    pub fn fraction_of(&self, capacity: &Resources, kind: ResourceKind) -> f64 {
+        let cap = capacity.get(kind);
+        if cap == 0 {
+            0.0
+        } else {
+            self.get(kind) as f64 / cap as f64
+        }
+    }
+
+    /// The largest utilisation fraction across dimensions that have non-zero
+    /// capacity (the "dominant share").
+    ///
+    /// LAVA uses this for the 90 % open→recycling transition, which triggers
+    /// when *either* CPU or memory crosses the threshold.
+    #[inline]
+    pub fn dominant_fraction_of(&self, capacity: &Resources) -> f64 {
+        ResourceKind::ALL
+            .iter()
+            .filter(|k| capacity.get(**k) > 0)
+            .map(|k| self.fraction_of(capacity, *k))
+            .fold(0.0, f64::max)
+    }
+
+    /// A scalar "waste" score used by best-fit style scoring: the sum of the
+    /// normalised free resources left on a host if this vector were its
+    /// remaining free capacity. Smaller is a tighter fit.
+    #[inline]
+    pub fn normalized_sum(&self, capacity: &Resources) -> f64 {
+        ResourceKind::ALL
+            .iter()
+            .filter(|k| capacity.get(**k) > 0)
+            .map(|k| self.fraction_of(capacity, *k))
+            .sum()
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    /// Saturating component-wise addition.
+    #[inline]
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_milli: self.cpu_milli.saturating_add(rhs.cpu_milli),
+            memory_mib: self.memory_mib.saturating_add(rhs.memory_mib),
+            ssd_gib: self.ssd_gib.saturating_add(rhs.ssd_gib),
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    #[inline]
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// Saturating component-wise subtraction.
+    #[inline]
+    fn sub(self, rhs: Resources) -> Resources {
+        self.saturating_sub(&rhs)
+    }
+}
+
+impl SubAssign for Resources {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |acc, r| acc + r)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} cores / {:.1} GiB mem / {} GiB ssd",
+            self.cpu_milli as f64 / 1000.0,
+            self.memory_mib as f64 / 1024.0,
+            self.ssd_gib
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cores_gib_constructor() {
+        let r = Resources::cores_gib(4, 16);
+        assert_eq!(r.cpu_milli, 4000);
+        assert_eq!(r.memory_mib, 16 * 1024);
+        assert_eq!(r.ssd_gib, 0);
+    }
+
+    #[test]
+    fn fits_is_component_wise() {
+        let host = Resources::new(1000, 1000, 10);
+        assert!(host.fits(&Resources::new(1000, 1000, 10)));
+        assert!(host.fits(&Resources::ZERO));
+        assert!(!host.fits(&Resources::new(1001, 0, 0)));
+        assert!(!host.fits(&Resources::new(0, 1001, 0)));
+        assert!(!host.fits(&Resources::new(0, 0, 11)));
+    }
+
+    #[test]
+    fn checked_arithmetic() {
+        let a = Resources::new(5, 5, 5);
+        let b = Resources::new(3, 3, 3);
+        assert_eq!(a.checked_sub(&b), Some(Resources::new(2, 2, 2)));
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(a.checked_add(&b), Some(Resources::new(8, 8, 8)));
+        assert_eq!(
+            Resources::new(u64::MAX, 0, 0).checked_add(&Resources::new(1, 0, 0)),
+            None
+        );
+    }
+
+    #[test]
+    fn dominant_fraction_ignores_zero_capacity_dims() {
+        let cap = Resources::new(1000, 2000, 0);
+        let used = Resources::new(500, 1500, 0);
+        assert!((used.dominant_fraction_of(&cap) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_of_zero_capacity_is_zero() {
+        let cap = Resources::ZERO;
+        let used = Resources::new(5, 5, 5);
+        assert_eq!(used.fraction_of(&cap, ResourceKind::Cpu), 0.0);
+        assert_eq!(used.dominant_fraction_of(&cap), 0.0);
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let total: Resources = vec![Resources::new(1, 2, 3); 4].into_iter().sum();
+        assert_eq!(total, Resources::new(4, 8, 12));
+        assert_eq!(Resources::new(1, 2, 3).scale(3), Resources::new(3, 6, 9));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Resources::cores_gib(2, 8).to_string().is_empty());
+        assert!(!ResourceKind::Cpu.to_string().is_empty());
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Resources::new(1, 5, 3);
+        let b = Resources::new(2, 4, 3);
+        assert_eq!(a.min(&b), Resources::new(1, 4, 3));
+        assert_eq!(a.max(&b), Resources::new(2, 5, 3));
+    }
+
+    fn arb_resources() -> impl Strategy<Value = Resources> {
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..10_000)
+            .prop_map(|(c, m, s)| Resources::new(c, m, s))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_then_sub_roundtrips(a in arb_resources(), b in arb_resources()) {
+            let sum = a + b;
+            prop_assert_eq!(sum.checked_sub(&b), Some(a));
+        }
+
+        #[test]
+        fn prop_fits_is_reflexive_and_monotone(a in arb_resources(), b in arb_resources()) {
+            prop_assert!(a.fits(&a));
+            // If b fits in a, then (a - b) + b == a.
+            if a.fits(&b) {
+                prop_assert_eq!(a.saturating_sub(&b) + b, a);
+            }
+        }
+
+        #[test]
+        fn prop_dominant_fraction_bounds(a in arb_resources(), cap in arb_resources()) {
+            let f = a.dominant_fraction_of(&cap);
+            prop_assert!(f >= 0.0);
+            if cap.fits(&a) {
+                prop_assert!(f <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

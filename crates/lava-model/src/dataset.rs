@@ -1,0 +1,233 @@
+//! Training-data construction: labels, capping and uptime augmentation.
+//!
+//! The paper (§3) turns a regression model into a survival-style model by
+//! augmenting every training example with several uptime values (12.5 %,
+//! 25 %, ... of the original lifetime) and training on the remaining
+//! lifetime `E(T_r | T_u)` in the log10 domain, with lifetimes capped at
+//! 7 days (Appendix B).
+
+use crate::features::FeatureSchema;
+use crate::LIFETIME_CAP;
+use lava_core::time::Duration;
+use lava_core::vm::VmSpec;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The uptime fractions used for augmentation. The first entry (0.0) is the
+/// scheduling-time example; the rest simulate repredictions at 12.5 %, 25 %,
+/// 50 % and 75 % of the true lifetime.
+pub const AUGMENTATION_FRACTIONS: [f64; 5] = [0.0, 0.125, 0.25, 0.5, 0.75];
+
+/// One labelled training example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Example {
+    /// Encoded feature vector (see [`crate::features::FEATURE_NAMES`]).
+    pub features: Vec<f64>,
+    /// Label: log10 of the remaining lifetime in seconds (capped).
+    pub label: f64,
+    /// Uncapped ground-truth remaining lifetime, for evaluation.
+    pub remaining: Duration,
+    /// Total (uncapped) lifetime of the source VM, for threshold metrics.
+    pub total_lifetime: Duration,
+    /// The uptime at which this example was generated.
+    pub uptime: Duration,
+}
+
+/// A labelled dataset plus the feature schema that produced it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The examples.
+    pub examples: Vec<Example>,
+    /// The schema used to encode them (needed at inference time).
+    pub schema: FeatureSchema,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True if the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Feature matrix view (row major).
+    pub fn feature_rows(&self) -> Vec<&[f64]> {
+        self.examples.iter().map(|e| e.features.as_slice()).collect()
+    }
+
+    /// Label vector.
+    pub fn labels(&self) -> Vec<f64> {
+        self.examples.iter().map(|e| e.label).collect()
+    }
+
+    /// Deterministically shuffle and split into (train, test) by fraction.
+    ///
+    /// `train_fraction` is clamped to `[0, 1]`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut indices: Vec<usize> = (0..self.examples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let cut = ((self.examples.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+        let cut = cut.min(self.examples.len());
+        let take = |idx: &[usize]| Dataset {
+            examples: idx.iter().map(|&i| self.examples[i].clone()).collect(),
+            schema: self.schema.clone(),
+        };
+        (take(&indices[..cut]), take(&indices[cut..]))
+    }
+}
+
+/// Builds a [`Dataset`] from `(spec, lifetime)` observations.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    observations: Vec<(VmSpec, Duration)>,
+    augment: bool,
+    cap: Duration,
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> Self {
+        DatasetBuilder::new()
+    }
+}
+
+impl DatasetBuilder {
+    /// Create an empty builder with the paper's defaults (uptime
+    /// augmentation on, 7-day cap).
+    pub fn new() -> DatasetBuilder {
+        DatasetBuilder {
+            observations: Vec::new(),
+            augment: true,
+            cap: LIFETIME_CAP,
+        }
+    }
+
+    /// Enable or disable uptime augmentation (disabled = one-shot training,
+    /// the "no reprediction" ablation of Fig. 16).
+    pub fn augment(mut self, augment: bool) -> Self {
+        self.augment = augment;
+        self
+    }
+
+    /// Override the lifetime cap.
+    pub fn cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Add one completed VM observation.
+    pub fn push(&mut self, spec: VmSpec, lifetime: Duration) {
+        self.observations.push((spec, lifetime));
+    }
+
+    /// Add many observations.
+    pub fn extend<I: IntoIterator<Item = (VmSpec, Duration)>>(&mut self, iter: I) {
+        self.observations.extend(iter);
+    }
+
+    /// Number of raw observations added so far.
+    pub fn observation_count(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Build the dataset: fit the schema, apply augmentation, cap labels and
+    /// encode features.
+    pub fn build(&self) -> Dataset {
+        let schema = FeatureSchema::fit(self.observations.iter().map(|(s, _)| s));
+        let fractions: &[f64] = if self.augment {
+            &AUGMENTATION_FRACTIONS
+        } else {
+            &AUGMENTATION_FRACTIONS[..1]
+        };
+        let mut examples = Vec::with_capacity(self.observations.len() * fractions.len());
+        for (spec, lifetime) in &self.observations {
+            for &fraction in fractions {
+                let uptime = Duration::from_secs_f64(lifetime.as_secs() as f64 * fraction);
+                let remaining = *lifetime - uptime;
+                let capped = remaining.min(self.cap);
+                examples.push(Example {
+                    features: schema.encode(spec, uptime),
+                    label: capped.log10_secs(),
+                    remaining,
+                    total_lifetime: *lifetime,
+                    uptime,
+                });
+            }
+        }
+        Dataset { examples, schema }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::resources::Resources;
+
+    fn spec() -> VmSpec {
+        VmSpec::builder(Resources::cores_gib(2, 8)).category(1).build()
+    }
+
+    #[test]
+    fn augmentation_multiplies_examples() {
+        let mut b = DatasetBuilder::new();
+        for _ in 0..10 {
+            b.push(spec(), Duration::from_hours(10));
+        }
+        assert_eq!(b.observation_count(), 10);
+        let ds = b.build();
+        assert_eq!(ds.len(), 10 * AUGMENTATION_FRACTIONS.len());
+        assert!(!ds.is_empty());
+
+        let one_shot = DatasetBuilder::new().augment(false);
+        let mut one_shot = one_shot;
+        one_shot.push(spec(), Duration::from_hours(10));
+        assert_eq!(one_shot.build().len(), 1);
+    }
+
+    #[test]
+    fn labels_are_log10_of_capped_remaining() {
+        let mut b = DatasetBuilder::new();
+        // 20-day VM: capped at 7 days for the uptime=0 example.
+        b.push(spec(), Duration::from_days(20));
+        let ds = b.build();
+        let first = &ds.examples[0];
+        assert_eq!(first.uptime, Duration::ZERO);
+        assert!((first.label - (LIFETIME_CAP.as_secs() as f64).log10()).abs() < 1e-9);
+        assert_eq!(first.total_lifetime, Duration::from_days(20));
+        // The 75% example still has 5 days remaining (under the cap).
+        let last = ds
+            .examples
+            .iter()
+            .find(|e| e.uptime == Duration::from_days(15))
+            .unwrap();
+        assert!((last.label - (Duration::from_days(5).as_secs() as f64).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_partitions_examples() {
+        let mut b = DatasetBuilder::new();
+        for i in 0..100 {
+            b.push(spec(), Duration::from_hours(1 + i % 20));
+        }
+        let ds = b.build();
+        let (train, test) = ds.split(0.8, 42);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(train.len(), (ds.len() as f64 * 0.8).round() as usize);
+        // Deterministic given the seed.
+        let (train2, _) = ds.split(0.8, 42);
+        assert_eq!(train.labels(), train2.labels());
+    }
+
+    #[test]
+    fn feature_rows_align_with_labels() {
+        let mut b = DatasetBuilder::new();
+        b.push(spec(), Duration::from_hours(4));
+        let ds = b.build();
+        assert_eq!(ds.feature_rows().len(), ds.labels().len());
+    }
+}

@@ -1,0 +1,561 @@
+//! Gradient-boosted decision trees (GBDT) for remaining-lifetime regression.
+//!
+//! This is a from-scratch stand-in for the Yggdrasil Decision Forests model
+//! used in the paper (Appendix B): squared-error gradient boosting over
+//! regression trees grown **best-first** (the paper's "Best First Global"
+//! growing strategy) with a bounded number of leaves (32 in the paper).
+//! Split finding uses per-feature quantile histograms so training stays fast
+//! on large traces, and split gains are accumulated per feature to provide
+//! the *split score* feature importance used in Fig. 11.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Hyperparameters for [`GbdtRegressor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds (trees). The paper uses 2000; the default
+    /// here is smaller so that simulation-scale retraining stays fast —
+    /// accuracy on the synthetic traces saturates well below that.
+    pub num_trees: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Maximum number of leaves per tree (paper: 32, best-first growth).
+    pub max_leaves: usize,
+    /// Minimum number of examples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Number of histogram bins per feature used for split finding.
+    pub max_bins: usize,
+    /// Minimum total gain required to apply a split.
+    pub min_gain: f64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            num_trees: 120,
+            learning_rate: 0.1,
+            max_leaves: 32,
+            min_samples_leaf: 20,
+            max_bins: 64,
+            min_gain: 1e-9,
+        }
+    }
+}
+
+impl GbdtConfig {
+    /// The configuration reported in the paper (Appendix B): 2000 trees,
+    /// 32 leaves, best-first growth. Slow to train; use for full-fidelity
+    /// runs only.
+    pub fn paper() -> GbdtConfig {
+        GbdtConfig {
+            num_trees: 2000,
+            ..GbdtConfig::default()
+        }
+    }
+
+    /// A fast configuration for unit tests and smoke runs.
+    pub fn fast() -> GbdtConfig {
+        GbdtConfig {
+            num_trees: 30,
+            max_leaves: 16,
+            min_samples_leaf: 5,
+            ..GbdtConfig::default()
+        }
+    }
+}
+
+/// A node in a regression tree (flat representation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        /// Examples with `features[feature] <= threshold` go left.
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Predict the response for one feature row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+}
+
+/// Per-feature quantile bin edges used for histogram split finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Binner {
+    /// `edges[f]` are the upper edges of the bins of feature `f`
+    /// (ascending). A value is assigned to the first bin whose edge is
+    /// `>=` the value.
+    edges: Vec<Vec<f64>>,
+}
+
+impl Binner {
+    fn fit(rows: &[&[f64]], num_features: usize, max_bins: usize) -> Binner {
+        let mut edges = Vec::with_capacity(num_features);
+        for f in 0..num_features {
+            let mut values: Vec<f64> = rows
+                .iter()
+                .map(|r| r.get(f).copied().unwrap_or(0.0))
+                .filter(|v| v.is_finite())
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            values.dedup();
+            let feature_edges = if values.len() <= max_bins {
+                values
+            } else {
+                // Quantile edges.
+                (1..=max_bins)
+                    .map(|i| {
+                        let q = i as f64 / max_bins as f64;
+                        let pos = ((values.len() - 1) as f64 * q).round() as usize;
+                        values[pos]
+                    })
+                    .collect::<Vec<f64>>()
+            };
+            edges.push(feature_edges);
+        }
+        Binner { edges }
+    }
+
+    fn num_bins(&self, feature: usize) -> usize {
+        self.edges[feature].len()
+    }
+
+    fn bin(&self, feature: usize, value: f64) -> usize {
+        let edges = &self.edges[feature];
+        if edges.is_empty() {
+            return 0;
+        }
+        match edges.binary_search_by(|e| e.partial_cmp(&value).expect("finite")) {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(edges.len() - 1),
+        }
+    }
+
+    /// The split threshold corresponding to a bin boundary: the upper edge
+    /// of the bin.
+    fn threshold(&self, feature: usize, bin: usize) -> f64 {
+        self.edges[feature][bin]
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SplitCandidate {
+    gain: f64,
+    feature: usize,
+    bin: usize,
+    left_indices: Vec<u32>,
+    right_indices: Vec<u32>,
+    left_value: f64,
+    right_value: f64,
+}
+
+/// Entry in the best-first growth priority queue.
+struct GrowthEntry {
+    gain: f64,
+    node_index: usize,
+    candidate: SplitCandidate,
+}
+
+impl PartialEq for GrowthEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain
+    }
+}
+impl Eq for GrowthEntry {}
+impl PartialOrd for GrowthEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GrowthEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// A trained gradient-boosted regression model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbdtRegressor {
+    config: GbdtConfig,
+    base_prediction: f64,
+    trees: Vec<RegressionTree>,
+    /// Accumulated split gain per feature (the "split score" importance).
+    feature_importance: Vec<f64>,
+    num_features: usize,
+}
+
+impl GbdtRegressor {
+    /// Train a model on the given feature rows and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `labels` have different lengths or `rows` is
+    /// empty.
+    pub fn fit(config: GbdtConfig, rows: &[&[f64]], labels: &[f64]) -> GbdtRegressor {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(!rows.is_empty(), "cannot train on an empty dataset");
+        let num_features = rows[0].len();
+        let binner = Binner::fit(rows, num_features, config.max_bins);
+
+        // Pre-bin every example once.
+        let binned: Vec<Vec<u16>> = rows
+            .iter()
+            .map(|r| {
+                (0..num_features)
+                    .map(|f| binner.bin(f, r.get(f).copied().unwrap_or(0.0)) as u16)
+                    .collect()
+            })
+            .collect();
+
+        let base_prediction = labels.iter().sum::<f64>() / labels.len() as f64;
+        let mut predictions = vec![base_prediction; labels.len()];
+        let mut trees = Vec::with_capacity(config.num_trees);
+        let mut feature_importance = vec![0.0; num_features];
+
+        for _ in 0..config.num_trees {
+            let residuals: Vec<f64> = labels
+                .iter()
+                .zip(&predictions)
+                .map(|(y, p)| y - p)
+                .collect();
+            let tree = Self::fit_tree(
+                &config,
+                &binner,
+                &binned,
+                &residuals,
+                &mut feature_importance,
+            );
+            for (i, row) in rows.iter().enumerate() {
+                predictions[i] += config.learning_rate * tree.predict(row);
+            }
+            trees.push(tree);
+        }
+
+        GbdtRegressor {
+            config,
+            base_prediction,
+            trees,
+            feature_importance,
+            num_features,
+        }
+    }
+
+    fn fit_tree(
+        config: &GbdtConfig,
+        binner: &Binner,
+        binned: &[Vec<u16>],
+        residuals: &[f64],
+        importance: &mut [f64],
+    ) -> RegressionTree {
+        let all_indices: Vec<u32> = (0..binned.len() as u32).collect();
+        let root_value = mean(residuals, &all_indices);
+        let mut nodes = vec![Node::Leaf { value: root_value }];
+        let mut heap: BinaryHeap<GrowthEntry> = BinaryHeap::new();
+        if let Some(cand) = Self::best_split(config, binner, binned, residuals, &all_indices) {
+            heap.push(GrowthEntry {
+                gain: cand.gain,
+                node_index: 0,
+                candidate: cand,
+            });
+        }
+        let mut leaves = 1;
+        while leaves < config.max_leaves {
+            let Some(entry) = heap.pop() else { break };
+            if entry.gain < config.min_gain {
+                break;
+            }
+            let cand = entry.candidate;
+            let left_index = nodes.len();
+            let right_index = nodes.len() + 1;
+            nodes.push(Node::Leaf {
+                value: cand.left_value,
+            });
+            nodes.push(Node::Leaf {
+                value: cand.right_value,
+            });
+            nodes[entry.node_index] = Node::Split {
+                feature: cand.feature,
+                threshold: binner.threshold(cand.feature, cand.bin),
+                left: left_index,
+                right: right_index,
+            };
+            importance[cand.feature] += cand.gain;
+            leaves += 1;
+
+            for (child_index, indices) in [
+                (left_index, &cand.left_indices),
+                (right_index, &cand.right_indices),
+            ] {
+                if indices.len() >= 2 * config.min_samples_leaf {
+                    if let Some(child_cand) =
+                        Self::best_split(config, binner, binned, residuals, indices)
+                    {
+                        heap.push(GrowthEntry {
+                            gain: child_cand.gain,
+                            node_index: child_index,
+                            candidate: child_cand,
+                        });
+                    }
+                }
+            }
+        }
+        RegressionTree { nodes }
+    }
+
+    /// Find the best histogram split over the given example indices.
+    fn best_split(
+        config: &GbdtConfig,
+        binner: &Binner,
+        binned: &[Vec<u16>],
+        residuals: &[f64],
+        indices: &[u32],
+    ) -> Option<SplitCandidate> {
+        let n = indices.len();
+        if n < 2 * config.min_samples_leaf {
+            return None;
+        }
+        let total_sum: f64 = indices.iter().map(|&i| residuals[i as usize]).sum();
+        let parent_score = total_sum * total_sum / n as f64;
+
+        let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+        let num_features = binner.edges.len();
+        for f in 0..num_features {
+            let bins = binner.num_bins(f);
+            if bins < 2 {
+                continue;
+            }
+            let mut sums = vec![0.0f64; bins];
+            let mut counts = vec![0u32; bins];
+            for &i in indices {
+                let b = binned[i as usize][f] as usize;
+                sums[b] += residuals[i as usize];
+                counts[b] += 1;
+            }
+            let mut left_sum = 0.0;
+            let mut left_count = 0u32;
+            // A split after bin b sends bins [0, b] left.
+            for b in 0..bins - 1 {
+                left_sum += sums[b];
+                left_count += counts[b];
+                let right_count = n as u32 - left_count;
+                if (left_count as usize) < config.min_samples_leaf
+                    || (right_count as usize) < config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let score = left_sum * left_sum / left_count as f64
+                    + right_sum * right_sum / right_count as f64;
+                let gain = score - parent_score;
+                if best.map(|(g, _, _)| gain > g).unwrap_or(gain > config.min_gain) {
+                    best = Some((gain, f, b));
+                }
+            }
+        }
+
+        let (gain, feature, bin) = best?;
+        if gain <= config.min_gain {
+            return None;
+        }
+        let mut left_indices = Vec::new();
+        let mut right_indices = Vec::new();
+        for &i in indices {
+            if (binned[i as usize][feature] as usize) <= bin {
+                left_indices.push(i);
+            } else {
+                right_indices.push(i);
+            }
+        }
+        let left_value = mean(residuals, &left_indices);
+        let right_value = mean(residuals, &right_indices);
+        Some(SplitCandidate {
+            gain,
+            feature,
+            bin,
+            left_indices,
+            right_indices,
+            left_value,
+            right_value,
+        })
+    }
+
+    /// Predict the response for one feature row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut pred = self.base_prediction;
+        for tree in &self.trees {
+            pred += self.config.learning_rate * tree.predict(features);
+        }
+        pred
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of input features the model was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The configuration used for training.
+    pub fn config(&self) -> &GbdtConfig {
+        &self.config
+    }
+
+    /// Split-score feature importance, normalised to sum to 1 (all zeros if
+    /// no splits were made).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let total: f64 = self.feature_importance.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.feature_importance.len()];
+        }
+        self.feature_importance.iter().map(|g| g / total).collect()
+    }
+}
+
+fn mean(values: &[f64], indices: &[u32]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    indices.iter().map(|&i| values[i as usize]).sum::<f64>() / indices.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn synthetic_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x0: f64 = rng.gen_range(0.0..10.0);
+            let x1: f64 = rng.gen_range(0.0..5.0);
+            let x2: f64 = rng.gen_range(0.0..1.0); // irrelevant
+            let y = if x0 > 5.0 { 3.0 } else { 1.0 } + 0.5 * x1;
+            rows.push(vec![x0, x1, x2]);
+            labels.push(y);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (rows, labels) = synthetic_data(2000, 1);
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let model = GbdtRegressor::fit(GbdtConfig::fast(), &refs, &labels);
+        assert_eq!(model.tree_count(), GbdtConfig::fast().num_trees);
+        assert_eq!(model.num_features(), 3);
+
+        // In-sample error should be small.
+        let mse: f64 = rows
+            .iter()
+            .zip(&labels)
+            .map(|(r, y)| (model.predict(r) - y).powi(2))
+            .sum::<f64>()
+            / labels.len() as f64;
+        assert!(mse < 0.05, "mse too high: {mse}");
+    }
+
+    #[test]
+    fn feature_importance_identifies_relevant_features() {
+        let (rows, labels) = synthetic_data(2000, 2);
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let model = GbdtRegressor::fit(GbdtConfig::fast(), &refs, &labels);
+        let imp = model.feature_importance();
+        assert_eq!(imp.len(), 3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // x0 dominates, x2 is irrelevant.
+        assert!(imp[0] > 0.5, "importance {imp:?}");
+        assert!(imp[2] < 0.05, "importance {imp:?}");
+    }
+
+    #[test]
+    fn constant_labels_yield_constant_prediction() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let labels = vec![7.0; 3];
+        let model = GbdtRegressor::fit(GbdtConfig::fast(), &refs, &labels);
+        for r in &rows {
+            assert!((model.predict(r) - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn respects_max_leaves() {
+        let (rows, labels) = synthetic_data(500, 3);
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let config = GbdtConfig {
+            num_trees: 5,
+            max_leaves: 4,
+            min_samples_leaf: 5,
+            ..GbdtConfig::default()
+        };
+        let model = GbdtRegressor::fit(config, &refs, &labels);
+        for tree in &model.trees {
+            assert!(tree.leaf_count() <= 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows/labels length mismatch")]
+    fn mismatched_lengths_panic() {
+        let rows = vec![vec![1.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let _ = GbdtRegressor::fit(GbdtConfig::fast(), &refs, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn predict_handles_short_rows() {
+        let (rows, labels) = synthetic_data(200, 4);
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let model = GbdtRegressor::fit(GbdtConfig::fast(), &refs, &labels);
+        // Missing features are treated as 0.0 rather than panicking.
+        let _ = model.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Model-quality metrics: precision/recall/F1 at a lifetime threshold,
+//! concordance index (C-index) and log-domain error statistics.
+//!
+//! The paper reports "99 % precision at 70 % recall" for classifying VMs as
+//! long-lived at a 7-day threshold (§3), C-index for survival baselines
+//! (Table 4), F1 versus uptime quantile (Fig. 9) and a log10 error histogram
+//! (Fig. 12).
+
+use lava_core::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Binary-classification counts at a lifetime threshold, where the positive
+/// class is "long-lived" (lifetime above the threshold).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Predicted long and actually long.
+    pub true_positives: u64,
+    /// Predicted long but actually short.
+    pub false_positives: u64,
+    /// Predicted short and actually short.
+    pub true_negatives: u64,
+    /// Predicted short but actually long.
+    pub false_negatives: u64,
+}
+
+impl ConfusionCounts {
+    /// Accumulate one (predicted, actual) lifetime pair against a threshold.
+    ///
+    /// "Long-lived" means living for at least the threshold; the comparison
+    /// is inclusive so that predictions capped exactly at the threshold
+    /// (the 7-day label cap of Appendix B) count as long-lived.
+    pub fn observe(&mut self, predicted: Duration, actual: Duration, threshold: Duration) {
+        let pred_long = predicted >= threshold;
+        let actual_long = actual >= threshold;
+        match (pred_long, actual_long) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Precision of the long-lived class (1.0 when no positives were
+    /// predicted).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the long-lived class (1.0 when there are no long-lived
+    /// examples).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall; 0.0 when both are
+    /// zero).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives;
+        if total == 0 {
+            1.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / total as f64
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+}
+
+/// Classify (predicted, actual) lifetime pairs at a threshold and return
+/// the confusion counts.
+pub fn classify_at_threshold(
+    pairs: impl IntoIterator<Item = (Duration, Duration)>,
+    threshold: Duration,
+) -> ConfusionCounts {
+    let mut counts = ConfusionCounts::default();
+    for (predicted, actual) in pairs {
+        counts.observe(predicted, actual, threshold);
+    }
+    counts
+}
+
+/// Concordance index (C-index) of a risk score against observed lifetimes.
+///
+/// For every comparable pair (different lifetimes), the pair is concordant
+/// if the example with the *shorter* lifetime has the *higher* risk score.
+/// Ties in risk count as half-concordant. Returns 0.5 for degenerate inputs
+/// (no comparable pairs).
+pub fn concordance_index(risk_scores: &[f64], lifetimes: &[Duration]) -> f64 {
+    assert_eq!(
+        risk_scores.len(),
+        lifetimes.len(),
+        "risk/lifetime length mismatch"
+    );
+    let n = risk_scores.len();
+    let mut concordant = 0.0;
+    let mut comparable = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if lifetimes[i] == lifetimes[j] {
+                continue;
+            }
+            comparable += 1.0;
+            let (short, long) = if lifetimes[i] < lifetimes[j] {
+                (i, j)
+            } else {
+                (j, i)
+            };
+            if risk_scores[short] > risk_scores[long] {
+                concordant += 1.0;
+            } else if (risk_scores[short] - risk_scores[long]).abs() < 1e-12 {
+                concordant += 0.5;
+            }
+        }
+    }
+    if comparable == 0.0 {
+        0.5
+    } else {
+        concordant / comparable
+    }
+}
+
+/// Absolute prediction error in the log10 domain (Appendix C):
+/// `|log10(predicted) − log10(actual)|`, with a one-second floor on both.
+pub fn log10_error(predicted: Duration, actual: Duration) -> f64 {
+    (predicted.log10_secs() - actual.log10_secs()).abs()
+}
+
+/// A fixed-width histogram over `[0, max)` with an overflow bucket, used for
+/// the error and latency histograms (Figs. 8 and 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Create a histogram with `buckets` equal-width buckets covering
+    /// `[0, max)` plus one overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `max <= 0`.
+    pub fn new(max: f64, buckets: usize) -> Histogram {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(max > 0.0, "histogram max must be positive");
+        Histogram {
+            bucket_width: max / buckets as f64,
+            max,
+            counts: vec![0; buckets + 1],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation (negative values are clamped to zero).
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        let idx = if v >= self.max {
+            self.counts.len() - 1
+        } else {
+            (v / self.bucket_width) as usize
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Approximate quantile from the histogram buckets.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (self.total as f64 * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == self.counts.len() - 1 {
+                    self.max
+                } else {
+                    (i as f64 + 0.5) * self.bucket_width
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Bucket boundaries and counts: `(lower_bound, count)` for every
+    /// bucket, the final entry being the overflow bucket.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 * self.bucket_width, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours(h: u64) -> Duration {
+        Duration::from_hours(h)
+    }
+
+    #[test]
+    fn confusion_counts_and_scores() {
+        let threshold = hours(168);
+        let pairs = vec![
+            (hours(200), hours(300)), // TP
+            (hours(200), hours(10)),  // FP
+            (hours(5), hours(5)),     // TN
+            (hours(5), hours(400)),   // FN
+            (hours(400), hours(400)), // TP
+        ];
+        let c = classify_at_threshold(pairs, threshold);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn empty_counts_degenerate_values() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn perfect_risk_ordering_gives_cindex_one() {
+        // Risk must be inversely ordered with lifetime.
+        let lifetimes: Vec<Duration> = (1..=10).map(hours).collect();
+        let risks: Vec<f64> = (1..=10).map(|i| -(i as f64)).collect();
+        assert!((concordance_index(&risks, &lifetimes) - 1.0).abs() < 1e-12);
+        let anti: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert!(concordance_index(&anti, &lifetimes) < 1e-12);
+    }
+
+    #[test]
+    fn constant_risk_gives_half() {
+        let lifetimes: Vec<Duration> = (1..=10).map(hours).collect();
+        let risks = vec![1.0; 10];
+        assert!((concordance_index(&risks, &lifetimes) - 0.5).abs() < 1e-12);
+        assert_eq!(concordance_index(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn log10_error_examples() {
+        assert!((log10_error(Duration(1000), Duration(100)) - 1.0).abs() < 1e-12);
+        assert!((log10_error(Duration(100), Duration(1000)) - 1.0).abs() < 1e-12);
+        assert_eq!(log10_error(Duration(500), Duration(500)), 0.0);
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = Histogram::new(10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // 0.0 .. 9.9
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 4.95).abs() < 1e-9);
+        let median = h.quantile(0.5);
+        assert!((median - 4.5).abs() <= 1.0, "median {median}");
+        h.record(1e9); // overflow bucket
+        assert_eq!(h.buckets().last().unwrap().1, 1);
+        assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_zero_buckets_panics() {
+        let _ = Histogram::new(1.0, 0);
+    }
+}

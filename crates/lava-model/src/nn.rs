@@ -1,0 +1,236 @@
+//! A minimal multi-layer-perceptron regressor.
+//!
+//! Appendix B of the paper compares the production GBDT against a "standard
+//! regular neural network regression" built with Keras. This module is that
+//! baseline's stand-in: a single-hidden-layer MLP with ReLU activations
+//! trained by mini-batch SGD on squared error, with input standardisation.
+//! It is intentionally small — the point of Table 4 is that the GBDT wins.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`MlpRegressor::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Number of hidden units.
+    pub hidden_units: usize,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed for weight initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden_units: 32,
+            epochs: 30,
+            learning_rate: 0.01,
+            batch_size: 32,
+            seed: 17,
+        }
+    }
+}
+
+/// A trained single-hidden-layer MLP regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    // Layer 1: hidden_units x num_features (+ bias per unit).
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    // Layer 2: 1 x hidden_units (+ bias).
+    w2: Vec<f64>,
+    b2: f64,
+    // Input standardisation.
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl MlpRegressor {
+    /// Train on feature rows and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or lengths mismatch.
+    pub fn fit(config: MlpConfig, rows: &[&[f64]], labels: &[f64]) -> MlpRegressor {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(!rows.is_empty(), "cannot train on an empty dataset");
+        let n = rows.len();
+        let p = rows[0].len();
+        let h = config.hidden_units;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        // Standardise inputs.
+        let mut means = vec![0.0; p];
+        let mut stds = vec![0.0; p];
+        for j in 0..p {
+            means[j] = rows.iter().map(|r| r[j]).sum::<f64>() / n as f64;
+            let var = rows.iter().map(|r| (r[j] - means[j]).powi(2)).sum::<f64>() / n as f64;
+            stds[j] = var.sqrt().max(1e-9);
+        }
+        let x: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| (0..p).map(|j| (r[j] - means[j]) / stds[j]).collect())
+            .collect();
+
+        let scale = (2.0 / p as f64).sqrt();
+        let mut w1: Vec<Vec<f64>> = (0..h)
+            .map(|_| (0..p).map(|_| rng.gen_range(-scale..scale)).collect())
+            .collect();
+        let mut b1 = vec![0.0; h];
+        let mut w2: Vec<f64> = (0..h)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        let mut b2 = labels.iter().sum::<f64>() / n as f64;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..config.epochs {
+            // Deterministic shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(config.batch_size.max(1)) {
+                let mut g_w1 = vec![vec![0.0; p]; h];
+                let mut g_b1 = vec![0.0; h];
+                let mut g_w2 = vec![0.0; h];
+                let mut g_b2 = 0.0;
+                for &i in batch {
+                    // Forward.
+                    let mut hidden = vec![0.0; h];
+                    for k in 0..h {
+                        let z: f64 =
+                            w1[k].iter().zip(&x[i]).map(|(w, v)| w * v).sum::<f64>() + b1[k];
+                        hidden[k] = z.max(0.0); // ReLU
+                    }
+                    let pred: f64 =
+                        w2.iter().zip(&hidden).map(|(w, v)| w * v).sum::<f64>() + b2;
+                    let err = pred - labels[i];
+                    // Backward.
+                    g_b2 += err;
+                    for k in 0..h {
+                        g_w2[k] += err * hidden[k];
+                        if hidden[k] > 0.0 {
+                            let delta = err * w2[k];
+                            g_b1[k] += delta;
+                            for j in 0..p {
+                                g_w1[k][j] += delta * x[i][j];
+                            }
+                        }
+                    }
+                }
+                let lr = config.learning_rate / batch.len() as f64;
+                b2 -= lr * g_b2;
+                for k in 0..h {
+                    w2[k] -= lr * g_w2[k];
+                    b1[k] -= lr * g_b1[k];
+                    for j in 0..p {
+                        w1[k][j] -= lr * g_w1[k][j];
+                    }
+                }
+            }
+        }
+
+        MlpRegressor {
+            w1,
+            b1,
+            w2,
+            b2,
+            means,
+            stds,
+        }
+    }
+
+    /// Predict the response for one feature row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let p = self.means.len();
+        let x: Vec<f64> = (0..p)
+            .map(|j| {
+                let v = features.get(j).copied().unwrap_or(0.0);
+                (v - self.means[j]) / self.stds[j]
+            })
+            .collect();
+        let mut out = self.b2;
+        for k in 0..self.w1.len() {
+            let z: f64 = self.w1[k].iter().zip(&x).map(|(w, v)| w * v).sum::<f64>() + self.b1[k];
+            out += self.w2[k] * z.max(0.0);
+        }
+        out
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_units(&self) -> usize {
+        self.w1.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn learns_linear_function() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..500 {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![a, b]);
+            labels.push(2.0 * a - b + 0.5);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let model = MlpRegressor::fit(MlpConfig::default(), &refs, &labels);
+        assert_eq!(model.hidden_units(), 32);
+        let mse: f64 = rows
+            .iter()
+            .zip(&labels)
+            .map(|(r, y)| (model.predict(r) - y).powi(2))
+            .sum::<f64>()
+            / labels.len() as f64;
+        assert!(mse < 0.05, "mse {mse}");
+    }
+
+    #[test]
+    fn learns_nonlinear_step() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..800 {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![a]);
+            labels.push(if a > 0.0 { 1.0 } else { -1.0 });
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let config = MlpConfig {
+            epochs: 80,
+            ..MlpConfig::default()
+        };
+        let model = MlpRegressor::fit(config, &refs, &labels);
+        assert!(model.predict(&[0.8]) > 0.5);
+        assert!(model.predict(&[-0.8]) < -0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let labels = vec![0.0, 1.0, 2.0, 3.0];
+        let m1 = MlpRegressor::fit(MlpConfig::default(), &refs, &labels);
+        let m2 = MlpRegressor::fit(MlpConfig::default(), &refs, &labels);
+        assert_eq!(m1.predict(&[1.5]), m2.predict(&[1.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let _ = MlpRegressor::fit(MlpConfig::default(), &[], &[]);
+    }
+}

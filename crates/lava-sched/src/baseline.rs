@@ -1,0 +1,184 @@
+//! Lifetime-agnostic baseline policies.
+//!
+//! * [`BestFitPolicy`] — classic multi-dimensional Best Fit, the scoring
+//!   used by the LA paper's scheduler and by Borg before Waste
+//!   Minimisation.
+//! * [`WasteMinimizationPolicy`] — the production baseline of §2.2: prefer
+//!   non-empty hosts, then placements that keep the remaining free shape
+//!   balanced (usable by anticipated workloads), then tightness.
+//!
+//! Both ignore lifetimes entirely; they are the "production baseline"
+//! against which the paper reports improvements.
+
+use crate::cluster::Cluster;
+use crate::policy::PlacementPolicy;
+use crate::scoring::{avoid_empty_host_score, best_fit_score, waste_minimization_score, ScoreVector};
+use lava_core::host::HostId;
+use lava_core::time::SimTime;
+use lava_core::vm::Vm;
+
+/// Pick the feasible host with the lexicographically smallest score.
+///
+/// Ties beyond the score vector are broken by host id, which keeps runs
+/// deterministic.
+pub(crate) fn argmin_host<F>(
+    cluster: &Cluster,
+    vm: &Vm,
+    exclude: Option<HostId>,
+    mut score: F,
+) -> Option<HostId>
+where
+    F: FnMut(&lava_core::host::Host) -> ScoreVector,
+{
+    let mut best: Option<(ScoreVector, HostId)> = None;
+    for host in cluster.feasible_hosts(vm.resources()) {
+        if Some(host.id()) == exclude {
+            continue;
+        }
+        let s = score(host);
+        match &best {
+            Some((best_score, _)) if !s.is_better_than(best_score) => {}
+            _ => best = Some((s, host.id())),
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// Classic Best Fit placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitPolicy;
+
+impl BestFitPolicy {
+    /// Create a Best Fit policy.
+    pub fn new() -> BestFitPolicy {
+        BestFitPolicy
+    }
+}
+
+impl PlacementPolicy for BestFitPolicy {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn choose_host(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        _now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        argmin_host(cluster, vm, exclude, |host| {
+            ScoreVector::new(vec![best_fit_score(host, vm.resources())])
+        })
+    }
+}
+
+/// The production baseline: Waste Minimisation with empty-host preservation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WasteMinimizationPolicy;
+
+impl WasteMinimizationPolicy {
+    /// Create the production-baseline policy.
+    pub fn new() -> WasteMinimizationPolicy {
+        WasteMinimizationPolicy
+    }
+}
+
+impl PlacementPolicy for WasteMinimizationPolicy {
+    fn name(&self) -> &'static str {
+        "waste-min"
+    }
+
+    fn choose_host(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        _now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        argmin_host(cluster, vm, exclude, |host| {
+            ScoreVector::new(vec![
+                avoid_empty_host_score(host),
+                waste_minimization_score(host, vm.resources()),
+            ])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::host::HostSpec;
+    use lava_core::resources::Resources;
+    use lava_core::time::Duration;
+    use lava_core::vm::{VmId, VmSpec};
+
+    fn cluster() -> Cluster {
+        Cluster::with_uniform_hosts(3, HostSpec::new(Resources::cores_gib(32, 128)))
+    }
+
+    fn vm(id: u64, cores: u64) -> Vm {
+        Vm::new(
+            VmId(id),
+            VmSpec::builder(Resources::cores_gib(cores, cores * 4)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(1),
+        )
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_host() {
+        let mut c = cluster();
+        c.place(vm(1, 24), HostId(1)).unwrap(); // host 1 has 8 cores free
+        c.place(vm(2, 8), HostId(2)).unwrap(); // host 2 has 24 cores free
+        let mut policy = BestFitPolicy::new();
+        let chosen = policy
+            .choose_host(&c, &vm(3, 8), SimTime::ZERO, None)
+            .unwrap();
+        assert_eq!(chosen, HostId(1));
+        assert_eq!(policy.name(), "best-fit");
+    }
+
+    #[test]
+    fn waste_min_avoids_empty_hosts() {
+        let mut c = cluster();
+        c.place(vm(1, 8), HostId(0)).unwrap();
+        let mut policy = WasteMinimizationPolicy::new();
+        let chosen = policy
+            .choose_host(&c, &vm(2, 8), SimTime::ZERO, None)
+            .unwrap();
+        // Hosts 1 and 2 are empty; the policy must pick the occupied host 0.
+        assert_eq!(chosen, HostId(0));
+        assert_eq!(policy.name(), "waste-min");
+    }
+
+    #[test]
+    fn exclude_prevents_choosing_current_host() {
+        let mut c = cluster();
+        c.place(vm(1, 8), HostId(0)).unwrap();
+        let mut policy = WasteMinimizationPolicy::new();
+        let chosen = policy
+            .choose_host(&c, &vm(2, 8), SimTime::ZERO, Some(HostId(0)))
+            .unwrap();
+        assert_ne!(chosen, HostId(0));
+    }
+
+    #[test]
+    fn returns_none_when_nothing_fits() {
+        let c = cluster();
+        let mut policy = BestFitPolicy::new();
+        let huge = vm(9, 64);
+        assert_eq!(policy.choose_host(&c, &huge, SimTime::ZERO, None), None);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_host_id() {
+        let c = cluster();
+        let mut policy = BestFitPolicy::new();
+        // All hosts are identical and empty: the first id must win.
+        let chosen = policy
+            .choose_host(&c, &vm(1, 4), SimTime::ZERO, None)
+            .unwrap();
+        assert_eq!(chosen, HostId(0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Cluster state: a pool of hosts plus the registry of live VM records.
+//!
+//! The scheduler algorithms need both views: the hosts (occupancy, LAVA
+//! state) and the VM records (uptime, initial predictions) so that they can
+//! repredict the remaining lifetime of every VM on a candidate host.
+
+use lava_core::error::CoreError;
+use lava_core::host::{Host, HostId, HostSpec};
+use lava_core::pool::{Pool, PoolId};
+use lava_core::resources::Resources;
+use lava_core::time::SimTime;
+use lava_core::vm::{Vm, VmId};
+use lava_model::predictor::LifetimePredictor;
+use std::collections::BTreeMap;
+
+/// A pool of hosts together with the live VM records.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pool: Pool,
+    vms: BTreeMap<VmId, Vm>,
+}
+
+impl Cluster {
+    /// Create a cluster around an existing pool.
+    pub fn new(pool: Pool) -> Cluster {
+        Cluster {
+            pool,
+            vms: BTreeMap::new(),
+        }
+    }
+
+    /// Create a cluster of `hosts` identical hosts.
+    pub fn with_uniform_hosts(hosts: usize, spec: HostSpec) -> Cluster {
+        Cluster::new(Pool::with_uniform_hosts(PoolId(0), hosts, spec))
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Mutable access to the underlying pool.
+    pub fn pool_mut(&mut self) -> &mut Pool {
+        &mut self.pool
+    }
+
+    /// A live VM record by id.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    /// A mutable live VM record by id.
+    pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
+        self.vms.get_mut(&id)
+    }
+
+    /// Iterator over the live VM records in id order.
+    pub fn vms(&self) -> impl Iterator<Item = &Vm> + '_ {
+        self.vms.values()
+    }
+
+    /// Number of live VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// A host by id.
+    pub fn host(&self, id: HostId) -> Option<&Host> {
+        self.pool.host(id)
+    }
+
+    /// A mutable host by id.
+    pub fn host_mut(&mut self, id: HostId) -> Option<&mut Host> {
+        self.pool.host_mut(id)
+    }
+
+    /// Iterator over hosts in id order.
+    pub fn hosts(&self) -> impl Iterator<Item = &Host> + '_ {
+        self.pool.hosts()
+    }
+
+    /// Place a VM record on a host, registering it in the VM index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host capacity and duplicate errors.
+    pub fn place(&mut self, mut vm: Vm, host: HostId) -> Result<(), CoreError> {
+        self.pool.place_vm(host, vm.id(), vm.resources())?;
+        vm.assign_host(host);
+        self.vms.insert(vm.id(), vm);
+        Ok(())
+    }
+
+    /// Remove a VM entirely (it exited). Returns the record and the host it
+    /// was on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VmNotFound`] if the VM is not live.
+    pub fn remove(&mut self, vm: VmId) -> Result<(Vm, HostId), CoreError> {
+        let (host, _) = self.pool.remove_vm(vm)?;
+        let mut record = self
+            .vms
+            .remove(&vm)
+            .ok_or(CoreError::VmNotFound { vm })?;
+        record.clear_host();
+        Ok((record, host))
+    }
+
+    /// Move a VM from its current host to `target` (a live migration from
+    /// the bookkeeping perspective — both reservations are never held
+    /// simultaneously here; the simulator models the 20-minute dual-busy
+    /// window separately).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the VM is not live or the target host cannot fit it; in the
+    /// failure case the VM stays on its original host.
+    pub fn migrate(&mut self, vm: VmId, target: HostId) -> Result<HostId, CoreError> {
+        let record = self.vms.get(&vm).ok_or(CoreError::VmNotFound { vm })?;
+        let request = record.resources();
+        let source = record.host().ok_or(CoreError::VmNotFound { vm })?;
+        // Check the target can fit before removing from the source.
+        {
+            let target_host = self
+                .pool
+                .host(target)
+                .ok_or(CoreError::HostNotFound { host: target })?;
+            if !target_host.can_fit(request) {
+                return Err(CoreError::InsufficientCapacity { host: target, vm });
+            }
+        }
+        self.pool.remove_vm(vm)?;
+        self.pool.place_vm(target, vm, request)?;
+        if let Some(record) = self.vms.get_mut(&vm) {
+            record.assign_host(target);
+        }
+        Ok(source)
+    }
+
+    /// The feasible hosts for a request: available hosts with enough free
+    /// resources, in deterministic id order.
+    pub fn feasible_hosts(&self, request: Resources) -> impl Iterator<Item = &Host> + '_ {
+        self.pool.hosts().filter(move |h| h.can_fit(request))
+    }
+
+    /// The repredicted exit time of a host: `now + max` over its VMs of the
+    /// predicted remaining lifetime. Empty hosts exit "now".
+    pub fn host_exit_time(
+        &self,
+        host: &Host,
+        predictor: &dyn LifetimePredictor,
+        now: SimTime,
+    ) -> SimTime {
+        host.vm_ids()
+            .filter_map(|id| self.vm(id))
+            .map(|vm| now + predictor.predict_remaining(vm, now))
+            .max()
+            .unwrap_or(now)
+    }
+
+    /// The host exit time based on **initial** (scheduling-time) predictions
+    /// only — the one-shot view used by LA (Barbalho et al.).
+    pub fn host_exit_time_initial(&self, host: &Host, now: SimTime) -> SimTime {
+        host.vm_ids()
+            .filter_map(|id| self.vm(id))
+            .map(|vm| {
+                let lifetime = vm.initial_prediction().unwrap_or_default();
+                vm.created_at() + lifetime
+            })
+            .max()
+            .unwrap_or(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::time::Duration;
+    use lava_core::vm::VmSpec;
+    use lava_model::predictor::OraclePredictor;
+
+    fn cluster() -> Cluster {
+        Cluster::with_uniform_hosts(4, HostSpec::new(Resources::cores_gib(32, 128)))
+    }
+
+    fn vm(id: u64, hours: u64) -> Vm {
+        Vm::new(
+            VmId(id),
+            VmSpec::builder(Resources::cores_gib(4, 16)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(hours),
+        )
+    }
+
+    #[test]
+    fn place_remove_roundtrip() {
+        let mut c = cluster();
+        c.place(vm(1, 5), HostId(0)).unwrap();
+        assert_eq!(c.vm_count(), 1);
+        assert_eq!(c.vm(VmId(1)).unwrap().host(), Some(HostId(0)));
+        let (record, host) = c.remove(VmId(1)).unwrap();
+        assert_eq!(host, HostId(0));
+        assert_eq!(record.host(), None);
+        assert_eq!(c.vm_count(), 0);
+        assert!(c.host(HostId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn migrate_moves_reservation() {
+        let mut c = cluster();
+        c.place(vm(1, 5), HostId(0)).unwrap();
+        let source = c.migrate(VmId(1), HostId(2)).unwrap();
+        assert_eq!(source, HostId(0));
+        assert!(c.host(HostId(0)).unwrap().is_empty());
+        assert!(c.host(HostId(2)).unwrap().contains(VmId(1)));
+        assert_eq!(c.vm(VmId(1)).unwrap().host(), Some(HostId(2)));
+    }
+
+    #[test]
+    fn migrate_to_full_host_fails_and_keeps_vm() {
+        let mut c = cluster();
+        c.place(vm(1, 5), HostId(0)).unwrap();
+        // Fill host 1 completely.
+        let big = Vm::new(
+            VmId(2),
+            VmSpec::builder(Resources::cores_gib(32, 128)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(1),
+        );
+        c.place(big, HostId(1)).unwrap();
+        let err = c.migrate(VmId(1), HostId(1)).unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientCapacity { .. }));
+        assert!(c.host(HostId(0)).unwrap().contains(VmId(1)));
+    }
+
+    #[test]
+    fn feasible_hosts_respects_capacity_and_availability() {
+        let mut c = cluster();
+        c.host_mut(HostId(3)).unwrap().set_unavailable(true);
+        let feasible: Vec<HostId> = c
+            .feasible_hosts(Resources::cores_gib(4, 16))
+            .map(|h| h.id())
+            .collect();
+        assert_eq!(feasible, vec![HostId(0), HostId(1), HostId(2)]);
+    }
+
+    #[test]
+    fn host_exit_time_uses_repredictions() {
+        let mut c = cluster();
+        c.place(vm(1, 2), HostId(0)).unwrap();
+        c.place(vm(2, 10), HostId(0)).unwrap();
+        let oracle = OraclePredictor::new();
+        let now = SimTime::ZERO + Duration::from_hours(1);
+        let exit = c.host_exit_time(c.host(HostId(0)).unwrap(), &oracle, now);
+        assert_eq!(exit, SimTime::ZERO + Duration::from_hours(10));
+        // Empty host exits immediately.
+        let empty_exit = c.host_exit_time(c.host(HostId(1)).unwrap(), &oracle, now);
+        assert_eq!(empty_exit, now);
+    }
+
+    #[test]
+    fn host_exit_time_initial_uses_one_shot_predictions() {
+        let mut c = cluster();
+        let mut v = vm(1, 10);
+        v.set_initial_prediction(Duration::from_hours(2)); // wrong prediction
+        c.place(v, HostId(0)).unwrap();
+        let now = SimTime::ZERO + Duration::from_hours(5);
+        let exit = c.host_exit_time_initial(c.host(HostId(0)).unwrap(), now);
+        // LA still believes the host frees up at t=2h even though the VM is
+        // alive at t=5h.
+        assert_eq!(exit, SimTime::ZERO + Duration::from_hours(2));
+    }
+}

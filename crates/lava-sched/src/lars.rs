@@ -1,0 +1,104 @@
+//! LARS: Lifetime-Aware ReScheduling for defragmentation and maintenance
+//! (§4.4, Appendix H).
+//!
+//! When a host is drained (for defragmentation or a maintenance event), its
+//! VMs are live-migrated one at a time, with a limited number of concurrent
+//! migrations across the pool. LARS orders the migrations by **descending
+//! predicted remaining lifetime**: the longest-lived VMs move first, so that
+//! short-lived VMs get a chance to exit naturally while the long ones are in
+//! flight — every such exit saves one migration.
+
+use crate::cluster::Cluster;
+use lava_core::host::HostId;
+use lava_core::time::SimTime;
+use lava_core::vm::VmId;
+use lava_model::predictor::LifetimePredictor;
+
+/// Order the VMs on `host` for evacuation: longest predicted remaining
+/// lifetime first (LARS, Algorithm 1). Ties are broken by VM id for
+/// determinism.
+pub fn lars_migration_order(
+    cluster: &Cluster,
+    host: HostId,
+    predictor: &dyn LifetimePredictor,
+    now: SimTime,
+) -> Vec<VmId> {
+    let Some(host) = cluster.host(host) else {
+        return Vec::new();
+    };
+    let mut vms: Vec<(VmId, u64)> = host
+        .vm_ids()
+        .map(|id| {
+            let remaining = cluster
+                .vm(id)
+                .map(|vm| predictor.predict_remaining(vm, now).as_secs())
+                .unwrap_or(0);
+            (id, remaining)
+        })
+        .collect();
+    vms.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    vms.into_iter().map(|(id, _)| id).collect()
+}
+
+/// The baseline evacuation order used in production before LARS: the order
+/// in which the VMs appear in the trace/host record (ascending VM id, which
+/// corresponds to creation order in our traces).
+pub fn baseline_migration_order(cluster: &Cluster, host: HostId) -> Vec<VmId> {
+    cluster
+        .host(host)
+        .map(|h| h.vm_ids().collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::host::HostSpec;
+    use lava_core::resources::Resources;
+    use lava_core::time::Duration;
+    use lava_core::vm::{Vm, VmSpec};
+    use lava_model::predictor::OraclePredictor;
+
+    fn cluster_with_vms(lifetimes_hours: &[u64]) -> Cluster {
+        let mut c = Cluster::with_uniform_hosts(1, HostSpec::new(Resources::cores_gib(64, 256)));
+        for (i, &hours) in lifetimes_hours.iter().enumerate() {
+            let vm = Vm::new(
+                VmId(i as u64),
+                VmSpec::builder(Resources::cores_gib(2, 8)).build(),
+                SimTime::ZERO,
+                Duration::from_hours(hours),
+            );
+            c.place(vm, HostId(0)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn lars_orders_longest_first() {
+        let c = cluster_with_vms(&[2, 50, 10, 1]);
+        let order = lars_migration_order(&c, HostId(0), &OraclePredictor::new(), SimTime::ZERO);
+        assert_eq!(order, vec![VmId(1), VmId(2), VmId(0), VmId(3)]);
+    }
+
+    #[test]
+    fn baseline_order_is_creation_order() {
+        let c = cluster_with_vms(&[2, 50, 10, 1]);
+        let order = baseline_migration_order(&c, HostId(0));
+        assert_eq!(order, vec![VmId(0), VmId(1), VmId(2), VmId(3)]);
+    }
+
+    #[test]
+    fn ties_broken_by_vm_id() {
+        let c = cluster_with_vms(&[5, 5, 5]);
+        let order = lars_migration_order(&c, HostId(0), &OraclePredictor::new(), SimTime::ZERO);
+        assert_eq!(order, vec![VmId(0), VmId(1), VmId(2)]);
+    }
+
+    #[test]
+    fn unknown_host_yields_empty_order() {
+        let c = cluster_with_vms(&[1]);
+        assert!(lars_migration_order(&c, HostId(9), &OraclePredictor::new(), SimTime::ZERO)
+            .is_empty());
+        assert!(baseline_migration_order(&c, HostId(9)).is_empty());
+    }
+}

@@ -1,0 +1,449 @@
+//! LAVA: Lifetime-Aware VM Allocation (§4.3).
+//!
+//! Where LA and NILAS place VMs with *similar* lifetimes together, LAVA does
+//! the opposite: it fills gaps on hosts that already contain longer-lived
+//! VMs with VMs that are at least one lifetime class (≥10×) shorter, so
+//! placements never extend the time at which the host frees up — even when
+//! predictions are somewhat wrong.
+//!
+//! Each host carries a lifetime class (LC1–LC4) and one of three states
+//! (mirroring LLAMA's page states):
+//!
+//! * **empty** — no VMs, no class;
+//! * **open** — accepts VMs of its own class; transitions to *recycling*
+//!   once ≥ 90 % of CPU or memory is occupied;
+//! * **recycling** — only accepts VMs of a strictly lower class.
+//!
+//! Misprediction handling: when all *residual* VMs (those present at the
+//! last transition) have exited, the host's class steps **down** one level
+//! (over-prediction recovery, Fig. 5b); when a host outlives its deadline
+//! (1.1 × its class upper bound), its class steps **up** one level
+//! (under-prediction recovery, Fig. 5c).
+//!
+//! Candidate ordering per Algorithm 3: recycling hosts with a higher class
+//! (closest class first), then open hosts of the same class, then any
+//! non-empty host, then empty hosts — ties broken by NILAS.
+
+use crate::cluster::Cluster;
+use crate::nilas::{NilasConfig, NilasPolicy, NilasStats};
+use crate::policy::PlacementPolicy;
+use crate::scoring::{waste_minimization_score, ScoreVector};
+use lava_core::host::{Host, HostId, HostLifetimeState};
+use lava_core::lifetime::LifetimeClass;
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::{Vm, VmId};
+use lava_model::predictor::LifetimePredictor;
+use std::sync::Arc;
+
+/// Configuration for [`LavaPolicy`].
+#[derive(Debug, Clone)]
+pub struct LavaConfig {
+    /// Utilisation (CPU or memory) at which an *open* host transitions to
+    /// *recycling* (paper: 90 %).
+    pub recycling_threshold: f64,
+    /// Slack multiplier applied to the class upper bound when setting host
+    /// deadlines (paper: 1.1×).
+    pub deadline_slack: f64,
+    /// Configuration of the embedded NILAS tie-breaker.
+    pub nilas: NilasConfig,
+}
+
+impl Default for LavaConfig {
+    fn default() -> Self {
+        LavaConfig {
+            recycling_threshold: 0.9,
+            deadline_slack: 1.1,
+            nilas: NilasConfig::default(),
+        }
+    }
+}
+
+/// The LAVA placement policy.
+pub struct LavaPolicy {
+    predictor: Arc<dyn LifetimePredictor>,
+    config: LavaConfig,
+    /// NILAS is used as the tie-breaker within each preference level
+    /// (Algorithm 3's final line).
+    nilas: NilasPolicy,
+    /// Number of deadline-expiry (class-up) corrections applied.
+    deadline_corrections: u64,
+    /// Number of class-down steps applied after residual VMs exited.
+    class_downgrades: u64,
+}
+
+impl LavaPolicy {
+    /// Create the policy.
+    pub fn new(predictor: Arc<dyn LifetimePredictor>, config: LavaConfig) -> LavaPolicy {
+        let nilas = NilasPolicy::new(predictor.clone(), config.nilas.clone());
+        LavaPolicy {
+            predictor,
+            config,
+            nilas,
+            deadline_corrections: 0,
+            class_downgrades: 0,
+        }
+    }
+
+    /// Create the policy with default configuration.
+    pub fn with_defaults(predictor: Arc<dyn LifetimePredictor>) -> LavaPolicy {
+        LavaPolicy::new(predictor, LavaConfig::default())
+    }
+
+    /// Prediction/cache counters of the embedded NILAS tie-breaker.
+    pub fn nilas_stats(&self) -> NilasStats {
+        self.nilas.stats()
+    }
+
+    /// Number of deadline-expiry (under-prediction) corrections applied.
+    pub fn deadline_corrections(&self) -> u64 {
+        self.deadline_corrections
+    }
+
+    /// Number of class-down (over-prediction) steps applied.
+    pub fn class_downgrades(&self) -> u64 {
+        self.class_downgrades
+    }
+
+    /// The lifetime class LAVA assigns to a VM request at `now`.
+    pub fn vm_class(&self, vm: &Vm, now: SimTime) -> LifetimeClass {
+        LifetimeClass::from_lifetime(self.predictor.predict_remaining(vm, now))
+    }
+
+    fn deadline_for(&self, class: LifetimeClass, now: SimTime) -> SimTime {
+        let horizon = class.upper_bound().as_secs() as f64 * self.config.deadline_slack;
+        now + Duration::from_secs_f64(horizon)
+    }
+
+    /// The Algorithm 3 preference level of a host for a VM of class
+    /// `vm_class`: `(rank, sub_rank)`, lower is better.
+    fn preference(&self, host: &Host, vm_class: LifetimeClass) -> (f64, f64) {
+        match (host.lifetime_state(), host.lifetime_class()) {
+            (HostLifetimeState::Recycling, Some(host_class)) if host_class > vm_class => {
+                // Closest class is most preferred.
+                (0.0, host_class.distance(vm_class) as f64)
+            }
+            (HostLifetimeState::Open, Some(host_class)) if host_class == vm_class => (1.0, 0.0),
+            _ if !host.is_empty() => (2.0, 0.0),
+            _ => (3.0, 0.0),
+        }
+    }
+}
+
+impl PlacementPolicy for LavaPolicy {
+    fn name(&self) -> &'static str {
+        "lava"
+    }
+
+    fn choose_host(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let vm_remaining = self.predictor.predict_remaining(vm, now);
+        let vm_class = LifetimeClass::from_lifetime(vm_remaining);
+        let vm_exit = now + vm_remaining;
+
+        let feasible: Vec<HostId> = cluster
+            .feasible_hosts(vm.resources())
+            .map(|h| h.id())
+            .filter(|id| Some(*id) != exclude)
+            .collect();
+        let mut best: Option<(ScoreVector, HostId)> = None;
+        for id in feasible {
+            let host = cluster.host(id).expect("feasible host exists");
+            let (rank, sub_rank) = self.preference(host, vm_class);
+            let temporal_cost = self.nilas.temporal_cost(cluster, host, vm_exit, now) as f64;
+            let score = ScoreVector::new(vec![
+                rank,
+                sub_rank,
+                temporal_cost,
+                waste_minimization_score(host, vm.resources()),
+            ]);
+            match &best {
+                Some((best_score, _)) if !score.is_better_than(best_score) => {}
+                _ => best = Some((score, id)),
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    fn on_vm_placed(&mut self, cluster: &mut Cluster, vm: VmId, host_id: HostId, now: SimTime) {
+        self.nilas.on_vm_placed(cluster, vm, host_id, now);
+        // Determine the class of the placed VM from its recorded initial
+        // prediction (set by the scheduler just before placement).
+        let vm_class = cluster
+            .vm(vm)
+            .map(|record| {
+                let remaining = record
+                    .initial_prediction()
+                    .unwrap_or_else(|| self.predictor.predict_remaining(record, now));
+                LifetimeClass::from_lifetime(remaining)
+            })
+            .unwrap_or(LifetimeClass::Lc1);
+
+        let recycling_threshold = self.config.recycling_threshold;
+        let deadline_same = self.deadline_for(vm_class, now);
+        let Some(host) = cluster.host_mut(host_id) else {
+            return;
+        };
+        match host.lifetime_state() {
+            HostLifetimeState::Empty => {
+                // First VM on an empty host: open it with the VM's class.
+                host.open_with_class(vm_class, deadline_same);
+            }
+            HostLifetimeState::Open => {
+                // Same-class VMs on an open host join the residual set so
+                // the class only steps down when all of them have exited.
+                if host.lifetime_class() == Some(vm_class) {
+                    host.mark_residual(vm);
+                }
+                if host.utilization() >= recycling_threshold {
+                    host.start_recycling();
+                }
+            }
+            HostLifetimeState::Recycling => {
+                // Gap-filling VMs are strictly shorter-lived; they are not
+                // residual.
+            }
+        }
+    }
+
+    fn on_vm_exited(&mut self, cluster: &mut Cluster, host_id: HostId, now: SimTime) {
+        self.nilas.on_vm_exited(cluster, host_id, now);
+        let Some(host) = cluster.host_mut(host_id) else {
+            return;
+        };
+        if host.is_empty() {
+            host.reset_lifetime_state();
+            return;
+        }
+        if host.lifetime_state() == HostLifetimeState::Recycling && host.residual_count() == 0 {
+            // All residual VMs exited: the remaining VMs are at least one
+            // class shorter (Fig. 5b).
+            let new_class = host
+                .lifetime_class()
+                .map(LifetimeClass::step_down)
+                .unwrap_or(LifetimeClass::Lc1);
+            let deadline = self.deadline_for(new_class, now);
+            host.step_class_down(deadline);
+            self.class_downgrades += 1;
+        }
+    }
+
+    fn on_tick(&mut self, cluster: &mut Cluster, now: SimTime) {
+        // Deadline expiry → under-prediction → bump the class up (Fig. 5c).
+        let expired: Vec<HostId> = cluster
+            .hosts()
+            .filter(|h| !h.is_empty())
+            .filter(|h| h.deadline().map(|d| d < now).unwrap_or(false))
+            .map(|h| h.id())
+            .collect();
+        for id in expired {
+            let new_class = cluster
+                .host(id)
+                .and_then(|h| h.lifetime_class())
+                .map(LifetimeClass::step_up)
+                .unwrap_or(LifetimeClass::Lc4);
+            let deadline = self.deadline_for(new_class, now);
+            if let Some(host) = cluster.host_mut(id) {
+                host.step_class_up(deadline);
+                self.deadline_corrections += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::host::HostSpec;
+    use lava_core::resources::Resources;
+    use lava_core::vm::VmSpec;
+    use lava_model::predictor::OraclePredictor;
+
+    fn cluster(hosts: usize) -> Cluster {
+        Cluster::with_uniform_hosts(hosts, HostSpec::new(Resources::cores_gib(32, 128)))
+    }
+
+    fn vm_with(id: u64, hours: u64, cores: u64, created: SimTime) -> Vm {
+        Vm::new(
+            VmId(id),
+            VmSpec::builder(Resources::cores_gib(cores, cores * 4)).build(),
+            created,
+            Duration::from_hours(hours),
+        )
+    }
+
+    fn vm(id: u64, hours: u64) -> Vm {
+        vm_with(id, hours, 4, SimTime::ZERO)
+    }
+
+    fn policy() -> LavaPolicy {
+        LavaPolicy::with_defaults(Arc::new(OraclePredictor::new()))
+    }
+
+    /// Helper mimicking the scheduler: predict, place, notify.
+    fn schedule(p: &mut LavaPolicy, c: &mut Cluster, mut v: Vm, now: SimTime) -> HostId {
+        let pred = p.predictor.predict_remaining(&v, now);
+        v.set_initial_prediction(pred);
+        let host = p.choose_host(c, &v, now, None).expect("feasible host");
+        let id = v.id();
+        c.place(v, host).unwrap();
+        p.on_vm_placed(c, id, host, now);
+        host
+    }
+
+    fn exit(p: &mut LavaPolicy, c: &mut Cluster, vm: VmId, now: SimTime) {
+        let (_, host) = c.remove(vm).unwrap();
+        p.on_vm_exited(c, host, now);
+    }
+
+    #[test]
+    fn first_vm_opens_host_with_its_class() {
+        let mut c = cluster(2);
+        let mut p = policy();
+        let host = schedule(&mut p, &mut c, vm(1, 50), SimTime::ZERO); // LC3
+        let h = c.host(host).unwrap();
+        assert_eq!(h.lifetime_state(), HostLifetimeState::Open);
+        assert_eq!(h.lifetime_class(), Some(LifetimeClass::Lc3));
+        assert!(h.deadline().unwrap() > SimTime::ZERO + Duration::from_hours(100));
+        assert_eq!(p.name(), "lava");
+    }
+
+    #[test]
+    fn open_host_preferred_for_same_class_and_empty_hosts_avoided() {
+        let mut c = cluster(3);
+        let mut p = policy();
+        let h0 = schedule(&mut p, &mut c, vm(1, 50), SimTime::ZERO); // LC3 open host
+        // Another LC3 VM joins the same open host (preference level 1).
+        let h1 = schedule(&mut p, &mut c, vm(2, 60), SimTime::ZERO);
+        assert_eq!(h0, h1);
+        // An LC1 VM has no recycling or matching open host; per Algorithm 3
+        // it still prefers the non-empty host over opening an empty one.
+        let h2 = schedule(&mut p, &mut c, vm(3, 0), SimTime::ZERO);
+        assert_eq!(h2, h0);
+        assert_eq!(c.pool().empty_host_count(), 2);
+    }
+
+    #[test]
+    fn host_transitions_to_recycling_at_90_percent() {
+        let mut c = cluster(2);
+        let mut p = policy();
+        // Each VM takes 8/32 cores = 25%; after 4 VMs utilisation is 100%,
+        // crossing 90% on the 4th placement. Use 3 VMs → 75% (still open),
+        // then a 6-core VM → ~94% (recycling).
+        let mut host = HostId(0);
+        for id in 1..=3 {
+            host = schedule(&mut p, &mut c, vm_with(id, 50, 8, SimTime::ZERO), SimTime::ZERO);
+        }
+        assert_eq!(
+            c.host(host).unwrap().lifetime_state(),
+            HostLifetimeState::Open
+        );
+        let h = schedule(&mut p, &mut c, vm_with(4, 50, 6, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(h, host);
+        assert_eq!(
+            c.host(host).unwrap().lifetime_state(),
+            HostLifetimeState::Recycling
+        );
+        // All four same-class VMs are residual.
+        assert_eq!(c.host(host).unwrap().residual_count(), 4);
+    }
+
+    /// Build an LC3 host and drive it into the recycling state: three
+    /// 8-core VMs (75 %) then a 6-core VM (~94 % ≥ 90 %).
+    fn build_recycling_host(p: &mut LavaPolicy, c: &mut Cluster) -> HostId {
+        let mut host = HostId(0);
+        for id in 1..=3 {
+            host = schedule(p, c, vm_with(id, 50, 8, SimTime::ZERO), SimTime::ZERO);
+        }
+        let h = schedule(p, c, vm_with(4, 50, 6, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(h, host);
+        host
+    }
+
+    #[test]
+    fn recycling_host_preferred_for_shorter_vms() {
+        let mut c = cluster(3);
+        let mut p = policy();
+        let host = build_recycling_host(&mut p, &mut c);
+        assert_eq!(
+            c.host(host).unwrap().lifetime_state(),
+            HostLifetimeState::Recycling
+        );
+        // A short (LC1) VM prefers the recycling LC3 host over opening a new
+        // one.
+        let h = schedule(&mut p, &mut c, vm_with(10, 0, 2, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(h, host);
+        // The gap-filling VM is not residual.
+        assert_eq!(c.host(host).unwrap().residual_count(), 4);
+    }
+
+    #[test]
+    fn class_steps_down_when_residuals_exit() {
+        let mut c = cluster(3);
+        let mut p = policy();
+        let host = build_recycling_host(&mut p, &mut c);
+        // Fill a gap with an LC1 VM.
+        let now = SimTime::ZERO + Duration::from_hours(1);
+        schedule(&mut p, &mut c, vm_with(10, 0, 2, now), now);
+        assert_eq!(c.host(host).unwrap().lifetime_class(), Some(LifetimeClass::Lc3));
+
+        // All residual (LC3) VMs exit; the gap VM remains.
+        let later = SimTime::ZERO + Duration::from_hours(50);
+        for id in 1..=4 {
+            exit(&mut p, &mut c, VmId(id), later);
+        }
+        let h = c.host(host).unwrap();
+        assert_eq!(h.lifetime_class(), Some(LifetimeClass::Lc2));
+        assert_eq!(h.residual_count(), 1, "remaining VM becomes residual");
+        assert_eq!(p.class_downgrades(), 1);
+    }
+
+    #[test]
+    fn deadline_expiry_bumps_class_up() {
+        let mut c = cluster(2);
+        let mut p = policy();
+        // A 30-minute VM (LC1) — pretend it actually runs longer by ticking
+        // past the deadline while it is still on the host.
+        let short = Vm::new(
+            VmId(1),
+            VmSpec::builder(Resources::cores_gib(4, 16)).build(),
+            SimTime::ZERO,
+            Duration::from_mins(30),
+        );
+        let host = schedule(&mut p, &mut c, short, SimTime::ZERO);
+        assert_eq!(c.host(host).unwrap().lifetime_class(), Some(LifetimeClass::Lc1));
+        let deadline = c.host(host).unwrap().deadline().unwrap();
+        p.on_tick(&mut c, deadline + Duration::from_mins(5));
+        let h = c.host(host).unwrap();
+        assert_eq!(h.lifetime_class(), Some(LifetimeClass::Lc2));
+        assert!(h.deadline().unwrap() > deadline);
+        assert_eq!(p.deadline_corrections(), 1);
+    }
+
+    #[test]
+    fn host_resets_when_emptied() {
+        let mut c = cluster(1);
+        let mut p = policy();
+        let host = schedule(&mut p, &mut c, vm(1, 5), SimTime::ZERO);
+        exit(&mut p, &mut c, VmId(1), SimTime::ZERO + Duration::from_hours(5));
+        let h = c.host(host).unwrap();
+        assert_eq!(h.lifetime_state(), HostLifetimeState::Empty);
+        assert_eq!(h.lifetime_class(), None);
+        assert_eq!(h.deadline(), None);
+    }
+
+    #[test]
+    fn empty_hosts_are_last_resort() {
+        let mut c = cluster(3);
+        let mut p = policy();
+        // An occupied (open, same-class) host exists: prefer it to empties.
+        let first = schedule(&mut p, &mut c, vm(1, 5), SimTime::ZERO);
+        let second = schedule(&mut p, &mut c, vm(2, 6), SimTime::ZERO);
+        assert_eq!(first, second);
+        assert_eq!(c.pool().empty_host_count(), 2);
+    }
+}

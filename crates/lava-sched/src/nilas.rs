@@ -1,0 +1,370 @@
+//! NILAS: Non-Invasive Lifetime-Aware Scheduling (§4.2).
+//!
+//! For every candidate host, NILAS repredicts the remaining lifetime of all
+//! VMs currently on it, takes the maximum as the host's expected exit time,
+//! and computes the temporal cost
+//! `ΔT = max(vm_predicted_exit − host_exit, 0)` quantised into the bucket
+//! boundaries of [`TemporalCostBuckets`]. The temporal cost sits one level
+//! above the bin-packing score in the lexicographic scoring function, so it
+//! only decides among hosts that are otherwise equivalent — hence
+//! *non-invasive*.
+//!
+//! Because repredicting every VM on every host can become a bottleneck in
+//! very large pools, the policy includes the host lifetime score cache of
+//! Appendix G.3: a host's exit time is recomputed when a VM is added or
+//! removed, when its deadline passes, or when the cached value is older than
+//! a configurable refresh interval.
+
+use crate::cluster::Cluster;
+use crate::policy::PlacementPolicy;
+use crate::scoring::{waste_minimization_score, ScoreVector};
+use lava_core::host::{Host, HostId};
+use lava_core::lifetime::TemporalCostBuckets;
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::Vm;
+use lava_model::predictor::LifetimePredictor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration for [`NilasPolicy`].
+#[derive(Debug, Clone)]
+pub struct NilasConfig {
+    /// Temporal-cost bucket boundaries (defaults to the paper's).
+    pub buckets: TemporalCostBuckets,
+    /// How long a cached host exit time stays valid when nothing changes on
+    /// the host. `None` disables caching (every scoring pass repredicts).
+    pub cache_refresh: Option<Duration>,
+    /// If `false`, use only the initial (scheduling-time) predictions — the
+    /// "no reprediction" ablation of Fig. 16, which behaves like LA's
+    /// one-shot view with NILAS's scoring.
+    pub repredict: bool,
+}
+
+impl Default for NilasConfig {
+    fn default() -> Self {
+        NilasConfig {
+            buckets: TemporalCostBuckets::default(),
+            cache_refresh: Some(Duration::from_mins(1)),
+            repredict: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    computed_at: SimTime,
+    exit_time: SimTime,
+}
+
+/// Counters describing how much prediction work NILAS performed; used by
+/// the model-latency and cache-ablation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NilasStats {
+    /// Number of individual VM repredictions issued.
+    pub predictions: u64,
+    /// Number of host scores answered from the cache.
+    pub cache_hits: u64,
+    /// Number of host scores recomputed.
+    pub cache_misses: u64,
+}
+
+/// The NILAS placement policy.
+pub struct NilasPolicy {
+    predictor: Arc<dyn LifetimePredictor>,
+    config: NilasConfig,
+    cache: HashMap<HostId, CacheEntry>,
+    stats: NilasStats,
+}
+
+impl NilasPolicy {
+    /// Create the policy.
+    pub fn new(predictor: Arc<dyn LifetimePredictor>, config: NilasConfig) -> NilasPolicy {
+        NilasPolicy {
+            predictor,
+            config,
+            cache: HashMap::new(),
+            stats: NilasStats::default(),
+        }
+    }
+
+    /// Create the policy with default configuration.
+    pub fn with_defaults(predictor: Arc<dyn LifetimePredictor>) -> NilasPolicy {
+        NilasPolicy::new(predictor, NilasConfig::default())
+    }
+
+    /// Prediction/cache counters accumulated so far.
+    pub fn stats(&self) -> NilasStats {
+        self.stats
+    }
+
+    /// The configured temporal-cost buckets.
+    pub fn buckets(&self) -> &TemporalCostBuckets {
+        &self.config.buckets
+    }
+
+    /// The (possibly cached) expected exit time of a host at `now`.
+    pub fn host_exit_time(&mut self, cluster: &Cluster, host: &Host, now: SimTime) -> SimTime {
+        if let (Some(refresh), Some(entry)) = (self.config.cache_refresh, self.cache.get(&host.id()))
+        {
+            let age = now.saturating_since(entry.computed_at);
+            let deadline_passed = entry.exit_time < now;
+            if age <= refresh && !deadline_passed {
+                self.stats.cache_hits += 1;
+                return entry.exit_time;
+            }
+        }
+        self.stats.cache_misses += 1;
+        let exit_time = if self.config.repredict {
+            self.stats.predictions += host.vm_count() as u64;
+            cluster.host_exit_time(host, self.predictor.as_ref(), now)
+        } else {
+            cluster.host_exit_time_initial(host, now)
+        };
+        self.cache.insert(
+            host.id(),
+            CacheEntry {
+                computed_at: now,
+                exit_time,
+            },
+        );
+        exit_time
+    }
+
+    /// The quantised temporal cost of placing a VM expected to exit at
+    /// `vm_exit` onto `host`.
+    pub fn temporal_cost(
+        &mut self,
+        cluster: &Cluster,
+        host: &Host,
+        vm_exit: SimTime,
+        now: SimTime,
+    ) -> usize {
+        let host_exit = self.host_exit_time(cluster, host, now);
+        let delta = vm_exit.saturating_since(host_exit);
+        self.config.buckets.cost(delta)
+    }
+
+    /// The predicted exit time of the VM being scheduled.
+    fn vm_exit_time(&mut self, vm: &Vm, now: SimTime) -> SimTime {
+        let remaining = if self.config.repredict || vm.initial_prediction().is_none() {
+            self.stats.predictions += 1;
+            self.predictor.predict_remaining(vm, now)
+        } else {
+            // One-shot view: remaining = initial prediction − uptime.
+            vm.initial_prediction()
+                .unwrap_or_default()
+                .saturating_sub(vm.uptime(now))
+        };
+        now + remaining
+    }
+
+    fn invalidate(&mut self, host: HostId) {
+        self.cache.remove(&host);
+    }
+}
+
+impl PlacementPolicy for NilasPolicy {
+    fn name(&self) -> &'static str {
+        "nilas"
+    }
+
+    fn choose_host(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let vm_exit = self.vm_exit_time(vm, now);
+        let mut best: Option<(ScoreVector, HostId)> = None;
+        // Collect feasible host ids first so that the cache can be consulted
+        // with `&mut self` while iterating.
+        let feasible: Vec<HostId> = cluster
+            .feasible_hosts(vm.resources())
+            .map(|h| h.id())
+            .filter(|id| Some(*id) != exclude)
+            .collect();
+        for id in feasible {
+            let host = cluster.host(id).expect("feasible host exists");
+            let cost = self.temporal_cost(cluster, host, vm_exit, now) as f64;
+            let score = ScoreVector::new(vec![
+                cost,
+                waste_minimization_score(host, vm.resources()),
+            ]);
+            match &best {
+                Some((best_score, _)) if !score.is_better_than(best_score) => {}
+                _ => best = Some((score, id)),
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    fn on_vm_placed(&mut self, _cluster: &mut Cluster, _vm: lava_core::vm::VmId, host: HostId, _now: SimTime) {
+        self.invalidate(host);
+    }
+
+    fn on_vm_exited(&mut self, _cluster: &mut Cluster, host: HostId, _now: SimTime) {
+        self.invalidate(host);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::host::HostSpec;
+    use lava_core::resources::Resources;
+    use lava_core::vm::{VmId, VmSpec};
+    use lava_model::predictor::OraclePredictor;
+
+    fn cluster() -> Cluster {
+        Cluster::with_uniform_hosts(4, HostSpec::new(Resources::cores_gib(32, 128)))
+    }
+
+    fn vm_at(id: u64, hours: u64, created: SimTime) -> Vm {
+        Vm::new(
+            VmId(id),
+            VmSpec::builder(Resources::cores_gib(4, 16)).build(),
+            created,
+            Duration::from_hours(hours),
+        )
+    }
+
+    fn vm(id: u64, hours: u64) -> Vm {
+        vm_at(id, hours, SimTime::ZERO)
+    }
+
+    fn oracle_policy(config: NilasConfig) -> NilasPolicy {
+        NilasPolicy::new(Arc::new(OraclePredictor::new()), config)
+    }
+
+    #[test]
+    fn places_vm_on_host_it_does_not_outlive() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap(); // exits at 10h
+        c.place(vm(2, 2), HostId(1)).unwrap(); // exits at 2h
+        let mut p = oracle_policy(NilasConfig::default());
+        // A 5h VM fits "inside" host 0 (ΔT = 0) but would extend host 1
+        // (ΔT = 3h → cost 5); the paper's Figure 4 example.
+        let chosen = p.choose_host(&c, &vm(10, 5), SimTime::ZERO, None).unwrap();
+        assert_eq!(chosen, HostId(0));
+        assert_eq!(p.name(), "nilas");
+    }
+
+    #[test]
+    fn empty_host_is_least_preferred() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        let mut p = oracle_policy(NilasConfig::default());
+        let chosen = p.choose_host(&c, &vm(10, 1), SimTime::ZERO, None).unwrap();
+        assert_eq!(chosen, HostId(0), "should fill the occupied host first");
+    }
+
+    #[test]
+    fn repredictions_correct_mispredicted_hosts() {
+        // Host 0 holds a VM that outlived its initial 1h prediction and will
+        // actually run for 100h. With repredictions NILAS sees the host as
+        // long-lived and happily places a 50h VM there; without, it thinks
+        // the host is about to free up and pays a large temporal cost.
+        let now = SimTime::ZERO + Duration::from_hours(5);
+        let mut c = cluster();
+        let mut long_vm = vm(1, 100);
+        long_vm.set_initial_prediction(Duration::from_hours(1));
+        c.place(long_vm, HostId(0)).unwrap();
+        // Host 1 holds a genuinely short VM (exits at 6h).
+        let mut short_vm = vm(2, 6);
+        short_vm.set_initial_prediction(Duration::from_hours(6));
+        c.place(short_vm, HostId(1)).unwrap();
+
+        let incoming = vm_at(10, 50, now);
+
+        let mut with_repred = oracle_policy(NilasConfig::default());
+        assert_eq!(
+            with_repred.choose_host(&c, &incoming, now, None),
+            Some(HostId(0))
+        );
+
+        let mut without = oracle_policy(NilasConfig {
+            repredict: false,
+            ..NilasConfig::default()
+        });
+        // One-shot view: host 0 "exits at 1h" (already past) and host 1
+        // "exits at 6h"; both look equally bad temporally (max ΔT bucket),
+        // so bin packing decides — and both hosts look identical there too,
+        // meaning the mispredicted host is no longer protected.
+        let chosen = without.choose_host(&c, &incoming, now, None).unwrap();
+        assert_eq!(chosen, HostId(0), "tie broken by host id under one-shot view");
+    }
+
+    #[test]
+    fn cache_avoids_recomputation_within_refresh() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        let mut p = oracle_policy(NilasConfig {
+            cache_refresh: Some(Duration::from_mins(15)),
+            ..NilasConfig::default()
+        });
+        let host = c.host(HostId(0)).unwrap().clone();
+        let t0 = SimTime::ZERO;
+        let _ = p.host_exit_time(&c, &host, t0);
+        let misses_before = p.stats().cache_misses;
+        let _ = p.host_exit_time(&c, &host, t0 + Duration::from_mins(5));
+        assert_eq!(p.stats().cache_misses, misses_before);
+        assert!(p.stats().cache_hits >= 1);
+        // After the refresh interval the score is recomputed.
+        let _ = p.host_exit_time(&c, &host, t0 + Duration::from_mins(30));
+        assert_eq!(p.stats().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn cache_invalidated_on_placement_and_exit() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        let mut p = oracle_policy(NilasConfig {
+            cache_refresh: Some(Duration::from_hours(1)),
+            ..NilasConfig::default()
+        });
+        let host = c.host(HostId(0)).unwrap().clone();
+        let _ = p.host_exit_time(&c, &host, SimTime::ZERO);
+        p.on_vm_placed(&mut c, VmId(2), HostId(0), SimTime::ZERO);
+        let misses_before = p.stats().cache_misses;
+        let _ = p.host_exit_time(&c, &host, SimTime(1));
+        assert_eq!(p.stats().cache_misses, misses_before + 1);
+
+        let _ = p.host_exit_time(&c, &host, SimTime(2));
+        p.on_vm_exited(&mut c, HostId(0), SimTime(2));
+        let misses_before = p.stats().cache_misses;
+        let _ = p.host_exit_time(&c, &host, SimTime(3));
+        assert_eq!(p.stats().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn cache_expires_when_host_deadline_passes() {
+        let mut c = cluster();
+        c.place(vm(1, 1), HostId(0)).unwrap();
+        let mut p = oracle_policy(NilasConfig {
+            cache_refresh: Some(Duration::from_hours(100)),
+            ..NilasConfig::default()
+        });
+        let host = c.host(HostId(0)).unwrap().clone();
+        let exit = p.host_exit_time(&c, &host, SimTime::ZERO);
+        assert_eq!(exit, SimTime::ZERO + Duration::from_hours(1));
+        // Past the cached exit time the entry must be recomputed even though
+        // the refresh interval has not elapsed.
+        let misses_before = p.stats().cache_misses;
+        let _ = p.host_exit_time(&c, &host, SimTime::ZERO + Duration::from_hours(2));
+        assert_eq!(p.stats().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn no_feasible_host_returns_none() {
+        let c = cluster();
+        let mut p = oracle_policy(NilasConfig::default());
+        let huge = Vm::new(
+            VmId(1),
+            VmSpec::builder(Resources::cores_gib(64, 256)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(1),
+        );
+        assert_eq!(p.choose_host(&c, &huge, SimTime::ZERO, None), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! The placement-policy interface and the scheduling error type.
+//!
+//! Every algorithm in this crate (baseline, LA-Binary, NILAS, LAVA)
+//! implements [`PlacementPolicy`]: given the cluster state and a VM request,
+//! pick the best feasible host. Hooks notify the policy of placements,
+//! exits and periodic ticks so that stateful algorithms (NILAS's score
+//! cache, LAVA's host state machine) can update their bookkeeping.
+
+use crate::cluster::Cluster;
+use lava_core::error::CoreError;
+use lava_core::host::HostId;
+use lava_core::time::SimTime;
+use lava_core::vm::{Vm, VmId};
+use std::error::Error;
+use std::fmt;
+
+/// A VM-to-host placement algorithm.
+pub trait PlacementPolicy: Send {
+    /// Short name used in reports and experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Choose a host for `vm` among the feasible hosts of `cluster`,
+    /// excluding `exclude` (used when picking a live-migration target so the
+    /// current host is not chosen). Returns `None` if no feasible host
+    /// exists.
+    fn choose_host(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId>;
+
+    /// Called after `vm` has been placed on `host`.
+    fn on_vm_placed(&mut self, _cluster: &mut Cluster, _vm: VmId, _host: HostId, _now: SimTime) {}
+
+    /// Called after a VM has exited from (or migrated away from) `host`.
+    fn on_vm_exited(&mut self, _cluster: &mut Cluster, _host: HostId, _now: SimTime) {}
+
+    /// Called periodically by the simulator so that deadline-based state
+    /// transitions (LAVA's misprediction detection) can run.
+    fn on_tick(&mut self, _cluster: &mut Cluster, _now: SimTime) {}
+}
+
+/// Errors returned by [`crate::scheduler::Scheduler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No feasible host had enough free resources for the VM.
+    NoFeasibleHost {
+        /// The VM that could not be placed.
+        vm: VmId,
+    },
+    /// A bookkeeping error occurred while applying the placement.
+    Core(CoreError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoFeasibleHost { vm } => {
+                write!(f, "no feasible host for vm {vm}")
+            }
+            ScheduleError::Core(e) => write!(f, "placement bookkeeping failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ScheduleError {
+    fn from(e: CoreError) -> ScheduleError {
+        ScheduleError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ScheduleError::NoFeasibleHost { vm: VmId(1) };
+        assert!(e.to_string().contains("vm-1"));
+        assert!(e.source().is_none());
+
+        let core = CoreError::VmNotFound { vm: VmId(2) };
+        let wrapped: ScheduleError = core.clone().into();
+        assert_eq!(wrapped, ScheduleError::Core(core));
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScheduleError>();
+    }
+}

@@ -1,0 +1,245 @@
+//! The scheduler driver: the mini-Borg Prime loop that ties a cluster, a
+//! placement policy and a lifetime predictor together.
+//!
+//! The driver is what the simulator (and the examples) talk to: it records
+//! the initial prediction on every VM, asks the policy for a host, applies
+//! the placement, routes exit events and periodic ticks to the policy, and
+//! implements live migration (used by defragmentation and maintenance).
+
+use crate::cluster::Cluster;
+use crate::policy::{PlacementPolicy, ScheduleError};
+use lava_core::error::CoreError;
+use lava_core::host::HostId;
+use lava_core::time::SimTime;
+use lava_core::vm::{Vm, VmId};
+use lava_model::predictor::LifetimePredictor;
+use std::sync::Arc;
+
+/// Counters describing what the scheduler did; consumed by the simulator's
+/// metric collection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// VMs successfully placed.
+    pub placed: u64,
+    /// VM placement requests that found no feasible host.
+    pub failed: u64,
+    /// VM exits processed.
+    pub exited: u64,
+    /// Live migrations performed.
+    pub migrations: u64,
+}
+
+/// The scheduling driver.
+pub struct Scheduler {
+    cluster: Cluster,
+    policy: Box<dyn PlacementPolicy>,
+    predictor: Arc<dyn LifetimePredictor>,
+    stats: SchedulerStats,
+}
+
+impl Scheduler {
+    /// Create a scheduler over a cluster with the given policy and
+    /// predictor.
+    pub fn new(
+        cluster: Cluster,
+        policy: Box<dyn PlacementPolicy>,
+        predictor: Arc<dyn LifetimePredictor>,
+    ) -> Scheduler {
+        Scheduler {
+            cluster,
+            policy,
+            predictor,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The cluster state.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the cluster state (used by the defragmentation
+    /// simulator to mark hosts unavailable).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Replace the placement policy mid-run.
+    ///
+    /// Used by the simulator to model the production rollout: VMs placed
+    /// during warm-up use the lifetime-agnostic baseline, after which the
+    /// evaluated algorithm takes over (Appendix F / G.2).
+    pub fn set_policy(&mut self, policy: Box<dyn PlacementPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The predictor in use.
+    pub fn predictor(&self) -> &Arc<dyn LifetimePredictor> {
+        &self.predictor
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Schedule a new VM at `now`.
+    ///
+    /// Records the initial prediction on the VM record, asks the policy for
+    /// a host, and applies the placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoFeasibleHost`] if no host can fit the VM,
+    /// or a wrapped bookkeeping error.
+    pub fn schedule(&mut self, mut vm: Vm, now: SimTime) -> Result<HostId, ScheduleError> {
+        let prediction = self.predictor.predict_remaining(&vm, now);
+        vm.set_initial_prediction(prediction);
+        let vm_id = vm.id();
+        let Some(host) = self.policy.choose_host(&self.cluster, &vm, now, None) else {
+            self.stats.failed += 1;
+            return Err(ScheduleError::NoFeasibleHost { vm: vm_id });
+        };
+        self.cluster.place(vm, host)?;
+        self.policy.on_vm_placed(&mut self.cluster, vm_id, host, now);
+        self.stats.placed += 1;
+        Ok(host)
+    }
+
+    /// Process a VM exit at `now`. Returns the host it was on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VmNotFound`] if the VM is not live (e.g. its
+    /// creation was rejected earlier).
+    pub fn exit(&mut self, vm: VmId, now: SimTime) -> Result<HostId, CoreError> {
+        let (_, host) = self.cluster.remove(vm)?;
+        self.policy.on_vm_exited(&mut self.cluster, host, now);
+        self.stats.exited += 1;
+        Ok(host)
+    }
+
+    /// Periodic tick: lets the policy run deadline-based corrections.
+    pub fn tick(&mut self, now: SimTime) {
+        self.policy.on_tick(&mut self.cluster, now);
+    }
+
+    /// Choose a live-migration target for a VM (excluding its current
+    /// host), using the same policy as initial placement (§4.4).
+    pub fn choose_migration_target(&mut self, vm: VmId, now: SimTime) -> Option<HostId> {
+        let record = self.cluster.vm(vm)?.clone();
+        let exclude = record.host();
+        self.policy.choose_host(&self.cluster, &record, now, exclude)
+    }
+
+    /// Live-migrate a VM to `target`. Returns the source host.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the VM in place) if the VM is unknown or the target
+    /// cannot fit it.
+    pub fn migrate(&mut self, vm: VmId, target: HostId, now: SimTime) -> Result<HostId, CoreError> {
+        let source = self.cluster.migrate(vm, target)?;
+        self.policy.on_vm_exited(&mut self.cluster, source, now);
+        self.policy.on_vm_placed(&mut self.cluster, vm, target, now);
+        self.stats.migrations += 1;
+        Ok(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::WasteMinimizationPolicy;
+    use crate::nilas::NilasPolicy;
+    use lava_core::host::HostSpec;
+    use lava_core::resources::Resources;
+    use lava_core::time::Duration;
+    use lava_core::vm::VmSpec;
+    use lava_model::predictor::OraclePredictor;
+
+    fn scheduler(policy: Box<dyn PlacementPolicy>) -> Scheduler {
+        let cluster =
+            Cluster::with_uniform_hosts(4, HostSpec::new(Resources::cores_gib(32, 128)));
+        Scheduler::new(cluster, policy, Arc::new(OraclePredictor::new()))
+    }
+
+    fn vm(id: u64, hours: u64) -> Vm {
+        Vm::new(
+            VmId(id),
+            VmSpec::builder(Resources::cores_gib(4, 16)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(hours),
+        )
+    }
+
+    #[test]
+    fn schedule_and_exit_lifecycle() {
+        let mut s = scheduler(Box::new(WasteMinimizationPolicy::new()));
+        let host = s.schedule(vm(1, 5), SimTime::ZERO).unwrap();
+        assert_eq!(s.cluster().vm_count(), 1);
+        assert_eq!(
+            s.cluster().vm(VmId(1)).unwrap().initial_prediction(),
+            Some(Duration::from_hours(5))
+        );
+        let exited_from = s.exit(VmId(1), SimTime::ZERO + Duration::from_hours(5)).unwrap();
+        assert_eq!(exited_from, host);
+        assert_eq!(s.cluster().vm_count(), 0);
+        let stats = s.stats();
+        assert_eq!(stats.placed, 1);
+        assert_eq!(stats.exited, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(s.policy_name(), "waste-min");
+    }
+
+    #[test]
+    fn schedule_failure_counts() {
+        let mut s = scheduler(Box::new(WasteMinimizationPolicy::new()));
+        let huge = Vm::new(
+            VmId(9),
+            VmSpec::builder(Resources::cores_gib(128, 512)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(1),
+        );
+        let err = s.schedule(huge, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, ScheduleError::NoFeasibleHost { vm: VmId(9) });
+        assert_eq!(s.stats().failed, 1);
+    }
+
+    #[test]
+    fn exit_unknown_vm_errors() {
+        let mut s = scheduler(Box::new(WasteMinimizationPolicy::new()));
+        assert!(s.exit(VmId(5), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn migration_uses_policy_and_counts() {
+        let predictor = Arc::new(OraclePredictor::new());
+        let mut s = scheduler(Box::new(NilasPolicy::with_defaults(predictor)));
+        s.schedule(vm(1, 10), SimTime::ZERO).unwrap();
+        s.schedule(vm(2, 10), SimTime::ZERO).unwrap();
+        let source = s.cluster().vm(VmId(2)).unwrap().host().unwrap();
+        // Drain the source host: mark it unavailable and move VM 2 off it.
+        s.cluster_mut()
+            .host_mut(source)
+            .unwrap()
+            .set_unavailable(true);
+        let target = s.choose_migration_target(VmId(2), SimTime::ZERO).unwrap();
+        assert_ne!(target, source);
+        let from = s.migrate(VmId(2), target, SimTime::ZERO).unwrap();
+        assert_eq!(from, source);
+        assert_eq!(s.stats().migrations, 1);
+        assert_eq!(s.cluster().vm(VmId(2)).unwrap().host(), Some(target));
+    }
+
+    #[test]
+    fn predictor_accessor_returns_shared_instance() {
+        let s = scheduler(Box::new(WasteMinimizationPolicy::new()));
+        assert_eq!(s.predictor().name(), "oracle");
+    }
+}

@@ -1,0 +1,159 @@
+//! Lexicographic host scoring, mirroring Borg's scoring structure (§2.2).
+//!
+//! Borg evaluates one scoring dimension at a time, using the next dimension
+//! only to break ties. NILAS inserts its temporal cost one level above the
+//! bin-packing score; LAVA adds a coarser class-preference dimension above
+//! that. This module provides the [`ScoreVector`] type (lower is better,
+//! compared lexicographically) and the shared bin-packing score dimensions.
+
+use lava_core::host::Host;
+use lava_core::resources::Resources;
+use std::cmp::Ordering;
+
+/// A lexicographic score: earlier entries dominate later ones, and lower is
+/// better in every dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreVector(Vec<f64>);
+
+impl ScoreVector {
+    /// Create a score from its dimensions (most significant first).
+    pub fn new(dims: Vec<f64>) -> ScoreVector {
+        ScoreVector(dims)
+    }
+
+    /// The raw dimensions.
+    pub fn dims(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Lexicographic comparison treating NaN as "worst".
+    pub fn compare(&self, other: &ScoreVector) -> Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            let a = if a.is_nan() { f64::INFINITY } else { *a };
+            let b = if b.is_nan() { f64::INFINITY } else { *b };
+            match a.partial_cmp(&b).unwrap_or(Ordering::Equal) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+
+    /// True if `self` is strictly better (lower) than `other`.
+    pub fn is_better_than(&self, other: &ScoreVector) -> bool {
+        self.compare(other) == Ordering::Less
+    }
+}
+
+/// The classic Best Fit bin-packing score: the normalised free resources
+/// left on the host *after* placing the request. Lower means a tighter fit.
+///
+/// This is the scoring used by LA (Barbalho et al., 2023).
+pub fn best_fit_score(host: &Host, request: Resources) -> f64 {
+    let free_after = host.free().saturating_sub(&request);
+    free_after.normalized_sum(&host.capacity())
+}
+
+/// Borg's Waste-Minimisation score (§2.2): prefer placements that preserve
+/// *useful empty shapes* for anticipated workloads.
+///
+/// The score combines two terms (both lower-is-better):
+///
+/// 1. the resource-imbalance of the host after placement — free CPU and
+///    free memory fractions that diverge strand whichever resource is in
+///    excess (§2.3's stranding example: "a host may contain free memory but
+///    no free CPUs");
+/// 2. the best-fit tightness, weighted less than imbalance.
+///
+/// Keeping the free shape balanced means the leftover space still matches
+/// typical VM shapes, which is the essence of the production baseline
+/// without modelling Google's specific shape forecast.
+pub fn waste_minimization_score(host: &Host, request: Resources) -> f64 {
+    let capacity = host.capacity();
+    let free_after = host.free().saturating_sub(&request);
+    let cpu_frac = free_after.fraction_of(&capacity, lava_core::resources::ResourceKind::Cpu);
+    let mem_frac = free_after.fraction_of(&capacity, lava_core::resources::ResourceKind::Memory);
+    let imbalance = (cpu_frac - mem_frac).abs();
+    let tightness = free_after.normalized_sum(&capacity);
+    2.0 * imbalance + tightness
+}
+
+/// Empty-host preservation dimension: 1.0 for an empty host, 0.0 otherwise.
+/// Placing this dimension above the bin-packing score makes the scheduler
+/// open a new (empty) host only when no occupied host fits, which is how the
+/// production baseline protects empty hosts.
+pub fn avoid_empty_host_score(host: &Host) -> f64 {
+    if host.is_empty() {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::host::{HostId, HostSpec};
+    use lava_core::vm::VmId;
+
+    fn host_with_used(used_cores: u64, used_mem_gib: u64) -> Host {
+        let mut h = Host::new(HostId(0), HostSpec::new(Resources::cores_gib(32, 128)));
+        if used_cores > 0 || used_mem_gib > 0 {
+            h.place(VmId(1), Resources::cores_gib(used_cores, used_mem_gib))
+                .unwrap();
+        }
+        h
+    }
+
+    #[test]
+    fn score_vector_lexicographic() {
+        let a = ScoreVector::new(vec![1.0, 5.0]);
+        let b = ScoreVector::new(vec![1.0, 7.0]);
+        let c = ScoreVector::new(vec![0.0, 100.0]);
+        assert!(a.is_better_than(&b));
+        assert!(c.is_better_than(&a));
+        assert_eq!(a.compare(&a), Ordering::Equal);
+        assert_eq!(a.dims(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn score_vector_nan_is_worst() {
+        let nan = ScoreVector::new(vec![f64::NAN]);
+        let fine = ScoreVector::new(vec![1e9]);
+        assert!(fine.is_better_than(&nan));
+    }
+
+    #[test]
+    fn shorter_vector_wins_ties() {
+        let a = ScoreVector::new(vec![1.0]);
+        let b = ScoreVector::new(vec![1.0, 0.0]);
+        assert!(a.is_better_than(&b));
+    }
+
+    #[test]
+    fn best_fit_prefers_tighter_host() {
+        let tight = host_with_used(24, 96);
+        let loose = host_with_used(4, 16);
+        let request = Resources::cores_gib(4, 16);
+        assert!(best_fit_score(&tight, request) < best_fit_score(&loose, request));
+    }
+
+    #[test]
+    fn waste_minimization_penalises_imbalance() {
+        // Host A would be left with balanced free resources, host B with
+        // free memory but no free CPU (stranded memory).
+        let host = host_with_used(0, 0);
+        let balanced_request = Resources::cores_gib(16, 64);
+        let imbalanced_request = Resources::cores_gib(31, 16);
+        assert!(
+            waste_minimization_score(&host, balanced_request)
+                < waste_minimization_score(&host, imbalanced_request)
+        );
+    }
+
+    #[test]
+    fn avoid_empty_host_dimension() {
+        assert_eq!(avoid_empty_host_score(&host_with_used(0, 0)), 1.0);
+        assert_eq!(avoid_empty_host_score(&host_with_used(1, 1)), 0.0);
+    }
+}

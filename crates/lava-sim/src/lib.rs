@@ -1,0 +1,56 @@
+//! Event-driven cluster simulation for the LAVA reproduction.
+//!
+//! This crate hosts everything the paper's evaluation needs around the
+//! scheduler:
+//!
+//! * [`workload`] — synthetic production-like trace generation (the
+//!   substitute for Google's C2/E2 production traces),
+//! * [`trace`] — trace containers and training-data extraction,
+//! * [`simulator`] — the event-driven replay engine with warm-up, ticks and
+//!   metric sampling,
+//! * [`metrics`] — empty hosts, empty-to-free ratio, packing density,
+//!   utilisation,
+//! * [`stranding`] — the inflation-simulation stranding pipeline,
+//! * [`defrag`] — defragmentation / maintenance migration modelling and the
+//!   LARS comparison,
+//! * [`ab`] — A/B experiment statistics,
+//! * [`causal`] — CausalImpact-style pre/post counterfactual analysis,
+//! * [`validation`] — simulator-vs-trace consistency checking,
+//! * [`recording`] — a predictor wrapper that records predictions for error
+//!   analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lava_model::predictor::OraclePredictor;
+//! use lava_sched::Algorithm;
+//! use lava_sim::simulator::{SimulationConfig, Simulator};
+//! use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+//!
+//! let pool = PoolConfig::small(42);
+//! let trace = WorkloadGenerator::new(pool.clone()).generate();
+//! let simulator = Simulator::new(SimulationConfig::default());
+//! let result = simulator.run(
+//!     &trace,
+//!     pool.hosts,
+//!     pool.host_spec(),
+//!     Algorithm::Nilas,
+//!     Arc::new(OraclePredictor::new()),
+//! );
+//! assert!(result.mean_empty_host_fraction() >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ab;
+pub mod causal;
+pub mod defrag;
+pub mod metrics;
+pub mod recording;
+pub mod simulator;
+pub mod stranding;
+pub mod trace;
+pub mod validation;
+pub mod workload;

@@ -1,0 +1,383 @@
+//! The event-driven cluster simulator (§5.1, Appendix F).
+//!
+//! The simulator replays a trace of VM create/exit events against a
+//! scheduler instance built from a placement algorithm and a lifetime
+//! predictor. It models the paper's methodology:
+//!
+//! * a **warm-up** phase during which VMs are placed with the
+//!   lifetime-agnostic production baseline (mimicking gradual rollout /
+//!   left-censorship of the trace) and metrics are not counted;
+//! * periodic **ticks** that let the policy run deadline-based corrections
+//!   (LAVA's misprediction handling);
+//! * periodic **metric samples** (empty hosts, empty-to-free, packing
+//!   density, utilisation) taken between the end of warm-up and the last
+//!   arrival;
+//! * optional **stranding** measurements via the inflation pipeline.
+
+use crate::metrics::{sample_pool, MetricSeries};
+use crate::stranding::{measure_stranding, InflationMix, StrandingReport};
+use crate::trace::Trace;
+use lava_core::events::TraceEventKind;
+use lava_core::host::HostSpec;
+use lava_core::pool::{Pool, PoolId};
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::{Vm, VmId};
+use lava_model::predictor::LifetimePredictor;
+use lava_sched::cluster::Cluster;
+use lava_sched::policy::PlacementPolicy;
+use lava_sched::scheduler::{Scheduler, SchedulerStats};
+use lava_sched::Algorithm;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Length of the warm-up phase at the start of the trace.
+    pub warmup: Duration,
+    /// Whether warm-up placements use the lifetime-agnostic baseline
+    /// (`true`, the default, mirrors production rollout; `false` is the
+    /// "cold start" ideal setting of Appendix G.2).
+    pub warmup_with_baseline: bool,
+    /// Interval between policy ticks (deadline checks).
+    pub tick_interval: Duration,
+    /// Interval between metric samples.
+    pub sample_interval: Duration,
+    /// Also record samples during warm-up (used by the pre/post causal
+    /// analysis, which needs the pre-intervention series).
+    pub sample_during_warmup: bool,
+    /// If set, run the stranding inflation pipeline every N samples and
+    /// average the reports.
+    pub stranding_every_samples: Option<usize>,
+    /// The VM mix used for stranding inflation.
+    pub inflation_mix: InflationMix,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            warmup: Duration::from_days(2),
+            warmup_with_baseline: true,
+            tick_interval: Duration::from_mins(5),
+            sample_interval: Duration::from_hours(1),
+            sample_during_warmup: false,
+            stranding_every_samples: None,
+            inflation_mix: InflationMix::default(),
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// The ideal "cold start" setting of Appendix G.2: no warm-up, the
+    /// evaluated algorithm controls every placement from the first VM.
+    pub fn cold_start() -> SimulationConfig {
+        SimulationConfig {
+            warmup: Duration::ZERO,
+            warmup_with_baseline: false,
+            ..SimulationConfig::default()
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Name of the placement algorithm that was evaluated.
+    pub algorithm: String,
+    /// Name of the predictor that was used.
+    pub predictor: String,
+    /// Metric samples taken after warm-up, up to the last arrival.
+    pub series: MetricSeries,
+    /// Scheduler counters (placements, failures, exits, migrations).
+    pub scheduler_stats: SchedulerStats,
+    /// Average stranding report, if stranding measurement was enabled.
+    pub stranding: Option<StrandingReport>,
+    /// Number of creation events that could not be placed.
+    pub rejected_vms: u64,
+}
+
+impl SimulationResult {
+    /// Mean post-warm-up empty-host fraction (the paper's headline metric).
+    pub fn mean_empty_host_fraction(&self) -> f64 {
+        self.series.mean_empty_host_fraction()
+    }
+}
+
+/// The event-driven simulator.
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    config: SimulationConfig,
+}
+
+impl Simulator {
+    /// Create a simulator with the given configuration.
+    pub fn new(config: SimulationConfig) -> Simulator {
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Run `algorithm` with `predictor` over `trace` on a pool of
+    /// `hosts` × `host_spec`.
+    pub fn run(
+        &self,
+        trace: &Trace,
+        hosts: usize,
+        host_spec: HostSpec,
+        algorithm: Algorithm,
+        predictor: Arc<dyn LifetimePredictor>,
+    ) -> SimulationResult {
+        let policy = algorithm.build_policy(predictor.clone());
+        self.run_with_policy(trace, hosts, host_spec, policy, predictor, algorithm.to_string())
+    }
+
+    /// Run with an explicitly constructed policy (used by ablations that
+    /// need non-default policy configuration).
+    pub fn run_with_policy(
+        &self,
+        trace: &Trace,
+        hosts: usize,
+        host_spec: HostSpec,
+        policy: Box<dyn PlacementPolicy>,
+        predictor: Arc<dyn LifetimePredictor>,
+        algorithm_name: String,
+    ) -> SimulationResult {
+        let pool = Pool::with_uniform_hosts(PoolId(trace.pool().0), hosts, host_spec);
+        let cluster = Cluster::new(pool);
+        let predictor_name = predictor.name();
+        let warmup_end = SimTime::ZERO + self.config.warmup;
+
+        // During warm-up the baseline policy places VMs; the evaluated
+        // policy is swapped in at the end of warm-up.
+        let (initial_policy, deferred_policy) = if self.config.warmup_with_baseline
+            && !self.config.warmup.is_zero()
+        {
+            (
+                Algorithm::Baseline.build_policy(predictor.clone()),
+                Some(policy),
+            )
+        } else {
+            (policy, None)
+        };
+        let mut scheduler = Scheduler::new(cluster, initial_policy, predictor);
+        let mut deferred_policy = deferred_policy;
+
+        let sample_start = if self.config.sample_during_warmup {
+            SimTime::ZERO
+        } else {
+            warmup_end
+        };
+        let sample_end = trace.last_arrival_time();
+        let mut series = MetricSeries::new();
+        let mut stranding_reports: Vec<StrandingReport> = Vec::new();
+        let mut rejected: BTreeSet<VmId> = BTreeSet::new();
+        let mut rejected_count = 0u64;
+
+        let mut next_tick = SimTime::ZERO;
+        let mut next_sample = sample_start;
+        let mut sample_index = 0usize;
+
+        for event in trace.events() {
+            // Policy switch at the end of warm-up.
+            if let Some(policy) = deferred_policy.take_if_ready(event.time, warmup_end) {
+                scheduler.set_policy(policy);
+            }
+            // Ticks strictly before (or at) the event time.
+            while next_tick <= event.time {
+                scheduler.tick(next_tick);
+                next_tick += self.config.tick_interval;
+            }
+            // Samples between warm-up and the last arrival.
+            while next_sample <= event.time && next_sample <= sample_end {
+                series.push(sample_pool(scheduler.cluster().pool(), next_sample));
+                if let Some(every) = self.config.stranding_every_samples {
+                    if every > 0 && sample_index % every == 0 {
+                        stranding_reports.push(measure_stranding(
+                            scheduler.cluster().pool(),
+                            &self.config.inflation_mix,
+                        ));
+                    }
+                }
+                sample_index += 1;
+                next_sample += self.config.sample_interval;
+            }
+
+            match &event.kind {
+                TraceEventKind::Create { vm, spec, lifetime } => {
+                    let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
+                    if scheduler.schedule(record, event.time).is_err() {
+                        rejected.insert(*vm);
+                        rejected_count += 1;
+                    }
+                }
+                TraceEventKind::Exit { vm } => {
+                    if !rejected.remove(vm) {
+                        // Ignore exits of VMs that were never placed.
+                        let _ = scheduler.exit(*vm, event.time);
+                    }
+                }
+            }
+        }
+
+        let stranding = if stranding_reports.is_empty() {
+            None
+        } else {
+            let n = stranding_reports.len() as f64;
+            Some(StrandingReport {
+                stranded_cpu_fraction: stranding_reports
+                    .iter()
+                    .map(|r| r.stranded_cpu_fraction)
+                    .sum::<f64>()
+                    / n,
+                stranded_memory_fraction: stranding_reports
+                    .iter()
+                    .map(|r| r.stranded_memory_fraction)
+                    .sum::<f64>()
+                    / n,
+                vms_packed: (stranding_reports.iter().map(|r| r.vms_packed).sum::<usize>() as f64
+                    / n)
+                    .round() as usize,
+            })
+        };
+
+        SimulationResult {
+            algorithm: algorithm_name,
+            predictor: predictor_name.to_string(),
+            series,
+            scheduler_stats: scheduler.stats(),
+            stranding,
+            rejected_vms: rejected_count,
+        }
+    }
+}
+
+/// Small extension to express "take the deferred policy once warm-up ends".
+trait TakeIfReady {
+    fn take_if_ready(
+        &mut self,
+        now: SimTime,
+        warmup_end: SimTime,
+    ) -> Option<Box<dyn PlacementPolicy>>;
+}
+
+impl TakeIfReady for Option<Box<dyn PlacementPolicy>> {
+    fn take_if_ready(
+        &mut self,
+        now: SimTime,
+        warmup_end: SimTime,
+    ) -> Option<Box<dyn PlacementPolicy>> {
+        if self.is_some() && now >= warmup_end {
+            self.take()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{PoolConfig, WorkloadGenerator};
+    use lava_model::predictor::OraclePredictor;
+
+    fn small_trace(seed: u64) -> (Trace, PoolConfig) {
+        let config = PoolConfig::small(seed);
+        let trace = WorkloadGenerator::new(config.clone()).generate();
+        (trace, config)
+    }
+
+    fn run(algorithm: Algorithm, config: SimulationConfig) -> SimulationResult {
+        let (trace, pool_config) = small_trace(3);
+        let sim = Simulator::new(config);
+        sim.run(
+            &trace,
+            pool_config.hosts,
+            pool_config.host_spec(),
+            algorithm,
+            Arc::new(OraclePredictor::new()),
+        )
+    }
+
+    #[test]
+    fn baseline_run_produces_samples_and_places_vms() {
+        let result = run(
+            Algorithm::Baseline,
+            SimulationConfig {
+                warmup: Duration::from_hours(6),
+                ..SimulationConfig::default()
+            },
+        );
+        assert!(result.series.len() > 10, "samples: {}", result.series.len());
+        assert!(result.scheduler_stats.placed > 100);
+        assert_eq!(result.rejected_vms, 0, "small pool should fit everything");
+        let empty = result.mean_empty_host_fraction();
+        assert!(
+            (0.0..1.0).contains(&empty),
+            "empty host fraction {empty} out of range"
+        );
+        assert_eq!(result.algorithm, "baseline");
+        assert_eq!(result.predictor, "oracle");
+    }
+
+    #[test]
+    fn lifetime_aware_algorithms_compete_with_best_fit_with_oracle() {
+        // On this deliberately tiny pool (24 hosts, 2 days) the absolute
+        // differences are small and occasional inversions are expected
+        // (§6.1); the large-scale comparison lives in the Fig. 6 bench and
+        // the integration tests. Here we only require that the
+        // lifetime-aware algorithms are not materially worse.
+        let config = SimulationConfig {
+            warmup: Duration::from_hours(6),
+            ..SimulationConfig::default()
+        };
+        let best_fit = run(Algorithm::BestFit, config.clone());
+        let nilas = run(Algorithm::Nilas, config.clone());
+        let lava = run(Algorithm::Lava, config);
+        let tolerance = 0.03;
+        assert!(
+            nilas.mean_empty_host_fraction() >= best_fit.mean_empty_host_fraction() - tolerance,
+            "nilas {} vs best-fit {}",
+            nilas.mean_empty_host_fraction(),
+            best_fit.mean_empty_host_fraction()
+        );
+        assert!(
+            lava.mean_empty_host_fraction() >= best_fit.mean_empty_host_fraction() - tolerance,
+            "lava {} vs best-fit {}",
+            lava.mean_empty_host_fraction(),
+            best_fit.mean_empty_host_fraction()
+        );
+    }
+
+    #[test]
+    fn stranding_measurement_runs_when_enabled() {
+        let result = run(
+            Algorithm::Baseline,
+            SimulationConfig {
+                warmup: Duration::from_hours(6),
+                stranding_every_samples: Some(12),
+                ..SimulationConfig::default()
+            },
+        );
+        let stranding = result.stranding.expect("stranding enabled");
+        assert!(stranding.stranded_cpu_fraction >= 0.0);
+        assert!(stranding.stranded_cpu_fraction <= 1.0);
+    }
+
+    #[test]
+    fn cold_start_config_skips_warmup() {
+        let result = run(Algorithm::Nilas, SimulationConfig::cold_start());
+        // Without warm-up, samples start at time zero.
+        assert_eq!(result.series.samples()[0].time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(Algorithm::Lava, SimulationConfig::default());
+        let b = run(Algorithm::Lava, SimulationConfig::default());
+        assert_eq!(a.series.samples(), b.series.samples());
+        assert_eq!(a.scheduler_stats, b.scheduler_stats);
+    }
+}

@@ -1,0 +1,212 @@
+//! Trace containers: time-ordered VM create/exit events plus helpers used
+//! for model training and simulator warm-up.
+
+use lava_core::events::{TraceEvent, TraceEventKind};
+use lava_core::pool::PoolId;
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::{VmId, VmSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A time-ordered VM event trace for one pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pool: PoolId,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Create a trace from events (they are sorted into canonical order).
+    pub fn new(pool: PoolId, mut events: Vec<TraceEvent>) -> Trace {
+        events.sort();
+        Trace { pool, events }
+    }
+
+    /// The pool this trace belongs to.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// The events, in canonical order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of distinct VMs created in the trace.
+    pub fn vm_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Create { .. }))
+            .count()
+    }
+
+    /// The time of the last event (zero for an empty trace).
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map(|e| e.time).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The time of the last *creation* event (zero if there are none); used
+    /// as the effective end of the arrival window.
+    pub fn last_arrival_time(&self) -> SimTime {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| matches!(e.kind, TraceEventKind::Create { .. }))
+            .map(|e| e.time)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Completed `(spec, lifetime)` observations — the raw material for
+    /// model training. Every create event yields one observation.
+    pub fn observations(&self) -> Vec<(VmSpec, Duration)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Create { spec, lifetime, .. } => Some((spec.clone(), *lifetime)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Observations whose VM was created before `cutoff` — "historical" data
+    /// available for training a model that is then evaluated on the rest of
+    /// the trace.
+    pub fn observations_before(&self, cutoff: SimTime) -> Vec<(VmSpec, Duration)> {
+        self.events
+            .iter()
+            .take_while(|e| e.time < cutoff)
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Create { spec, lifetime, .. } => Some((spec.clone(), *lifetime)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The creation records (id, spec, lifetime, created_at) of all VMs in
+    /// the trace, keyed by id.
+    pub fn creations(&self) -> BTreeMap<VmId, (VmSpec, Duration, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Create { vm, spec, lifetime } => {
+                    Some((*vm, (spec.clone(), *lifetime, e.time)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Restrict the trace to VMs created in `[start, end)`, keeping their
+    /// exit events (wherever they fall). Used to carve A/B windows and the
+    /// two one-month LARS intervals out of a longer trace.
+    pub fn window(&self, start: SimTime, end: SimTime) -> Trace {
+        let keep: std::collections::BTreeSet<VmId> = self
+            .events
+            .iter()
+            .filter(|e| e.time >= start && e.time < end)
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Create { vm, .. } => Some(*vm),
+                _ => None,
+            })
+            .collect();
+        let events = self
+            .events
+            .iter()
+            .filter(|e| keep.contains(&e.kind.vm()))
+            .cloned()
+            .collect();
+        Trace::new(self.pool, events)
+    }
+
+    /// Serialise to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialise from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::resources::Resources;
+
+    fn spec(category: u32) -> VmSpec {
+        VmSpec::builder(Resources::cores_gib(2, 8))
+            .category(category)
+            .build()
+    }
+
+    fn sample_trace() -> Trace {
+        let events = vec![
+            TraceEvent::create(SimTime(100), VmId(1), spec(1), Duration::from_hours(1)),
+            TraceEvent::exit(SimTime(100 + 3600), VmId(1)),
+            TraceEvent::create(SimTime(200), VmId(2), spec(2), Duration::from_hours(10)),
+            TraceEvent::exit(SimTime(200 + 36_000), VmId(2)),
+            TraceEvent::create(SimTime(5000), VmId(3), spec(1), Duration::from_hours(2)),
+            TraceEvent::exit(SimTime(5000 + 7200), VmId(3)),
+        ];
+        Trace::new(PoolId(3), events)
+    }
+
+    #[test]
+    fn counts_and_times() {
+        let t = sample_trace();
+        assert_eq!(t.pool(), PoolId(3));
+        assert_eq!(t.vm_count(), 3);
+        assert_eq!(t.end_time(), SimTime(200 + 36_000));
+        assert_eq!(t.last_arrival_time(), SimTime(5000));
+        assert_eq!(t.events().len(), 6);
+    }
+
+    #[test]
+    fn observations_and_creations() {
+        let t = sample_trace();
+        let obs = t.observations();
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0].1, Duration::from_hours(1));
+        let early = t.observations_before(SimTime(300));
+        assert_eq!(early.len(), 2);
+        let creations = t.creations();
+        assert_eq!(creations.len(), 3);
+        assert_eq!(creations[&VmId(2)].2, SimTime(200));
+    }
+
+    #[test]
+    fn window_keeps_exits_of_selected_vms() {
+        let t = sample_trace();
+        let w = t.window(SimTime(150), SimTime(4000));
+        // Only VM 2 was created in the window; its exit is retained.
+        assert_eq!(w.vm_count(), 1);
+        assert_eq!(w.events().len(), 2);
+        assert_eq!(w.events()[0].kind.vm(), VmId(2));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample_trace();
+        let json = t.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = Trace::new(PoolId(0), vec![]);
+        assert_eq!(t.vm_count(), 0);
+        assert_eq!(t.end_time(), SimTime::ZERO);
+        assert_eq!(t.last_arrival_time(), SimTime::ZERO);
+        assert!(t.observations().is_empty());
+    }
+}

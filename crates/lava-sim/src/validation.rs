@@ -1,0 +1,157 @@
+//! Simulator validation (Appendix F, Fig. 14).
+//!
+//! The paper validates its simulator by comparing simulated utilisation
+//! against production numbers over the same interval. Our analogue:
+//! compute the *trace-implied* CPU utilisation (the resources of all VMs
+//! alive at each sample time, divided by pool capacity — what a perfect,
+//! capacity-unconstrained system would show) and compare it with the
+//! utilisation the simulator actually reports. Deviations indicate
+//! rejected placements or event-processing bugs.
+
+use crate::metrics::MetricSeries;
+use crate::trace::Trace;
+
+
+use lava_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The result of comparing simulated utilisation with trace ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Per-sample `(time, simulated, trace_implied)` CPU utilisation.
+    pub points: Vec<(SimTime, f64, f64)>,
+    /// Mean absolute difference between the two series.
+    pub mean_absolute_error: f64,
+    /// Maximum absolute difference.
+    pub max_absolute_error: f64,
+}
+
+/// Trace-implied CPU utilisation at a set of sample times: the total CPU of
+/// VMs alive at each time divided by `total_cpu_milli`.
+pub fn trace_utilization(trace: &Trace, times: &[SimTime], total_cpu_milli: u64) -> Vec<f64> {
+    if total_cpu_milli == 0 || times.is_empty() {
+        return vec![0.0; times.len()];
+    }
+    // Build per-VM (start, end, cpu) intervals.
+    let creations = trace.creations();
+    let mut deltas: Vec<(SimTime, i64)> = Vec::with_capacity(creations.len() * 2);
+    for (_, (spec, lifetime, created)) in creations {
+        let cpu = spec.resources().cpu_milli as i64;
+        deltas.push((created, cpu));
+        deltas.push((created + lifetime, -cpu));
+    }
+    deltas.sort();
+
+    // Sweep the deltas over the (sorted) sample times.
+    let mut sorted_times: Vec<(usize, SimTime)> = times.iter().copied().enumerate().collect();
+    sorted_times.sort_by_key(|(_, t)| *t);
+    let mut result = vec![0.0; times.len()];
+    let mut running: i64 = 0;
+    let mut delta_idx = 0;
+    for (orig_idx, t) in sorted_times {
+        while delta_idx < deltas.len() && deltas[delta_idx].0 <= t {
+            running += deltas[delta_idx].1;
+            delta_idx += 1;
+        }
+        result[orig_idx] = running.max(0) as f64 / total_cpu_milli as f64;
+    }
+    result
+}
+
+/// Compare a simulation's metric series against the trace-implied
+/// utilisation.
+pub fn validate(series: &MetricSeries, trace: &Trace, total_cpu_milli: u64) -> ValidationReport {
+    let times: Vec<SimTime> = series.samples().iter().map(|s| s.time).collect();
+    let implied = trace_utilization(trace, &times, total_cpu_milli);
+    let points: Vec<(SimTime, f64, f64)> = series
+        .samples()
+        .iter()
+        .zip(&implied)
+        .map(|(s, &imp)| (s.time, s.cpu_utilization, imp))
+        .collect();
+    let errors: Vec<f64> = points.iter().map(|(_, sim, imp)| (sim - imp).abs()).collect();
+    let mean_absolute_error = if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+    let max_absolute_error = errors.iter().cloned().fold(0.0, f64::max);
+    ValidationReport {
+        points,
+        mean_absolute_error,
+        max_absolute_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{SimulationConfig, Simulator};
+    use crate::workload::{PoolConfig, WorkloadGenerator};
+    use lava_core::events::TraceEvent;
+    use lava_core::pool::PoolId;
+    use lava_core::resources::Resources;
+    use lava_core::time::Duration;
+    use lava_core::vm::{VmId, VmSpec};
+    use lava_model::predictor::OraclePredictor;
+    use lava_sched::Algorithm;
+    use std::sync::Arc;
+
+    #[test]
+    fn trace_utilization_hand_computed() {
+        let spec = VmSpec::builder(Resources::cores_gib(10, 40)).build();
+        let events = vec![
+            TraceEvent::create(SimTime(0), VmId(1), spec.clone(), Duration::from_secs(100)),
+            TraceEvent::exit(SimTime(100), VmId(1)),
+            TraceEvent::create(SimTime(50), VmId(2), spec, Duration::from_secs(100)),
+            TraceEvent::exit(SimTime(150), VmId(2)),
+        ];
+        let trace = Trace::new(PoolId(0), events);
+        // Pool of 20 cores.
+        let util = trace_utilization(
+            &trace,
+            &[SimTime(10), SimTime(75), SimTime(120), SimTime(200)],
+            20_000,
+        );
+        assert!((util[0] - 0.5).abs() < 1e-12);
+        assert!((util[1] - 1.0).abs() < 1e-12);
+        assert!((util[2] - 0.5).abs() < 1e-12);
+        assert!(util[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulator_matches_trace_implied_utilization() {
+        let config = PoolConfig::small(9);
+        let trace = WorkloadGenerator::new(config.clone()).generate();
+        let sim = Simulator::new(SimulationConfig {
+            warmup: Duration::from_hours(6),
+            ..SimulationConfig::default()
+        });
+        let result = sim.run(
+            &trace,
+            config.hosts,
+            config.host_spec(),
+            Algorithm::Baseline,
+            Arc::new(OraclePredictor::new()),
+        );
+        let report = validate(&result.series, &trace, config.total_cpu_milli());
+        // No placements are rejected in this small pool, so the simulated
+        // utilisation must track the trace-implied one almost exactly
+        // (the paper reports ~1.6% mean deviation against production).
+        assert!(
+            report.mean_absolute_error < 0.02,
+            "mean abs error {}",
+            report.mean_absolute_error
+        );
+        assert!(!report.points.is_empty());
+        assert!(report.max_absolute_error < 0.1);
+    }
+
+    #[test]
+    fn empty_series_validates_trivially() {
+        let trace = Trace::new(PoolId(0), vec![]);
+        let report = validate(&MetricSeries::new(), &trace, 1000);
+        assert_eq!(report.mean_absolute_error, 0.0);
+        assert!(report.points.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Capacity-planning scenario: how much stranding does each scheduling
+//! policy leave behind, and how many more VMs would fit? Uses the paper's
+//! inflation-simulation methodology (§2.3).
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use lava::model::predictor::OraclePredictor;
+use lava::sched::Algorithm;
+use lava::sim::simulator::{SimulationConfig, Simulator};
+use lava::sim::stranding::InflationMix;
+use lava::sim::workload::{PoolConfig, WorkloadGenerator};
+use std::sync::Arc;
+
+fn main() {
+    let pool = PoolConfig {
+        hosts: 80,
+        target_utilization: 0.8,
+        duration: lava::core::time::Duration::from_days(10),
+        seed: 33,
+        ..PoolConfig::default()
+    };
+    let trace = WorkloadGenerator::new(pool.clone()).generate();
+    let simulator = Simulator::new(SimulationConfig {
+        stranding_every_samples: Some(24),
+        inflation_mix: InflationMix::default(),
+        ..SimulationConfig::default()
+    });
+
+    println!("{:<10} {:>14} {:>16} {:>16}", "policy", "empty hosts", "stranded CPU", "stranded memory");
+    for algorithm in [Algorithm::Baseline, Algorithm::LaBinary, Algorithm::Nilas, Algorithm::Lava] {
+        let result = simulator.run(
+            &trace,
+            pool.hosts,
+            pool.host_spec(),
+            algorithm,
+            Arc::new(OraclePredictor::new()),
+        );
+        let stranding = result.stranding.expect("stranding measurement enabled");
+        println!(
+            "{:<10} {:>13.1}% {:>15.1}% {:>15.1}%",
+            algorithm.to_string(),
+            result.mean_empty_host_fraction() * 100.0,
+            stranding.stranded_cpu_fraction * 100.0,
+            stranding.stranded_memory_fraction * 100.0
+        );
+    }
+    println!("\nStranded resources are free capacity that no VM in the representative mix can use;");
+    println!("the paper reports ~3% CPU and ~2% memory stranding reductions from NILAS in production.");
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: trace generation -> model training ->
+//! scheduling -> metrics, exercising the public API the way the examples
+//! and the benchmark harness do.
+
+use lava::core::prelude::*;
+use lava::model::dataset::DatasetBuilder;
+use lava::model::gbdt::GbdtConfig;
+use lava::model::metrics::classify_at_threshold;
+use lava::model::predictor::{GbdtPredictor, LifetimePredictor, OraclePredictor};
+use lava::model::LONG_LIVED_THRESHOLD;
+use lava::sched::Algorithm;
+use lava::sim::simulator::{SimulationConfig, Simulator};
+use lava::sim::validation::validate;
+use lava::sim::workload::{PoolConfig, WorkloadGenerator};
+use std::sync::Arc;
+
+fn small_pool(seed: u64) -> PoolConfig {
+    PoolConfig {
+        hosts: 32,
+        duration: Duration::from_days(4),
+        seed,
+        ..PoolConfig::default()
+    }
+}
+
+#[test]
+fn every_algorithm_replays_a_trace_without_rejections() {
+    let pool = small_pool(101);
+    let trace = WorkloadGenerator::new(pool.clone()).generate();
+    let simulator = Simulator::new(SimulationConfig::default());
+    for algorithm in Algorithm::ALL {
+        let result = simulator.run(
+            &trace,
+            pool.hosts,
+            pool.host_spec(),
+            algorithm,
+            Arc::new(OraclePredictor::new()),
+        );
+        assert_eq!(
+            result.rejected_vms, 0,
+            "{algorithm} rejected VMs on an uncontended pool"
+        );
+        assert!(result.scheduler_stats.placed > 500, "{algorithm} placed too few VMs");
+        assert!(result.series.len() > 24, "{algorithm} produced too few samples");
+        // Utilisation must track the trace regardless of the algorithm.
+        let report = validate(&result.series, &trace, pool.total_cpu_milli());
+        assert!(
+            report.mean_absolute_error < 0.02,
+            "{algorithm} diverged from trace-implied utilisation: {}",
+            report.mean_absolute_error
+        );
+    }
+}
+
+#[test]
+fn learned_model_reaches_high_precision_on_unseen_traffic() {
+    let train_pool = small_pool(202);
+    let train_trace = WorkloadGenerator::new(train_pool.clone()).generate();
+    let mut builder = DatasetBuilder::new();
+    builder.extend(train_trace.observations());
+    let predictor = GbdtPredictor::train(GbdtConfig::fast(), &builder.build());
+
+    let test_trace = WorkloadGenerator::new(small_pool(203)).generate();
+    let counts = classify_at_threshold(
+        test_trace
+            .observations()
+            .iter()
+            .map(|(spec, lifetime)| (predictor.predict_spec(spec, Duration::ZERO), *lifetime)),
+        LONG_LIVED_THRESHOLD,
+    );
+    // The synthetic workload's categories are largely separable, so even the
+    // fast GBDT configuration should classify long-lived VMs accurately.
+    assert!(counts.accuracy() > 0.9, "accuracy {}", counts.accuracy());
+}
+
+#[test]
+fn repredictions_beat_initial_predictions_on_survivors() {
+    // The survival effect of Fig. 2/9: for VMs that have already run for a
+    // while, conditioning on uptime must reduce the prediction error.
+    let train_trace = WorkloadGenerator::new(small_pool(303)).generate();
+    let mut builder = DatasetBuilder::new();
+    builder.extend(train_trace.observations());
+    let predictor = GbdtPredictor::train(GbdtConfig::fast(), &builder.build());
+
+    let test_trace = WorkloadGenerator::new(small_pool(304)).generate();
+    let survivors: Vec<_> = test_trace
+        .observations()
+        .into_iter()
+        .filter(|(_, lifetime)| *lifetime > Duration::from_hours(12))
+        .collect();
+    assert!(survivors.len() > 20, "not enough long-lived VMs in the trace");
+
+    let mut initial_error = 0.0;
+    let mut repredicted_error = 0.0;
+    for (spec, lifetime) in &survivors {
+        let uptime = Duration::from_secs(lifetime.as_secs() / 2);
+        let actual_remaining = *lifetime - uptime;
+        let initial = predictor.predict_spec(spec, Duration::ZERO);
+        let repredicted = predictor.predict_spec(spec, uptime);
+        initial_error += lava::model::metrics::log10_error(initial, actual_remaining);
+        repredicted_error += lava::model::metrics::log10_error(repredicted, actual_remaining);
+    }
+    assert!(
+        repredicted_error < initial_error,
+        "repredicted {repredicted_error} vs initial {initial_error}"
+    );
+}
+
+#[test]
+fn scheduler_is_deterministic_across_identical_runs() {
+    let pool = small_pool(404);
+    let trace = WorkloadGenerator::new(pool.clone()).generate();
+    let simulator = Simulator::new(SimulationConfig::default());
+    let run = |seed_offset: u64| {
+        // Same trace, same predictor: results must be bit-identical.
+        let _ = seed_offset;
+        simulator.run(
+            &trace,
+            pool.hosts,
+            pool.host_spec(),
+            Algorithm::Lava,
+            Arc::new(OraclePredictor::new()),
+        )
+    };
+    let a = run(0);
+    let b = run(0);
+    assert_eq!(a.series.samples(), b.series.samples());
+    assert_eq!(a.scheduler_stats, b.scheduler_stats);
+}
+
+#[test]
+fn predictor_trait_objects_compose_across_crates() {
+    // An Arc<dyn LifetimePredictor> built in lava-model drives a scheduler
+    // built in lava-sched inside a simulator from lava-sim.
+    let predictor: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+    let vm = Vm::new(
+        VmId(1),
+        VmSpec::builder(Resources::cores_gib(4, 16)).build(),
+        SimTime::ZERO,
+        Duration::from_hours(6),
+    );
+    assert_eq!(predictor.predict_at_creation(&vm), Duration::from_hours(6));
+    let policy = Algorithm::Lava.build_policy(predictor.clone());
+    assert_eq!(policy.name(), "lava");
+}
