@@ -1,65 +1,207 @@
 //! Criterion benchmark for scheduling throughput: how long one placement
-//! decision takes for each algorithm on a 100-host pool with a standing
-//! population (Section 5 reports 10-100 requests/second per cluster with
-//! negligible added latency from lifetime scoring).
+//! decision takes for each algorithm at 100 / 1 000 / 10 000 hosts with a
+//! standing population (Section 5 reports 10-100 requests/second per
+//! cluster with negligible added latency from lifetime scoring).
+//!
+//! For NILAS and LAVA two variants are measured:
+//!
+//! * `linear` — the seed implementation: score every feasible host;
+//! * `indexed` — the candidate-index path: walk Algorithm 3's preference
+//!   levels / the exit-time order and stop early.
+//!
+//! Both variants produce identical placement decisions (asserted here on
+//! sample requests and property-tested in `tests/scan_parity.rs`); the
+//! benchmark demonstrates the complexity difference. A speedup summary is
+//! printed at the end.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lava_core::host::HostSpec;
 use lava_core::resources::Resources;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId, VmSpec};
-use lava_model::predictor::OraclePredictor;
+use lava_model::predictor::{LifetimePredictor, OraclePredictor};
 use lava_sched::cluster::Cluster;
+use lava_sched::lava::{LavaConfig, LavaPolicy};
+use lava_sched::nilas::{NilasConfig, NilasPolicy};
+use lava_sched::policy::{CandidateScan, PlacementPolicy};
 use lava_sched::scheduler::Scheduler;
 use lava_sched::Algorithm;
 use std::sync::Arc;
 
-fn build_scheduler(algorithm: Algorithm) -> Scheduler {
-    let cluster = Cluster::with_uniform_hosts(100, HostSpec::new(Resources::cores_gib(64, 256)));
-    let predictor = Arc::new(OraclePredictor::new());
-    let mut scheduler = Scheduler::new(cluster, algorithm.build_policy(predictor.clone()), predictor);
-    // Standing population: ~6 VMs per host.
-    for i in 0..600u64 {
-        let vm = Vm::new(
-            VmId(i),
-            VmSpec::builder(Resources::cores_gib(4, 16)).category((i % 5) as u32).build(),
-            SimTime::ZERO,
-            Duration::from_hours(1 + (i % 200)),
-        );
-        let _ = scheduler.schedule(vm, SimTime::ZERO);
+const SIZES: &[usize] = &[100, 1_000, 10_000];
+
+fn make_policy(
+    algorithm: Algorithm,
+    scan: CandidateScan,
+    predictor: Arc<dyn LifetimePredictor>,
+) -> Box<dyn PlacementPolicy> {
+    match algorithm {
+        Algorithm::Nilas => Box::new(NilasPolicy::new(
+            predictor,
+            NilasConfig {
+                scan,
+                ..NilasConfig::default()
+            },
+        )),
+        Algorithm::Lava => Box::new(LavaPolicy::new(
+            predictor,
+            LavaConfig {
+                nilas: NilasConfig {
+                    scan,
+                    ..NilasConfig::default()
+                },
+                ..LavaConfig::default()
+            },
+        )),
+        other => other.build_policy(predictor),
+    }
+}
+
+fn standing_vm(i: u64, now: SimTime) -> Vm {
+    let cores = if i.is_multiple_of(3) { 2 } else { 4 };
+    Vm::new(
+        VmId(i),
+        VmSpec::builder(Resources::cores_gib(cores, cores * 4))
+            .category((i % 5) as u32)
+            .build(),
+        now,
+        Duration::from_hours(1 + (i % 200)),
+    )
+}
+
+/// Build a scheduler with a standing population of ~3 VMs per host,
+/// always placed through the indexed scan (placement decisions are
+/// identical in both modes, and building linearly at 10k hosts would
+/// dominate the benchmark's setup time).
+fn build_scheduler(algorithm: Algorithm, hosts: usize, scan: CandidateScan) -> Scheduler {
+    let cluster = Cluster::with_uniform_hosts(hosts, HostSpec::new(Resources::cores_gib(64, 256)));
+    let predictor: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+    let mut scheduler = Scheduler::new(
+        cluster,
+        make_policy(algorithm, CandidateScan::Indexed, predictor.clone()),
+        predictor.clone(),
+    );
+    for i in 0..(hosts as u64 * 3) {
+        let _ = scheduler.schedule(standing_vm(i, SimTime::ZERO), SimTime::ZERO);
+    }
+    if scan == CandidateScan::Linear {
+        scheduler.set_policy(make_policy(algorithm, scan, predictor));
     }
     scheduler
 }
 
-fn bench_scheduling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduling_throughput");
-    for algorithm in [Algorithm::Baseline, Algorithm::LaBinary, Algorithm::Nilas, Algorithm::Lava] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algorithm),
-            &algorithm,
-            |b, &algorithm| {
-                let mut scheduler = build_scheduler(algorithm);
-                let mut next_id = 10_000u64;
-                let now = SimTime::ZERO + Duration::from_hours(1);
-                b.iter(|| {
-                    let vm = Vm::new(
-                        VmId(next_id),
-                        VmSpec::builder(Resources::cores_gib(2, 8)).category(1).build(),
-                        now,
-                        Duration::from_mins(30),
-                    );
-                    next_id += 1;
-                    let placed = scheduler.schedule(vm, now);
-                    // Immediately exit to keep the pool occupancy steady.
-                    if placed.is_ok() {
-                        let _ = scheduler.exit(VmId(next_id - 1), now);
-                    }
-                });
-            },
-        );
-    }
-    group.finish();
+fn bench_request(next_id: u64, now: SimTime) -> Vm {
+    Vm::new(
+        VmId(next_id),
+        VmSpec::builder(Resources::cores_gib(2, 8))
+            .category(1)
+            .build(),
+        now,
+        Duration::from_mins(30),
+    )
 }
 
-criterion_group!(benches, bench_scheduling);
+/// Assert that the indexed and linear scans agree on a handful of sample
+/// requests against the standing population.
+fn assert_parity(algorithm: Algorithm, hosts: usize) {
+    let scheduler = build_scheduler(algorithm, hosts, CandidateScan::Indexed);
+    let cluster = scheduler.cluster();
+    let predictor: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+    let now = SimTime::ZERO + Duration::from_hours(1);
+    for (i, hours) in [(0u64, 1u64), (1, 8), (2, 40), (3, 400)] {
+        let vm = Vm::new(
+            VmId(1_000_000 + i),
+            VmSpec::builder(Resources::cores_gib(2, 8))
+                .category(2)
+                .build(),
+            now,
+            Duration::from_hours(hours),
+        );
+        let mut indexed = make_policy(algorithm, CandidateScan::Indexed, predictor.clone());
+        let mut linear = make_policy(algorithm, CandidateScan::Linear, predictor.clone());
+        let a = indexed.choose_host(cluster, &vm, now, None);
+        let b = linear.choose_host(cluster, &vm, now, None);
+        assert_eq!(
+            a, b,
+            "{algorithm} parity violated at {hosts} hosts ({hours}h vm)"
+        );
+    }
+}
+
+fn run_benches(c: &mut Criterion) {
+    for algorithm in [Algorithm::Nilas, Algorithm::Lava] {
+        assert_parity(algorithm, 1_000);
+    }
+    println!("parity check passed: indexed and linear scans choose identical hosts");
+
+    let mut group = c.benchmark_group("scheduling_throughput");
+    for &hosts in SIZES {
+        for algorithm in [Algorithm::Baseline, Algorithm::LaBinary] {
+            let mut scheduler = build_scheduler(algorithm, hosts, CandidateScan::Indexed);
+            let mut next_id = 10_000_000u64;
+            let now = SimTime::ZERO + Duration::from_hours(1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algorithm}"), hosts),
+                &hosts,
+                |b, _| {
+                    b.iter(|| {
+                        let placed = scheduler.schedule(bench_request(next_id, now), now);
+                        next_id += 1;
+                        if placed.is_ok() {
+                            let _ = scheduler.exit(VmId(next_id - 1), now);
+                        }
+                    });
+                },
+            );
+        }
+        for algorithm in [Algorithm::Nilas, Algorithm::Lava] {
+            for scan in [CandidateScan::Linear, CandidateScan::Indexed] {
+                let label = match scan {
+                    CandidateScan::Linear => "linear",
+                    CandidateScan::Indexed => "indexed",
+                };
+                let mut scheduler = build_scheduler(algorithm, hosts, scan);
+                let mut next_id = 10_000_000u64;
+                let now = SimTime::ZERO + Duration::from_hours(1);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{algorithm}-{label}"), hosts),
+                    &hosts,
+                    |b, _| {
+                        b.iter(|| {
+                            let placed = scheduler.schedule(bench_request(next_id, now), now);
+                            next_id += 1;
+                            if placed.is_ok() {
+                                let _ = scheduler.exit(VmId(next_id - 1), now);
+                            }
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+
+    // Speedup summary: indexed vs linear per algorithm and size.
+    println!();
+    for algorithm in ["nilas", "lava"] {
+        for &hosts in SIZES {
+            let find = |label: &str| {
+                c.reports()
+                    .iter()
+                    .find(|r| r.id == format!("scheduling_throughput/{algorithm}-{label}/{hosts}"))
+                    .map(|r| r.median_ns)
+            };
+            if let (Some(linear), Some(indexed)) = (find("linear"), find("indexed")) {
+                println!(
+                    "speedup {algorithm:>6} @ {hosts:>6} hosts: {:>6.2}x  (linear {:.0} ns -> indexed {:.0} ns)",
+                    linear / indexed,
+                    linear,
+                    indexed
+                );
+            }
+        }
+    }
+}
+
+criterion_group!(benches, run_benches);
 criterion_main!(benches);

@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn parses_individual_flags() {
-        let args = ExperimentArgs::parse(["--pools", "10", "--days", "3", "--seed", "7", "--hosts", "50"]);
+        let args = ExperimentArgs::parse([
+            "--pools", "10", "--days", "3", "--seed", "7", "--hosts", "50",
+        ]);
         assert_eq!(args.pools, 10);
         assert_eq!(args.duration, Duration::from_days(3));
         assert_eq!(args.seed, 7);

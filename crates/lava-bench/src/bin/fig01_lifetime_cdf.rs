@@ -36,8 +36,15 @@ fn main() {
     let total_core_hours: f64 = obs.iter().map(|(s, l)| core_hours(s, *l)).sum();
 
     println!("# Figure 1: VM lifetime CDF by count and by resource consumption");
-    println!("# VMs={} total core-hours={:.0}", obs.len(), total_core_hours);
-    println!("{:<10} {:>16} {:>22}", "lifetime<=", "% of VMs", "% of core-hours");
+    println!(
+        "# VMs={} total core-hours={:.0}",
+        obs.len(),
+        total_core_hours
+    );
+    println!(
+        "{:<10} {:>16} {:>22}",
+        "lifetime<=", "% of VMs", "% of core-hours"
+    );
     for (label, bound) in buckets {
         let vms = obs.iter().filter(|(_, l)| *l <= bound).count() as f64;
         let ch: f64 = obs
@@ -53,5 +60,7 @@ fn main() {
         );
     }
     println!();
-    println!("# Paper: 88% of VMs live < 1 hour; 98% of resources are consumed by VMs living >= 1 hour.");
+    println!(
+        "# Paper: 88% of VMs live < 1 hour; 98% of resources are consumed by VMs living >= 1 hour."
+    );
 }

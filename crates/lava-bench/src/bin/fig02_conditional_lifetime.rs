@@ -29,12 +29,20 @@ fn main() {
     println!("# Figure 2: lifetime PDF and conditional expected remaining lifetime (category 2)");
     println!("# observations={}", dist.len());
     println!("\n## Lifetime PDF (log-spaced buckets)");
-    let edges_hours = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0, 48.0, 96.0, 240.0];
+    let edges_hours = [
+        0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0, 48.0, 96.0, 240.0,
+    ];
     let mut prev = Duration::ZERO;
     for &h in &edges_hours {
         let bound = Duration::from_hours_f64(h);
         let frac = dist.cdf(bound) - dist.cdf(prev);
-        println!("  ({:>6.2}h, {:>6.2}h] {:>6.2}%  {}", prev.as_hours(), h, frac * 100.0, "#".repeat((frac * 200.0) as usize));
+        println!(
+            "  ({:>6.2}h, {:>6.2}h] {:>6.2}%  {}",
+            prev.as_hours(),
+            h,
+            frac * 100.0,
+            "#".repeat((frac * 200.0) as usize)
+        );
         prev = bound;
     }
 
@@ -48,7 +56,11 @@ fn main() {
         ("3 days", Duration::from_days(3)),
         ("7 days", Duration::from_days(7)),
     ] {
-        println!("{:<14} {:>26}", label, format!("{}", dist.expected_remaining(uptime)));
+        println!(
+            "{:<14} {:>26}",
+            label,
+            format!("{}", dist.expected_remaining(uptime))
+        );
     }
     println!();
     println!("# Paper: expected lifetime at schedule 0.2 days; after surviving 1 day -> ~4 days remaining;");

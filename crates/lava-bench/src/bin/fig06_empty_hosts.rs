@@ -4,8 +4,8 @@
 //!
 //! Usage: `cargo run --release -p lava-bench --bin fig06_empty_hosts -- [--pools N] [--days N] [--full|--quick]`
 
-use lava_bench::{improvement_pp, run_algorithm, ExperimentArgs, PredictorKind};
 use lava_bench::harness::build_predictor;
+use lava_bench::{improvement_pp, run_algorithm, ExperimentArgs, PredictorKind};
 use lava_model::gbdt::GbdtConfig;
 use lava_sched::Algorithm;
 use lava_sim::simulator::SimulationConfig;
@@ -27,7 +27,12 @@ fn main() {
     let predictors = [PredictorKind::Learned, PredictorKind::Oracle];
 
     println!("# Figure 6: empty-host improvement over the production baseline (percentage points)");
-    println!("# pools={} days={:.0} hosts={:?}", pools.len(), args.duration.as_days(), args.hosts);
+    println!(
+        "# pools={} days={:.0} hosts={:?}",
+        pools.len(),
+        args.duration.as_days(),
+        args.hosts
+    );
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
         "pool",
@@ -45,7 +50,13 @@ fn main() {
         let mut row = vec![];
         for kind in predictors {
             let predictor = build_predictor(kind, pool, GbdtConfig::default());
-            let baseline = run_algorithm(pool, &trace, Algorithm::Baseline, predictor.clone(), &sim_config);
+            let baseline = run_algorithm(
+                pool,
+                &trace,
+                Algorithm::Baseline,
+                predictor.clone(),
+                &sim_config,
+            );
             for algo in algorithms {
                 let run = run_algorithm(pool, &trace, algo, predictor.clone(), &sim_config);
                 row.push(improvement_pp(&run.result, &baseline.result));
@@ -77,6 +88,8 @@ fn main() {
         totals[5] / n
     );
     println!();
-    println!("# Paper (Fig. 6, 24 C2 pools): LA-Binary +5.0 pp, NILAS +6.1 pp, LAVA +6.5 pp (model);");
+    println!(
+        "# Paper (Fig. 6, 24 C2 pools): LA-Binary +5.0 pp, NILAS +6.1 pp, LAVA +6.5 pp (model);"
+    );
     println!("#                              LA oracle +7.5 pp, NILAS oracle +9.5 pp.");
 }

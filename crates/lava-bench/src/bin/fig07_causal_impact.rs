@@ -54,26 +54,52 @@ fn main() {
         .collect();
     let split = series.len() / 2;
     let (pre, post) = series.split_at(split);
-    let report = causal_impact(pre, post, CausalConfig { fit_trend: false, ..CausalConfig::default() });
+    let report = causal_impact(
+        pre,
+        post,
+        CausalConfig {
+            fit_trend: false,
+            ..CausalConfig::default()
+        },
+    );
 
     println!("# Figure 7: whole-pool rollout causal analysis (policy switches from baseline to NILAS at mid-trace)");
-    println!("average effect = {:+.2} pp   95% CI [{:+.2}, {:+.2}]   p = {:.3}",
-        report.average_effect * 100.0, report.ci_low * 100.0, report.ci_high * 100.0, report.p_value);
+    println!(
+        "average effect = {:+.2} pp   95% CI [{:+.2}, {:+.2}]   p = {:.3}",
+        report.average_effect * 100.0,
+        report.ci_low * 100.0,
+        report.ci_high * 100.0,
+        report.p_value
+    );
     let control_series = control.series.empty_host_series();
-    println!("\n{:<8} {:>10} {:>16} {:>12} {:>12}", "hour", "observed", "control", "pointwise", "cumulative");
+    println!(
+        "\n{:<8} {:>10} {:>16} {:>12} {:>12}",
+        "hour", "observed", "control", "pointwise", "cumulative"
+    );
     for (i, ((obs, cf), (pw, cum))) in observed[split..]
         .iter()
         .zip(&control_series[split..])
-        .zip(report.pointwise_effect.iter().zip(&report.cumulative_effect))
+        .zip(
+            report
+                .pointwise_effect
+                .iter()
+                .zip(&report.cumulative_effect),
+        )
         .enumerate()
         .step_by(12)
     {
         println!(
             "{:<8} {:>9.1}% {:>15.1}% {:>11.2}pp {:>11.1}pp",
-            i, obs * 100.0, cf * 100.0, pw * 100.0, cum * 100.0
+            i,
+            obs * 100.0,
+            cf * 100.0,
+            pw * 100.0,
+            cum * 100.0
         );
     }
     println!();
     println!("# Paper: the observed empty-host series departs upward from the counterfactual after launch;");
-    println!("#        the cumulative effect grows steadily (Wave 3: +4.9 pp, 95% CI [0.54, 9.2]).");
+    println!(
+        "#        the cumulative effect grows steadily (Wave 3: +4.9 pp, 95% CI [0.54, 9.2])."
+    );
 }

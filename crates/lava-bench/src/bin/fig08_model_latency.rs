@@ -36,12 +36,27 @@ fn main() {
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
 
-    println!("# Figure 8: model execution latency ({} predictions, {} trees)", latencies.len(), predictor.model().tree_count());
-    println!("median = {:.1} us   p90 = {:.1} us   p99 = {:.1} us   mean = {:.1} us", pct(0.5), pct(0.9), pct(0.99), histogram.mean());
+    println!(
+        "# Figure 8: model execution latency ({} predictions, {} trees)",
+        latencies.len(),
+        predictor.model().tree_count()
+    );
+    println!(
+        "median = {:.1} us   p90 = {:.1} us   p99 = {:.1} us   mean = {:.1} us",
+        pct(0.5),
+        pct(0.9),
+        pct(0.99),
+        histogram.mean()
+    );
     println!("\n{:<12} {:>10}", "bucket (us)", "count");
     for (lower, count) in histogram.buckets() {
         if count > 0 {
-            println!("{:<12.1} {:>10} {}", lower, count, "#".repeat((60 * count / latencies.len() as u64).min(80) as usize));
+            println!(
+                "{:<12.1} {:>10} {}",
+                lower,
+                count,
+                "#".repeat((60 * count / latencies.len() as u64).min(80) as usize)
+            );
         }
     }
     println!();

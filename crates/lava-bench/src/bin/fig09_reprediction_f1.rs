@@ -18,7 +18,11 @@ fn main() {
         ..PoolConfig::default()
     };
     let predictor = train_gbdt_predictor(&pool, GbdtConfig::default());
-    let test_trace = WorkloadGenerator::new(PoolConfig { seed: args.seed + 77, ..pool.clone() }).generate();
+    let test_trace = WorkloadGenerator::new(PoolConfig {
+        seed: args.seed + 77,
+        ..pool.clone()
+    })
+    .generate();
     let observations = test_trace.observations();
 
     println!("# Figure 9: F1 of the 168h long-lived classification vs uptime quantile");
@@ -31,7 +35,12 @@ fn main() {
             (predicted_total, *lifetime)
         });
         let counts = classify_at_threshold(pairs, LONG_LIVED_THRESHOLD);
-        println!("{:<10} {:>8.3} {}", q, counts.f1(), "#".repeat((counts.f1() * 60.0) as usize));
+        println!(
+            "{:<10} {:>8.3} {}",
+            q,
+            counts.f1(),
+            "#".repeat((counts.f1() * 60.0) as usize)
+        );
     }
     println!();
     println!("# Paper: F1 ~0.8 without uptime (quantile 0), dips slightly for tiny uptimes, rises above 0.9 from ~quantile 8.");

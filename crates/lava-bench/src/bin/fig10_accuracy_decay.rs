@@ -32,7 +32,10 @@ fn main() {
     let predictor = GbdtPredictor::train(GbdtConfig::default(), &builder.build());
 
     println!("# Figure 10: accuracy in the weeks after training (weekly_drift=1.35)");
-    println!("{:<18} {:>10} {:>8} {:>8}", "weeks-after-train", "precision", "recall", "F1");
+    println!(
+        "{:<18} {:>10} {:>8} {:>8}",
+        "weeks-after-train", "precision", "recall", "F1"
+    );
     let creations = trace.creations();
     for week in 1..weeks {
         let start = SimTime::ZERO + Duration::from_days(7 * week);
@@ -40,9 +43,7 @@ fn main() {
         let pairs = creations
             .values()
             .filter(|(_, _, created)| *created >= start && *created < end)
-            .map(|(spec, lifetime, _)| {
-                (predictor.predict_spec(spec, Duration::ZERO), *lifetime)
-            });
+            .map(|(spec, lifetime, _)| (predictor.predict_spec(spec, Duration::ZERO), *lifetime));
         let counts = classify_at_threshold(pairs, LONG_LIVED_THRESHOLD);
         println!(
             "{:<18} {:>10.3} {:>8.3} {:>8.3}",

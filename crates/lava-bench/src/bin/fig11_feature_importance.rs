@@ -22,7 +22,12 @@ fn main() {
 
     println!("# Figure 11: feature importance (normalised split score)");
     for (name, score) in ranked {
-        println!("{:<22} {:>7.3} {}", name, score, "#".repeat((score * 120.0) as usize));
+        println!(
+            "{:<22} {:>7.3} {}",
+            name,
+            score,
+            "#".repeat((score * 120.0) as usize)
+        );
     }
     println!();
     println!("# Paper: admission policy, host pool (zone) and VM shape are the most influential features.");

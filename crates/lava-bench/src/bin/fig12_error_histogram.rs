@@ -25,7 +25,13 @@ fn main() {
     let recording = RecordingPredictor::new(gbdt);
     let trace = WorkloadGenerator::new(pool.clone()).generate();
     let simulator = Simulator::new(SimulationConfig::default());
-    let _ = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Nilas, recording.clone());
+    let _ = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Nilas,
+        recording.clone(),
+    );
 
     let records = recording.records();
     let mut all = Histogram::new(5.0, 20);
@@ -37,8 +43,14 @@ fn main() {
         }
     }
 
-    println!("# Figure 12: prediction error in the log10 domain ({} predictions recorded)", records.len());
-    println!("{:<16} {:>16} {:>22}", "|log10 error| >=", "with repredictions", "initial predictions only");
+    println!(
+        "# Figure 12: prediction error in the log10 domain ({} predictions recorded)",
+        records.len()
+    );
+    println!(
+        "{:<16} {:>16} {:>22}",
+        "|log10 error| >=", "with repredictions", "initial predictions only"
+    );
     for ((lower, with), (_, without)) in all.buckets().iter().zip(initial_only.buckets()) {
         let pct_with = 100.0 * *with as f64 / all.count().max(1) as f64;
         let pct_without = 100.0 * without as f64 / initial_only.count().max(1) as f64;
@@ -46,7 +58,11 @@ fn main() {
             println!("{:<16.2} {:>15.1}% {:>21.1}%", lower, pct_with, pct_without);
         }
     }
-    println!("mean |log10 error|: with repredictions {:.3}, initial-only {:.3}", all.mean(), initial_only.mean());
+    println!(
+        "mean |log10 error|: with repredictions {:.3}, initial-only {:.3}",
+        all.mean(),
+        initial_only.mean()
+    );
     println!();
     println!("# Paper: the error distribution including repredictions skews markedly toward lower errors than one-shot predictions.");
 }

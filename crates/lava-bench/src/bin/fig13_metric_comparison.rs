@@ -23,15 +23,37 @@ fn main() {
     let predictor = Arc::new(OraclePredictor::new());
     let sim_config = SimulationConfig::default();
 
-    let la = run_algorithm(&pool, &trace, Algorithm::LaBinary, predictor.clone(), &sim_config);
-    println!("# Figure 13: relative improvement over LA-Binary for three equivalent bin-packing metrics");
-    println!("{:<10} {:>16} {:>18} {:>18}", "algorithm", "empty hosts (pp)", "empty-to-free (pp)", "packing density (pp)");
+    let la = run_algorithm(
+        &pool,
+        &trace,
+        Algorithm::LaBinary,
+        predictor.clone(),
+        &sim_config,
+    );
+    println!(
+        "# Figure 13: relative improvement over LA-Binary for three equivalent bin-packing metrics"
+    );
+    println!(
+        "{:<10} {:>16} {:>18} {:>18}",
+        "algorithm", "empty hosts (pp)", "empty-to-free (pp)", "packing density (pp)"
+    );
     for algo in [Algorithm::Nilas, Algorithm::Lava] {
         let run = run_algorithm(&pool, &trace, algo, predictor.clone(), &sim_config);
-        let empty = (run.result.series.mean_empty_host_fraction() - la.result.series.mean_empty_host_fraction()) * 100.0;
-        let etf = (run.result.series.mean_empty_to_free() - la.result.series.mean_empty_to_free()) * 100.0;
-        let density = (run.result.series.mean_packing_density() - la.result.series.mean_packing_density()) * 100.0;
-        println!("{:<10} {:>16.2} {:>18.2} {:>18.2}", algo.to_string(), empty, etf, density);
+        let empty = (run.result.series.mean_empty_host_fraction()
+            - la.result.series.mean_empty_host_fraction())
+            * 100.0;
+        let etf = (run.result.series.mean_empty_to_free() - la.result.series.mean_empty_to_free())
+            * 100.0;
+        let density = (run.result.series.mean_packing_density()
+            - la.result.series.mean_packing_density())
+            * 100.0;
+        println!(
+            "{:<10} {:>16.2} {:>18.2} {:>18.2}",
+            algo.to_string(),
+            empty,
+            etf,
+            density
+        );
     }
     println!();
     println!("# Paper: all three metrics are correlated; improving one improves the others.");

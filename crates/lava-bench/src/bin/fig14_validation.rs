@@ -31,12 +31,26 @@ fn main() {
     let report = validate(&result.series, &trace, pool.total_cpu_milli());
 
     println!("# Figure 14: simulator validation (simulated vs trace-implied CPU utilisation)");
-    println!("mean absolute error = {:.3}%   max = {:.3}%   rejected placements = {}",
-        report.mean_absolute_error * 100.0, report.max_absolute_error * 100.0, result.rejected_vms);
-    println!("\n{:<10} {:>12} {:>14}", "day", "simulated", "trace-implied");
+    println!(
+        "mean absolute error = {:.3}%   max = {:.3}%   rejected placements = {}",
+        report.mean_absolute_error * 100.0,
+        report.max_absolute_error * 100.0,
+        result.rejected_vms
+    );
+    println!(
+        "\n{:<10} {:>12} {:>14}",
+        "day", "simulated", "trace-implied"
+    );
     for (time, sim, implied) in report.points.iter().step_by(12) {
-        println!("{:<10.1} {:>11.1}% {:>13.1}%", time.as_days(), sim * 100.0, implied * 100.0);
+        println!(
+            "{:<10.1} {:>11.1}% {:>13.1}%",
+            time.as_days(),
+            sim * 100.0,
+            implied * 100.0
+        );
     }
     println!();
-    println!("# Paper: simulated CPU utilisation within ~1.6% of production ground truth on average.");
+    println!(
+        "# Paper: simulated CPU utilisation within ~1.6% of production ground truth on average."
+    );
 }

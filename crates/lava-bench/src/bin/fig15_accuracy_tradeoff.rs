@@ -26,9 +26,27 @@ fn main() {
     println!("{:<10} {:>10} {:>10}", "accuracy", "nilas", "lava");
     for accuracy in [50u8, 60, 70, 80, 90, 95, 99, 100] {
         let predictor = build_predictor(PredictorKind::Noisy(accuracy), &pool, GbdtConfig::fast());
-        let baseline = run_algorithm(&pool, &trace, Algorithm::Baseline, predictor.clone(), &sim_config);
-        let nilas = run_algorithm(&pool, &trace, Algorithm::Nilas, predictor.clone(), &sim_config);
-        let lava = run_algorithm(&pool, &trace, Algorithm::Lava, predictor.clone(), &sim_config);
+        let baseline = run_algorithm(
+            &pool,
+            &trace,
+            Algorithm::Baseline,
+            predictor.clone(),
+            &sim_config,
+        );
+        let nilas = run_algorithm(
+            &pool,
+            &trace,
+            Algorithm::Nilas,
+            predictor.clone(),
+            &sim_config,
+        );
+        let lava = run_algorithm(
+            &pool,
+            &trace,
+            Algorithm::Lava,
+            predictor.clone(),
+            &sim_config,
+        );
         println!(
             "{:<10} {:>10.2} {:>10.2}",
             format!("{}%", accuracy),

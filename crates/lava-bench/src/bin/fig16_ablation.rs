@@ -39,28 +39,81 @@ fn main() {
     let oracle = build_predictor(PredictorKind::Oracle, &pool, GbdtConfig::fast());
     let learned = build_predictor(PredictorKind::Learned, &pool, GbdtConfig::default());
 
-    let baseline = run_algorithm(&pool, &trace, Algorithm::Baseline, oracle.clone(), &default_config);
+    let baseline = run_algorithm(
+        &pool,
+        &trace,
+        Algorithm::Baseline,
+        oracle.clone(),
+        &default_config,
+    );
     let nilas_oracle_ideal = Simulator::new(SimulationConfig::cold_start()).run(
-        &trace, pool.hosts, pool.host_spec(), Algorithm::Nilas, oracle.clone());
-    let nilas_oracle = run_algorithm(&pool, &trace, Algorithm::Nilas, oracle.clone(), &default_config);
-    let nilas_model = run_algorithm(&pool, &trace, Algorithm::Nilas, learned.clone(), &default_config);
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Nilas,
+        oracle.clone(),
+    );
+    let nilas_oracle = run_algorithm(
+        &pool,
+        &trace,
+        Algorithm::Nilas,
+        oracle.clone(),
+        &default_config,
+    );
+    let nilas_model = run_algorithm(
+        &pool,
+        &trace,
+        Algorithm::Nilas,
+        learned.clone(),
+        &default_config,
+    );
     let no_repredict = Simulator::new(default_config.clone()).run_with_policy(
         &trace,
         pool.hosts,
         pool.host_spec(),
-        Box::new(NilasPolicy::new(learned.clone(), NilasConfig { repredict: false, ..NilasConfig::default() })),
+        Box::new(NilasPolicy::new(
+            learned.clone(),
+            NilasConfig {
+                repredict: false,
+                ..NilasConfig::default()
+            },
+        )),
         learned,
         "nilas-no-reprediction".to_string(),
     );
 
     println!("# Figure 16: NILAS ablation vs the theoretical empty-host optimum");
     println!("{:<40} {:>14}", "configuration", "empty hosts %");
-    println!("{:<40} {:>14.1}", "theoretical optimum", optimal_empty * 100.0);
-    println!("{:<40} {:>14.1}", "NILAS oracle, ideal (cold start)", nilas_oracle_ideal.mean_empty_host_fraction() * 100.0);
-    println!("{:<40} {:>14.1}", "NILAS oracle (with warm-up)", nilas_oracle.result.mean_empty_host_fraction() * 100.0);
-    println!("{:<40} {:>14.1}", "NILAS learned model", nilas_model.result.mean_empty_host_fraction() * 100.0);
-    println!("{:<40} {:>14.1}", "NILAS model, no repredictions", no_repredict.mean_empty_host_fraction() * 100.0);
-    println!("{:<40} {:>14.1}", "production baseline", baseline.result.mean_empty_host_fraction() * 100.0);
+    println!(
+        "{:<40} {:>14.1}",
+        "theoretical optimum",
+        optimal_empty * 100.0
+    );
+    println!(
+        "{:<40} {:>14.1}",
+        "NILAS oracle, ideal (cold start)",
+        nilas_oracle_ideal.mean_empty_host_fraction() * 100.0
+    );
+    println!(
+        "{:<40} {:>14.1}",
+        "NILAS oracle (with warm-up)",
+        nilas_oracle.result.mean_empty_host_fraction() * 100.0
+    );
+    println!(
+        "{:<40} {:>14.1}",
+        "NILAS learned model",
+        nilas_model.result.mean_empty_host_fraction() * 100.0
+    );
+    println!(
+        "{:<40} {:>14.1}",
+        "NILAS model, no repredictions",
+        no_repredict.mean_empty_host_fraction() * 100.0
+    );
+    println!(
+        "{:<40} {:>14.1}",
+        "production baseline",
+        baseline.result.mean_empty_host_fraction() * 100.0
+    );
     println!();
     println!("# Paper: ideal NILAS with oracle lifetimes approaches the optimum; warm-up, model error and");
     println!("#        disabling repredictions each remove part of the gain (no-reprediction is markedly worse).");

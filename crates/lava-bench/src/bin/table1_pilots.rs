@@ -17,7 +17,10 @@ fn main() {
     let args = ExperimentArgs::from_env();
     let predictor = Arc::new(OraclePredictor::new());
     println!("# Table 1: NILAS empty-host improvements in pilot pools");
-    println!("{:<22} {:<6} {:>14} {:>22}", "pilot pool", "type", "change (pp)", "significance");
+    println!(
+        "{:<22} {:<6} {:>14} {:>22}",
+        "pilot pool", "type", "change (pp)", "significance"
+    );
 
     // A/B pilots: run baseline and NILAS on the same trace and compare the
     // paired post-warm-up series.
@@ -35,8 +38,20 @@ fn main() {
             ..PoolConfig::default()
         };
         let trace = WorkloadGenerator::new(pool.clone()).generate();
-        let control = run_algorithm(&pool, &trace, Algorithm::Baseline, predictor.clone(), &sim_config);
-        let treatment = run_algorithm(&pool, &trace, Algorithm::Nilas, predictor.clone(), &sim_config);
+        let control = run_algorithm(
+            &pool,
+            &trace,
+            Algorithm::Baseline,
+            predictor.clone(),
+            &sim_config,
+        );
+        let treatment = run_algorithm(
+            &pool,
+            &trace,
+            Algorithm::Nilas,
+            predictor.clone(),
+            &sim_config,
+        );
         let ab = paired_comparison(
             &treatment.result.series.empty_host_series(),
             &control.result.series.empty_host_series(),
@@ -100,14 +115,21 @@ fn main() {
         let report = causal_impact(
             &series[..split],
             &series[split..],
-            CausalConfig { fit_trend: false, ..CausalConfig::default() },
+            CausalConfig {
+                fit_trend: false,
+                ..CausalConfig::default()
+            },
         );
         println!(
             "{:<22} {:<6} {:>13.2}  {:>22}",
             name,
             "All",
             report.average_effect * 100.0,
-            format!("95% CI [{:.2}, {:.2}]", report.ci_low * 100.0, report.ci_high * 100.0)
+            format!(
+                "95% CI [{:.2}, {:.2}]",
+                report.ci_low * 100.0,
+                report.ci_high * 100.0
+            )
         );
     }
     println!();

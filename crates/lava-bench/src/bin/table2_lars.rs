@@ -5,14 +5,19 @@
 use lava_bench::ExperimentArgs;
 use lava_core::time::Duration;
 use lava_model::predictor::OraclePredictor;
-use lava_sim::defrag::{collect_evacuations, simulate_migration_queue, DefragConfig, MigrationOrder};
+use lava_sim::defrag::{
+    collect_evacuations, simulate_migration_queue, DefragConfig, MigrationOrder,
+};
 use lava_sim::workload::{PoolConfig, WorkloadGenerator};
 use std::sync::Arc;
 
 fn main() {
     let args = ExperimentArgs::from_env();
     println!("# Table 2: VM migration reductions using LARS (oracle lifetimes, 3 slots, 20-minute migrations)");
-    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "trace", "scheduled", "baseline", "lars", "reduction");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "trace", "scheduled", "baseline", "lars", "reduction"
+    );
 
     for (i, seed) in [args.seed + 11, args.seed + 23].iter().enumerate() {
         let config = PoolConfig {
@@ -35,8 +40,10 @@ fn main() {
                 ..DefragConfig::default()
             },
         );
-        let baseline = simulate_migration_queue(&tasks, MigrationOrder::Baseline, 3, Duration::from_mins(20));
-        let lars = simulate_migration_queue(&tasks, MigrationOrder::Lars, 3, Duration::from_mins(20));
+        let baseline =
+            simulate_migration_queue(&tasks, MigrationOrder::Baseline, 3, Duration::from_mins(20));
+        let lars =
+            simulate_migration_queue(&tasks, MigrationOrder::Lars, 3, Duration::from_mins(20));
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>11.2}%",
             i + 1,

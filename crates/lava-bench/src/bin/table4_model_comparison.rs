@@ -32,12 +32,21 @@ fn main() {
     let train_labels = train.labels();
     let train_lifetimes: Vec<Duration> = train.examples.iter().map(|e| e.remaining).collect();
 
-    println!("# Table 4: comparison of lifetime models ({} train / {} test examples)", train.len(), test.len());
-    println!("{:<34} {:>8} {:>10} {:>8} {:>8}", "model", "C-index", "precision", "recall", "F1");
+    println!(
+        "# Table 4: comparison of lifetime models ({} train / {} test examples)",
+        train.len(),
+        test.len()
+    );
+    println!(
+        "{:<34} {:>8} {:>10} {:>8} {:>8}",
+        "model", "C-index", "precision", "recall", "F1"
+    );
 
     // Linear Cox proportional hazards.
     let cox = CoxModel::fit(CoxConfig::default(), &train_rows, &train_lifetimes);
-    report_risk_model("Linear Cox (survival)", &test, |features| cox.risk_score(features));
+    report_risk_model("Linear Cox (survival)", &test, |features| {
+        cox.risk_score(features)
+    });
 
     // Stratified Kaplan-Meier keyed by the category feature (index 1).
     let km = StratifiedKaplanMeier::fit(
@@ -67,7 +76,11 @@ fn main() {
     println!("#        NN C=0.73 P=0.99 R=0.58; GBDT C=0.84 P=0.99 R=0.70 F1=0.8 (best).");
 }
 
-fn report_risk_model(name: &str, test: &lava_model::dataset::Dataset, risk: impl Fn(&[f64]) -> f64) {
+fn report_risk_model(
+    name: &str,
+    test: &lava_model::dataset::Dataset,
+    risk: impl Fn(&[f64]) -> f64,
+) {
     let risks: Vec<f64> = test.examples.iter().map(|e| risk(&e.features)).collect();
     let lifetimes: Vec<Duration> = test.examples.iter().map(|e| e.remaining).collect();
     let c = concordance_index(&risks, &lifetimes);
@@ -81,7 +94,8 @@ fn report_risk_model(name: &str, test: &lava_model::dataset::Dataset, risk: impl
         .filter(|e| e.total_lifetime > LONG_LIVED_THRESHOLD)
         .count() as f64
         / test.len() as f64;
-    let cut = sorted[(((1.0 - positive_rate) * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
+    let cut = sorted
+        [(((1.0 - positive_rate) * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
     let pairs = test.examples.iter().zip(&risks).map(|(e, r)| {
         let predicted = if *r <= cut {
             LONG_LIVED_THRESHOLD + Duration::from_hours(1)

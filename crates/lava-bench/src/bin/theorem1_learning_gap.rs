@@ -43,8 +43,7 @@ const LONG: f64 = 50.0;
 /// A host's class at time `t`: L if any job is *known* long.
 fn host_class(host: &[Job], t: f64, learning: bool) -> Class {
     let any_known_long = host.iter().any(|j| {
-        j.predicted == Class::Long
-            || (learning && j.actual == Class::Long && t - j.arrival > SHORT)
+        j.predicted == Class::Long || (learning && j.actual == Class::Long && t - j.arrival > SHORT)
     });
     if any_known_long {
         Class::Long
@@ -87,7 +86,11 @@ fn simulate(m: usize, k: usize, epsilon: f64, rho: f64, learning: bool, seed: u6
             host.retain(|j| j.exit_time > t);
         }
 
-        let actual = if rng.gen_bool(rho) { Class::Long } else { Class::Short };
+        let actual = if rng.gen_bool(rho) {
+            Class::Long
+        } else {
+            Class::Short
+        };
         let predicted = if actual == Class::Long && rng.gen_bool(epsilon) {
             Class::Short
         } else {

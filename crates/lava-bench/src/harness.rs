@@ -3,9 +3,11 @@
 
 use lava_model::dataset::DatasetBuilder;
 use lava_model::gbdt::GbdtConfig;
-use lava_model::predictor::{GbdtPredictor, LifetimePredictor, NoisyOraclePredictor, OraclePredictor};
+use lava_model::predictor::{
+    GbdtPredictor, LifetimePredictor, NoisyOraclePredictor, OraclePredictor,
+};
 use lava_sched::Algorithm;
-use lava_sim::simulator::{SimulationConfig, Simulator, SimulationResult};
+use lava_sim::simulator::{SimulationConfig, SimulationResult, Simulator};
 use lava_sim::trace::Trace;
 use lava_sim::workload::{PoolConfig, WorkloadGenerator};
 use std::sync::Arc;
@@ -141,7 +143,13 @@ mod tests {
             ..SimulationConfig::default()
         };
         let oracle: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
-        let baseline = run_algorithm(&pool, &trace, Algorithm::Baseline, oracle.clone(), &sim_config);
+        let baseline = run_algorithm(
+            &pool,
+            &trace,
+            Algorithm::Baseline,
+            oracle.clone(),
+            &sim_config,
+        );
         let nilas = run_algorithm(&pool, &trace, Algorithm::Nilas, oracle, &sim_config);
         let pp = improvement_pp(&nilas.result, &baseline.result);
         assert!(pp.is_finite());

@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn sorting_is_by_time_first() {
-        let mut events = vec![
+        let mut events = [
             TraceEvent::create(SimTime(20), VmId(1), spec(), Duration::from_hours(1)),
             TraceEvent::exit(SimTime(5), VmId(2)),
             TraceEvent::create(SimTime(5), VmId(3), spec(), Duration::from_hours(2)),

@@ -215,10 +215,7 @@ impl Host {
     ///
     /// Returns [`CoreError::VmNotFound`] if the VM is not on this host.
     pub fn remove(&mut self, vm: VmId) -> Result<Resources, CoreError> {
-        let request = self
-            .vms
-            .remove(&vm)
-            .ok_or(CoreError::VmNotFound { vm })?;
+        let request = self.vms.remove(&vm).ok_or(CoreError::VmNotFound { vm })?;
         self.used = self.used.saturating_sub(&request);
         self.residual_vms.remove(&vm);
         Ok(request)
@@ -374,7 +371,10 @@ mod tests {
     #[test]
     fn remove_missing_vm_errors() {
         let mut h = host();
-        assert_eq!(h.remove(VmId(7)), Err(CoreError::VmNotFound { vm: VmId(7) }));
+        assert_eq!(
+            h.remove(VmId(7)),
+            Err(CoreError::VmNotFound { vm: VmId(7) })
+        );
     }
 
     #[test]

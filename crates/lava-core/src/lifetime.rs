@@ -13,9 +13,7 @@ use std::fmt;
 /// LAVA lifetime class, on an order-of-magnitude (hours) scale.
 ///
 /// `LC1` < 1 h, `LC2` 1–10 h, `LC3` 10–100 h, `LC4` ≥ 100 h.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum LifetimeClass {
     /// Lifetime below one hour.
     Lc1,

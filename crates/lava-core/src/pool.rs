@@ -3,13 +3,34 @@
 //! A pool corresponds to the paper's "host pool" (§2.2): a set of identical
 //! hosts in one zone serving one VM family. All empty-host / stranding
 //! metrics are computed per pool.
+//!
+//! # Candidate indexes
+//!
+//! Placement is the hottest path in the system: Algorithm 3 orders
+//! candidates by host state and lifetime class, and the paper notes that
+//! scoring every host "can become a bottleneck in very large pools"
+//! (Appendix G.3). The pool therefore maintains secondary indexes that are
+//! updated incrementally on every mutation:
+//!
+//! * hosts bucketed by `(HostLifetimeState, Option<LifetimeClass>)`, so a
+//!   scheduler can walk exactly the preference level it needs;
+//! * the sets of occupied and empty hosts (also powering O(1)
+//!   [`Pool::empty_host_count`]);
+//! * an ordering by free capacity (CPU, then memory, then SSD).
+//!
+//! Mutations flow through [`Pool::place_vm`] / [`Pool::remove_vm`] or
+//! through the [`HostMut`] guard returned by [`Pool::host_mut`], which
+//! re-indexes the host when dropped. There is deliberately no unguarded
+//! `&mut Host` access.
 
-use crate::host::{Host, HostId, HostSpec};
+use crate::host::{Host, HostId, HostLifetimeState, HostSpec};
+use crate::lifetime::LifetimeClass;
 use crate::resources::Resources;
 use crate::vm::VmId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 
 /// Identifier of a pool (zone + family combination).
 #[derive(
@@ -23,14 +44,122 @@ impl fmt::Display for PoolId {
     }
 }
 
+/// Number of distinct `(state, class)` buckets: 3 states × (no class +
+/// 4 classes).
+const BUCKET_COUNT: usize = 15;
+
+/// The key a host occupies in the secondary indexes. Cheap to compute and
+/// compare; index maintenance only touches the structures whose component
+/// actually changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IndexKey {
+    bucket: usize,
+    is_empty: bool,
+    free: Resources,
+}
+
+fn bucket_slot(state: HostLifetimeState, class: Option<LifetimeClass>) -> usize {
+    let s = match state {
+        HostLifetimeState::Empty => 0,
+        HostLifetimeState::Open => 1,
+        HostLifetimeState::Recycling => 2,
+    };
+    let c = class.map(|c| c.index() as usize).unwrap_or(0);
+    s * 5 + c
+}
+
+fn key_of(host: &Host) -> IndexKey {
+    IndexKey {
+        bucket: bucket_slot(host.lifetime_state(), host.lifetime_class()),
+        is_empty: host.is_empty(),
+        free: host.free(),
+    }
+}
+
+fn free_key(free: Resources, id: HostId) -> (u64, u64, u64, HostId) {
+    (free.cpu_milli, free.memory_mib, free.ssd_gib, id)
+}
+
+/// Incrementally-maintained secondary indexes over the hosts of a pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct HostIndex {
+    /// `(state, class)` buckets, indexed by [`bucket_slot`].
+    buckets: Vec<BTreeSet<HostId>>,
+    /// Hosts with at least one VM.
+    occupied: BTreeSet<HostId>,
+    /// Hosts with no VMs.
+    empty: BTreeSet<HostId>,
+    /// Hosts ordered by ascending free capacity (CPU, memory, SSD, id).
+    by_free: BTreeSet<(u64, u64, u64, HostId)>,
+}
+
+impl Default for HostIndex {
+    fn default() -> HostIndex {
+        HostIndex::new()
+    }
+}
+
+impl HostIndex {
+    fn new() -> HostIndex {
+        HostIndex {
+            buckets: vec![BTreeSet::new(); BUCKET_COUNT],
+            occupied: BTreeSet::new(),
+            empty: BTreeSet::new(),
+            by_free: BTreeSet::new(),
+        }
+    }
+
+    fn insert(&mut self, id: HostId, key: IndexKey) {
+        self.buckets[key.bucket].insert(id);
+        if key.is_empty {
+            self.empty.insert(id);
+        } else {
+            self.occupied.insert(id);
+        }
+        self.by_free.insert(free_key(key.free, id));
+    }
+
+    fn update(&mut self, id: HostId, before: IndexKey, after: IndexKey) {
+        if before == after {
+            return;
+        }
+        if before.bucket != after.bucket {
+            self.buckets[before.bucket].remove(&id);
+            self.buckets[after.bucket].insert(id);
+        }
+        if before.is_empty != after.is_empty {
+            if before.is_empty {
+                self.empty.remove(&id);
+                self.occupied.insert(id);
+            } else {
+                self.occupied.remove(&id);
+                self.empty.insert(id);
+            }
+        }
+        if before.free != after.free {
+            self.by_free.remove(&free_key(before.free, id));
+            self.by_free.insert(free_key(after.free, id));
+        }
+    }
+}
+
 /// A pool of hosts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Pool {
     id: PoolId,
-    hosts: BTreeMap<HostId, Host>,
+    /// Hosts stored densely: `hosts[i].id() == HostId(i)`. Host ids are
+    /// assigned sequentially by [`Pool::add_host`] and never removed, so
+    /// every host lookup on the placement hot path is O(1).
+    hosts: Vec<Host>,
     /// Reverse index from VM to host for O(log n) lookups.
     vm_index: BTreeMap<VmId, HostId>,
-    next_host_id: u64,
+    /// Secondary candidate indexes, maintained on every mutation.
+    index: HostIndex,
+    /// Incremented on every occupancy-affecting mutation (placements,
+    /// removals, including those made through a [`HostMut`] guard).
+    /// Consumers holding derived state (the cluster's exit-time cache)
+    /// compare epochs to detect mutations that bypassed their event feed.
+    mutation_epoch: u64,
 }
 
 impl Pool {
@@ -38,9 +167,10 @@ impl Pool {
     pub fn new(id: PoolId) -> Pool {
         Pool {
             id,
-            hosts: BTreeMap::new(),
+            hosts: Vec::new(),
             vm_index: BTreeMap::new(),
-            next_host_id: 0,
+            index: HostIndex::new(),
+            mutation_epoch: 0,
         }
     }
 
@@ -59,11 +189,19 @@ impl Pool {
         self.id
     }
 
+    /// The current occupancy-mutation epoch: changes whenever any host's
+    /// occupancy or free capacity changes, however the mutation was made.
+    #[inline]
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
+    }
+
     /// Add a host with the given spec, returning its new id.
     pub fn add_host(&mut self, spec: HostSpec) -> HostId {
-        let id = HostId(self.next_host_id);
-        self.next_host_id += 1;
-        self.hosts.insert(id, Host::new(id, spec));
+        let id = HostId(self.hosts.len() as u64);
+        let host = Host::new(id, spec);
+        self.index.insert(id, key_of(&host));
+        self.hosts.push(host);
         id
     }
 
@@ -76,23 +214,24 @@ impl Pool {
     /// A host by id.
     #[inline]
     pub fn host(&self, id: HostId) -> Option<&Host> {
-        self.hosts.get(&id)
+        self.hosts.get(id.0 as usize)
     }
 
-    /// A mutable host by id.
-    #[inline]
-    pub fn host_mut(&mut self, id: HostId) -> Option<&mut Host> {
-        self.hosts.get_mut(&id)
+    /// A mutable host by id, behind a guard that re-indexes the host when
+    /// dropped (state, class, occupancy or free-capacity changes all move
+    /// the host between index buckets).
+    pub fn host_mut(&mut self, id: HostId) -> Option<HostMut<'_>> {
+        let before = key_of(self.hosts.get(id.0 as usize)?);
+        Some(HostMut {
+            pool: self,
+            id,
+            before,
+        })
     }
 
     /// Iterator over all hosts in deterministic (id) order.
     pub fn hosts(&self) -> impl Iterator<Item = &Host> + '_ {
-        self.hosts.values()
-    }
-
-    /// Mutable iterator over all hosts in deterministic (id) order.
-    pub fn hosts_mut(&mut self) -> impl Iterator<Item = &mut Host> + '_ {
-        self.hosts.values_mut()
+        self.hosts.iter()
     }
 
     /// Which host a VM is currently placed on.
@@ -107,7 +246,8 @@ impl Pool {
         self.vm_index.len()
     }
 
-    /// Place a VM on a specific host, updating the reverse index.
+    /// Place a VM on a specific host, updating the reverse index and the
+    /// candidate indexes.
     ///
     /// # Errors
     ///
@@ -121,10 +261,14 @@ impl Pool {
     ) -> Result<(), crate::error::CoreError> {
         let h = self
             .hosts
-            .get_mut(&host)
+            .get_mut(host.0 as usize)
             .ok_or(crate::error::CoreError::HostNotFound { host })?;
+        let before = key_of(h);
         h.place(vm, request)?;
+        let after = key_of(h);
+        self.index.update(host, before, after);
         self.vm_index.insert(vm, host);
+        self.mutation_epoch += 1;
         Ok(())
     }
 
@@ -142,15 +286,119 @@ impl Pool {
             .ok_or(crate::error::CoreError::VmNotFound { vm })?;
         let host = self
             .hosts
-            .get_mut(&host_id)
+            .get_mut(host_id.0 as usize)
             .ok_or(crate::error::CoreError::HostNotFound { host: host_id })?;
+        let before = key_of(host);
         let released = host.remove(vm)?;
+        let after = key_of(host);
+        self.index.update(host_id, before, after);
+        self.mutation_epoch += 1;
         Ok((host_id, released))
     }
 
-    /// Number of completely empty hosts.
+    // --- candidate index queries -----------------------------------------
+
+    /// Hosts currently in `(state, class)`, in id order. `class == None`
+    /// matches hosts without an assigned class.
+    pub fn hosts_in_state_class(
+        &self,
+        state: HostLifetimeState,
+        class: Option<LifetimeClass>,
+    ) -> impl Iterator<Item = &Host> + '_ {
+        self.index.buckets[bucket_slot(state, class)]
+            .iter()
+            .filter_map(move |id| self.hosts.get(id.0 as usize))
+    }
+
+    /// Number of hosts currently in `(state, class)`.
+    pub fn state_class_count(
+        &self,
+        state: HostLifetimeState,
+        class: Option<LifetimeClass>,
+    ) -> usize {
+        self.index.buckets[bucket_slot(state, class)].len()
+    }
+
+    /// Hosts with at least one VM, in id order.
+    pub fn occupied_hosts(&self) -> impl Iterator<Item = &Host> + '_ {
+        self.index
+            .occupied
+            .iter()
+            .filter_map(move |id| self.hosts.get(id.0 as usize))
+    }
+
+    /// Hosts with no VMs, in id order.
+    pub fn empty_hosts(&self) -> impl Iterator<Item = &Host> + '_ {
+        self.index
+            .empty
+            .iter()
+            .filter_map(move |id| self.hosts.get(id.0 as usize))
+    }
+
+    /// Number of hosts with at least one VM.
+    #[inline]
+    pub fn occupied_host_count(&self) -> usize {
+        self.index.occupied.len()
+    }
+
+    /// Hosts ordered by ascending free capacity (CPU, then memory, then
+    /// SSD, then id) — the natural scan order for tight-fit placement;
+    /// reverse it for emptiest-first (drain candidate selection).
+    pub fn hosts_by_free(&self) -> impl DoubleEndedIterator<Item = &Host> + '_ {
+        self.index
+            .by_free
+            .iter()
+            .filter_map(move |(_, _, _, id)| self.hosts.get(id.0 as usize))
+    }
+
+    /// Verify that every index agrees with the authoritative host map.
+    /// Used by tests; O(hosts × log hosts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate_index(&self) -> Result<(), String> {
+        let mut bucket_total = 0;
+        for (slot, bucket) in self.index.buckets.iter().enumerate() {
+            bucket_total += bucket.len();
+            for id in bucket {
+                let host = self
+                    .hosts
+                    .get(id.0 as usize)
+                    .ok_or_else(|| format!("bucket {slot} contains unknown host {id}"))?;
+                if bucket_slot(host.lifetime_state(), host.lifetime_class()) != slot {
+                    return Err(format!("host {id} is in the wrong bucket {slot}"));
+                }
+            }
+        }
+        if bucket_total != self.hosts.len() {
+            return Err(format!(
+                "buckets cover {bucket_total} hosts, pool has {}",
+                self.hosts.len()
+            ));
+        }
+        for host in self.hosts.iter() {
+            let key = key_of(host);
+            let in_empty = self.index.empty.contains(&host.id());
+            let in_occupied = self.index.occupied.contains(&host.id());
+            if key.is_empty != in_empty || key.is_empty == in_occupied {
+                return Err(format!("host {} occupancy sets inconsistent", host.id()));
+            }
+            if !self.index.by_free.contains(&free_key(key.free, host.id())) {
+                return Err(format!("host {} missing from by_free", host.id()));
+            }
+        }
+        if self.index.by_free.len() != self.hosts.len() {
+            return Err("by_free has stale entries".to_string());
+        }
+        Ok(())
+    }
+
+    // --- aggregate metrics ------------------------------------------------
+
+    /// Number of completely empty hosts (O(1), via the occupancy index).
     pub fn empty_host_count(&self) -> usize {
-        self.hosts.values().filter(|h| h.is_empty()).count()
+        self.index.empty.len()
     }
 
     /// Fraction of hosts that are empty, in `[0, 1]` (0 for an empty pool).
@@ -164,17 +412,61 @@ impl Pool {
 
     /// Total capacity across all hosts.
     pub fn total_capacity(&self) -> Resources {
-        self.hosts.values().map(|h| h.capacity()).sum()
+        self.hosts.iter().map(|h| h.capacity()).sum()
     }
 
     /// Total reserved resources across all hosts.
     pub fn total_used(&self) -> Resources {
-        self.hosts.values().map(|h| h.used()).sum()
+        self.hosts.iter().map(|h| h.used()).sum()
     }
 
     /// Total free resources across all hosts.
     pub fn total_free(&self) -> Resources {
-        self.hosts.values().map(|h| h.free()).sum()
+        self.hosts.iter().map(|h| h.free()).sum()
+    }
+}
+
+/// Mutable access to one host, keeping the pool's candidate indexes
+/// consistent: when the guard is dropped, any change to the host's state,
+/// class, occupancy or free capacity is folded back into the indexes.
+pub struct HostMut<'a> {
+    pool: &'a mut Pool,
+    id: HostId,
+    before: IndexKey,
+}
+
+impl Deref for HostMut<'_> {
+    type Target = Host;
+
+    fn deref(&self) -> &Host {
+        self.pool
+            .hosts
+            .get(self.id.0 as usize)
+            .expect("guarded host exists")
+    }
+}
+
+impl DerefMut for HostMut<'_> {
+    fn deref_mut(&mut self) -> &mut Host {
+        self.pool
+            .hosts
+            .get_mut(self.id.0 as usize)
+            .expect("guarded host exists")
+    }
+}
+
+impl Drop for HostMut<'_> {
+    fn drop(&mut self) {
+        let after = key_of(
+            self.pool
+                .hosts
+                .get(self.id.0 as usize)
+                .expect("guarded host exists"),
+        );
+        if after.is_empty != self.before.is_empty || after.free != self.before.free {
+            self.pool.mutation_epoch += 1;
+        }
+        self.pool.index.update(self.id, self.before, after);
     }
 }
 
@@ -182,14 +474,11 @@ impl Pool {
 mod tests {
     use super::*;
     use crate::error::CoreError;
+    use crate::time::SimTime;
     use proptest::prelude::*;
 
     fn pool(n: usize) -> Pool {
-        Pool::with_uniform_hosts(
-            PoolId(0),
-            n,
-            HostSpec::new(Resources::cores_gib(32, 128)),
-        )
+        Pool::with_uniform_hosts(PoolId(0), n, HostSpec::new(Resources::cores_gib(32, 128)))
     }
 
     #[test]
@@ -200,22 +489,27 @@ mod tests {
         assert!((p.empty_host_fraction() - 1.0).abs() < 1e-12);
         assert_eq!(p.total_capacity(), Resources::cores_gib(320, 1280));
         assert_eq!(p.id(), PoolId(0));
+        p.validate_index().unwrap();
     }
 
     #[test]
     fn place_and_remove_updates_index() {
         let mut p = pool(3);
         let host = HostId(1);
-        p.place_vm(host, VmId(7), Resources::cores_gib(4, 16)).unwrap();
+        p.place_vm(host, VmId(7), Resources::cores_gib(4, 16))
+            .unwrap();
         assert_eq!(p.host_of(VmId(7)), Some(host));
         assert_eq!(p.vm_count(), 1);
         assert_eq!(p.empty_host_count(), 2);
+        assert_eq!(p.occupied_host_count(), 1);
+        p.validate_index().unwrap();
 
         let (h, released) = p.remove_vm(VmId(7)).unwrap();
         assert_eq!(h, host);
         assert_eq!(released, Resources::cores_gib(4, 16));
         assert_eq!(p.host_of(VmId(7)), None);
         assert_eq!(p.empty_host_count(), 3);
+        p.validate_index().unwrap();
     }
 
     #[test]
@@ -241,10 +535,70 @@ mod tests {
     #[test]
     fn totals_are_consistent() {
         let mut p = pool(4);
-        p.place_vm(HostId(0), VmId(1), Resources::cores_gib(8, 32)).unwrap();
-        p.place_vm(HostId(2), VmId(2), Resources::cores_gib(16, 64)).unwrap();
+        p.place_vm(HostId(0), VmId(1), Resources::cores_gib(8, 32))
+            .unwrap();
+        p.place_vm(HostId(2), VmId(2), Resources::cores_gib(16, 64))
+            .unwrap();
         assert_eq!(p.total_used(), Resources::cores_gib(24, 96));
         assert_eq!(p.total_used() + p.total_free(), p.total_capacity());
+    }
+
+    #[test]
+    fn host_mut_guard_reindexes_state_transitions() {
+        let mut p = pool(2);
+        p.place_vm(HostId(0), VmId(1), Resources::cores_gib(4, 16))
+            .unwrap();
+        p.host_mut(HostId(0))
+            .unwrap()
+            .open_with_class(LifetimeClass::Lc2, SimTime(100));
+        p.validate_index().unwrap();
+        assert_eq!(
+            p.hosts_in_state_class(HostLifetimeState::Open, Some(LifetimeClass::Lc2))
+                .map(|h| h.id())
+                .collect::<Vec<_>>(),
+            vec![HostId(0)]
+        );
+        assert_eq!(
+            p.state_class_count(HostLifetimeState::Open, Some(LifetimeClass::Lc2)),
+            1
+        );
+        assert_eq!(p.state_class_count(HostLifetimeState::Empty, None), 1);
+
+        p.host_mut(HostId(0)).unwrap().start_recycling();
+        p.validate_index().unwrap();
+        assert_eq!(
+            p.state_class_count(HostLifetimeState::Recycling, Some(LifetimeClass::Lc2)),
+            1
+        );
+        assert_eq!(
+            p.state_class_count(HostLifetimeState::Open, Some(LifetimeClass::Lc2)),
+            0
+        );
+    }
+
+    #[test]
+    fn hosts_by_free_orders_ascending() {
+        let mut p = pool(3);
+        p.place_vm(HostId(1), VmId(1), Resources::cores_gib(24, 96))
+            .unwrap();
+        p.place_vm(HostId(2), VmId(2), Resources::cores_gib(8, 32))
+            .unwrap();
+        let order: Vec<HostId> = p.hosts_by_free().map(|h| h.id()).collect();
+        // Host 1 has 8 cores free, host 2 has 24, host 0 has 32.
+        assert_eq!(order, vec![HostId(1), HostId(2), HostId(0)]);
+    }
+
+    #[test]
+    fn empty_hosts_iterator_matches_scan() {
+        let mut p = pool(4);
+        p.place_vm(HostId(1), VmId(1), Resources::cores_gib(4, 16))
+            .unwrap();
+        p.place_vm(HostId(3), VmId(2), Resources::cores_gib(4, 16))
+            .unwrap();
+        let empties: Vec<HostId> = p.empty_hosts().map(|h| h.id()).collect();
+        assert_eq!(empties, vec![HostId(0), HostId(2)]);
+        let occupied: Vec<HostId> = p.occupied_hosts().map(|h| h.id()).collect();
+        assert_eq!(occupied, vec![HostId(1), HostId(3)]);
     }
 
     proptest! {
@@ -269,6 +623,72 @@ mod tests {
             }
             let total_on_hosts: usize = p.hosts().map(|h| h.vm_count()).sum();
             prop_assert_eq!(total_on_hosts, p.vm_count());
+        }
+
+        /// The candidate indexes stay consistent under random mutation
+        /// sequences, including lifetime state transitions.
+        #[test]
+        fn prop_candidate_index_consistency(
+            ops in proptest::collection::vec((0u64..6, 0u64..30, 1u64..8, 0u8..6), 1..120)
+        ) {
+            let mut p = pool(6);
+            for (host, vm, cores, action) in ops {
+                let host = HostId(host);
+                let vm = VmId(vm);
+                let r = Resources::cores_gib(cores, cores * 4);
+                match action {
+                    0..=2 => {
+                        if p.host_of(vm).is_some() {
+                            p.remove_vm(vm).unwrap();
+                        } else if p.host(host).map(|h| h.can_fit(r)).unwrap_or(false) {
+                            p.place_vm(host, vm, r).unwrap();
+                        }
+                    }
+                    3 => {
+                        if let Some(mut h) = p.host_mut(host) {
+                            let class = LifetimeClass::from_index_clamped(cores as i32 % 5);
+                            h.open_with_class(class, SimTime(cores * 100));
+                        }
+                    }
+                    4 => {
+                        if let Some(mut h) = p.host_mut(host) {
+                            h.start_recycling();
+                        }
+                    }
+                    _ => {
+                        if let Some(mut h) = p.host_mut(host) {
+                            if h.is_empty() {
+                                h.reset_lifetime_state();
+                            } else {
+                                h.step_class_down(SimTime(cores * 50));
+                            }
+                        }
+                    }
+                }
+                prop_assert!(p.validate_index().is_ok(), "{:?}", p.validate_index());
+            }
+            // The indexed enumerations agree with brute-force scans.
+            let brute_empty: Vec<HostId> =
+                p.hosts().filter(|h| h.is_empty()).map(|h| h.id()).collect();
+            let indexed_empty: Vec<HostId> = p.empty_hosts().map(|h| h.id()).collect();
+            prop_assert_eq!(brute_empty, indexed_empty);
+            for state in [
+                HostLifetimeState::Empty,
+                HostLifetimeState::Open,
+                HostLifetimeState::Recycling,
+            ] {
+                for class in [None, Some(LifetimeClass::Lc1), Some(LifetimeClass::Lc2),
+                              Some(LifetimeClass::Lc3), Some(LifetimeClass::Lc4)] {
+                    let brute: Vec<HostId> = p
+                        .hosts()
+                        .filter(|h| h.lifetime_state() == state && h.lifetime_class() == class)
+                        .map(|h| h.id())
+                        .collect();
+                    let indexed: Vec<HostId> =
+                        p.hosts_in_state_class(state, class).map(|h| h.id()).collect();
+                    prop_assert_eq!(brute, indexed);
+                }
+            }
         }
     }
 }

@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(Duration::from_hours_f64(-1.0), Duration::ZERO);
         assert_eq!(Duration::from_hours_f64(f64::NAN), Duration::ZERO);
         assert_eq!(Duration::from_secs_f64(1.4), Duration(1));
-        assert_eq!(Duration::from_secs_f64(f64::INFINITY), Duration::ZERO.max(Duration(0)));
+        assert_eq!(
+            Duration::from_secs_f64(f64::INFINITY),
+            Duration::ZERO.max(Duration(0))
+        );
     }
 
     #[test]

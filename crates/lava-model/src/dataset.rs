@@ -57,7 +57,10 @@ impl Dataset {
 
     /// Feature matrix view (row major).
     pub fn feature_rows(&self) -> Vec<&[f64]> {
-        self.examples.iter().map(|e| e.features.as_slice()).collect()
+        self.examples
+            .iter()
+            .map(|e| e.features.as_slice())
+            .collect()
     }
 
     /// Label vector.
@@ -169,7 +172,9 @@ mod tests {
     use lava_core::resources::Resources;
 
     fn spec() -> VmSpec {
-        VmSpec::builder(Resources::cores_gib(2, 8)).category(1).build()
+        VmSpec::builder(Resources::cores_gib(2, 8))
+            .category(1)
+            .build()
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl FeatureSchema {
         for spec in specs {
             *schema.zone_counts.entry(spec.zone()).or_insert(0) += 1;
             *schema.category_counts.entry(spec.category()).or_insert(0) += 1;
-            *schema.metadata_counts.entry(spec.metadata_id()).or_insert(0) += 1;
+            *schema
+                .metadata_counts
+                .entry(spec.metadata_id())
+                .or_insert(0) += 1;
         }
         schema
     }

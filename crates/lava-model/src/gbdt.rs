@@ -359,8 +359,8 @@ impl GbdtRegressor {
         let parent_score = total_sum * total_sum / n as f64;
 
         let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
-        let num_features = binner.edges.len();
-        for f in 0..num_features {
+        #[allow(clippy::needless_range_loop)]
+        for f in 0..binner.edges.len() {
             let bins = binner.num_bins(f);
             if bins < 2 {
                 continue;
@@ -388,7 +388,10 @@ impl GbdtRegressor {
                 let score = left_sum * left_sum / left_count as f64
                     + right_sum * right_sum / right_count as f64;
                 let gain = score - parent_score;
-                if best.map(|(g, _, _)| gain > g).unwrap_or(gain > config.min_gain) {
+                if best
+                    .map(|(g, _, _)| gain > g)
+                    .unwrap_or(gain > config.min_gain)
+                {
                     best = Some((gain, f, b));
                 }
             }
@@ -545,7 +548,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "rows/labels length mismatch")]
     fn mismatched_lengths_panic() {
-        let rows = vec![vec![1.0]];
+        let rows = [vec![1.0]];
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let _ = GbdtRegressor::fit(GbdtConfig::fast(), &refs, &[1.0, 2.0]);
     }

@@ -76,10 +76,8 @@ impl ConfusionCounts {
 
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives
-            + self.false_positives
-            + self.true_negatives
-            + self.false_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
         if total == 0 {
             1.0
         } else {

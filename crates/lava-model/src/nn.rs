@@ -84,9 +84,7 @@ impl MlpRegressor {
             .map(|_| (0..p).map(|_| rng.gen_range(-scale..scale)).collect())
             .collect();
         let mut b1 = vec![0.0; h];
-        let mut w2: Vec<f64> = (0..h)
-            .map(|_| rng.gen_range(-scale..scale))
-            .collect();
+        let mut w2: Vec<f64> = (0..h).map(|_| rng.gen_range(-scale..scale)).collect();
         let mut b2 = labels.iter().sum::<f64>() / n as f64;
 
         let mut order: Vec<usize> = (0..n).collect();
@@ -109,8 +107,7 @@ impl MlpRegressor {
                             w1[k].iter().zip(&x[i]).map(|(w, v)| w * v).sum::<f64>() + b1[k];
                         hidden[k] = z.max(0.0); // ReLU
                     }
-                    let pred: f64 =
-                        w2.iter().zip(&hidden).map(|(w, v)| w * v).sum::<f64>() + b2;
+                    let pred: f64 = w2.iter().zip(&hidden).map(|(w, v)| w * v).sum::<f64>() + b2;
                     let err = pred - labels[i];
                     // Backward.
                     g_b2 += err;
@@ -220,7 +217,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let rows = [vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let labels = vec![0.0, 1.0, 2.0, 3.0];
         let m1 = MlpRegressor::fit(MlpConfig::default(), &refs, &labels);

@@ -27,8 +27,8 @@ use crate::survival::EmpiricalDistribution;
 use crate::LIFETIME_CAP;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmSpec};
-use std::collections::BTreeMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -208,7 +208,10 @@ impl DistributionPredictor {
         let mut per_category: BTreeMap<u32, Vec<Duration>> = BTreeMap::new();
         let mut all = Vec::new();
         for (spec, lifetime) in observations {
-            per_category.entry(spec.category()).or_default().push(lifetime);
+            per_category
+                .entry(spec.category())
+                .or_default()
+                .push(lifetime);
             all.push(lifetime);
         }
         DistributionPredictor {
@@ -348,7 +351,10 @@ mod tests {
     fn constant_predictor() {
         let v = vm(1, 10, 0);
         let p = ConstantPredictor::new(Duration::from_hours(2));
-        assert_eq!(p.predict_remaining(&v, SimTime(500)), Duration::from_hours(2));
+        assert_eq!(
+            p.predict_remaining(&v, SimTime(500)),
+            Duration::from_hours(2)
+        );
     }
 
     #[test]
@@ -386,7 +392,9 @@ mod tests {
     #[test]
     fn distribution_predictor_conditions_on_uptime() {
         // Category 1: bimodal 1h / 168h lifetimes.
-        let spec1 = VmSpec::builder(Resources::cores_gib(2, 8)).category(1).build();
+        let spec1 = VmSpec::builder(Resources::cores_gib(2, 8))
+            .category(1)
+            .build();
         let mut observations = Vec::new();
         for _ in 0..90 {
             observations.push((&spec1, Duration::from_hours(1)));
@@ -397,7 +405,12 @@ mod tests {
         let p = DistributionPredictor::fit(observations.iter().map(|(s, d)| (*s, *d)));
         assert_eq!(p.category_count(), 1);
 
-        let v = Vm::new(VmId(1), spec1.clone(), SimTime::ZERO, Duration::from_hours(168));
+        let v = Vm::new(
+            VmId(1),
+            spec1.clone(),
+            SimTime::ZERO,
+            Duration::from_hours(168),
+        );
         let at_start = p.predict_at_creation(&v);
         let after_2h = p.predict_remaining(&v, SimTime::ZERO + Duration::from_hours(2));
         assert!(after_2h > at_start, "{after_2h:?} vs {at_start:?}");
@@ -407,10 +420,17 @@ mod tests {
 
     #[test]
     fn distribution_predictor_falls_back_when_outlived() {
-        let spec1 = VmSpec::builder(Resources::cores_gib(2, 8)).category(1).build();
-        let obs = vec![(&spec1, Duration::from_hours(1))];
+        let spec1 = VmSpec::builder(Resources::cores_gib(2, 8))
+            .category(1)
+            .build();
+        let obs = [(&spec1, Duration::from_hours(1))];
         let p = DistributionPredictor::fit(obs.iter().map(|(s, d)| (*s, *d)));
-        let v = Vm::new(VmId(1), spec1.clone(), SimTime::ZERO, Duration::from_hours(50));
+        let v = Vm::new(
+            VmId(1),
+            spec1.clone(),
+            SimTime::ZERO,
+            Duration::from_hours(50),
+        );
         let r = p.predict_remaining(&v, SimTime::ZERO + Duration::from_hours(10));
         assert!(r >= Duration::from_mins(30));
     }
@@ -434,8 +454,12 @@ mod tests {
         let predictor = GbdtPredictor::train(GbdtConfig::fast(), &dataset);
         assert!(predictor.model().tree_count() > 0);
 
-        let short_spec = VmSpec::builder(Resources::cores_gib(2, 8)).category(0).build();
-        let long_spec = VmSpec::builder(Resources::cores_gib(2, 8)).category(9).build();
+        let short_spec = VmSpec::builder(Resources::cores_gib(2, 8))
+            .category(0)
+            .build();
+        let long_spec = VmSpec::builder(Resources::cores_gib(2, 8))
+            .category(9)
+            .build();
         let short = predictor.predict_spec(&short_spec, Duration::ZERO);
         let long = predictor.predict_spec(&long_spec, Duration::ZERO);
         assert!(

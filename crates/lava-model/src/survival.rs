@@ -92,10 +92,7 @@ impl EmpiricalDistribution {
             return Duration::ZERO;
         }
         let tail = &self.sorted_secs[cut..];
-        let sum: u128 = tail
-            .iter()
-            .map(|&s| (s - uptime.as_secs()) as u128)
-            .sum();
+        let sum: u128 = tail.iter().map(|&s| (s - uptime.as_secs()) as u128).sum();
         Duration((sum / tail.len() as u128) as u64)
     }
 }
@@ -221,7 +218,10 @@ impl StratifiedKaplanMeier {
         let mut per_stratum: BTreeMap<u64, Vec<(Duration, bool)>> = BTreeMap::new();
         let mut all = Vec::new();
         for (stratum, lifetime, event) in observations {
-            per_stratum.entry(stratum).or_default().push((lifetime, event));
+            per_stratum
+                .entry(stratum)
+                .or_default()
+                .push((lifetime, event));
             all.push((lifetime, event));
         }
         StratifiedKaplanMeier {
@@ -291,7 +291,11 @@ impl CoxModel {
     ///
     /// Panics if `rows` is empty or lengths mismatch.
     pub fn fit(config: CoxConfig, rows: &[&[f64]], lifetimes: &[Duration]) -> CoxModel {
-        assert_eq!(rows.len(), lifetimes.len(), "rows/lifetimes length mismatch");
+        assert_eq!(
+            rows.len(),
+            lifetimes.len(),
+            "rows/lifetimes length mismatch"
+        );
         assert!(!rows.is_empty(), "cannot train on an empty dataset");
         let p = rows[0].len();
         let n = rows.len();
@@ -425,7 +429,7 @@ mod tests {
 
     #[test]
     fn kaplan_meier_no_censoring_matches_empirical() {
-        let lifetimes = vec![hours(1), hours(2), hours(3), hours(4)];
+        let lifetimes = [hours(1), hours(2), hours(3), hours(4)];
         let km = KaplanMeier::fit(lifetimes.iter().map(|&l| (l, true)));
         assert_eq!(km.observation_count(), 4);
         assert!((km.survival(hours(2)) - 0.5).abs() < 1e-9);

@@ -12,7 +12,9 @@
 
 use crate::cluster::Cluster;
 use crate::policy::PlacementPolicy;
-use crate::scoring::{avoid_empty_host_score, best_fit_score, waste_minimization_score, ScoreVector};
+use crate::scoring::{
+    avoid_empty_host_score, best_fit_score, waste_minimization_score, ScoreVector,
+};
 use lava_core::host::HostId;
 use lava_core::time::SimTime;
 use lava_core::vm::Vm;
@@ -68,7 +70,7 @@ impl PlacementPolicy for BestFitPolicy {
         exclude: Option<HostId>,
     ) -> Option<HostId> {
         argmin_host(cluster, vm, exclude, |host| {
-            ScoreVector::new(vec![best_fit_score(host, vm.resources())])
+            ScoreVector::new([best_fit_score(host, vm.resources())])
         })
     }
 }
@@ -97,7 +99,7 @@ impl PlacementPolicy for WasteMinimizationPolicy {
         exclude: Option<HostId>,
     ) -> Option<HostId> {
         argmin_host(cluster, vm, exclude, |host| {
-            ScoreVector::new(vec![
+            ScoreVector::new([
                 avoid_empty_host_score(host),
                 waste_minimization_score(host, vm.resources()),
             ])

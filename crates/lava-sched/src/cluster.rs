@@ -3,21 +3,170 @@
 //! The scheduler algorithms need both views: the hosts (occupancy, LAVA
 //! state) and the VM records (uptime, initial predictions) so that they can
 //! repredict the remaining lifetime of every VM on a candidate host.
+//!
+//! # The host exit-time cache
+//!
+//! NILAS scores a candidate host by its expected *exit time* — the max
+//! predicted remaining lifetime over its VMs. Recomputing that for every
+//! host on every placement is the dominant cost at scale (Appendix G.3
+//! introduces a per-host score cache for exactly this reason). The cache
+//! lives here, on the cluster rather than inside one policy, so that every
+//! lifetime-aware policy (and the embedded NILAS tie-breaker inside LAVA)
+//! shares one view with **event-driven invalidation**:
+//!
+//! * placing a VM marks the host entry pending; the policy's placement
+//!   hook then *raises* the cached max with the new VM's predicted exit
+//!   instead of recomputing the whole host (incremental max maintenance);
+//! * removing or migrating a VM invalidates the entry (the removed VM may
+//!   have been the max);
+//! * entries expire when their refresh interval lapses or the cached exit
+//!   time itself passes (`exit < now` means the prediction was wrong);
+//! * clean entries are kept in an exit-time-ordered index so a scoring
+//!   pass can walk hosts from latest-exiting to earliest and stop at the
+//!   first temporal-cost bucket boundary it cannot improve on.
 
+use crate::policy::CacheCounters;
 use lava_core::error::CoreError;
 use lava_core::host::{Host, HostId, HostSpec};
-use lava_core::pool::{Pool, PoolId};
+use lava_core::pool::{HostMut, Pool, PoolId};
 use lava_core::resources::Resources;
-use lava_core::time::SimTime;
+use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
 use lava_model::predictor::LifetimePredictor;
-use std::collections::BTreeMap;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One cached host exit time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExitEntry {
+    /// The cached exit time (max predicted VM exit on the host).
+    pub(crate) exit: SimTime,
+    /// When the entry was (re)computed.
+    computed_at: SimTime,
+    /// The entry is valid while `now <= expires_at`.
+    expires_at: SimTime,
+    /// Clean entries appear in `by_exit` / `by_expiry`.
+    clean: bool,
+    /// Placements since the entry was last clean. Exactly one pending
+    /// placement can be healed by an exit-time hint; anything else needs a
+    /// recompute.
+    pending_places: u8,
+    /// A VM left the host (or something else unknowable happened): the
+    /// cached max may be stale in either direction, recompute required.
+    hard_dirty: bool,
+}
+
+/// The shared host exit-time cache (Appendix G.3, promoted to the cluster).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExitCache {
+    entries: BTreeMap<HostId, ExitEntry>,
+    /// Clean entries ordered by exit time (ascending; scans iterate `.rev()`).
+    pub(crate) by_exit: BTreeSet<(SimTime, HostId)>,
+    /// Clean entries ordered by expiry time, for O(#expired) staleness sweeps.
+    by_expiry: BTreeSet<(SimTime, HostId)>,
+    /// Hosts needing recompute (or first-time computation).
+    dirty: BTreeSet<HostId>,
+    /// The pool mutation epoch this cache last synchronized with. A
+    /// mismatch at refresh time means occupancy changed behind the
+    /// cluster's event feed (via `pool_mut`), and the cache flushes.
+    synced_epoch: u64,
+}
+
+impl ExitCache {
+    /// Drop a clean entry out of the ordered indexes (before mutating it).
+    fn detach(&mut self, id: HostId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            if e.clean {
+                self.by_exit.remove(&(e.exit, id));
+                self.by_expiry.remove(&(e.expires_at, id));
+                e.clean = false;
+            }
+        }
+    }
+
+    /// Install a freshly computed entry.
+    fn install(&mut self, id: HostId, exit: SimTime, now: SimTime, refresh: Duration) {
+        self.detach(id);
+        let expires_at = (now + refresh).min(exit).max(now);
+        self.entries.insert(
+            id,
+            ExitEntry {
+                exit,
+                computed_at: now,
+                expires_at,
+                clean: true,
+                pending_places: 0,
+                hard_dirty: false,
+            },
+        );
+        self.by_exit.insert((exit, id));
+        self.by_expiry.insert((expires_at, id));
+        self.dirty.remove(&id);
+    }
+
+    /// Remove all trace of a host (it became empty or disappeared).
+    fn forget(&mut self, id: HostId) {
+        self.detach(id);
+        self.entries.remove(&id);
+        self.dirty.remove(&id);
+    }
+
+    /// A VM was placed on the host: the entry can be healed by a hint.
+    pub(crate) fn mark_placement(&mut self, id: HostId) {
+        self.detach(id);
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.pending_places = e.pending_places.saturating_add(1);
+        }
+        self.dirty.insert(id);
+    }
+
+    /// Something invalidating happened on the host: recompute required.
+    pub(crate) fn mark_hard(&mut self, id: HostId) {
+        self.detach(id);
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.hard_dirty = true;
+        }
+        self.dirty.insert(id);
+    }
+
+    /// The cached exit time of a host, if its entry is valid at `now`.
+    pub(crate) fn valid_exit(&self, id: HostId, now: SimTime) -> Option<SimTime> {
+        self.entries
+            .get(&id)
+            .filter(|e| e.clean && now <= e.expires_at)
+            .map(|e| e.exit)
+    }
+
+    /// The cached exit of a host after a refresh pass (empty hosts exit
+    /// "now", mirroring `host_exit_time`'s `unwrap_or(now)`).
+    pub(crate) fn exit_or_now(&self, id: HostId, now: SimTime) -> SimTime {
+        self.entries.get(&id).map(|e| e.exit).unwrap_or(now)
+    }
+
+    /// True if the host's entry predates `now` — i.e. a lookup at `now`
+    /// is genuinely answered from cache rather than from a recompute made
+    /// in the same pass. Used for honest hit accounting in indexed scans.
+    pub(crate) fn cached_before(&self, id: HostId, now: SimTime) -> bool {
+        self.entries.get(&id).is_some_and(|e| e.computed_at < now)
+    }
+}
 
 /// A pool of hosts together with the live VM records.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cluster {
     pool: Pool,
     vms: BTreeMap<VmId, Vm>,
+    exit_cache: Mutex<ExitCache>,
+}
+
+impl Clone for Cluster {
+    fn clone(&self) -> Cluster {
+        Cluster {
+            pool: self.pool.clone(),
+            vms: self.vms.clone(),
+            exit_cache: Mutex::new(self.exit_cache.lock().clone()),
+        }
+    }
 }
 
 impl Cluster {
@@ -26,6 +175,7 @@ impl Cluster {
         Cluster {
             pool,
             vms: BTreeMap::new(),
+            exit_cache: Mutex::new(ExitCache::default()),
         }
     }
 
@@ -40,6 +190,10 @@ impl Cluster {
     }
 
     /// Mutable access to the underlying pool.
+    ///
+    /// Mutating occupancy through the pool directly bypasses the exit-time
+    /// cache's event feed; the cache detects this through the pool's
+    /// mutation epoch and flushes itself on the next refresh pass.
     pub fn pool_mut(&mut self) -> &mut Pool {
         &mut self.pool
     }
@@ -69,8 +223,9 @@ impl Cluster {
         self.pool.host(id)
     }
 
-    /// A mutable host by id.
-    pub fn host_mut(&mut self, id: HostId) -> Option<&mut Host> {
+    /// A mutable host by id (guarded: the pool's candidate indexes are
+    /// updated when the guard drops).
+    pub fn host_mut(&mut self, id: HostId) -> Option<HostMut<'_>> {
         self.pool.host_mut(id)
     }
 
@@ -88,6 +243,12 @@ impl Cluster {
         self.pool.place_vm(host, vm.id(), vm.resources())?;
         vm.assign_host(host);
         self.vms.insert(vm.id(), vm);
+        let cache = self.exit_cache.get_mut();
+        cache.mark_placement(host);
+        // Advance by exactly the one pool mutation made above: setting to
+        // the pool's epoch outright would absorb (and mask) any bypass
+        // mutations made through pool_mut since the last refresh.
+        cache.synced_epoch += 1;
         Ok(())
     }
 
@@ -99,11 +260,15 @@ impl Cluster {
     /// Returns [`CoreError::VmNotFound`] if the VM is not live.
     pub fn remove(&mut self, vm: VmId) -> Result<(Vm, HostId), CoreError> {
         let (host, _) = self.pool.remove_vm(vm)?;
-        let mut record = self
-            .vms
-            .remove(&vm)
-            .ok_or(CoreError::VmNotFound { vm })?;
+        let mut record = self.vms.remove(&vm).ok_or(CoreError::VmNotFound { vm })?;
         record.clear_host();
+        let cache = self.exit_cache.get_mut();
+        if self.pool.host(host).is_none_or(|h| h.is_empty()) {
+            cache.forget(host);
+        } else {
+            cache.mark_hard(host);
+        }
+        cache.synced_epoch += 1;
         Ok((record, host))
     }
 
@@ -135,6 +300,15 @@ impl Cluster {
         if let Some(record) = self.vms.get_mut(&vm) {
             record.assign_host(target);
         }
+        let cache = self.exit_cache.get_mut();
+        if self.pool.host(source).is_none_or(|h| h.is_empty()) {
+            cache.forget(source);
+        } else {
+            cache.mark_hard(source);
+        }
+        cache.mark_placement(target);
+        // remove_vm + place_vm above: two pool mutations.
+        cache.synced_epoch += 2;
         Ok(source)
     }
 
@@ -145,7 +319,7 @@ impl Cluster {
     }
 
     /// The repredicted exit time of a host: `now + max` over its VMs of the
-    /// predicted remaining lifetime. Empty hosts exit "now".
+    /// predicted remaining lifetime. Empty hosts exit "now". Uncached.
     pub fn host_exit_time(
         &self,
         host: &Host,
@@ -170,6 +344,198 @@ impl Cluster {
             })
             .max()
             .unwrap_or(now)
+    }
+
+    // --- exit-time cache operations --------------------------------------
+
+    fn compute_exit(
+        &self,
+        host: &Host,
+        predictor: &dyn LifetimePredictor,
+        now: SimTime,
+        repredict: bool,
+    ) -> SimTime {
+        if repredict {
+            self.host_exit_time(host, predictor, now)
+        } else {
+            self.host_exit_time_initial(host, now)
+        }
+    }
+
+    /// Lock the exit cache for a read-mostly scan. Callers should run
+    /// [`Cluster::refresh_exit_entries`] first so every occupied host has a
+    /// valid entry.
+    pub(crate) fn exit_cache_lock(&self) -> MutexGuard<'_, ExitCache> {
+        self.exit_cache.lock()
+    }
+
+    /// The (possibly cached) exit time of one host, with seed-compatible
+    /// hit/miss semantics: a hit requires a clean entry whose refresh
+    /// interval has not lapsed and whose exit time has not passed.
+    pub(crate) fn cached_exit_time(
+        &self,
+        host: &Host,
+        predictor: &dyn LifetimePredictor,
+        now: SimTime,
+        refresh: Option<Duration>,
+        repredict: bool,
+        counters: &mut CacheCounters,
+    ) -> SimTime {
+        let Some(refresh) = refresh else {
+            // Caching disabled: every lookup recomputes.
+            counters.misses += 1;
+            if repredict {
+                counters.predictions += host.vm_count() as u64;
+            }
+            return self.compute_exit(host, predictor, now, repredict);
+        };
+        let mut cache = self.exit_cache.lock();
+        if let Some(exit) = cache.valid_exit(host.id(), now) {
+            counters.hits += 1;
+            return exit;
+        }
+        counters.misses += 1;
+        if repredict {
+            counters.predictions += host.vm_count() as u64;
+        }
+        let exit = self.compute_exit(host, predictor, now, repredict);
+        if host.is_empty() {
+            cache.forget(host.id());
+        } else {
+            cache.install(host.id(), exit, now, refresh);
+        }
+        exit
+    }
+
+    /// Bring the cache up to date at `now` for a placement of `request`:
+    /// recompute dirty entries, restore coverage, and sweep entries whose
+    /// refresh interval or exit time has passed. Hosts that cannot fit
+    /// `request` are *not* recomputed — the scan skips them anyway — and
+    /// instead stay parked in the dirty set until a request they can fit
+    /// comes along. This mirrors the lazy semantics of the per-host lookup
+    /// path: only hosts that would actually be scored cost predictions.
+    ///
+    /// After this returns, every occupied host that can fit `request` has
+    /// a valid entry in `by_exit`. No-op when caching is disabled.
+    pub(crate) fn refresh_exit_entries(
+        &self,
+        predictor: &dyn LifetimePredictor,
+        now: SimTime,
+        refresh: Option<Duration>,
+        repredict: bool,
+        request: Resources,
+        counters: &mut CacheCounters,
+    ) {
+        let Some(refresh) = refresh else { return };
+        let mut cache = self.exit_cache.lock();
+        let recompute = |cache: &mut ExitCache, counters: &mut CacheCounters, h: &Host| {
+            counters.misses += 1;
+            if repredict {
+                counters.predictions += h.vm_count() as u64;
+            }
+            let exit = self.compute_exit(h, predictor, now, repredict);
+            cache.install(h.id(), exit, now, refresh);
+        };
+        // 1. Bypass detection: if the pool's occupancy changed without the
+        //    cluster seeing it (mutations through `pool_mut`), no entry can
+        //    be trusted — flush everything and rebuild lazily. The epoch
+        //    comparison is O(1) and never fires for cluster-routed events.
+        if cache.synced_epoch != self.pool.mutation_epoch() {
+            let ids: Vec<HostId> = cache.entries.keys().copied().collect();
+            for id in ids {
+                cache.mark_hard(id);
+            }
+            for h in self.pool.occupied_hosts() {
+                if !cache.entries.contains_key(&h.id()) {
+                    cache.dirty.insert(h.id());
+                }
+            }
+            cache.synced_epoch = self.pool.mutation_epoch();
+        }
+        // 2. Dirty hosts (placements without hints, removals, migrations,
+        //    hosts parked as infeasible by earlier passes). Feasible ones
+        //    are recomputed and leave the set; infeasible ones stay.
+        let mut cursor = HostId(0);
+        while let Some(&id) = cache.dirty.range(cursor..).next() {
+            cursor = HostId(id.0 + 1);
+            match self.pool.host(id) {
+                Some(h) if h.is_empty() => cache.forget(id),
+                Some(h) if h.can_fit(request) => recompute(&mut cache, counters, h),
+                Some(_) => {}
+                None => cache.forget(id),
+            }
+        }
+        // 3. Expired entries, in expiry order: O(#expired), not O(hosts).
+        //    Infeasible expired hosts are parked in the dirty set instead
+        //    of being recomputed.
+        while let Some(&(expires_at, id)) = cache.by_expiry.iter().next() {
+            if expires_at >= now {
+                break;
+            }
+            match self.pool.host(id) {
+                Some(h) if h.is_empty() => cache.forget(id),
+                Some(h) if h.can_fit(request) => recompute(&mut cache, counters, h),
+                Some(_) => {
+                    cache.detach(id);
+                    cache.dirty.insert(id);
+                }
+                None => cache.forget(id),
+            }
+        }
+    }
+
+    /// Incremental max-exit maintenance: after a placement, raise the
+    /// host's cached exit time with the placed VM's predicted exit instead
+    /// of repredicting every VM on the host. Only heals an entry whose sole
+    /// pending event is that single placement; in every other situation the
+    /// entry stays dirty and the next refresh pass recomputes it.
+    pub(crate) fn apply_exit_hint(
+        &mut self,
+        host: HostId,
+        vm_exit: SimTime,
+        now: SimTime,
+        refresh: Option<Duration>,
+    ) {
+        let Some(refresh) = refresh else { return };
+        let Some(h) = self.pool.host(host) else {
+            return;
+        };
+        if h.is_empty() {
+            return;
+        }
+        let single_vm = h.vm_count() == 1;
+        let cache = self.exit_cache.get_mut();
+        match cache.entries.get(&host) {
+            Some(e) if !e.hard_dirty && e.pending_places == 1 && !e.clean => {
+                let exit = e.exit.max(vm_exit);
+                let computed_at = e.computed_at;
+                let expires_at = (computed_at + refresh).min(exit).max(computed_at);
+                cache.entries.insert(
+                    host,
+                    ExitEntry {
+                        exit,
+                        computed_at,
+                        expires_at,
+                        clean: true,
+                        pending_places: 0,
+                        hard_dirty: false,
+                    },
+                );
+                cache.by_exit.insert((exit, host));
+                cache.by_expiry.insert((expires_at, host));
+                cache.dirty.remove(&host);
+            }
+            None if single_vm => {
+                // First VM on the host: its exit *is* the host exit.
+                cache.install(host, vm_exit, now, refresh);
+            }
+            _ => {}
+        }
+    }
+
+    /// Invalidate the cached exit time of one host (recompute on next use).
+    pub(crate) fn invalidate_exit(&mut self, host: HostId) {
+        self.exit_cache.get_mut().mark_hard(host);
     }
 }
 
@@ -270,5 +636,178 @@ mod tests {
         // LA still believes the host frees up at t=2h even though the VM is
         // alive at t=5h.
         assert_eq!(exit, SimTime::ZERO + Duration::from_hours(2));
+    }
+
+    #[test]
+    fn refresh_builds_exact_exit_order() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        c.place(vm(2, 2), HostId(1)).unwrap();
+        c.place(vm(3, 30), HostId(3)).unwrap();
+        let oracle = OraclePredictor::new();
+        let mut counters = CacheCounters::default();
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            Some(Duration::from_mins(1)),
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        let cache = c.exit_cache_lock();
+        let order: Vec<HostId> = cache.by_exit.iter().rev().map(|&(_, id)| id).collect();
+        assert_eq!(order, vec![HostId(3), HostId(0), HostId(1)]);
+        assert_eq!(counters.misses, 3);
+        assert_eq!(counters.predictions, 3);
+    }
+
+    #[test]
+    fn cache_heals_after_direct_pool_mutation() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        let oracle = OraclePredictor::new();
+        let mut counters = CacheCounters::default();
+        let refresh = Some(Duration::from_hours(1));
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        // Mutate occupancy behind the cluster's back.
+        c.pool_mut()
+            .place_vm(HostId(2), VmId(9), Resources::cores_gib(2, 8))
+            .unwrap();
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        let cache = c.exit_cache_lock();
+        assert!(cache.valid_exit(HostId(2), SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn bypass_mutation_not_masked_by_later_cluster_ops() {
+        // A pool_mut bypass followed by a cluster-routed op before the next
+        // refresh: the cluster op must not absorb the bypass's epoch bump.
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        let oracle = OraclePredictor::new();
+        let refresh = Some(Duration::from_hours(1));
+        let mut counters = CacheCounters::default();
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        // Swap occupancy behind the cluster's back: empty host 0, occupy
+        // host 2 — entry count stays equal, only the epoch can tell.
+        c.pool_mut().remove_vm(VmId(1)).unwrap();
+        c.pool_mut()
+            .place_vm(HostId(2), VmId(9), Resources::cores_gib(2, 8))
+            .unwrap();
+        // A cluster-routed placement happens before any refresh.
+        c.place(vm(3, 4), HostId(1)).unwrap();
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        let cache = c.exit_cache_lock();
+        assert!(
+            cache.valid_exit(HostId(0), SimTime::ZERO).is_none(),
+            "stale entry for the emptied host must be flushed"
+        );
+        assert!(
+            cache.valid_exit(HostId(2), SimTime::ZERO).is_some(),
+            "the bypass-occupied host must be covered"
+        );
+        assert!(cache.valid_exit(HostId(1), SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn hint_raises_cached_max_without_recompute() {
+        let mut c = cluster();
+        c.place(vm(1, 5), HostId(0)).unwrap();
+        let oracle = OraclePredictor::new();
+        let refresh = Some(Duration::from_hours(1));
+        let mut counters = CacheCounters::default();
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+
+        // Place a longer VM and heal the entry with a hint.
+        c.place(vm(2, 20), HostId(0)).unwrap();
+        c.apply_exit_hint(
+            HostId(0),
+            SimTime::ZERO + Duration::from_hours(20),
+            SimTime::ZERO,
+            refresh,
+        );
+        let misses_before = counters.misses;
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        assert_eq!(counters.misses, misses_before, "hint avoided a recompute");
+        let cache = c.exit_cache_lock();
+        assert_eq!(
+            cache.valid_exit(HostId(0), SimTime::ZERO),
+            Some(SimTime::ZERO + Duration::from_hours(20))
+        );
+    }
+
+    #[test]
+    fn removal_invalidates_cached_exit() {
+        let mut c = cluster();
+        c.place(vm(1, 5), HostId(0)).unwrap();
+        c.place(vm(2, 20), HostId(0)).unwrap();
+        let oracle = OraclePredictor::new();
+        let refresh = Some(Duration::from_hours(100));
+        let mut counters = CacheCounters::default();
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        // Remove the max VM: the cached exit must not survive.
+        c.remove(VmId(2)).unwrap();
+        c.refresh_exit_entries(
+            &oracle,
+            SimTime::ZERO,
+            refresh,
+            true,
+            Resources::ZERO,
+            &mut counters,
+        );
+        let cache = c.exit_cache_lock();
+        assert_eq!(
+            cache.valid_exit(HostId(0), SimTime::ZERO),
+            Some(SimTime::ZERO + Duration::from_hours(5))
+        );
     }
 }

@@ -87,7 +87,7 @@ impl PlacementPolicy for LaBinaryPolicy {
                 Some(_) => 1.0,                         // other suitable host
                 None => 2.0,                            // previously empty host
             };
-            ScoreVector::new(vec![preference, best_fit_score(host, vm.resources())])
+            ScoreVector::new([preference, best_fit_score(host, vm.resources())])
         })
     }
 }

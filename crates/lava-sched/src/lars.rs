@@ -97,8 +97,9 @@ mod tests {
     #[test]
     fn unknown_host_yields_empty_order() {
         let c = cluster_with_vms(&[1]);
-        assert!(lars_migration_order(&c, HostId(9), &OraclePredictor::new(), SimTime::ZERO)
-            .is_empty());
+        assert!(
+            lars_migration_order(&c, HostId(9), &OraclePredictor::new(), SimTime::ZERO).is_empty()
+        );
         assert!(baseline_migration_order(&c, HostId(9)).is_empty());
     }
 }

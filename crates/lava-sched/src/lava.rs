@@ -23,10 +23,17 @@
 //! Candidate ordering per Algorithm 3: recycling hosts with a higher class
 //! (closest class first), then open hosts of the same class, then any
 //! non-empty host, then empty hosts — ties broken by NILAS.
+//!
+//! The default (indexed) scan walks those preference levels directly
+//! through the pool's `(state, class)` buckets and occupancy sets, and
+//! returns at the **first level containing a feasible host** — on a large
+//! pool a placement usually touches a handful of hosts instead of all of
+//! them. A linear reference scan replicating the seed's score-everything
+//! enumeration is kept for parity tests and benchmarks.
 
 use crate::cluster::Cluster;
-use crate::nilas::{NilasConfig, NilasPolicy, NilasStats};
-use crate::policy::PlacementPolicy;
+use crate::nilas::{consider, Candidate, NilasConfig, NilasPolicy, NilasStats};
+use crate::policy::{CandidateScan, PlacementPolicy};
 use crate::scoring::{waste_minimization_score, ScoreVector};
 use lava_core::host::{Host, HostId, HostLifetimeState};
 use lava_core::lifetime::LifetimeClass;
@@ -44,7 +51,10 @@ pub struct LavaConfig {
     /// Slack multiplier applied to the class upper bound when setting host
     /// deadlines (paper: 1.1×).
     pub deadline_slack: f64,
-    /// Configuration of the embedded NILAS tie-breaker.
+    /// Configuration of the embedded NILAS tie-breaker. Its `scan` field
+    /// governs LAVA's own candidate enumeration too (`Indexed` requires
+    /// the cache; with `cache_refresh: None` the policy falls back to
+    /// linear).
     pub nilas: NilasConfig,
 }
 
@@ -127,6 +137,156 @@ impl LavaPolicy {
             _ => (3.0, 0.0),
         }
     }
+
+    /// Reference implementation: score every feasible host with the full
+    /// four-dimensional lexicographic score (the seed's enumeration).
+    pub fn choose_host_linear(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let vm_remaining = self.predictor.predict_remaining(vm, now);
+        let vm_class = LifetimeClass::from_lifetime(vm_remaining);
+        let vm_exit = now + vm_remaining;
+        let request = vm.resources();
+
+        let mut best: Option<(ScoreVector, HostId)> = None;
+        for host in cluster.hosts() {
+            if Some(host.id()) == exclude || !host.can_fit(request) {
+                continue;
+            }
+            let (rank, sub_rank) = self.preference(host, vm_class);
+            let temporal_cost = self.nilas.temporal_cost(cluster, host, vm_exit, now) as f64;
+            let score = ScoreVector::new([
+                rank,
+                sub_rank,
+                temporal_cost,
+                waste_minimization_score(host, request),
+            ]);
+            match &best {
+                Some((best_score, _)) if !score.is_better_than(best_score) => {}
+                _ => best = Some((score, host.id())),
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Indexed scan: walk Algorithm 3's preference levels through the
+    /// pool's candidate indexes and return at the first level that
+    /// contains a feasible host.
+    fn choose_host_indexed(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let vm_remaining = self.predictor.predict_remaining(vm, now);
+        let vm_class = LifetimeClass::from_lifetime(vm_remaining);
+        let vm_exit = now + vm_remaining;
+        let request = vm.resources();
+
+        self.nilas.refresh_cache(cluster, now, request);
+        let cache = cluster.exit_cache_lock();
+        let buckets = self.nilas.buckets();
+        let mut hits = 0u64;
+
+        // Score the candidates of one preference level; within a level the
+        // ordering is (temporal cost, waste, id), exactly the tail of the
+        // linear scan's lexicographic score.
+        let mut best_of = |hosts: &mut dyn Iterator<Item = &Host>| -> Option<HostId> {
+            let mut best: Option<Candidate> = None;
+            for host in hosts {
+                if Some(host.id()) == exclude || !host.can_fit(request) {
+                    continue;
+                }
+                let host_exit = if host.is_empty() {
+                    now
+                } else {
+                    cache.exit_or_now(host.id(), now)
+                };
+                if cache.cached_before(host.id(), now) {
+                    hits += 1;
+                }
+                consider(
+                    &mut best,
+                    Candidate {
+                        cost: buckets.cost(vm_exit.saturating_since(host_exit)),
+                        waste: waste_minimization_score(host, request),
+                        id: host.id(),
+                    },
+                );
+            }
+            best.map(|b| b.id)
+        };
+
+        let pool = cluster.pool();
+        // Separate counter: `best_of` above holds the borrow on `hits`.
+        let mut level2_hits = 0u64;
+        let winner = 'levels: {
+            // Level 0: recycling hosts of a strictly higher class, closest
+            // class first. Each distance is its own sub-rank, so the first
+            // non-empty feasible distance decides.
+            for idx in (vm_class.index() + 1)..=4 {
+                let class = LifetimeClass::from_index_clamped(idx as i32);
+                if let Some(id) = best_of(
+                    &mut pool.hosts_in_state_class(HostLifetimeState::Recycling, Some(class)),
+                ) {
+                    break 'levels Some(id);
+                }
+            }
+            // Level 1: open hosts of the same class.
+            if let Some(id) =
+                best_of(&mut pool.hosts_in_state_class(HostLifetimeState::Open, Some(vm_class)))
+            {
+                break 'levels Some(id);
+            }
+            // Level 2: any occupied host. Feasible hosts matching level
+            // 0/1 would have been returned above, so every feasible host
+            // here scores rank 2 in the linear scan too. The level's
+            // ordering is (temporal cost, waste, id) — the same as NILAS's
+            // core scan — so instead of scoring all occupied hosts, walk
+            // them latest-exiting first through the cache's exit order and
+            // stop at the first cost bucket that cannot win.
+            let mut best: Option<Candidate> = None;
+            for &(exit, id) in cache.by_exit.iter().rev() {
+                let cost = buckets.cost(vm_exit.saturating_since(exit));
+                if let Some(current) = &best {
+                    if cost > current.cost {
+                        break;
+                    }
+                }
+                if Some(id) == exclude {
+                    continue;
+                }
+                let Some(host) = pool.host(id) else { continue };
+                if !host.can_fit(request) {
+                    continue;
+                }
+                if cache.cached_before(id, now) {
+                    level2_hits += 1;
+                }
+                consider(
+                    &mut best,
+                    Candidate {
+                        cost,
+                        waste: waste_minimization_score(host, request),
+                        id,
+                    },
+                );
+            }
+            if let Some(found) = best {
+                break 'levels Some(found.id);
+            }
+            // Level 3: empty hosts, the last resort.
+            best_of(&mut pool.empty_hosts())
+        };
+        drop(cache);
+        self.nilas.add_cache_hits(hits + level2_hits);
+        winner
+    }
 }
 
 impl PlacementPolicy for LavaPolicy {
@@ -141,32 +301,12 @@ impl PlacementPolicy for LavaPolicy {
         now: SimTime,
         exclude: Option<HostId>,
     ) -> Option<HostId> {
-        let vm_remaining = self.predictor.predict_remaining(vm, now);
-        let vm_class = LifetimeClass::from_lifetime(vm_remaining);
-        let vm_exit = now + vm_remaining;
-
-        let feasible: Vec<HostId> = cluster
-            .feasible_hosts(vm.resources())
-            .map(|h| h.id())
-            .filter(|id| Some(*id) != exclude)
-            .collect();
-        let mut best: Option<(ScoreVector, HostId)> = None;
-        for id in feasible {
-            let host = cluster.host(id).expect("feasible host exists");
-            let (rank, sub_rank) = self.preference(host, vm_class);
-            let temporal_cost = self.nilas.temporal_cost(cluster, host, vm_exit, now) as f64;
-            let score = ScoreVector::new(vec![
-                rank,
-                sub_rank,
-                temporal_cost,
-                waste_minimization_score(host, vm.resources()),
-            ]);
-            match &best {
-                Some((best_score, _)) if !score.is_better_than(best_score) => {}
-                _ => best = Some((score, id)),
+        match self.config.nilas.scan {
+            CandidateScan::Indexed if self.config.nilas.cache_refresh.is_some() => {
+                self.choose_host_indexed(cluster, vm, now, exclude)
             }
+            _ => self.choose_host_linear(cluster, vm, now, exclude),
         }
-        best.map(|(_, id)| id)
     }
 
     fn on_vm_placed(&mut self, cluster: &mut Cluster, vm: VmId, host_id: HostId, now: SimTime) {
@@ -185,7 +325,7 @@ impl PlacementPolicy for LavaPolicy {
 
         let recycling_threshold = self.config.recycling_threshold;
         let deadline_same = self.deadline_for(vm_class, now);
-        let Some(host) = cluster.host_mut(host_id) else {
+        let Some(mut host) = cluster.host_mut(host_id) else {
             return;
         };
         match host.lifetime_state() {
@@ -212,7 +352,7 @@ impl PlacementPolicy for LavaPolicy {
 
     fn on_vm_exited(&mut self, cluster: &mut Cluster, host_id: HostId, now: SimTime) {
         self.nilas.on_vm_exited(cluster, host_id, now);
-        let Some(host) = cluster.host_mut(host_id) else {
+        let Some(mut host) = cluster.host_mut(host_id) else {
             return;
         };
         if host.is_empty() {
@@ -247,7 +387,7 @@ impl PlacementPolicy for LavaPolicy {
                 .map(LifetimeClass::step_up)
                 .unwrap_or(LifetimeClass::Lc4);
             let deadline = self.deadline_for(new_class, now);
-            if let Some(host) = cluster.host_mut(id) {
+            if let Some(mut host) = cluster.host_mut(id) {
                 host.step_class_up(deadline);
                 self.deadline_corrections += 1;
             }
@@ -317,7 +457,7 @@ mod tests {
         let mut c = cluster(3);
         let mut p = policy();
         let h0 = schedule(&mut p, &mut c, vm(1, 50), SimTime::ZERO); // LC3 open host
-        // Another LC3 VM joins the same open host (preference level 1).
+                                                                     // Another LC3 VM joins the same open host (preference level 1).
         let h1 = schedule(&mut p, &mut c, vm(2, 60), SimTime::ZERO);
         assert_eq!(h0, h1);
         // An LC1 VM has no recycling or matching open host; per Algorithm 3
@@ -336,13 +476,23 @@ mod tests {
         // then a 6-core VM → ~94% (recycling).
         let mut host = HostId(0);
         for id in 1..=3 {
-            host = schedule(&mut p, &mut c, vm_with(id, 50, 8, SimTime::ZERO), SimTime::ZERO);
+            host = schedule(
+                &mut p,
+                &mut c,
+                vm_with(id, 50, 8, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         assert_eq!(
             c.host(host).unwrap().lifetime_state(),
             HostLifetimeState::Open
         );
-        let h = schedule(&mut p, &mut c, vm_with(4, 50, 6, SimTime::ZERO), SimTime::ZERO);
+        let h = schedule(
+            &mut p,
+            &mut c,
+            vm_with(4, 50, 6, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(h, host);
         assert_eq!(
             c.host(host).unwrap().lifetime_state(),
@@ -375,7 +525,12 @@ mod tests {
         );
         // A short (LC1) VM prefers the recycling LC3 host over opening a new
         // one.
-        let h = schedule(&mut p, &mut c, vm_with(10, 0, 2, SimTime::ZERO), SimTime::ZERO);
+        let h = schedule(
+            &mut p,
+            &mut c,
+            vm_with(10, 0, 2, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(h, host);
         // The gap-filling VM is not residual.
         assert_eq!(c.host(host).unwrap().residual_count(), 4);
@@ -389,7 +544,10 @@ mod tests {
         // Fill a gap with an LC1 VM.
         let now = SimTime::ZERO + Duration::from_hours(1);
         schedule(&mut p, &mut c, vm_with(10, 0, 2, now), now);
-        assert_eq!(c.host(host).unwrap().lifetime_class(), Some(LifetimeClass::Lc3));
+        assert_eq!(
+            c.host(host).unwrap().lifetime_class(),
+            Some(LifetimeClass::Lc3)
+        );
 
         // All residual (LC3) VMs exit; the gap VM remains.
         let later = SimTime::ZERO + Duration::from_hours(50);
@@ -415,7 +573,10 @@ mod tests {
             Duration::from_mins(30),
         );
         let host = schedule(&mut p, &mut c, short, SimTime::ZERO);
-        assert_eq!(c.host(host).unwrap().lifetime_class(), Some(LifetimeClass::Lc1));
+        assert_eq!(
+            c.host(host).unwrap().lifetime_class(),
+            Some(LifetimeClass::Lc1)
+        );
         let deadline = c.host(host).unwrap().deadline().unwrap();
         p.on_tick(&mut c, deadline + Duration::from_mins(5));
         let h = c.host(host).unwrap();
@@ -429,7 +590,12 @@ mod tests {
         let mut c = cluster(1);
         let mut p = policy();
         let host = schedule(&mut p, &mut c, vm(1, 5), SimTime::ZERO);
-        exit(&mut p, &mut c, VmId(1), SimTime::ZERO + Duration::from_hours(5));
+        exit(
+            &mut p,
+            &mut c,
+            VmId(1),
+            SimTime::ZERO + Duration::from_hours(5),
+        );
         let h = c.host(host).unwrap();
         assert_eq!(h.lifetime_state(), HostLifetimeState::Empty);
         assert_eq!(h.lifetime_class(), None);
@@ -445,5 +611,43 @@ mod tests {
         let second = schedule(&mut p, &mut c, vm(2, 6), SimTime::ZERO);
         assert_eq!(first, second);
         assert_eq!(c.pool().empty_host_count(), 2);
+    }
+
+    #[test]
+    fn indexed_and_linear_scans_agree_on_mixed_pool() {
+        let mut c = cluster(6);
+        let mut p = policy();
+        // Build a mixed pool: recycling LC3 host, open hosts, occupied and
+        // empty hosts.
+        build_recycling_host(&mut p, &mut c);
+        schedule(
+            &mut p,
+            &mut c,
+            vm_with(20, 5, 8, SimTime::ZERO),
+            SimTime::ZERO,
+        ); // LC2 open
+        schedule(
+            &mut p,
+            &mut c,
+            vm_with(21, 500, 8, SimTime::ZERO),
+            SimTime::ZERO,
+        ); // LC4 open
+
+        for (id, hours, cores) in [(30u64, 0u64, 2u64), (31, 5, 4), (32, 50, 4), (33, 500, 8)] {
+            let request = vm_with(id, hours, cores, SimTime::ZERO);
+            let mut linear = LavaPolicy::new(
+                Arc::new(OraclePredictor::new()),
+                LavaConfig {
+                    nilas: NilasConfig {
+                        scan: CandidateScan::Linear,
+                        ..NilasConfig::default()
+                    },
+                    ..LavaConfig::default()
+                },
+            );
+            let fast = p.choose_host(&c, &request, SimTime::ZERO, None);
+            let slow = linear.choose_host(&c, &request, SimTime::ZERO, None);
+            assert_eq!(fast, slow, "vm {id} ({hours}h, {cores} cores)");
+        }
     }
 }

@@ -10,20 +10,28 @@
 //! *non-invasive*.
 //!
 //! Because repredicting every VM on every host can become a bottleneck in
-//! very large pools, the policy includes the host lifetime score cache of
-//! Appendix G.3: a host's exit time is recomputed when a VM is added or
-//! removed, when its deadline passes, or when the cached value is older than
-//! a configurable refresh interval.
+//! very large pools, host exit times come from the cluster-level cache of
+//! Appendix G.3 (see [`crate::cluster`]): entries are invalidated by
+//! placement/removal/migration events, raised incrementally on placement,
+//! and refreshed when their interval or their own exit time passes.
+//!
+//! The default (indexed) candidate scan exploits that the temporal cost is
+//! monotone in the host exit time: hosts are visited from latest-exiting to
+//! earliest via the cache's exit-time order and the scan stops as soon as
+//! the cost bucket can no longer match the best candidate, instead of
+//! scoring all hosts. Empty hosts (exit time = now) are enumerated through
+//! the pool's occupancy index. A linear reference scan is retained for
+//! parity tests and benchmarks ([`CandidateScan::Linear`]).
 
 use crate::cluster::Cluster;
-use crate::policy::PlacementPolicy;
+use crate::policy::{CacheCounters, CandidateScan, PlacementPolicy};
 use crate::scoring::{waste_minimization_score, ScoreVector};
 use lava_core::host::{Host, HostId};
 use lava_core::lifetime::TemporalCostBuckets;
+use lava_core::resources::Resources;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::Vm;
 use lava_model::predictor::LifetimePredictor;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Configuration for [`NilasPolicy`].
@@ -38,6 +46,9 @@ pub struct NilasConfig {
     /// "no reprediction" ablation of Fig. 16, which behaves like LA's
     /// one-shot view with NILAS's scoring.
     pub repredict: bool,
+    /// How candidates are enumerated. `Indexed` requires caching; with
+    /// `cache_refresh: None` the policy falls back to the linear scan.
+    pub scan: CandidateScan,
 }
 
 impl Default for NilasConfig {
@@ -46,14 +57,9 @@ impl Default for NilasConfig {
             buckets: TemporalCostBuckets::default(),
             cache_refresh: Some(Duration::from_mins(1)),
             repredict: true,
+            scan: CandidateScan::Indexed,
         }
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct CacheEntry {
-    computed_at: SimTime,
-    exit_time: SimTime,
 }
 
 /// Counters describing how much prediction work NILAS performed; used by
@@ -68,11 +74,59 @@ pub struct NilasStats {
     pub cache_misses: u64,
 }
 
+impl NilasStats {
+    /// Fold cache-operation counters into the running totals.
+    pub(crate) fn absorb(&mut self, counters: CacheCounters) {
+        self.predictions += counters.predictions;
+        self.cache_hits += counters.hits;
+        self.cache_misses += counters.misses;
+    }
+}
+
+/// A candidate under consideration: `(temporal cost, waste, id)`, compared
+/// with the same semantics as the lexicographic [`ScoreVector`] (NaN is
+/// worst, lowest id wins ties).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    pub(crate) cost: usize,
+    pub(crate) waste: f64,
+    pub(crate) id: HostId,
+}
+
+impl Candidate {
+    pub(crate) fn better_than(&self, other: &Candidate) -> bool {
+        if self.cost != other.cost {
+            return self.cost < other.cost;
+        }
+        let a = if self.waste.is_nan() {
+            f64::INFINITY
+        } else {
+            self.waste
+        };
+        let b = if other.waste.is_nan() {
+            f64::INFINITY
+        } else {
+            other.waste
+        };
+        if a != b {
+            return a < b;
+        }
+        self.id < other.id
+    }
+}
+
+/// Replace `best` if `candidate` wins.
+pub(crate) fn consider(best: &mut Option<Candidate>, candidate: Candidate) {
+    match best {
+        Some(current) if !candidate.better_than(current) => {}
+        _ => *best = Some(candidate),
+    }
+}
+
 /// The NILAS placement policy.
 pub struct NilasPolicy {
     predictor: Arc<dyn LifetimePredictor>,
     config: NilasConfig,
-    cache: HashMap<HostId, CacheEntry>,
     stats: NilasStats,
 }
 
@@ -82,7 +136,6 @@ impl NilasPolicy {
         NilasPolicy {
             predictor,
             config,
-            cache: HashMap::new(),
             stats: NilasStats::default(),
         }
     }
@@ -102,32 +155,24 @@ impl NilasPolicy {
         &self.config.buckets
     }
 
+    /// The configured candidate scan mode.
+    pub fn scan_mode(&self) -> CandidateScan {
+        self.config.scan
+    }
+
     /// The (possibly cached) expected exit time of a host at `now`.
     pub fn host_exit_time(&mut self, cluster: &Cluster, host: &Host, now: SimTime) -> SimTime {
-        if let (Some(refresh), Some(entry)) = (self.config.cache_refresh, self.cache.get(&host.id()))
-        {
-            let age = now.saturating_since(entry.computed_at);
-            let deadline_passed = entry.exit_time < now;
-            if age <= refresh && !deadline_passed {
-                self.stats.cache_hits += 1;
-                return entry.exit_time;
-            }
-        }
-        self.stats.cache_misses += 1;
-        let exit_time = if self.config.repredict {
-            self.stats.predictions += host.vm_count() as u64;
-            cluster.host_exit_time(host, self.predictor.as_ref(), now)
-        } else {
-            cluster.host_exit_time_initial(host, now)
-        };
-        self.cache.insert(
-            host.id(),
-            CacheEntry {
-                computed_at: now,
-                exit_time,
-            },
+        let mut counters = CacheCounters::default();
+        let exit = cluster.cached_exit_time(
+            host,
+            self.predictor.as_ref(),
+            now,
+            self.config.cache_refresh,
+            self.config.repredict,
+            &mut counters,
         );
-        exit_time
+        self.stats.absorb(counters);
+        exit
     }
 
     /// The quantised temporal cost of placing a VM expected to exit at
@@ -158,8 +203,151 @@ impl NilasPolicy {
         now + remaining
     }
 
-    fn invalidate(&mut self, host: HostId) {
-        self.cache.remove(&host);
+    /// The cached exit-time hint for a VM that was just placed: the exact
+    /// value a full recompute would produce for this VM's contribution to
+    /// its host's exit time.
+    fn placement_hint(
+        &mut self,
+        cluster: &Cluster,
+        vm: lava_core::vm::VmId,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let record = cluster.vm(vm)?;
+        if self.config.repredict {
+            self.stats.predictions += 1;
+            Some(now + self.predictor.predict_remaining(record, now))
+        } else {
+            Some(record.created_at() + record.initial_prediction()?)
+        }
+    }
+
+    /// Credit cache hits observed by an embedding policy's indexed scan.
+    pub(crate) fn add_cache_hits(&mut self, hits: u64) {
+        self.stats.cache_hits += hits;
+    }
+
+    /// Bring the cluster exit cache up to date for a placement of
+    /// `request` and absorb the counters.
+    pub(crate) fn refresh_cache(&mut self, cluster: &Cluster, now: SimTime, request: Resources) {
+        let mut counters = CacheCounters::default();
+        cluster.refresh_exit_entries(
+            self.predictor.as_ref(),
+            now,
+            self.config.cache_refresh,
+            self.config.repredict,
+            request,
+            &mut counters,
+        );
+        self.stats.absorb(counters);
+    }
+
+    /// Reference implementation: score every feasible host (the seed's
+    /// enumeration, kept for parity tests and benchmarks). Exit times come
+    /// from the same shared cache as the indexed scan.
+    pub fn choose_host_linear(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let vm_exit = self.vm_exit_time(vm, now);
+        let request = vm.resources();
+        let mut best: Option<(ScoreVector, HostId)> = None;
+        let mut counters = CacheCounters::default();
+        for host in cluster.hosts() {
+            if Some(host.id()) == exclude || !host.can_fit(request) {
+                continue;
+            }
+            let host_exit = cluster.cached_exit_time(
+                host,
+                self.predictor.as_ref(),
+                now,
+                self.config.cache_refresh,
+                self.config.repredict,
+                &mut counters,
+            );
+            let cost = self
+                .config
+                .buckets
+                .cost(vm_exit.saturating_since(host_exit));
+            let score = ScoreVector::new([cost as f64, waste_minimization_score(host, request)]);
+            match &best {
+                Some((best_score, _)) if !score.is_better_than(best_score) => {}
+                _ => best = Some((score, host.id())),
+            }
+        }
+        self.stats.absorb(counters);
+        best.map(|(_, id)| id)
+    }
+
+    /// Indexed scan: walk occupied hosts in descending cached-exit order,
+    /// stopping at the first cost bucket that cannot beat the best
+    /// candidate, then consider empty hosts through the occupancy index.
+    fn choose_host_indexed(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let vm_exit = self.vm_exit_time(vm, now);
+        let request = vm.resources();
+        self.refresh_cache(cluster, now, request);
+        let mut hits = 0u64;
+        let mut best: Option<Candidate> = None;
+        {
+            let cache = cluster.exit_cache_lock();
+            for &(exit, id) in cache.by_exit.iter().rev() {
+                let cost = self.config.buckets.cost(vm_exit.saturating_since(exit));
+                if let Some(current) = &best {
+                    if cost > current.cost {
+                        // Exits are descending, so costs are non-decreasing:
+                        // nothing further can win.
+                        break;
+                    }
+                }
+                if Some(id) == exclude {
+                    continue;
+                }
+                let Some(host) = cluster.host(id) else {
+                    continue;
+                };
+                if !host.can_fit(request) {
+                    continue;
+                }
+                if cache.cached_before(id, now) {
+                    hits += 1;
+                }
+                consider(
+                    &mut best,
+                    Candidate {
+                        cost,
+                        waste: waste_minimization_score(host, request),
+                        id,
+                    },
+                );
+            }
+        }
+        // Empty hosts all share exit == now.
+        let empty_cost = self.config.buckets.cost(vm_exit.saturating_since(now));
+        if best.as_ref().is_none_or(|b| empty_cost <= b.cost) {
+            for host in cluster.pool().empty_hosts() {
+                if Some(host.id()) == exclude || !host.can_fit(request) {
+                    continue;
+                }
+                consider(
+                    &mut best,
+                    Candidate {
+                        cost: empty_cost,
+                        waste: waste_minimization_score(host, request),
+                        id: host.id(),
+                    },
+                );
+            }
+        }
+        self.stats.cache_hits += hits;
+        best.map(|b| b.id)
     }
 }
 
@@ -175,36 +363,31 @@ impl PlacementPolicy for NilasPolicy {
         now: SimTime,
         exclude: Option<HostId>,
     ) -> Option<HostId> {
-        let vm_exit = self.vm_exit_time(vm, now);
-        let mut best: Option<(ScoreVector, HostId)> = None;
-        // Collect feasible host ids first so that the cache can be consulted
-        // with `&mut self` while iterating.
-        let feasible: Vec<HostId> = cluster
-            .feasible_hosts(vm.resources())
-            .map(|h| h.id())
-            .filter(|id| Some(*id) != exclude)
-            .collect();
-        for id in feasible {
-            let host = cluster.host(id).expect("feasible host exists");
-            let cost = self.temporal_cost(cluster, host, vm_exit, now) as f64;
-            let score = ScoreVector::new(vec![
-                cost,
-                waste_minimization_score(host, vm.resources()),
-            ]);
-            match &best {
-                Some((best_score, _)) if !score.is_better_than(best_score) => {}
-                _ => best = Some((score, id)),
+        match self.config.scan {
+            CandidateScan::Indexed if self.config.cache_refresh.is_some() => {
+                self.choose_host_indexed(cluster, vm, now, exclude)
             }
+            _ => self.choose_host_linear(cluster, vm, now, exclude),
         }
-        best.map(|(_, id)| id)
     }
 
-    fn on_vm_placed(&mut self, _cluster: &mut Cluster, _vm: lava_core::vm::VmId, host: HostId, _now: SimTime) {
-        self.invalidate(host);
+    fn on_vm_placed(
+        &mut self,
+        cluster: &mut Cluster,
+        vm: lava_core::vm::VmId,
+        host: HostId,
+        now: SimTime,
+    ) {
+        // Incremental max-exit maintenance: raise the cached exit with the
+        // placed VM's predicted exit instead of repredicting the host.
+        match self.placement_hint(cluster, vm, now) {
+            Some(vm_exit) => cluster.apply_exit_hint(host, vm_exit, now, self.config.cache_refresh),
+            None => cluster.invalidate_exit(host),
+        }
     }
 
-    fn on_vm_exited(&mut self, _cluster: &mut Cluster, host: HostId, _now: SimTime) {
-        self.invalidate(host);
+    fn on_vm_exited(&mut self, cluster: &mut Cluster, host: HostId, _now: SimTime) {
+        cluster.invalidate_exit(host);
     }
 }
 
@@ -292,7 +475,11 @@ mod tests {
         // so bin packing decides — and both hosts look identical there too,
         // meaning the mispredicted host is no longer protected.
         let chosen = without.choose_host(&c, &incoming, now, None).unwrap();
-        assert_eq!(chosen, HostId(0), "tie broken by host id under one-shot view");
+        assert_eq!(
+            chosen,
+            HostId(0),
+            "tie broken by host id under one-shot view"
+        );
     }
 
     #[test]
@@ -325,6 +512,8 @@ mod tests {
         });
         let host = c.host(HostId(0)).unwrap().clone();
         let _ = p.host_exit_time(&c, &host, SimTime::ZERO);
+        // VM 2 has no record in the cluster, so no hint can be derived and
+        // the entry must be invalidated outright.
         p.on_vm_placed(&mut c, VmId(2), HostId(0), SimTime::ZERO);
         let misses_before = p.stats().cache_misses;
         let _ = p.host_exit_time(&c, &host, SimTime(1));
@@ -335,6 +524,30 @@ mod tests {
         let misses_before = p.stats().cache_misses;
         let _ = p.host_exit_time(&c, &host, SimTime(3));
         assert_eq!(p.stats().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn placement_hint_keeps_cache_warm() {
+        // When the placed VM has a live record, the placement hook heals
+        // the cache entry instead of forcing a recompute.
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        let mut p = oracle_policy(NilasConfig {
+            cache_refresh: Some(Duration::from_hours(1)),
+            ..NilasConfig::default()
+        });
+        let host = c.host(HostId(0)).unwrap().clone();
+        let _ = p.host_exit_time(&c, &host, SimTime::ZERO);
+
+        let mut v = vm(2, 20);
+        v.set_initial_prediction(Duration::from_hours(20));
+        c.place(v, HostId(0)).unwrap();
+        p.on_vm_placed(&mut c, VmId(2), HostId(0), SimTime::ZERO);
+
+        let misses_before = p.stats().cache_misses;
+        let exit = p.host_exit_time(&c, &host, SimTime(1));
+        assert_eq!(p.stats().cache_misses, misses_before, "served from cache");
+        assert_eq!(exit, SimTime::ZERO + Duration::from_hours(20));
     }
 
     #[test]
@@ -366,5 +579,40 @@ mod tests {
             Duration::from_hours(1),
         );
         assert_eq!(p.choose_host(&c, &huge, SimTime::ZERO, None), None);
+    }
+
+    #[test]
+    fn indexed_and_linear_scans_agree() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        c.place(vm(2, 2), HostId(1)).unwrap();
+        c.place(vm(3, 40), HostId(2)).unwrap();
+        for (id, hours) in [(10u64, 5u64), (11, 1), (12, 100), (13, 30)] {
+            let mut indexed = oracle_policy(NilasConfig::default());
+            let mut linear = oracle_policy(NilasConfig {
+                scan: CandidateScan::Linear,
+                ..NilasConfig::default()
+            });
+            let request = vm(id, hours);
+            assert_eq!(
+                indexed.choose_host(&c, &request, SimTime::ZERO, None),
+                linear.choose_host(&c, &request, SimTime::ZERO, None),
+                "vm {id} ({hours}h)"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_disabled_falls_back_to_linear() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap();
+        let mut p = oracle_policy(NilasConfig {
+            cache_refresh: None,
+            ..NilasConfig::default()
+        });
+        let chosen = p.choose_host(&c, &vm(10, 5), SimTime::ZERO, None).unwrap();
+        assert_eq!(chosen, HostId(0));
+        assert_eq!(p.stats().cache_hits, 0);
+        assert!(p.stats().cache_misses > 0);
     }
 }

@@ -14,6 +14,36 @@ use lava_core::vm::{Vm, VmId};
 use std::error::Error;
 use std::fmt;
 
+/// How a policy enumerates candidate hosts in `choose_host`.
+///
+/// Both modes produce identical placement decisions (a property-based
+/// parity test enforces this); they differ only in cost. `Linear` is the
+/// seed implementation — score every feasible host. `Indexed` walks the
+/// pool's candidate indexes (state/class buckets, occupancy sets, the
+/// exit-time order) and early-exits at the first preference level or
+/// temporal-cost bucket that cannot be improved on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateScan {
+    /// Use the incremental candidate indexes (the default).
+    #[default]
+    Indexed,
+    /// Score every feasible host with a full linear scan (reference
+    /// implementation, kept for parity tests and benchmarks).
+    Linear,
+}
+
+/// Cache-effort counters produced by exit-time cache operations, absorbed
+/// into [`crate::nilas::NilasStats`] by the policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Host exit times served from a valid cache entry.
+    pub hits: u64,
+    /// Host exit times recomputed.
+    pub misses: u64,
+    /// Individual VM lifetime predictions issued.
+    pub predictions: u64,
+}
+
 /// A VM-to-host placement algorithm.
 pub trait PlacementPolicy: Send {
     /// Short name used in reports and experiment output.

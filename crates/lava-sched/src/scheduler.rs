@@ -106,7 +106,8 @@ impl Scheduler {
             return Err(ScheduleError::NoFeasibleHost { vm: vm_id });
         };
         self.cluster.place(vm, host)?;
-        self.policy.on_vm_placed(&mut self.cluster, vm_id, host, now);
+        self.policy
+            .on_vm_placed(&mut self.cluster, vm_id, host, now);
         self.stats.placed += 1;
         Ok(host)
     }
@@ -134,7 +135,8 @@ impl Scheduler {
     pub fn choose_migration_target(&mut self, vm: VmId, now: SimTime) -> Option<HostId> {
         let record = self.cluster.vm(vm)?.clone();
         let exclude = record.host();
-        self.policy.choose_host(&self.cluster, &record, now, exclude)
+        self.policy
+            .choose_host(&self.cluster, &record, now, exclude)
     }
 
     /// Live-migrate a VM to `target`. Returns the source host.
@@ -164,8 +166,7 @@ mod tests {
     use lava_model::predictor::OraclePredictor;
 
     fn scheduler(policy: Box<dyn PlacementPolicy>) -> Scheduler {
-        let cluster =
-            Cluster::with_uniform_hosts(4, HostSpec::new(Resources::cores_gib(32, 128)));
+        let cluster = Cluster::with_uniform_hosts(4, HostSpec::new(Resources::cores_gib(32, 128)));
         Scheduler::new(cluster, policy, Arc::new(OraclePredictor::new()))
     }
 
@@ -187,7 +188,9 @@ mod tests {
             s.cluster().vm(VmId(1)).unwrap().initial_prediction(),
             Some(Duration::from_hours(5))
         );
-        let exited_from = s.exit(VmId(1), SimTime::ZERO + Duration::from_hours(5)).unwrap();
+        let exited_from = s
+            .exit(VmId(1), SimTime::ZERO + Duration::from_hours(5))
+            .unwrap();
         assert_eq!(exited_from, host);
         assert_eq!(s.cluster().vm_count(), 0);
         let stats = s.stats();

@@ -5,30 +5,53 @@
 //! bin-packing score; LAVA adds a coarser class-preference dimension above
 //! that. This module provides the [`ScoreVector`] type (lower is better,
 //! compared lexicographically) and the shared bin-packing score dimensions.
+//!
+//! [`ScoreVector`] is a fixed-capacity inline value: scoring a candidate
+//! host performs no heap allocation, which matters because the placement
+//! hot path scores up to one candidate per host per decision.
 
 use lava_core::host::Host;
 use lava_core::resources::Resources;
 use std::cmp::Ordering;
 
+/// Maximum number of lexicographic dimensions a score can carry. LAVA uses
+/// four (rank, sub-rank, temporal cost, waste); the headroom is for
+/// experiments layering extra dimensions.
+pub const MAX_SCORE_DIMS: usize = 6;
+
 /// A lexicographic score: earlier entries dominate later ones, and lower is
-/// better in every dimension.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ScoreVector(Vec<f64>);
+/// better in every dimension. Stored inline (no heap allocation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreVector {
+    dims: [f64; MAX_SCORE_DIMS],
+    len: u8,
+}
 
 impl ScoreVector {
     /// Create a score from its dimensions (most significant first).
-    pub fn new(dims: Vec<f64>) -> ScoreVector {
-        ScoreVector(dims)
+    ///
+    /// The dimension count is checked at compile time against
+    /// [`MAX_SCORE_DIMS`].
+    pub fn new<const N: usize>(dims: [f64; N]) -> ScoreVector {
+        const {
+            assert!(N <= MAX_SCORE_DIMS, "too many score dimensions");
+        }
+        let mut inline = [0.0; MAX_SCORE_DIMS];
+        inline[..N].copy_from_slice(&dims);
+        ScoreVector {
+            dims: inline,
+            len: N as u8,
+        }
     }
 
     /// The raw dimensions.
     pub fn dims(&self) -> &[f64] {
-        &self.0
+        &self.dims[..self.len as usize]
     }
 
     /// Lexicographic comparison treating NaN as "worst".
     pub fn compare(&self, other: &ScoreVector) -> Ordering {
-        for (a, b) in self.0.iter().zip(other.0.iter()) {
+        for (a, b) in self.dims().iter().zip(other.dims().iter()) {
             let a = if a.is_nan() { f64::INFINITY } else { *a };
             let b = if b.is_nan() { f64::INFINITY } else { *b };
             match a.partial_cmp(&b).unwrap_or(Ordering::Equal) {
@@ -36,7 +59,7 @@ impl ScoreVector {
                 non_eq => return non_eq,
             }
         }
-        self.0.len().cmp(&other.0.len())
+        self.len.cmp(&other.len)
     }
 
     /// True if `self` is strictly better (lower) than `other`.
@@ -107,9 +130,9 @@ mod tests {
 
     #[test]
     fn score_vector_lexicographic() {
-        let a = ScoreVector::new(vec![1.0, 5.0]);
-        let b = ScoreVector::new(vec![1.0, 7.0]);
-        let c = ScoreVector::new(vec![0.0, 100.0]);
+        let a = ScoreVector::new([1.0, 5.0]);
+        let b = ScoreVector::new([1.0, 7.0]);
+        let c = ScoreVector::new([0.0, 100.0]);
         assert!(a.is_better_than(&b));
         assert!(c.is_better_than(&a));
         assert_eq!(a.compare(&a), Ordering::Equal);
@@ -118,16 +141,24 @@ mod tests {
 
     #[test]
     fn score_vector_nan_is_worst() {
-        let nan = ScoreVector::new(vec![f64::NAN]);
-        let fine = ScoreVector::new(vec![1e9]);
+        let nan = ScoreVector::new([f64::NAN]);
+        let fine = ScoreVector::new([1e9]);
         assert!(fine.is_better_than(&nan));
     }
 
     #[test]
     fn shorter_vector_wins_ties() {
-        let a = ScoreVector::new(vec![1.0]);
-        let b = ScoreVector::new(vec![1.0, 0.0]);
+        let a = ScoreVector::new([1.0]);
+        let b = ScoreVector::new([1.0, 0.0]);
         assert!(a.is_better_than(&b));
+    }
+
+    #[test]
+    fn score_vector_is_inline_copy() {
+        // The score must be Copy (no heap state) for the hot path.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<ScoreVector>();
+        assert!(std::mem::size_of::<ScoreVector>() <= (MAX_SCORE_DIMS + 1) * 8);
     }
 
     #[test]

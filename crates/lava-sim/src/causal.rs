@@ -86,9 +86,7 @@ pub fn causal_impact(pre: &[f64], post: &[f64], config: CausalConfig) -> CausalI
             .enumerate()
             .map(|(i, y)| (i as f64 - mean_x) * (y - mean_y))
             .sum();
-        let sxx: f64 = (0..pre.len())
-            .map(|i| (i as f64 - mean_x).powi(2))
-            .sum();
+        let sxx: f64 = (0..pre.len()).map(|i| (i as f64 - mean_x).powi(2)).sum();
         if sxx > 0.0 {
             sxy / sxx
         } else {

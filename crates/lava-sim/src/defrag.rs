@@ -21,7 +21,7 @@
 
 use crate::trace::Trace;
 use lava_core::events::TraceEventKind;
-use lava_core::host::HostSpec;
+use lava_core::host::{HostId, HostSpec};
 use lava_core::pool::{Pool, PoolId};
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
@@ -106,13 +106,28 @@ pub fn collect_evacuations(
             let pool = scheduler.cluster().pool();
             if pool.empty_host_fraction() < config.empty_host_threshold {
                 // Pick the non-empty hosts with the most excess (free)
-                // resources as drain candidates (§4.4).
-                let mut candidates: Vec<_> = pool
-                    .hosts()
+                // resources as drain candidates (§4.4), walking the pool's
+                // free-capacity order (emptiest first) instead of sorting
+                // all hosts. Hosts tying on free CPU are all collected so
+                // the fewest-VMs-then-id tiebreak matches a full sort.
+                let mut candidates: Vec<(u64, usize, HostId)> = Vec::new();
+                for h in pool
+                    .hosts_by_free()
+                    .rev()
                     .filter(|h| !h.is_empty() && !h.is_unavailable())
-                    .map(|h| (std::cmp::Reverse(h.free().cpu_milli), h.vm_count(), h.id()))
-                    .collect();
-                candidates.sort();
+                {
+                    let free_cpu = h.free().cpu_milli;
+                    // Descending order: once k hosts are collected, a host
+                    // with strictly less free CPU cannot reach the top k,
+                    // but ties at the boundary still can (vm_count decides).
+                    if candidates.len() >= config.hosts_per_trigger
+                        && candidates.last().is_some_and(|&(cpu, _, _)| free_cpu < cpu)
+                    {
+                        break;
+                    }
+                    candidates.push((free_cpu, h.vm_count(), h.id()));
+                }
+                candidates.sort_by_key(|&(cpu, vms, id)| (std::cmp::Reverse(cpu), vms, id));
                 for (_, _, host_id) in candidates.into_iter().take(config.hosts_per_trigger) {
                     let host = scheduler.cluster().host(host_id).expect("host exists");
                     let vms: Vec<EvacuationVm> = host

@@ -163,10 +163,18 @@ mod tests {
     fn pool_with_occupancy() -> Pool {
         let mut pool =
             Pool::with_uniform_hosts(PoolId(0), 4, HostSpec::new(Resources::cores_gib(32, 128)));
-        pool.place_vm(lava_core::host::HostId(0), VmId(1), Resources::cores_gib(16, 64))
-            .unwrap();
-        pool.place_vm(lava_core::host::HostId(1), VmId(2), Resources::cores_gib(32, 128))
-            .unwrap();
+        pool.place_vm(
+            lava_core::host::HostId(0),
+            VmId(1),
+            Resources::cores_gib(16, 64),
+        )
+        .unwrap();
+        pool.place_vm(
+            lava_core::host::HostId(1),
+            VmId(2),
+            Resources::cores_gib(32, 128),
+        )
+        .unwrap();
         pool
     }
 
@@ -186,11 +194,8 @@ mod tests {
 
     #[test]
     fn empty_pool_sample_is_all_zero_density() {
-        let pool = Pool::with_uniform_hosts(
-            PoolId(0),
-            2,
-            HostSpec::new(Resources::cores_gib(32, 128)),
-        );
+        let pool =
+            Pool::with_uniform_hosts(PoolId(0), 2, HostSpec::new(Resources::cores_gib(32, 128)));
         let s = sample_pool(&pool, SimTime::ZERO);
         assert_eq!(s.packing_density, 0.0);
         assert_eq!(s.empty_host_fraction, 1.0);

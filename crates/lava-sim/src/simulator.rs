@@ -131,7 +131,14 @@ impl Simulator {
         predictor: Arc<dyn LifetimePredictor>,
     ) -> SimulationResult {
         let policy = algorithm.build_policy(predictor.clone());
-        self.run_with_policy(trace, hosts, host_spec, policy, predictor, algorithm.to_string())
+        self.run_with_policy(
+            trace,
+            hosts,
+            host_spec,
+            policy,
+            predictor,
+            algorithm.to_string(),
+        )
     }
 
     /// Run with an explicitly constructed policy (used by ablations that
@@ -152,16 +159,15 @@ impl Simulator {
 
         // During warm-up the baseline policy places VMs; the evaluated
         // policy is swapped in at the end of warm-up.
-        let (initial_policy, deferred_policy) = if self.config.warmup_with_baseline
-            && !self.config.warmup.is_zero()
-        {
-            (
-                Algorithm::Baseline.build_policy(predictor.clone()),
-                Some(policy),
-            )
-        } else {
-            (policy, None)
-        };
+        let (initial_policy, deferred_policy) =
+            if self.config.warmup_with_baseline && !self.config.warmup.is_zero() {
+                (
+                    Algorithm::Baseline.build_policy(predictor.clone()),
+                    Some(policy),
+                )
+            } else {
+                (policy, None)
+            };
         let mut scheduler = Scheduler::new(cluster, initial_policy, predictor);
         let mut deferred_policy = deferred_policy;
 
@@ -194,7 +200,7 @@ impl Simulator {
             while next_sample <= event.time && next_sample <= sample_end {
                 series.push(sample_pool(scheduler.cluster().pool(), next_sample));
                 if let Some(every) = self.config.stranding_every_samples {
-                    if every > 0 && sample_index % every == 0 {
+                    if every > 0 && sample_index.is_multiple_of(every) {
                         stranding_reports.push(measure_stranding(
                             scheduler.cluster().pool(),
                             &self.config.inflation_mix,
@@ -237,7 +243,10 @@ impl Simulator {
                     .map(|r| r.stranded_memory_fraction)
                     .sum::<f64>()
                     / n,
-                vms_packed: (stranding_reports.iter().map(|r| r.vms_packed).sum::<usize>() as f64
+                vms_packed: (stranding_reports
+                    .iter()
+                    .map(|r| r.vms_packed)
+                    .sum::<usize>() as f64
                     / n)
                     .round() as usize,
             })

@@ -106,7 +106,10 @@ pub fn measure_stranding(pool: &Pool, mix: &InflationMix) -> StrandingReport {
     }
     let free = scratch.total_free();
     StrandingReport {
-        stranded_cpu_fraction: fraction(free.get(ResourceKind::Cpu), capacity.get(ResourceKind::Cpu)),
+        stranded_cpu_fraction: fraction(
+            free.get(ResourceKind::Cpu),
+            capacity.get(ResourceKind::Cpu),
+        ),
         stranded_memory_fraction: fraction(
             free.get(ResourceKind::Memory),
             capacity.get(ResourceKind::Memory),
@@ -131,7 +134,11 @@ mod tests {
     use lava_core::vm::VmId;
 
     fn pool(hosts: usize) -> Pool {
-        Pool::with_uniform_hosts(PoolId(0), hosts, HostSpec::new(Resources::cores_gib(32, 128)))
+        Pool::with_uniform_hosts(
+            PoolId(0),
+            hosts,
+            HostSpec::new(Resources::cores_gib(32, 128)),
+        )
     }
 
     #[test]

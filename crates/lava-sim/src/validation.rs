@@ -11,7 +11,6 @@
 use crate::metrics::MetricSeries;
 use crate::trace::Trace;
 
-
 use lava_core::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -69,7 +68,10 @@ pub fn validate(series: &MetricSeries, trace: &Trace, total_cpu_milli: u64) -> V
         .zip(&implied)
         .map(|(s, &imp)| (s.time, s.cpu_utilization, imp))
         .collect();
-    let errors: Vec<f64> = points.iter().map(|(_, sim, imp)| (sim - imp).abs()).collect();
+    let errors: Vec<f64> = points
+        .iter()
+        .map(|(_, sim, imp)| (sim - imp).abs())
+        .collect();
     let mean_absolute_error = if errors.is_empty() {
         0.0
     } else {

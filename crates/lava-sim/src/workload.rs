@@ -64,11 +64,7 @@ impl VmCategory {
     /// Mean CPU·seconds consumed by one VM of this category (used to size
     /// the arrival rate).
     fn mean_core_seconds(&self) -> f64 {
-        let mean_cores = self
-            .shapes
-            .iter()
-            .map(|(c, _)| *c as f64)
-            .sum::<f64>()
+        let mean_cores = self.shapes.iter().map(|(c, _)| *c as f64).sum::<f64>()
             / self.shapes.len().max(1) as f64;
         let total_weight: f64 = self.lifetime_modes.iter().map(|m| m.weight).sum();
         let mean_secs: f64 = self
@@ -293,7 +289,11 @@ impl PoolConfig {
                     host_cores: if i % 3 == 0 { 96 } else { 64 },
                     host_memory_gib: if i % 3 == 0 { 384 } else { 256 },
                     host_ssd_gib: 3000,
-                    family: if i % 2 == 0 { VmFamily::C2 } else { VmFamily::E2 },
+                    family: if i % 2 == 0 {
+                        VmFamily::C2
+                    } else {
+                        VmFamily::E2
+                    },
                     target_utilization: 0.70 + 0.04 * (i % 5) as f64,
                     duration: Duration::from_days(14),
                     categories,
@@ -338,7 +338,8 @@ impl WorkloadGenerator {
             .iter()
             .map(|c| c.arrival_weight / total_weight * c.mean_core_seconds())
             .sum();
-        let target_cores = self.config.total_cpu_milli() as f64 / 1000.0 * self.config.target_utilization;
+        let target_cores =
+            self.config.total_cpu_milli() as f64 / 1000.0 * self.config.target_utilization;
         if mean_core_seconds <= 0.0 {
             0.0
         } else {
@@ -394,11 +395,7 @@ impl WorkloadGenerator {
         Duration::from_hours_f64(hours).max(Duration::from_secs(30))
     }
 
-    fn sample_spec(
-        &self,
-        category: &VmCategory,
-        rng: &mut ChaCha8Rng,
-    ) -> VmSpec {
+    fn sample_spec(&self, category: &VmCategory, rng: &mut ChaCha8Rng) -> VmSpec {
         let (cores, mem) = category.shapes[rng.gen_range(0..category.shapes.len())];
         let has_ssd = rng.gen_bool(category.ssd_probability);
         let ssd_gib = if has_ssd { 375 } else { 0 };
@@ -406,7 +403,7 @@ impl WorkloadGenerator {
             .family(self.config.family)
             .zone(self.config.pool_id.0)
             .category(category.category_id)
-            .metadata_id(category.category_id * 10 + rng.gen_range(0..3))
+            .metadata_id(category.category_id * 10 + rng.gen_range(0..3u32))
             .has_ssd(has_ssd)
             .provisioning(if category.spot {
                 ProvisioningModel::Spot
@@ -605,9 +602,8 @@ mod tests {
             "short fraction {short_fraction}"
         );
 
-        let core_hours = |spec: &VmSpec, l: &Duration| {
-            spec.resources().cpu_milli as f64 / 1000.0 * l.as_hours()
-        };
+        let core_hours =
+            |spec: &VmSpec, l: &Duration| spec.resources().cpu_milli as f64 / 1000.0 * l.as_hours();
         let total_core_hours: f64 = obs.iter().map(|(s, l)| core_hours(s, l)).sum();
         let long_core_hours: f64 = obs
             .iter()
@@ -626,7 +622,8 @@ mod tests {
         let config = PoolConfig::default();
         let trace = WorkloadGenerator::new(config.clone()).generate();
         let mid = SimTime::ZERO + Duration::from_days(3);
-        let util = crate::validation::trace_utilization(&trace, &[mid], config.total_cpu_milli())[0];
+        let util =
+            crate::validation::trace_utilization(&trace, &[mid], config.total_cpu_milli())[0];
         assert!(
             (0.4..=1.0).contains(&util),
             "mid-trace utilisation {util} too far from target {}",

@@ -26,8 +26,16 @@ fn main() {
         ..SimulationConfig::default()
     });
 
-    println!("{:<10} {:>14} {:>16} {:>16}", "policy", "empty hosts", "stranded CPU", "stranded memory");
-    for algorithm in [Algorithm::Baseline, Algorithm::LaBinary, Algorithm::Nilas, Algorithm::Lava] {
+    println!(
+        "{:<10} {:>14} {:>16} {:>16}",
+        "policy", "empty hosts", "stranded CPU", "stranded memory"
+    );
+    for algorithm in [
+        Algorithm::Baseline,
+        Algorithm::LaBinary,
+        Algorithm::Nilas,
+        Algorithm::Lava,
+    ] {
         let result = simulator.run(
             &trace,
             pool.hosts,
@@ -44,6 +52,10 @@ fn main() {
             stranding.stranded_memory_fraction * 100.0
         );
     }
-    println!("\nStranded resources are free capacity that no VM in the representative mix can use;");
-    println!("the paper reports ~3% CPU and ~2% memory stranding reductions from NILAS in production.");
+    println!(
+        "\nStranded resources are free capacity that no VM in the representative mix can use;"
+    );
+    println!(
+        "the paper reports ~3% CPU and ~2% memory stranding reductions from NILAS in production."
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
         ..PoolConfig::default()
     };
     let trace = WorkloadGenerator::new(pool.clone()).generate();
-    println!("replaying {} VMs and recording defragmentation drains...", trace.vm_count());
+    println!(
+        "replaying {} VMs and recording defragmentation drains...",
+        trace.vm_count()
+    );
 
     let tasks = collect_evacuations(
         &trace,
@@ -37,7 +40,11 @@ fn main() {
         },
     );
     let total_vms: usize = tasks.iter().map(|t| t.vms.len()).sum();
-    println!("{} drain events covering {} VM evacuations", tasks.len(), total_vms);
+    println!(
+        "{} drain events covering {} VM evacuations",
+        tasks.len(),
+        total_vms
+    );
 
     let slots = 3;
     let migration = Duration::from_mins(20);

@@ -45,5 +45,7 @@ fn main() {
         );
     }
     println!("\nEmpty hosts are the paper's headline metric: every extra percentage point");
-    println!("is roughly 1% of the pool's capacity freed for large VMs, maintenance or power savings.");
+    println!(
+        "is roughly 1% of the pool's capacity freed for large VMs, maintenance or power savings."
+    );
 }

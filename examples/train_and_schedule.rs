@@ -35,7 +35,10 @@ fn main() {
 
     // 2. Offline accuracy, as the paper reports it: precision/recall at the
     //    7-day long-lived threshold on unseen traffic.
-    let eval_pool = PoolConfig { seed: 8, ..history_pool.clone() };
+    let eval_pool = PoolConfig {
+        seed: 8,
+        ..history_pool.clone()
+    };
     let eval = WorkloadGenerator::new(eval_pool).generate();
     let counts = classify_at_threshold(
         eval.observations()
@@ -51,14 +54,27 @@ fn main() {
     );
 
     // 3. Drive the scheduler with the learned model on live traffic.
-    let live_pool = PoolConfig { seed: 9, ..history_pool };
+    let live_pool = PoolConfig {
+        seed: 9,
+        ..history_pool
+    };
     let live = WorkloadGenerator::new(live_pool.clone()).generate();
     let simulator = Simulator::new(SimulationConfig::default());
     let shared = Arc::new(predictor);
     let baseline = simulator.run(
-        &live, live_pool.hosts, live_pool.host_spec(), Algorithm::Baseline, shared.clone());
+        &live,
+        live_pool.hosts,
+        live_pool.host_spec(),
+        Algorithm::Baseline,
+        shared.clone(),
+    );
     let nilas = simulator.run(
-        &live, live_pool.hosts, live_pool.host_spec(), Algorithm::Nilas, shared);
+        &live,
+        live_pool.hosts,
+        live_pool.host_spec(),
+        Algorithm::Nilas,
+        shared,
+    );
     println!(
         "baseline empty hosts {:.1}% -> NILAS with learned model {:.1}% ({:+.2} pp)",
         baseline.mean_empty_host_fraction() * 100.0,

@@ -28,8 +28,20 @@ fn nilas_with_oracle_beats_the_baseline_on_a_churning_pool() {
     let trace = WorkloadGenerator::new(pool.clone()).generate();
     let simulator = Simulator::new(SimulationConfig::default());
     let oracle = Arc::new(OraclePredictor::new());
-    let baseline = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Baseline, oracle.clone());
-    let nilas = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Nilas, oracle);
+    let baseline = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Baseline,
+        oracle.clone(),
+    );
+    let nilas = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Nilas,
+        oracle,
+    );
     let ab = paired_comparison(
         &nilas.series.empty_host_series(),
         &baseline.series.empty_host_series(),
@@ -50,7 +62,13 @@ fn lava_tolerates_low_accuracy_better_than_it_degrades() {
     let trace = WorkloadGenerator::new(pool.clone()).generate();
     let simulator = Simulator::new(SimulationConfig::default());
     let noisy = Arc::new(NoisyOraclePredictor::new(0.6, 99));
-    let baseline = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Baseline, noisy.clone());
+    let baseline = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Baseline,
+        noisy.clone(),
+    );
     let lava = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Lava, noisy);
     assert!(
         lava.mean_empty_host_fraction() > baseline.mean_empty_host_fraction() - 0.02,
@@ -77,7 +95,8 @@ fn lars_reduces_migrations_on_a_real_defrag_workload() {
         },
     );
     assert!(!tasks.is_empty(), "no defragmentation was triggered");
-    let baseline = simulate_migration_queue(&tasks, MigrationOrder::Baseline, 3, Duration::from_mins(20));
+    let baseline =
+        simulate_migration_queue(&tasks, MigrationOrder::Baseline, 3, Duration::from_mins(20));
     let lars = simulate_migration_queue(&tasks, MigrationOrder::Lars, 3, Duration::from_mins(20));
     assert_eq!(baseline.scheduled, lars.scheduled);
     assert!(
@@ -96,10 +115,24 @@ fn empty_host_and_packing_density_metrics_agree_on_the_winner() {
     let trace = WorkloadGenerator::new(pool.clone()).generate();
     let simulator = Simulator::new(SimulationConfig::default());
     let oracle = Arc::new(OraclePredictor::new());
-    let baseline = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Baseline, oracle.clone());
-    let nilas = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Nilas, oracle);
-    let empty_delta = nilas.series.mean_empty_host_fraction() - baseline.series.mean_empty_host_fraction();
-    let density_delta = nilas.series.mean_packing_density() - baseline.series.mean_packing_density();
+    let baseline = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Baseline,
+        oracle.clone(),
+    );
+    let nilas = simulator.run(
+        &trace,
+        pool.hosts,
+        pool.host_spec(),
+        Algorithm::Nilas,
+        oracle,
+    );
+    let empty_delta =
+        nilas.series.mean_empty_host_fraction() - baseline.series.mean_empty_host_fraction();
+    let density_delta =
+        nilas.series.mean_packing_density() - baseline.series.mean_packing_density();
     if empty_delta > 0.005 {
         assert!(
             density_delta > -0.005,

@@ -40,8 +40,14 @@ fn every_algorithm_replays_a_trace_without_rejections() {
             result.rejected_vms, 0,
             "{algorithm} rejected VMs on an uncontended pool"
         );
-        assert!(result.scheduler_stats.placed > 500, "{algorithm} placed too few VMs");
-        assert!(result.series.len() > 24, "{algorithm} produced too few samples");
+        assert!(
+            result.scheduler_stats.placed > 500,
+            "{algorithm} placed too few VMs"
+        );
+        assert!(
+            result.series.len() > 24,
+            "{algorithm} produced too few samples"
+        );
         // Utilisation must track the trace regardless of the algorithm.
         let report = validate(&result.series, &trace, pool.total_cpu_milli());
         assert!(
@@ -88,7 +94,10 @@ fn repredictions_beat_initial_predictions_on_survivors() {
         .into_iter()
         .filter(|(_, lifetime)| *lifetime > Duration::from_hours(12))
         .collect();
-    assert!(survivors.len() > 20, "not enough long-lived VMs in the trace");
+    assert!(
+        survivors.len() > 20,
+        "not enough long-lived VMs in the trace"
+    );
 
     let mut initial_error = 0.0;
     let mut repredicted_error = 0.0;

@@ -1,0 +1,240 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Provides the macro/API surface the repository's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`) backed by a small
+//! wall-clock harness: each benchmark is auto-calibrated to a target
+//! measurement time, sampled several times, and reported as the median
+//! nanoseconds per iteration on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark, as reported on stdout.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum nanoseconds per iteration across samples.
+    pub min_ns: f64,
+    /// Maximum nanoseconds per iteration across samples.
+    pub max_ns: f64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_count: usize,
+    reports: Vec<BenchReport>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            sample_count: 7,
+            reports: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark target measurement time.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Reports collected so far (used by the bench binaries to compute
+    /// speedup ratios).
+    pub fn reports(&self) -> &[BenchReport] {
+        &self.reports
+    }
+
+    fn run_bench<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            sample_count: self.sample_count,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let report = BenchReport {
+            id: id.clone(),
+            median_ns: median,
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+        };
+        println!(
+            "{:<50} median {:>12.1} ns/iter   (min {:.1}, max {:.1})",
+            report.id, report.median_ns, report.min_ns, report.max_ns
+        );
+        self.reports.push(report);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_bench(id, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        self.criterion.run_bench(id, |b| f(b, input));
+        self
+    }
+
+    /// Set the group's target measurement time.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored harness sizes samples
+    /// by time, not count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from just a parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_count: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, calibrating the iteration count so each sample runs
+    /// for roughly `measurement_time / sample_count`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that takes at
+        // least ~1/sample_count of the measurement budget.
+        let target = self.measurement_time.as_secs_f64() / self.sample_count as f64;
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= target.min(0.05) || iters >= (1 << 30) {
+                break elapsed / iters as f64;
+            }
+            let growth = if elapsed <= 0.0 {
+                100.0
+            } else {
+                (target / elapsed).clamp(2.0, 100.0)
+            };
+            iters = ((iters as f64) * growth).ceil() as u64;
+        };
+        let sample_iters = ((target / per_iter.max(1e-9)).ceil() as u64).max(1);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / sample_iters as f64);
+        }
+    }
+}
+
+/// Opaque value barrier, re-exported for compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,133 @@
+//! Vendored offline stand-in for `rand_chacha`.
+//!
+//! A real ChaCha8 keystream generator implementing the vendored `rand`
+//! traits. Deterministic per seed; not bit-compatible with upstream
+//! `rand_chacha` (the `seed_from_u64` key-expansion differs).
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher based generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buffer: [u32; 16],
+    /// Next unread word of `buffer`; 16 means exhausted.
+    idx: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Create a generator from a 32-byte key (counter and nonce zeroed).
+    pub fn from_key(key: [u8; 32]) -> ChaCha8Rng {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha8Rng {
+            state,
+            buffer: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Two rounds per loop: one column round, one diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, word) in working.iter().enumerate() {
+            self.buffer[i] = word.wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.idx];
+        self.idx += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> ChaCha8Rng {
+        // SplitMix64 key expansion.
+        let mut x = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64_000 bits; expect ~32_000 ones.
+        assert!((30_000..34_000).contains(&ones), "ones = {ones}");
+    }
+}

@@ -1,0 +1,445 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! plain (non-generic, attribute-free) structs and enums this repository
+//! uses, without depending on `syn`/`quote`: the input token stream is
+//! walked directly and the generated impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum FieldsShape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: FieldsShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: FieldsShape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attributes (including doc comments, which arrive as
+    /// attributes).
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Group(_)) = self.peek() {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Skip tokens until a `,` at angle-bracket depth 0, consuming it.
+    /// Returns false if the cursor ran out of tokens instead.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    while c.skip_until_comma() {
+        if c.peek().is_none() {
+            break; // trailing comma
+        }
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                c.pos += 1;
+                FieldsShape::Named(parse_named_fields(stream)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                c.pos += 1;
+                FieldsShape::Tuple(count_tuple_fields(stream))
+            }
+            _ => FieldsShape::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the separating comma.
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generics on `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    FieldsShape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    FieldsShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => FieldsShape::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+fn serialize_struct_body(fields: &FieldsShape, path: &str) -> String {
+    match fields {
+        FieldsShape::Named(names) => {
+            let mut pushes = String::new();
+            for n in names {
+                pushes.push_str(&format!(
+                    "__pairs.push((::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n})));"
+                ));
+            }
+            format!(
+                "{{ let mut __pairs = ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Value::Object(__pairs) }}"
+            )
+        }
+        FieldsShape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        FieldsShape::Tuple(n) => {
+            let mut pushes = String::new();
+            for i in 0..*n {
+                pushes.push_str(&format!(
+                    "__items.push(::serde::Serialize::to_value(&self.{i}));"
+                ));
+            }
+            format!(
+                "{{ let mut __items = ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Value::Array(__items) }}"
+            )
+        }
+        FieldsShape::Unit => {
+            let _ = path;
+            "::serde::Value::Null".to_string()
+        }
+    }
+}
+
+fn deserialize_struct_body(fields: &FieldsShape, path: &str) -> String {
+    match fields {
+        FieldsShape::Named(names) => {
+            let mut inits = String::new();
+            for n in names {
+                inits.push_str(&format!(
+                    "{n}: ::serde::Deserialize::from_value(__v.field(\"{n}\")?)?,"
+                ));
+            }
+            format!("::std::result::Result::Ok({path} {{ {inits} }})")
+        }
+        FieldsShape::Tuple(1) => {
+            format!("::std::result::Result::Ok({path}(::serde::Deserialize::from_value(__v)?))")
+        }
+        FieldsShape::Tuple(n) => {
+            let mut inits = String::new();
+            for i in 0..*n {
+                inits.push_str(&format!(
+                    "::serde::Deserialize::from_value(__v.item({i})?)?,"
+                ));
+            }
+            format!("::std::result::Result::Ok({path}({inits}))")
+        }
+        FieldsShape::Unit => format!("::std::result::Result::Ok({path})"),
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = serialize_struct_body(fields, name);
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    FieldsShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    FieldsShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__inner.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})));"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ \
+                             let mut __inner = ::std::vec::Vec::new(); {pushes} \
+                             ::serde::Value::Object(::std::vec::Vec::from([( \
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__inner))])) }},"
+                        ));
+                    }
+                    FieldsShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let binds_pat = binds.join(", ");
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let mut pushes = String::new();
+                            for b in &binds {
+                                pushes.push_str(&format!(
+                                    "__items.push(::serde::Serialize::to_value({b}));"
+                                ));
+                            }
+                            format!(
+                                "{{ let mut __items = ::std::vec::Vec::new(); {pushes} \
+                                 ::serde::Value::Array(__items) }}"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds_pat}) => \
+                             ::serde::Value::Object(::std::vec::Vec::from([( \
+                             ::std::string::String::from(\"{vn}\"), {payload})])),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = deserialize_struct_body(fields, name);
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    FieldsShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    FieldsShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(__payload.field(\"{f}\")?)?,"
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                        ));
+                    }
+                    FieldsShape::Tuple(n) => {
+                        let inits = if *n == 1 {
+                            "::serde::Deserialize::from_value(__payload)?".to_string()
+                        } else {
+                            (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__payload.item({i})?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        };
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({inits})),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ \
+                 match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError(::std::format!( \
+                 \"unknown variant `{{__other}}` of {name}\"))), }}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__key, __payload) = &__pairs[0]; \
+                 match __key.as_str() {{ {keyed_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError(::std::format!( \
+                 \"unknown variant `{{__other}}` of {name}\"))), }} }}, \
+                 __other => ::std::result::Result::Err(::serde::DeError(::std::format!( \
+                 \"expected {name} variant, got {{__other:?}}\"))), \
+                 }} }} }}"
+            )
+        }
+    }
+}
+
+fn derive(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            return format!("compile_error!(\"{escaped}\");").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        generate_serialize(&item)
+    } else {
+        generate_deserialize(&item)
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive(input, true)
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive(input, false)
+}
