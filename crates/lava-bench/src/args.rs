@@ -7,10 +7,13 @@
 //! * `--days N` — trace duration in days,
 //! * `--hosts N` — hosts per pool (overrides the fleet defaults),
 //! * `--seed N` — base RNG seed,
+//! * `--scan indexed|linear` — candidate-scan mode for the policies
+//!   (affects NILAS/LAVA; the baselines and LA-Binary have a single scan),
 //! * `--full` — paper-scale settings (24 pools, 7-day traces),
 //! * `--quick` — the smallest sensible settings (for CI smoke runs).
 
 use lava_core::time::Duration;
+use lava_sched::policy::CandidateScan;
 
 /// Parsed experiment arguments with scale-aware defaults.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +26,9 @@ pub struct ExperimentArgs {
     pub hosts: Option<usize>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Candidate-scan mode for the placement policies (NILAS/LAVA only —
+    /// the lifetime-agnostic policies and LA-Binary ignore it).
+    pub scan: CandidateScan,
     /// True when `--full` was passed.
     pub full: bool,
 }
@@ -34,6 +40,7 @@ impl Default for ExperimentArgs {
             duration: Duration::from_days(14),
             hosts: None,
             seed: 1,
+            scan: CandidateScan::default(),
             full: false,
         }
     }
@@ -75,6 +82,12 @@ impl ExperimentArgs {
                     }
                     i += 1;
                 }
+                "--scan" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        parsed.scan = v;
+                    }
+                    i += 1;
+                }
                 "--full" => {
                     parsed.full = true;
                     parsed.pools = 24;
@@ -106,17 +119,36 @@ mod tests {
     fn defaults_without_flags() {
         let args = ExperimentArgs::parse(Vec::<String>::new());
         assert_eq!(args, ExperimentArgs::default());
+        assert_eq!(args.scan, CandidateScan::Indexed);
     }
 
     #[test]
     fn parses_individual_flags() {
         let args = ExperimentArgs::parse([
-            "--pools", "10", "--days", "3", "--seed", "7", "--hosts", "50",
+            "--pools", "10", "--days", "3", "--seed", "7", "--hosts", "50", "--scan", "linear",
         ]);
         assert_eq!(args.pools, 10);
         assert_eq!(args.duration, Duration::from_days(3));
         assert_eq!(args.seed, 7);
         assert_eq!(args.hosts, Some(50));
+        assert_eq!(args.scan, CandidateScan::Linear);
+    }
+
+    #[test]
+    fn scan_flag_accepts_both_modes_case_insensitively() {
+        assert_eq!(
+            ExperimentArgs::parse(["--scan", "Indexed"]).scan,
+            CandidateScan::Indexed
+        );
+        assert_eq!(
+            ExperimentArgs::parse(["--scan", "LINEAR"]).scan,
+            CandidateScan::Linear
+        );
+        // Malformed values keep the default.
+        assert_eq!(
+            ExperimentArgs::parse(["--scan", "quantum"]).scan,
+            CandidateScan::Indexed
+        );
     }
 
     #[test]

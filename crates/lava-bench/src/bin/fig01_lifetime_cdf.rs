@@ -5,17 +5,23 @@
 
 use lava_bench::ExperimentArgs;
 use lava_core::time::Duration;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let config = PoolConfig {
-        duration: args.duration,
-        initial_fill_fraction: 0.0,
-        seed: args.seed,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(config).generate();
+    let experiment = Experiment::builder()
+        .name("fig01-lifetime-cdf")
+        .workload(PoolConfig {
+            duration: args.duration,
+            initial_fill_fraction: 0.0,
+            seed: args.seed,
+            ..PoolConfig::default()
+        })
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let trace = experiment.trace();
     let obs = trace.observations();
 
     let buckets = [

@@ -6,17 +6,23 @@
 use lava_bench::ExperimentArgs;
 use lava_core::time::Duration;
 use lava_model::survival::EmpiricalDistribution;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let config = PoolConfig {
-        duration: Duration::from_days(7),
-        initial_fill_fraction: 0.0,
-        seed: args.seed,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(config).generate();
+    let experiment = Experiment::builder()
+        .name("fig02-conditional-lifetime")
+        .workload(PoolConfig {
+            duration: Duration::from_days(7),
+            initial_fill_fraction: 0.0,
+            seed: args.seed,
+            ..PoolConfig::default()
+        })
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let trace = experiment.trace();
     // Category 2 is the bi-modal interactive/dev category (minutes or days).
     let lifetimes: Vec<Duration> = trace
         .observations()

@@ -2,14 +2,12 @@
 //! production baseline across a fleet of pools, with both the learned model
 //! and oracular lifetimes.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig06_empty_hosts -- [--pools N] [--days N] [--full|--quick]`
+//! Usage: `cargo run --release -p lava-bench --bin fig06_empty_hosts -- [--pools N] [--days N] [--scan indexed|linear] [--full|--quick]`
 
-use lava_bench::harness::build_predictor;
-use lava_bench::{improvement_pp, run_algorithm, ExperimentArgs, PredictorKind};
-use lava_model::gbdt::GbdtConfig;
+use lava_bench::{improvement_pp, policy_spec, ExperimentArgs, PredictorKind};
 use lava_sched::Algorithm;
-use lava_sim::simulator::SimulationConfig;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -22,16 +20,16 @@ fn main() {
         }
         pool.pool_id = lava_core::pool::PoolId(i as u32);
     }
-    let sim_config = SimulationConfig::default();
     let algorithms = [Algorithm::LaBinary, Algorithm::Nilas, Algorithm::Lava];
     let predictors = [PredictorKind::Learned, PredictorKind::Oracle];
 
     println!("# Figure 6: empty-host improvement over the production baseline (percentage points)");
     println!(
-        "# pools={} days={:.0} hosts={:?}",
+        "# pools={} days={:.0} hosts={:?} scan={}",
         pools.len(),
         args.duration.as_days(),
-        args.hosts
+        args.hosts,
+        args.scan
     );
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
@@ -46,20 +44,31 @@ fn main() {
 
     let mut totals = vec![0.0f64; algorithms.len() * predictors.len()];
     for pool in &pools {
-        let trace = WorkloadGenerator::new(pool.clone()).generate();
         let mut row = vec![];
+        // Both predictor kinds replay the identical trace: generate it once
+        // per pool and share it across the two experiments.
+        let mut trace_donor: Option<Experiment> = None;
         for kind in predictors {
-            let predictor = build_predictor(kind, pool, GbdtConfig::default());
-            let baseline = run_algorithm(
-                pool,
-                &trace,
-                Algorithm::Baseline,
-                predictor.clone(),
-                &sim_config,
-            );
-            for algo in algorithms {
-                let run = run_algorithm(pool, &trace, algo, predictor.clone(), &sim_config);
-                row.push(improvement_pp(&run.result, &baseline.result));
+            // One experiment per (pool, predictor): the baseline is arm 0
+            // and each algorithm is a treatment arm on the same trace.
+            let mut arms = vec![policy_spec(Algorithm::Baseline, &args)];
+            arms.extend(algorithms.iter().map(|&a| policy_spec(a, &args)));
+            let experiment = Experiment::builder()
+                .name(format!("fig06-pool{}-{}", pool.pool_id.0, kind.label()))
+                .workload(pool.clone())
+                .predictor(kind.spec())
+                .ab_arms(arms)
+                .build()
+                .and_then(Experiment::new)
+                .expect("valid spec");
+            if let Some(donor) = &trace_donor {
+                experiment.share_artifacts_from(donor);
+            }
+            let report = experiment.run();
+            trace_donor.get_or_insert(experiment);
+            let baseline = report.arms[0].result.clone();
+            for arm in &report.arms[1..] {
+                row.push(improvement_pp(&arm.result, &baseline));
             }
         }
         for (i, v) in row.iter().enumerate() {

@@ -2,88 +2,62 @@
 //! observed vs counterfactual empty hosts, point-wise effect and cumulative
 //! effect.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig07_causal_impact -- [--seed N] [--days N]`
+//! Usage: `cargo run --release -p lava-bench --bin fig07_causal_impact -- [--seed N] [--days N] [--scan indexed|linear]`
 
-use lava_bench::ExperimentArgs;
-use lava_core::time::Duration;
-use lava_model::predictor::OraclePredictor;
+use lava_bench::{policy_spec, ExperimentArgs};
+use lava_core::time::{Duration, SimTime};
 use lava_sched::Algorithm;
-use lava_sim::causal::{causal_impact, CausalConfig};
-use lava_sim::simulator::{SimulationConfig, Simulator};
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let pool = PoolConfig {
-        hosts: args.hosts.unwrap_or(120),
-        duration: args.duration,
-        seed: args.seed + 7,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
     let switch_at = Duration::from_secs(args.duration.as_secs() / 2);
-    let simulator = Simulator::new(SimulationConfig {
-        warmup: switch_at,
-        warmup_with_baseline: true,
-        sample_during_warmup: true,
-        ..SimulationConfig::default()
-    });
-    let result = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Nilas,
-        Arc::new(OraclePredictor::new()),
-    );
-    // Control run: the baseline keeps scheduling for the whole trace. The
-    // causal analysis is performed on the treated-minus-control difference,
-    // which removes the pool's background occupancy trend.
-    let control = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Baseline,
-        Arc::new(OraclePredictor::new()),
-    );
-    let observed = result.series.empty_host_series();
-    let series: Vec<f64> = observed
-        .iter()
-        .zip(control.series.empty_host_series())
-        .map(|(t, c)| t - c)
-        .collect();
-    let split = series.len() / 2;
-    let (pre, post) = series.split_at(split);
-    let report = causal_impact(
-        pre,
-        post,
-        CausalConfig {
-            fit_trend: false,
-            ..CausalConfig::default()
-        },
-    );
+    // The pre/post scenario runs the baseline until the warm-up boundary,
+    // switches to NILAS, replays a baseline control on the same trace and
+    // performs the causal analysis on the treated-minus-control series.
+    let report = Experiment::builder()
+        .name("fig07-causal-impact")
+        .workload(PoolConfig {
+            hosts: args.hosts.unwrap_or(120),
+            duration: args.duration,
+            seed: args.seed + 7,
+            ..PoolConfig::default()
+        })
+        .policy(policy_spec(Algorithm::Nilas, &args))
+        .warmup(switch_at)
+        .pre_post()
+        .run()
+        .expect("valid spec");
+    let causal = report.causal.as_ref().expect("pre/post produces causal");
+    let control = report.control.as_ref().expect("pre/post produces control");
 
     println!("# Figure 7: whole-pool rollout causal analysis (policy switches from baseline to NILAS at mid-trace)");
     println!(
         "average effect = {:+.2} pp   95% CI [{:+.2}, {:+.2}]   p = {:.3}",
-        report.average_effect * 100.0,
-        report.ci_low * 100.0,
-        report.ci_high * 100.0,
-        report.p_value
+        causal.average_effect * 100.0,
+        causal.ci_low * 100.0,
+        causal.ci_high * 100.0,
+        causal.p_value
     );
-    let control_series = control.series.empty_host_series();
+
+    // The post-switch (treatment) portion of both series, aligned with the
+    // causal report's point-wise and cumulative effects.
+    let boundary = SimTime::ZERO + switch_at;
+    let observed: Vec<f64> = report.result.series.since(boundary).empty_host_series();
+    let control_series: Vec<f64> = control.series.since(boundary).empty_host_series();
     println!(
         "\n{:<8} {:>10} {:>16} {:>12} {:>12}",
         "hour", "observed", "control", "pointwise", "cumulative"
     );
-    for (i, ((obs, cf), (pw, cum))) in observed[split..]
+    for (i, ((obs, cf), (pw, cum))) in observed
         .iter()
-        .zip(&control_series[split..])
+        .zip(&control_series)
         .zip(
-            report
+            causal
                 .pointwise_effect
                 .iter()
-                .zip(&report.cumulative_effect),
+                .zip(&causal.cumulative_effect),
         )
         .enumerate()
         .step_by(12)

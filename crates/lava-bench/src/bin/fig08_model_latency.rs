@@ -4,18 +4,24 @@
 //!
 //! Usage: `cargo run --release -p lava-bench --bin fig08_model_latency -- [--seed N]`
 
-use lava_bench::{train_gbdt_predictor, ExperimentArgs};
+use lava_bench::ExperimentArgs;
 use lava_core::time::Duration;
 use lava_model::gbdt::GbdtConfig;
 use lava_model::metrics::Histogram;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::{train_gbdt_predictor, Experiment};
+use lava_sim::workload::PoolConfig;
 use std::time::Instant;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let pool = PoolConfig::small(args.seed + 5);
-    let predictor = train_gbdt_predictor(&pool, GbdtConfig::default());
-    let trace = WorkloadGenerator::new(pool).generate();
+    let experiment = Experiment::builder()
+        .name("fig08-model-latency")
+        .workload(PoolConfig::small(args.seed + 5))
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let predictor = train_gbdt_predictor(&experiment.spec().workload, GbdtConfig::default());
+    let trace = experiment.trace();
     let specs: Vec<_> = trace.observations().into_iter().take(20_000).collect();
 
     // Warm the caches, then measure individual predictions.

@@ -3,12 +3,13 @@
 //!
 //! Usage: `cargo run --release -p lava-bench --bin fig09_reprediction_f1 -- [--seed N]`
 
-use lava_bench::{train_gbdt_predictor, ExperimentArgs};
+use lava_bench::ExperimentArgs;
 use lava_core::time::Duration;
 use lava_model::gbdt::GbdtConfig;
 use lava_model::metrics::classify_at_threshold;
 use lava_model::LONG_LIVED_THRESHOLD;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::{train_gbdt_predictor, Experiment};
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -18,12 +19,17 @@ fn main() {
         ..PoolConfig::default()
     };
     let predictor = train_gbdt_predictor(&pool, GbdtConfig::default());
-    let test_trace = WorkloadGenerator::new(PoolConfig {
-        seed: args.seed + 77,
-        ..pool.clone()
-    })
-    .generate();
-    let observations = test_trace.observations();
+    // Evaluate on an unseen trace: same workload, shifted seed.
+    let test = Experiment::builder()
+        .name("fig09-test-trace")
+        .workload(PoolConfig {
+            seed: args.seed + 77,
+            ..pool
+        })
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let observations = test.trace().observations();
 
     println!("# Figure 9: F1 of the 168h long-lived classification vs uptime quantile");
     println!("{:<10} {:>8}", "quantile", "F1");

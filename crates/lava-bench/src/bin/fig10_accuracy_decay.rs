@@ -11,20 +11,26 @@ use lava_model::gbdt::GbdtConfig;
 use lava_model::metrics::classify_at_threshold;
 use lava_model::predictor::GbdtPredictor;
 use lava_model::LONG_LIVED_THRESHOLD;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
     let weeks = 8u64;
-    let pool = PoolConfig {
-        duration: Duration::from_days(7 * weeks),
-        weekly_drift: 1.35,
-        initial_fill_fraction: 0.0,
-        target_utilization: 0.5,
-        seed: args.seed + 13,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(pool).generate();
+    let experiment = Experiment::builder()
+        .name("fig10-accuracy-decay")
+        .workload(PoolConfig {
+            duration: Duration::from_days(7 * weeks),
+            weekly_drift: 1.35,
+            initial_fill_fraction: 0.0,
+            target_utilization: 0.5,
+            seed: args.seed + 13,
+            ..PoolConfig::default()
+        })
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let trace = experiment.trace();
 
     // Train on week 1.
     let mut builder = DatasetBuilder::new();

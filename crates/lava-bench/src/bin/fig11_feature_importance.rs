@@ -3,9 +3,10 @@
 //!
 //! Usage: `cargo run --release -p lava-bench --bin fig11_feature_importance -- [--seed N]`
 
-use lava_bench::{train_gbdt_predictor, ExperimentArgs};
+use lava_bench::ExperimentArgs;
 use lava_model::features::FEATURE_NAMES;
 use lava_model::gbdt::GbdtConfig;
+use lava_sim::experiment::train_gbdt_predictor;
 use lava_sim::workload::PoolConfig;
 
 fn main() {

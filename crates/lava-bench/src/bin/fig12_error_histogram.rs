@@ -2,41 +2,37 @@
 //! the log10 domain, recorded while running NILAS against a trace, with and
 //! without repredictions.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig12_error_histogram -- [--seed N] [--days N]`
+//! Usage: `cargo run --release -p lava-bench --bin fig12_error_histogram -- [--seed N] [--days N] [--scan indexed|linear]`
 
-use lava_bench::{train_gbdt_predictor, ExperimentArgs};
-use lava_model::gbdt::GbdtConfig;
+use lava_bench::{policy_spec, ExperimentArgs};
 use lava_model::metrics::Histogram;
 use lava_sched::Algorithm;
-use lava_sim::recording::RecordingPredictor;
-use lava_sim::simulator::{SimulationConfig, Simulator};
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava_sim::experiment::{Experiment, PredictorSpec};
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let pool = PoolConfig {
-        hosts: args.hosts.unwrap_or(80),
-        duration: args.duration,
-        seed: args.seed + 3,
-        ..PoolConfig::default()
-    };
-    let gbdt = Arc::new(train_gbdt_predictor(&pool, GbdtConfig::default()));
-    let recording = RecordingPredictor::new(gbdt);
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
-    let _ = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Nilas,
-        recording.clone(),
-    );
+    // `record_predictions` wraps the learned predictor in the recording
+    // layer for the whole run, so every scheduling-time prediction and
+    // reprediction lands in the report with its ground truth.
+    let report = Experiment::builder()
+        .name("fig12-error-histogram")
+        .workload(PoolConfig {
+            hosts: args.hosts.unwrap_or(80),
+            duration: args.duration,
+            seed: args.seed + 3,
+            ..PoolConfig::default()
+        })
+        .predictor(PredictorSpec::Learned)
+        .policy(policy_spec(Algorithm::Nilas, &args))
+        .record_predictions(true)
+        .run()
+        .expect("valid spec");
 
-    let records = recording.records();
+    let records = &report.predictions;
     let mut all = Histogram::new(5.0, 20);
     let mut initial_only = Histogram::new(5.0, 20);
-    for r in &records {
+    for r in records {
         all.record(r.log10_error());
         if !r.is_reprediction() {
             initial_only.record(r.log10_error());

@@ -2,34 +2,34 @@
 //! empty-to-free ratio, packing density) move together — improvements are
 //! reported relative to LA-Binary as in the paper.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig13_metric_comparison -- [--seed N] [--days N]`
+//! Usage: `cargo run --release -p lava-bench --bin fig13_metric_comparison -- [--seed N] [--days N] [--scan indexed|linear]`
 
-use lava_bench::{run_algorithm, ExperimentArgs};
-use lava_model::predictor::OraclePredictor;
+use lava_bench::{policy_spec, ExperimentArgs};
 use lava_sched::Algorithm;
-use lava_sim::simulator::SimulationConfig;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let pool = PoolConfig {
-        hosts: args.hosts.unwrap_or(100),
-        duration: args.duration,
-        seed: args.seed + 17,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let predictor = Arc::new(OraclePredictor::new());
-    let sim_config = SimulationConfig::default();
+    // LA-Binary is the reference (arm 0); NILAS and LAVA are treatments on
+    // the same trace.
+    let report = Experiment::builder()
+        .name("fig13-metric-comparison")
+        .workload(PoolConfig {
+            hosts: args.hosts.unwrap_or(100),
+            duration: args.duration,
+            seed: args.seed + 17,
+            ..PoolConfig::default()
+        })
+        .ab_arms(vec![
+            policy_spec(Algorithm::LaBinary, &args),
+            policy_spec(Algorithm::Nilas, &args),
+            policy_spec(Algorithm::Lava, &args),
+        ])
+        .run()
+        .expect("valid spec");
+    let la = &report.arms[0].result;
 
-    let la = run_algorithm(
-        &pool,
-        &trace,
-        Algorithm::LaBinary,
-        predictor.clone(),
-        &sim_config,
-    );
     println!(
         "# Figure 13: relative improvement over LA-Binary for three equivalent bin-packing metrics"
     );
@@ -37,22 +37,16 @@ fn main() {
         "{:<10} {:>16} {:>18} {:>18}",
         "algorithm", "empty hosts (pp)", "empty-to-free (pp)", "packing density (pp)"
     );
-    for algo in [Algorithm::Nilas, Algorithm::Lava] {
-        let run = run_algorithm(&pool, &trace, algo, predictor.clone(), &sim_config);
-        let empty = (run.result.series.mean_empty_host_fraction()
-            - la.result.series.mean_empty_host_fraction())
+    for arm in &report.arms[1..] {
+        let empty = (arm.result.series.mean_empty_host_fraction()
+            - la.series.mean_empty_host_fraction())
             * 100.0;
-        let etf = (run.result.series.mean_empty_to_free() - la.result.series.mean_empty_to_free())
-            * 100.0;
-        let density = (run.result.series.mean_packing_density()
-            - la.result.series.mean_packing_density())
-            * 100.0;
+        let etf = (arm.result.series.mean_empty_to_free() - la.series.mean_empty_to_free()) * 100.0;
+        let density =
+            (arm.result.series.mean_packing_density() - la.series.mean_packing_density()) * 100.0;
         println!(
             "{:<10} {:>16.2} {:>18.2} {:>18.2}",
-            algo.to_string(),
-            empty,
-            etf,
-            density
+            arm.label, empty, etf, density
         );
     }
     println!();

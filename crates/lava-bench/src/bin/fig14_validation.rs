@@ -3,32 +3,33 @@
 //!
 //! Usage: `cargo run --release -p lava-bench --bin fig14_validation -- [--seed N] [--days N]`
 
-use lava_bench::ExperimentArgs;
-use lava_model::predictor::OraclePredictor;
+use lava_bench::{policy_spec, ExperimentArgs};
 use lava_sched::Algorithm;
-use lava_sim::simulator::{SimulationConfig, Simulator};
+use lava_sim::experiment::Experiment;
 use lava_sim::validation::validate;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let pool = PoolConfig {
-        hosts: args.hosts.unwrap_or(100),
-        duration: args.duration,
-        seed: args.seed + 19,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
-    let result = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Baseline,
-        Arc::new(OraclePredictor::new()),
+    let experiment = Experiment::builder()
+        .name("fig14-validation")
+        .workload(PoolConfig {
+            hosts: args.hosts.unwrap_or(100),
+            duration: args.duration,
+            seed: args.seed + 19,
+            ..PoolConfig::default()
+        })
+        .policy(policy_spec(Algorithm::Baseline, &args))
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let trace = experiment.trace();
+    let result = experiment.run().result;
+    let report = validate(
+        &result.series,
+        trace,
+        experiment.spec().workload.total_cpu_milli(),
     );
-    let report = validate(&result.series, &trace, pool.total_cpu_milli());
 
     println!("# Figure 14: simulator validation (simulated vs trace-implied CPU utilisation)");
     println!(

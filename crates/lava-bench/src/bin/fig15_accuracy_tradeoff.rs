@@ -2,14 +2,12 @@
 //! the baseline at different prediction-accuracy levels, using the noisy
 //! oracle (sigma 0.001 for correct VMs, sigma 3 for mispredicted VMs).
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig15_accuracy_tradeoff -- [--seed N] [--days N]`
+//! Usage: `cargo run --release -p lava-bench --bin fig15_accuracy_tradeoff -- [--seed N] [--days N] [--scan indexed|linear]`
 
-use lava_bench::harness::build_predictor;
-use lava_bench::{improvement_pp, run_algorithm, ExperimentArgs, PredictorKind};
-use lava_model::gbdt::GbdtConfig;
+use lava_bench::{improvement_pp, policy_spec, ExperimentArgs};
 use lava_sched::Algorithm;
-use lava_sim::simulator::SimulationConfig;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::{Experiment, PredictorSpec};
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -19,39 +17,36 @@ fn main() {
         seed: args.seed + 29,
         ..PoolConfig::default()
     };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let sim_config = SimulationConfig::default();
 
     println!("# Figure 15: empty-host improvement (pp over baseline) vs prediction accuracy");
     println!("{:<10} {:>10} {:>10}", "accuracy", "nilas", "lava");
-    for accuracy in [50u8, 60, 70, 80, 90, 95, 99, 100] {
-        let predictor = build_predictor(PredictorKind::Noisy(accuracy), &pool, GbdtConfig::fast());
-        let baseline = run_algorithm(
-            &pool,
-            &trace,
-            Algorithm::Baseline,
-            predictor.clone(),
-            &sim_config,
-        );
-        let nilas = run_algorithm(
-            &pool,
-            &trace,
-            Algorithm::Nilas,
-            predictor.clone(),
-            &sim_config,
-        );
-        let lava = run_algorithm(
-            &pool,
-            &trace,
-            Algorithm::Lava,
-            predictor.clone(),
-            &sim_config,
-        );
+    // The accuracy levels all replay the identical workload: generate the
+    // trace once and share it across the sweep's experiments.
+    let mut trace_donor: Option<Experiment> = None;
+    for accuracy_pct in [50u8, 60, 70, 80, 90, 95, 99, 100] {
+        let experiment = Experiment::builder()
+            .name(format!("fig15-accuracy-{accuracy_pct}"))
+            .workload(pool.clone())
+            .predictor(PredictorSpec::Noisy { accuracy_pct })
+            .ab_arms(vec![
+                policy_spec(Algorithm::Baseline, &args),
+                policy_spec(Algorithm::Nilas, &args),
+                policy_spec(Algorithm::Lava, &args),
+            ])
+            .build()
+            .and_then(Experiment::new)
+            .expect("valid spec");
+        if let Some(donor) = &trace_donor {
+            experiment.share_artifacts_from(donor);
+        }
+        let report = experiment.run();
+        trace_donor.get_or_insert(experiment);
+        let baseline = &report.arms[0].result;
         println!(
             "{:<10} {:>10.2} {:>10.2}",
-            format!("{}%", accuracy),
-            improvement_pp(&nilas.result, &baseline.result),
-            improvement_pp(&lava.result, &baseline.result)
+            format!("{}%", accuracy_pct),
+            improvement_pp(&report.arms[1].result, baseline),
+            improvement_pp(&report.arms[2].result, baseline)
         );
     }
     println!();

@@ -2,16 +2,13 @@
 //! empty-host optimum, and what each factor costs — warm-up (gradual
 //! rollout), model accuracy and repredictions.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig16_ablation -- [--seed N] [--days N]`
+//! Usage: `cargo run --release -p lava-bench --bin fig16_ablation -- [--seed N] [--days N] [--scan indexed|linear]`
 
-use lava_bench::harness::build_predictor;
-use lava_bench::{run_algorithm, ExperimentArgs, PredictorKind};
-use lava_model::gbdt::GbdtConfig;
-use lava_sched::nilas::{NilasConfig, NilasPolicy};
+use lava_bench::{policy_spec, ExperimentArgs};
 use lava_sched::Algorithm;
-use lava_sim::simulator::{SimulationConfig, Simulator};
+use lava_sim::experiment::{Experiment, PredictorSpec};
 use lava_sim::validation::trace_utilization;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -21,66 +18,69 @@ fn main() {
         seed: args.seed + 37,
         ..PoolConfig::default()
     };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let default_config = SimulationConfig::default();
+
+    // Oracle rows: baseline and NILAS share one trace as A/B arms; the
+    // cold-start ideal is its own scenario. All experiments describe the
+    // identical workload, so the first one's trace is shared with the rest.
+    let oracle_steady = Experiment::new(
+        Experiment::builder()
+            .name("fig16-oracle-steady")
+            .workload(pool.clone())
+            .ab_arms(vec![
+                policy_spec(Algorithm::Baseline, &args),
+                policy_spec(Algorithm::Nilas, &args),
+            ])
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("valid spec");
+    let oracle_steady_report = oracle_steady.run();
+
+    let cold = Experiment::new(
+        Experiment::builder()
+            .name("fig16-nilas-oracle-ideal")
+            .workload(pool.clone())
+            .policy(policy_spec(Algorithm::Nilas, &args))
+            .cold_start()
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("valid spec");
+    cold.share_artifacts_from(&oracle_steady);
+    let nilas_oracle_ideal = cold.run();
+
+    // Learned rows: NILAS with and without repredictions share the trace
+    // AND one trained model (the predictor is built once per experiment).
+    let learned = Experiment::new(
+        Experiment::builder()
+            .name("fig16-learned")
+            .workload(pool.clone())
+            .predictor(PredictorSpec::Learned)
+            .ab_arms(vec![
+                policy_spec(Algorithm::Nilas, &args),
+                policy_spec(Algorithm::Nilas, &args)
+                    .without_reprediction()
+                    .labeled("nilas-no-reprediction"),
+            ])
+            .build()
+            .expect("valid spec"),
+    )
+    .expect("valid spec");
+    learned.share_artifacts_from(&oracle_steady);
+    let learned_report = learned.run();
 
     // Theoretical optimum: at each sample time, the minimum number of hosts
     // able to hold the trace-implied utilisation; the rest could be empty.
+    let trace = oracle_steady.trace();
     let times: Vec<_> = (0..(args.duration.as_days() as u64 * 24))
         .map(|h| lava_core::time::SimTime(h * 3600))
         .collect();
-    let utilisation = trace_utilization(&trace, &times, pool.total_cpu_milli());
+    let utilisation = trace_utilization(trace, &times, pool.total_cpu_milli());
     let optimal_empty: f64 = utilisation
         .iter()
         .map(|u| 1.0 - (u * pool.hosts as f64).ceil() / pool.hosts as f64)
         .sum::<f64>()
         / utilisation.len() as f64;
-
-    let oracle = build_predictor(PredictorKind::Oracle, &pool, GbdtConfig::fast());
-    let learned = build_predictor(PredictorKind::Learned, &pool, GbdtConfig::default());
-
-    let baseline = run_algorithm(
-        &pool,
-        &trace,
-        Algorithm::Baseline,
-        oracle.clone(),
-        &default_config,
-    );
-    let nilas_oracle_ideal = Simulator::new(SimulationConfig::cold_start()).run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Nilas,
-        oracle.clone(),
-    );
-    let nilas_oracle = run_algorithm(
-        &pool,
-        &trace,
-        Algorithm::Nilas,
-        oracle.clone(),
-        &default_config,
-    );
-    let nilas_model = run_algorithm(
-        &pool,
-        &trace,
-        Algorithm::Nilas,
-        learned.clone(),
-        &default_config,
-    );
-    let no_repredict = Simulator::new(default_config.clone()).run_with_policy(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Box::new(NilasPolicy::new(
-            learned.clone(),
-            NilasConfig {
-                repredict: false,
-                ..NilasConfig::default()
-            },
-        )),
-        learned,
-        "nilas-no-reprediction".to_string(),
-    );
 
     println!("# Figure 16: NILAS ablation vs the theoretical empty-host optimum");
     println!("{:<40} {:>14}", "configuration", "empty hosts %");
@@ -92,27 +92,33 @@ fn main() {
     println!(
         "{:<40} {:>14.1}",
         "NILAS oracle, ideal (cold start)",
-        nilas_oracle_ideal.mean_empty_host_fraction() * 100.0
+        nilas_oracle_ideal.result.mean_empty_host_fraction() * 100.0
     );
     println!(
         "{:<40} {:>14.1}",
         "NILAS oracle (with warm-up)",
-        nilas_oracle.result.mean_empty_host_fraction() * 100.0
+        oracle_steady_report.arms[1]
+            .result
+            .mean_empty_host_fraction()
+            * 100.0
     );
     println!(
         "{:<40} {:>14.1}",
         "NILAS learned model",
-        nilas_model.result.mean_empty_host_fraction() * 100.0
+        learned_report.arms[0].result.mean_empty_host_fraction() * 100.0
     );
     println!(
         "{:<40} {:>14.1}",
         "NILAS model, no repredictions",
-        no_repredict.mean_empty_host_fraction() * 100.0
+        learned_report.arms[1].result.mean_empty_host_fraction() * 100.0
     );
     println!(
         "{:<40} {:>14.1}",
         "production baseline",
-        baseline.result.mean_empty_host_fraction() * 100.0
+        oracle_steady_report.arms[0]
+            .result
+            .mean_empty_host_fraction()
+            * 100.0
     );
     println!();
     println!("# Paper: ideal NILAS with oracle lifetimes approaches the optimum; warm-up, model error and");

@@ -5,21 +5,18 @@
 //! Usage: `cargo run --release -p lava-bench --bin fig17_cache_ablation -- [--seed N] [--days N] [--pools N]`
 
 use lava_bench::ExperimentArgs;
-use lava_core::time::Duration;
-use lava_model::predictor::OraclePredictor;
-use lava_sched::nilas::{NilasConfig, NilasPolicy};
 use lava_sched::policy::CandidateScan;
-use lava_sim::simulator::{SimulationConfig, Simulator};
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava_sched::Algorithm;
+use lava_sim::experiment::{CachePolicy, Experiment, PolicySpec};
+use lava_sim::workload::PoolConfig;
 use std::time::Instant;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let settings: [(&str, Option<Duration>); 3] = [
-        ("no cache", None),
-        ("1 min refresh", Some(Duration::from_mins(1))),
-        ("15 min refresh", Some(Duration::from_mins(15))),
+    let settings: [(&str, CachePolicy); 3] = [
+        ("no cache", CachePolicy::Disabled),
+        ("1 min refresh", CachePolicy::RefreshSecs(60)),
+        ("15 min refresh", CachePolicy::RefreshSecs(15 * 60)),
     ];
     println!("# Figure 17: effect of caching repredictions (NILAS, oracle lifetimes)");
     println!(
@@ -35,36 +32,48 @@ fn main() {
             ..PoolConfig::default()
         })
         .collect();
-    let traces: Vec<_> = pools
+    // Pre-generate every pool's trace once (outside the timed loops) so the
+    // runtime column measures only the scheduler, and all cache settings
+    // replay identical traffic.
+    let donors: Vec<Experiment> = pools
         .iter()
-        .map(|p| WorkloadGenerator::new(p.clone()).generate())
+        .map(|pool| {
+            let donor = Experiment::new(
+                Experiment::builder()
+                    .name("fig17-trace")
+                    .workload(pool.clone())
+                    .build()
+                    .expect("valid spec"),
+            )
+            .expect("valid spec");
+            let _ = donor.trace();
+            donor
+        })
         .collect();
 
-    for (label, refresh) in settings {
+    for (label, cache) in settings {
         let started = Instant::now();
         let mut total_empty = 0.0;
-        for (pool, trace) in pools.iter().zip(&traces) {
-            let predictor = Arc::new(OraclePredictor::new());
+        for (pool, donor) in pools.iter().zip(&donors) {
             // Pin the linear scan so the rows differ ONLY in caching: the
             // default indexed scan would fall back to linear for the
             // no-cache row and attribute its own speedup to the cache.
-            let policy = Box::new(NilasPolicy::new(
-                predictor.clone(),
-                NilasConfig {
-                    cache_refresh: refresh,
-                    scan: CandidateScan::Linear,
-                    ..NilasConfig::default()
-                },
-            ));
-            let result = Simulator::new(SimulationConfig::default()).run_with_policy(
-                trace,
-                pool.hosts,
-                pool.host_spec(),
-                policy,
-                predictor,
-                format!("nilas[{label}]"),
-            );
-            total_empty += result.mean_empty_host_fraction();
+            let experiment = Experiment::new(
+                Experiment::builder()
+                    .name(format!("fig17-{label}"))
+                    .workload(pool.clone())
+                    .policy(
+                        PolicySpec::new(Algorithm::Nilas)
+                            .with_scan(CandidateScan::Linear)
+                            .with_cache(cache)
+                            .labeled(format!("nilas[{label}]")),
+                    )
+                    .build()
+                    .expect("valid spec"),
+            )
+            .expect("valid spec");
+            experiment.share_artifacts_from(donor);
+            total_empty += experiment.run().result.mean_empty_host_fraction();
         }
         println!(
             "{:<16} {:>18.2} {:>16.2}",

@@ -1,61 +1,45 @@
 //! Table 1: NILAS empty-host improvements in pilot pools — A/B experiments
 //! plus whole-pool pre/post (CausalImpact-style) pilots for C2 and E2.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin table1_pilots -- [--days N] [--seed N]`
+//! Usage: `cargo run --release -p lava-bench --bin table1_pilots -- [--days N] [--seed N] [--scan indexed|linear]`
 
-use lava_bench::{run_algorithm, ExperimentArgs};
+use lava_bench::{policy_spec, ExperimentArgs};
 use lava_core::vm::VmFamily;
-use lava_model::predictor::OraclePredictor;
 use lava_sched::Algorithm;
-use lava_sim::ab::paired_comparison;
-use lava_sim::causal::{causal_impact, CausalConfig};
-use lava_sim::simulator::{SimulationConfig, Simulator};
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let predictor = Arc::new(OraclePredictor::new());
     println!("# Table 1: NILAS empty-host improvements in pilot pools");
     println!(
         "{:<22} {:<6} {:>14} {:>22}",
         "pilot pool", "type", "change (pp)", "significance"
     );
 
-    // A/B pilots: run baseline and NILAS on the same trace and compare the
-    // paired post-warm-up series.
+    // A/B pilots: baseline and NILAS replay the same trace; the paired
+    // post-warm-up series comparison comes straight from the report.
     let ab_pools = [
         ("C2 Wave 1 pool", 1u64, 100usize),
         ("C2 Wave 2 pool 1", 2, 140),
         ("C2 Wave 2 pool 2", 3, 80),
     ];
-    let sim_config = SimulationConfig::default();
     for (name, seed, hosts) in ab_pools {
-        let pool = PoolConfig {
-            hosts,
-            duration: args.duration,
-            seed: args.seed + seed,
-            ..PoolConfig::default()
-        };
-        let trace = WorkloadGenerator::new(pool.clone()).generate();
-        let control = run_algorithm(
-            &pool,
-            &trace,
-            Algorithm::Baseline,
-            predictor.clone(),
-            &sim_config,
-        );
-        let treatment = run_algorithm(
-            &pool,
-            &trace,
-            Algorithm::Nilas,
-            predictor.clone(),
-            &sim_config,
-        );
-        let ab = paired_comparison(
-            &treatment.result.series.empty_host_series(),
-            &control.result.series.empty_host_series(),
-        );
+        let report = Experiment::builder()
+            .name(format!("table1-ab-{name}"))
+            .workload(PoolConfig {
+                hosts,
+                duration: args.duration,
+                seed: args.seed + seed,
+                ..PoolConfig::default()
+            })
+            .ab_arms(vec![
+                policy_spec(Algorithm::Baseline, &args),
+                policy_spec(Algorithm::Nilas, &args),
+            ])
+            .run()
+            .expect("valid spec");
+        let ab = report.arms[1].vs_control.expect("treatment arm compared");
         println!(
             "{:<22} {:<6} {:>13.2}  {:>22}",
             name,
@@ -66,69 +50,38 @@ fn main() {
     }
 
     // Whole-pool pilots: one run whose policy switches from the baseline to
-    // NILAS halfway through; the pre/post series feed the causal analysis.
+    // NILAS halfway through; the pre/post scenario replays a baseline
+    // control on the same trace and runs the causal analysis on the
+    // treated-minus-control difference.
     for (name, family, seed) in [
         ("C2 Wave 3 pool", VmFamily::C2, 7u64),
         ("E2 Wave 1 pool", VmFamily::E2, 8),
     ] {
-        let pool = PoolConfig {
-            hosts: 120,
-            family,
-            duration: args.duration,
-            seed: args.seed + seed,
-            ..PoolConfig::default()
-        };
-        let trace = WorkloadGenerator::new(pool.clone()).generate();
         let switch_at = lava_core::time::Duration::from_secs(args.duration.as_secs() / 2);
-        let simulator = Simulator::new(SimulationConfig {
-            warmup: switch_at,
-            warmup_with_baseline: true,
-            sample_during_warmup: true,
-            ..SimulationConfig::default()
-        });
-        let result = simulator.run(
-            &trace,
-            pool.hosts,
-            pool.host_spec(),
-            Algorithm::Nilas,
-            predictor.clone(),
-        );
-        // Control: the same pool never switches away from the baseline. The
-        // causal analysis runs on the treated-minus-control difference, which
-        // removes the pool's background occupancy trend (a simulation-only
-        // luxury; production uses the BSTS counterfactual instead).
-        let control = simulator.run(
-            &trace,
-            pool.hosts,
-            pool.host_spec(),
-            Algorithm::Baseline,
-            predictor.clone(),
-        );
-        let series: Vec<f64> = result
-            .series
-            .empty_host_series()
-            .iter()
-            .zip(control.series.empty_host_series())
-            .map(|(t, c)| t - c)
-            .collect();
-        let split = series.len() / 2;
-        let report = causal_impact(
-            &series[..split],
-            &series[split..],
-            CausalConfig {
-                fit_trend: false,
-                ..CausalConfig::default()
-            },
-        );
+        let report = Experiment::builder()
+            .name(format!("table1-prepost-{name}"))
+            .workload(PoolConfig {
+                hosts: 120,
+                family,
+                duration: args.duration,
+                seed: args.seed + seed,
+                ..PoolConfig::default()
+            })
+            .policy(policy_spec(Algorithm::Nilas, &args))
+            .warmup(switch_at)
+            .pre_post()
+            .run()
+            .expect("valid spec");
+        let causal = report.causal.expect("pre/post produces causal report");
         println!(
             "{:<22} {:<6} {:>13.2}  {:>22}",
             name,
             "All",
-            report.average_effect * 100.0,
+            causal.average_effect * 100.0,
             format!(
                 "95% CI [{:.2}, {:.2}]",
-                report.ci_low * 100.0,
-                report.ci_high * 100.0
+                causal.ci_low * 100.0,
+                causal.ci_high * 100.0
             )
         );
     }

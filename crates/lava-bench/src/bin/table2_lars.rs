@@ -2,14 +2,11 @@
 //!
 //! Usage: `cargo run --release -p lava-bench --bin table2_lars -- [--days N] [--seed N]`
 
-use lava_bench::ExperimentArgs;
+use lava_bench::{policy_spec, ExperimentArgs};
 use lava_core::time::Duration;
-use lava_model::predictor::OraclePredictor;
-use lava_sim::defrag::{
-    collect_evacuations, simulate_migration_queue, DefragConfig, MigrationOrder,
-};
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava_sched::Algorithm;
+use lava_sim::experiment::{Experiment, Scenario};
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -20,37 +17,33 @@ fn main() {
     );
 
     for (i, seed) in [args.seed + 11, args.seed + 23].iter().enumerate() {
-        let config = PoolConfig {
-            hosts: args.hosts.unwrap_or(80),
-            target_utilization: 0.85,
-            duration: args.duration,
-            seed: *seed,
-            ..PoolConfig::default()
-        };
-        let trace = WorkloadGenerator::new(config.clone()).generate();
-        let tasks = collect_evacuations(
-            &trace,
-            config.hosts,
-            config.host_spec(),
-            Arc::new(OraclePredictor::new()),
-            &DefragConfig {
+        let report = Experiment::builder()
+            .name(format!("table2-trace{}", i + 1))
+            .workload(PoolConfig {
+                hosts: args.hosts.unwrap_or(80),
+                target_utilization: 0.85,
+                duration: args.duration,
+                seed: *seed,
+                ..PoolConfig::default()
+            })
+            .policy(policy_spec(Algorithm::Baseline, &args))
+            .scenario(Scenario::Defrag {
                 empty_host_threshold: 0.25,
                 hosts_per_trigger: 10,
                 trigger_interval: Duration::from_hours(6),
-                ..DefragConfig::default()
-            },
-        );
-        let baseline =
-            simulate_migration_queue(&tasks, MigrationOrder::Baseline, 3, Duration::from_mins(20));
-        let lars =
-            simulate_migration_queue(&tasks, MigrationOrder::Lars, 3, Duration::from_mins(20));
+                concurrent_slots: 3,
+                migration_duration: Duration::from_mins(20),
+            })
+            .run()
+            .expect("valid spec");
+        let defrag = report.defrag.expect("defrag scenario produces report");
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>11.2}%",
             i + 1,
-            baseline.scheduled,
-            baseline.performed,
-            lars.performed,
-            100.0 * lars.reduction_vs(&baseline)
+            defrag.baseline.scheduled,
+            defrag.baseline.performed,
+            defrag.lars.performed,
+            100.0 * defrag.reduction()
         );
     }
     println!();

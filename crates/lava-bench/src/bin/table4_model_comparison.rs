@@ -13,17 +13,23 @@ use lava_model::nn::{MlpConfig, MlpRegressor};
 use lava_model::predictor::duration_from_log10;
 use lava_model::survival::{CoxConfig, CoxModel, StratifiedKaplanMeier};
 use lava_model::{LIFETIME_CAP, LONG_LIVED_THRESHOLD};
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::experiment::Experiment;
+use lava_sim::workload::PoolConfig;
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let config = PoolConfig {
-        duration: Duration::from_days(7),
-        initial_fill_fraction: 0.0,
-        seed: args.seed + 101,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(config).generate();
+    let experiment = Experiment::builder()
+        .name("table4-model-comparison")
+        .workload(PoolConfig {
+            duration: Duration::from_days(7),
+            initial_fill_fraction: 0.0,
+            seed: args.seed + 101,
+            ..PoolConfig::default()
+        })
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let trace = experiment.trace();
     let mut builder = DatasetBuilder::new();
     builder.extend(trace.observations());
     let dataset = builder.build();

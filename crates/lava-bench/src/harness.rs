@@ -1,15 +1,20 @@
-//! Experiment harness helpers: model training, algorithm sweeps and
-//! reporting utilities shared by the figure/table binaries.
+//! Experiment harness helpers shared by the figure/table binaries.
+//!
+//! The heavy lifting lives in `lava-sim`'s declarative experiment API
+//! ([`Experiment`](lava_sim::experiment::Experiment)); this module keeps
+//! the thin glue the binaries share — mapping the common CLI predictor
+//! choice onto [`PredictorSpec`], threading the `--scan` flag into policy
+//! specs, and report formatting — plus deprecated shims for the previous
+//! ad-hoc entry points.
 
-use lava_model::dataset::DatasetBuilder;
+use crate::args::ExperimentArgs;
 use lava_model::gbdt::GbdtConfig;
-use lava_model::predictor::{
-    GbdtPredictor, LifetimePredictor, NoisyOraclePredictor, OraclePredictor,
-};
+use lava_model::predictor::{GbdtPredictor, LifetimePredictor};
 use lava_sched::Algorithm;
+use lava_sim::experiment::{PolicySpec, PredictorSpec};
 use lava_sim::simulator::{SimulationConfig, SimulationResult, Simulator};
 use lava_sim::trace::Trace;
-use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+use lava_sim::workload::PoolConfig;
 use std::sync::Arc;
 
 /// Which predictor drives the lifetime-aware algorithms in a run.
@@ -32,24 +37,37 @@ impl PredictorKind {
             PredictorKind::Noisy(acc) => format!("noisy-{acc}"),
         }
     }
+
+    /// The declarative predictor spec this CLI choice maps to.
+    pub fn spec(&self) -> PredictorSpec {
+        match self {
+            PredictorKind::Learned => PredictorSpec::Learned,
+            PredictorKind::Oracle => PredictorSpec::Oracle,
+            PredictorKind::Noisy(accuracy_pct) => PredictorSpec::Noisy {
+                accuracy_pct: *accuracy_pct,
+            },
+        }
+    }
 }
 
-/// Train the production-style GBDT predictor on "historical" data for a
-/// pool: a separate trace generated from the same pool configuration but a
-/// different seed, mirroring the paper's train-on-the-warehouse /
-/// evaluate-on-live-traffic split.
+/// A [`PolicySpec`] for `algorithm` with the CLI-selected scan mode — the
+/// uniform way binaries honour `--scan`.
+pub fn policy_spec(algorithm: Algorithm, args: &ExperimentArgs) -> PolicySpec {
+    PolicySpec::new(algorithm).with_scan(args.scan)
+}
+
+/// Train the production-style GBDT predictor for a pool.
+///
+/// Deprecated shim: delegates to
+/// [`lava_sim::experiment::train_gbdt_predictor`].
 pub fn train_gbdt_predictor(pool: &PoolConfig, gbdt: GbdtConfig) -> GbdtPredictor {
-    let mut historical = pool.clone();
-    historical.seed = pool.seed.wrapping_add(0x5eed);
-    historical.duration = lava_core::time::Duration::from_days(7);
-    let trace = WorkloadGenerator::new(historical).generate();
-    let mut builder = DatasetBuilder::new();
-    builder.extend(trace.observations());
-    let dataset = builder.build();
-    GbdtPredictor::train(gbdt, &dataset)
+    lava_sim::experiment::train_gbdt_predictor(pool, gbdt)
 }
 
 /// Build the predictor for a run on a given pool.
+///
+/// Deprecated shim: prefer [`PredictorKind::spec`] +
+/// [`PredictorSpec::build`].
 pub fn build_predictor(
     kind: PredictorKind,
     pool: &PoolConfig,
@@ -57,11 +75,7 @@ pub fn build_predictor(
 ) -> Arc<dyn LifetimePredictor> {
     match kind {
         PredictorKind::Learned => Arc::new(train_gbdt_predictor(pool, gbdt)),
-        PredictorKind::Oracle => Arc::new(OraclePredictor::new()),
-        PredictorKind::Noisy(accuracy) => Arc::new(NoisyOraclePredictor::new(
-            accuracy as f64 / 100.0,
-            pool.seed ^ 0xab,
-        )),
+        _ => kind.spec().build(pool),
     }
 }
 
@@ -77,6 +91,10 @@ pub struct AlgorithmRun {
 }
 
 /// Run one algorithm over a pool's trace with the given predictor.
+///
+/// Deprecated shim over the legacy `Simulator` entry point; prefer
+/// [`Experiment::run`](lava_sim::experiment::Experiment::run) (e.g. with an
+/// A/B-split scenario when several algorithms share one trace).
 pub fn run_algorithm(
     pool: &PoolConfig,
     trace: &Trace,
@@ -113,6 +131,8 @@ pub fn report_row(label: &str, values: &[(&str, f64)]) -> String {
 mod tests {
     use super::*;
     use lava_core::time::Duration;
+    use lava_sched::policy::CandidateScan;
+    use lava_sim::experiment::Experiment;
 
     fn tiny_pool() -> PoolConfig {
         PoolConfig {
@@ -123,11 +143,17 @@ mod tests {
     }
 
     #[test]
-    fn predictor_kinds_build() {
+    fn predictor_kinds_map_to_specs() {
         let pool = tiny_pool();
         assert_eq!(PredictorKind::Learned.label(), "model");
         assert_eq!(PredictorKind::Oracle.label(), "oracle");
         assert_eq!(PredictorKind::Noisy(80).label(), "noisy-80");
+        assert_eq!(PredictorKind::Learned.spec(), PredictorSpec::Learned);
+        assert_eq!(PredictorKind::Oracle.spec(), PredictorSpec::Oracle);
+        assert_eq!(
+            PredictorKind::Noisy(50).spec(),
+            PredictorSpec::Noisy { accuracy_pct: 50 }
+        );
         let oracle = build_predictor(PredictorKind::Oracle, &pool, GbdtConfig::fast());
         assert_eq!(oracle.name(), "oracle");
         let noisy = build_predictor(PredictorKind::Noisy(50), &pool, GbdtConfig::fast());
@@ -135,26 +161,33 @@ mod tests {
     }
 
     #[test]
-    fn algorithm_run_and_improvement() {
-        let pool = tiny_pool();
-        let trace = WorkloadGenerator::new(pool.clone()).generate();
-        let sim_config = SimulationConfig {
-            warmup: Duration::from_hours(6),
-            ..SimulationConfig::default()
+    fn policy_spec_threads_scan_flag() {
+        let args = ExperimentArgs {
+            scan: CandidateScan::Linear,
+            ..ExperimentArgs::default()
         };
-        let oracle: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
-        let baseline = run_algorithm(
-            &pool,
-            &trace,
-            Algorithm::Baseline,
-            oracle.clone(),
-            &sim_config,
-        );
-        let nilas = run_algorithm(&pool, &trace, Algorithm::Nilas, oracle, &sim_config);
-        let pp = improvement_pp(&nilas.result, &baseline.result);
+        let spec = policy_spec(Algorithm::Nilas, &args);
+        assert_eq!(spec.scan, CandidateScan::Linear);
+        assert_eq!(spec.algorithm, Algorithm::Nilas);
+    }
+
+    #[test]
+    fn ab_experiment_replaces_algorithm_sweep() {
+        let pool = tiny_pool();
+        let args = ExperimentArgs::default();
+        let report = Experiment::builder()
+            .workload(pool)
+            .warmup(Duration::from_hours(6))
+            .ab_arms(vec![
+                policy_spec(Algorithm::Baseline, &args),
+                policy_spec(Algorithm::Nilas, &args),
+            ])
+            .run()
+            .expect("valid spec");
+        let pp = improvement_pp(&report.result, &report.arms[0].result);
         assert!(pp.is_finite());
-        assert_eq!(baseline.algorithm, Algorithm::Baseline);
-        assert_eq!(nilas.predictor, "oracle");
+        assert_eq!(report.arms[1].label, "nilas");
+        assert_eq!(report.result.predictor, "oracle");
     }
 
     #[test]

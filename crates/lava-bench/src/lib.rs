@@ -15,5 +15,5 @@ pub mod harness;
 
 pub use args::ExperimentArgs;
 pub use harness::{
-    improvement_pp, run_algorithm, train_gbdt_predictor, AlgorithmRun, PredictorKind,
+    improvement_pp, policy_spec, run_algorithm, train_gbdt_predictor, AlgorithmRun, PredictorKind,
 };

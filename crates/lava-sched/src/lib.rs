@@ -59,11 +59,12 @@ pub mod scheduler;
 pub mod scoring;
 
 use lava_model::predictor::LifetimePredictor;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// The scheduling algorithms compared throughout the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     /// Lifetime-agnostic Best Fit.
     BestFit,

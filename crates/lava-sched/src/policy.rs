@@ -11,8 +11,10 @@ use lava_core::error::CoreError;
 use lava_core::host::HostId;
 use lava_core::time::SimTime;
 use lava_core::vm::{Vm, VmId};
+use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 
 /// How a policy enumerates candidate hosts in `choose_host`.
 ///
@@ -22,7 +24,7 @@ use std::fmt;
 /// pool's candidate indexes (state/class buckets, occupancy sets, the
 /// exit-time order) and early-exits at the first preference level or
 /// temporal-cost bucket that cannot be improved on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum CandidateScan {
     /// Use the incremental candidate indexes (the default).
     #[default]
@@ -30,6 +32,27 @@ pub enum CandidateScan {
     /// Score every feasible host with a full linear scan (reference
     /// implementation, kept for parity tests and benchmarks).
     Linear,
+}
+
+impl FromStr for CandidateScan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CandidateScan, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "indexed" => Ok(CandidateScan::Indexed),
+            "linear" => Ok(CandidateScan::Linear),
+            other => Err(format!("unknown scan mode `{other}` (indexed|linear)")),
+        }
+    }
+}
+
+impl fmt::Display for CandidateScan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CandidateScan::Indexed => write!(f, "indexed"),
+            CandidateScan::Linear => write!(f, "linear"),
+        }
+    }
 }
 
 /// Cache-effort counters produced by exit-time cache operations, absorbed

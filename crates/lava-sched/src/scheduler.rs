@@ -13,11 +13,12 @@ use lava_core::host::HostId;
 use lava_core::time::SimTime;
 use lava_core::vm::{Vm, VmId};
 use lava_model::predictor::LifetimePredictor;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Counters describing what the scheduler did; consumed by the simulator's
 /// metric collection.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedulerStats {
     /// VMs successfully placed.
     pub placed: u64,
@@ -29,12 +30,63 @@ pub struct SchedulerStats {
     pub migrations: u64,
 }
 
+/// One scheduler action, emitted on the scheduler's event stream when event
+/// logging is enabled (see [`Scheduler::enable_event_log`]).
+///
+/// The stream is how external observers (the `lava-sim` experiment loop's
+/// `SimObserver`s) learn about placements, rejections, exits and live
+/// migrations without the scheduler knowing anything about metric
+/// collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerEvent {
+    /// A VM was placed on a host.
+    Placed {
+        /// The placed VM.
+        vm: VmId,
+        /// The chosen host.
+        host: HostId,
+        /// When the placement happened.
+        at: SimTime,
+    },
+    /// A VM placement request found no feasible host.
+    Rejected {
+        /// The VM that could not be placed.
+        vm: VmId,
+        /// When the request was rejected.
+        at: SimTime,
+    },
+    /// A VM exited from a host.
+    Exited {
+        /// The VM that exited.
+        vm: VmId,
+        /// The host it was on.
+        host: HostId,
+        /// When the exit was processed.
+        at: SimTime,
+    },
+    /// A VM was live-migrated between hosts.
+    Migrated {
+        /// The migrated VM.
+        vm: VmId,
+        /// The source host.
+        from: HostId,
+        /// The target host.
+        to: HostId,
+        /// When the migration happened.
+        at: SimTime,
+    },
+}
+
 /// The scheduling driver.
 pub struct Scheduler {
     cluster: Cluster,
     policy: Box<dyn PlacementPolicy>,
     predictor: Arc<dyn LifetimePredictor>,
     stats: SchedulerStats,
+    /// Event stream buffer; populated only while event logging is enabled
+    /// so the hot path stays allocation-free by default.
+    events: Vec<SchedulerEvent>,
+    log_events: bool,
 }
 
 impl Scheduler {
@@ -50,6 +102,36 @@ impl Scheduler {
             policy,
             predictor,
             stats: SchedulerStats::default(),
+            events: Vec::new(),
+            log_events: false,
+        }
+    }
+
+    /// Start recording [`SchedulerEvent`]s. Events accumulate until drained
+    /// with [`Scheduler::take_events`]; logging is off by default so plain
+    /// scheduling pays no bookkeeping cost.
+    pub fn enable_event_log(&mut self) {
+        self.log_events = true;
+    }
+
+    /// Drain and return the events recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<SchedulerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drain the recorded events by swapping them into `buffer` (which must
+    /// be empty). Callers that drain once per trace event reuse one scratch
+    /// buffer this way, keeping the replay loop allocation-free in steady
+    /// state — `take_events` would leave a zero-capacity `Vec` behind and
+    /// force a reallocation on the next push.
+    pub fn swap_events(&mut self, buffer: &mut Vec<SchedulerEvent>) {
+        debug_assert!(buffer.is_empty(), "swap_events expects a drained buffer");
+        std::mem::swap(&mut self.events, buffer);
+    }
+
+    fn record(&mut self, event: SchedulerEvent) {
+        if self.log_events {
+            self.events.push(event);
         }
     }
 
@@ -103,12 +185,18 @@ impl Scheduler {
         let vm_id = vm.id();
         let Some(host) = self.policy.choose_host(&self.cluster, &vm, now, None) else {
             self.stats.failed += 1;
+            self.record(SchedulerEvent::Rejected { vm: vm_id, at: now });
             return Err(ScheduleError::NoFeasibleHost { vm: vm_id });
         };
         self.cluster.place(vm, host)?;
         self.policy
             .on_vm_placed(&mut self.cluster, vm_id, host, now);
         self.stats.placed += 1;
+        self.record(SchedulerEvent::Placed {
+            vm: vm_id,
+            host,
+            at: now,
+        });
         Ok(host)
     }
 
@@ -122,6 +210,7 @@ impl Scheduler {
         let (_, host) = self.cluster.remove(vm)?;
         self.policy.on_vm_exited(&mut self.cluster, host, now);
         self.stats.exited += 1;
+        self.record(SchedulerEvent::Exited { vm, host, at: now });
         Ok(host)
     }
 
@@ -150,6 +239,12 @@ impl Scheduler {
         self.policy.on_vm_exited(&mut self.cluster, source, now);
         self.policy.on_vm_placed(&mut self.cluster, vm, target, now);
         self.stats.migrations += 1;
+        self.record(SchedulerEvent::Migrated {
+            vm,
+            from: source,
+            to: target,
+            at: now,
+        });
         Ok(source)
     }
 }
@@ -238,6 +333,48 @@ mod tests {
         assert_eq!(from, source);
         assert_eq!(s.stats().migrations, 1);
         assert_eq!(s.cluster().vm(VmId(2)).unwrap().host(), Some(target));
+    }
+
+    #[test]
+    fn event_log_records_lifecycle_when_enabled() {
+        let mut s = scheduler(Box::new(WasteMinimizationPolicy::new()));
+        // Disabled by default: nothing is recorded.
+        s.schedule(vm(1, 5), SimTime::ZERO).unwrap();
+        assert!(s.take_events().is_empty());
+
+        s.enable_event_log();
+        let host = s.schedule(vm(2, 5), SimTime::ZERO).unwrap();
+        let exit_at = SimTime::ZERO + Duration::from_hours(5);
+        s.exit(VmId(2), exit_at).unwrap();
+        let huge = Vm::new(
+            VmId(3),
+            VmSpec::builder(Resources::cores_gib(128, 512)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(1),
+        );
+        let _ = s.schedule(huge, exit_at);
+        let events = s.take_events();
+        assert_eq!(
+            events,
+            vec![
+                SchedulerEvent::Placed {
+                    vm: VmId(2),
+                    host,
+                    at: SimTime::ZERO
+                },
+                SchedulerEvent::Exited {
+                    vm: VmId(2),
+                    host,
+                    at: exit_at
+                },
+                SchedulerEvent::Rejected {
+                    vm: VmId(3),
+                    at: exit_at
+                },
+            ]
+        );
+        // Draining resets the buffer.
+        assert!(s.take_events().is_empty());
     }
 
     #[test]

@@ -9,18 +9,21 @@
 //! migrations are saved. LARS maximises the savings by migrating the VMs
 //! with the longest predicted remaining lifetime first.
 //!
-//! This module has two parts:
+//! This module has three parts:
 //!
-//! * [`collect_evacuations`] replays a trace with a scheduler and records,
-//!   every time the empty-host fraction drops below a threshold, the hosts
-//!   that the defragmenter would drain together with each VM's remaining
-//!   lifetime at that moment;
-//! * [`simulate_migration_queue`] evaluates a migration *ordering* against
-//!   the recorded evacuation tasks and counts how many migrations actually
-//!   had to be performed.
+//! * [`EvacuationCollector`] — a [`SimObserver`] that, on the experiment
+//!   loop's tick cadence, records the hosts a drain-based defragmenter
+//!   would evacuate (with each VM's remaining lifetime at that moment)
+//!   whenever the empty-host fraction drops below a threshold;
+//! * [`collect_evacuations`] — the legacy entry point, now a thin shim
+//!   that runs the collector through the unified experiment loop;
+//! * [`simulate_migration_queue`] — evaluates a migration *ordering*
+//!   against the recorded evacuation tasks and counts how many migrations
+//!   actually had to be performed.
 
+use crate::experiment::{drive, DriveTiming};
+use crate::observer::{ObserverContext, SimObserver};
 use crate::trace::Trace;
-use lava_core::events::TraceEventKind;
 use lava_core::host::{HostId, HostSpec};
 use lava_core::pool::{Pool, PoolId};
 use lava_core::time::{Duration, SimTime};
@@ -30,7 +33,6 @@ use lava_sched::cluster::Cluster;
 use lava_sched::scheduler::Scheduler;
 use lava_sched::Algorithm;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// One VM that needs to be evacuated from a host being drained.
@@ -78,12 +80,121 @@ impl Default for DefragConfig {
     }
 }
 
+/// A [`SimObserver`] that records the evacuation tasks a drain-based
+/// defragmenter would generate.
+///
+/// On every tick at or past the trigger cadence it checks the pool's
+/// empty-host fraction; below the threshold it picks the non-empty hosts
+/// with the most excess (free) resources as drain candidates (§4.4) and
+/// records each candidate's VMs with their actual and predicted remaining
+/// lifetimes. The pool itself is not mutated — the recorded tasks feed
+/// [`simulate_migration_queue`].
+#[derive(Debug, Clone)]
+pub struct EvacuationCollector {
+    empty_host_threshold: f64,
+    hosts_per_trigger: usize,
+    trigger_interval: Duration,
+    next_trigger: SimTime,
+    tasks: Vec<EvacuationTask>,
+}
+
+impl EvacuationCollector {
+    /// Create a collector that triggers at most every `trigger_interval`
+    /// when the empty-host fraction is below `empty_host_threshold`,
+    /// draining `hosts_per_trigger` hosts per trigger.
+    pub fn new(
+        empty_host_threshold: f64,
+        hosts_per_trigger: usize,
+        trigger_interval: Duration,
+    ) -> EvacuationCollector {
+        EvacuationCollector {
+            empty_host_threshold,
+            hosts_per_trigger,
+            trigger_interval,
+            next_trigger: SimTime::ZERO + trigger_interval,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The tasks recorded so far.
+    pub fn tasks(&self) -> &[EvacuationTask] {
+        &self.tasks
+    }
+
+    /// Consume the collector, yielding the recorded tasks.
+    pub fn into_tasks(self) -> Vec<EvacuationTask> {
+        self.tasks
+    }
+}
+
+impl SimObserver for EvacuationCollector {
+    fn on_tick(&mut self, ctx: &ObserverContext<'_>) {
+        if ctx.now < self.next_trigger {
+            return;
+        }
+        self.next_trigger = ctx.now + self.trigger_interval;
+        let pool = ctx.cluster.pool();
+        if pool.empty_host_fraction() >= self.empty_host_threshold {
+            return;
+        }
+        // Pick the non-empty hosts with the most excess (free) resources as
+        // drain candidates (§4.4), walking the pool's free-capacity order
+        // (emptiest first) instead of sorting all hosts. Hosts tying on
+        // free CPU are all collected so the fewest-VMs-then-id tiebreak
+        // matches a full sort.
+        let mut candidates: Vec<(u64, usize, HostId)> = Vec::new();
+        for h in pool
+            .hosts_by_free()
+            .rev()
+            .filter(|h| !h.is_empty() && !h.is_unavailable())
+        {
+            let free_cpu = h.free().cpu_milli;
+            // Descending order: once k hosts are collected, a host with
+            // strictly less free CPU cannot reach the top k, but ties at
+            // the boundary still can (vm_count decides).
+            if candidates.len() >= self.hosts_per_trigger
+                && candidates.last().is_some_and(|&(cpu, _, _)| free_cpu < cpu)
+            {
+                break;
+            }
+            candidates.push((free_cpu, h.vm_count(), h.id()));
+        }
+        candidates.sort_by_key(|&(cpu, vms, id)| (std::cmp::Reverse(cpu), vms, id));
+        for (_, _, host_id) in candidates.into_iter().take(self.hosts_per_trigger) {
+            let host = ctx.cluster.host(host_id).expect("host exists");
+            let vms: Vec<EvacuationVm> = host
+                .vm_ids()
+                .filter_map(|id| ctx.cluster.vm(id).cloned())
+                .map(|vm: Vm| EvacuationVm {
+                    vm: vm.id(),
+                    actual_remaining: vm.actual_remaining(ctx.now),
+                    predicted_remaining: ctx.predictor.predict_remaining(&vm, ctx.now),
+                })
+                .collect();
+            if !vms.is_empty() {
+                self.tasks.push(EvacuationTask {
+                    start: ctx.now,
+                    vms,
+                });
+            }
+        }
+    }
+}
+
 /// Replay `trace` with the configured algorithm and record the evacuation
 /// tasks the defragmenter would generate.
 ///
-/// The defragmenter prefers hosts with few VMs and high free resources
-/// (§4.4) and, like production, does not drain the same host twice in a
-/// row within one trigger.
+/// Deprecated shim: runs an [`EvacuationCollector`] through the unified
+/// experiment loop ([`crate::experiment::drive`]); prefer
+/// [`Scenario::Defrag`](crate::experiment::Scenario) via
+/// [`Experiment::run`](crate::experiment::Experiment::run).
+///
+/// Two semantics changed relative to the pre-experiment-API
+/// implementation: drain triggers are now checked on the loop's 5-minute
+/// tick cadence rather than at every trace event (trigger times shift by
+/// up to one tick), and — because the unified loop always ticks — policies
+/// with tick-driven behaviour (LAVA's deadline corrections) now run those
+/// corrections during collection, where the legacy loop never ticked.
 pub fn collect_evacuations(
     trace: &Trace,
     hosts: usize,
@@ -94,76 +205,25 @@ pub fn collect_evacuations(
     let pool = Pool::with_uniform_hosts(PoolId(trace.pool().0), hosts, host_spec);
     let cluster = Cluster::new(pool);
     let policy = config.algorithm.build_policy(predictor.clone());
-    let mut scheduler = Scheduler::new(cluster, policy, predictor.clone());
+    let mut scheduler = Scheduler::new(cluster, policy, predictor);
 
-    let mut tasks = Vec::new();
-    let mut rejected: BTreeSet<VmId> = BTreeSet::new();
-    let mut next_trigger = SimTime::ZERO + config.trigger_interval;
-
-    for event in trace.events() {
-        if event.time >= next_trigger {
-            next_trigger = event.time + config.trigger_interval;
-            let pool = scheduler.cluster().pool();
-            if pool.empty_host_fraction() < config.empty_host_threshold {
-                // Pick the non-empty hosts with the most excess (free)
-                // resources as drain candidates (§4.4), walking the pool's
-                // free-capacity order (emptiest first) instead of sorting
-                // all hosts. Hosts tying on free CPU are all collected so
-                // the fewest-VMs-then-id tiebreak matches a full sort.
-                let mut candidates: Vec<(u64, usize, HostId)> = Vec::new();
-                for h in pool
-                    .hosts_by_free()
-                    .rev()
-                    .filter(|h| !h.is_empty() && !h.is_unavailable())
-                {
-                    let free_cpu = h.free().cpu_milli;
-                    // Descending order: once k hosts are collected, a host
-                    // with strictly less free CPU cannot reach the top k,
-                    // but ties at the boundary still can (vm_count decides).
-                    if candidates.len() >= config.hosts_per_trigger
-                        && candidates.last().is_some_and(|&(cpu, _, _)| free_cpu < cpu)
-                    {
-                        break;
-                    }
-                    candidates.push((free_cpu, h.vm_count(), h.id()));
-                }
-                candidates.sort_by_key(|&(cpu, vms, id)| (std::cmp::Reverse(cpu), vms, id));
-                for (_, _, host_id) in candidates.into_iter().take(config.hosts_per_trigger) {
-                    let host = scheduler.cluster().host(host_id).expect("host exists");
-                    let vms: Vec<EvacuationVm> = host
-                        .vm_ids()
-                        .filter_map(|id| scheduler.cluster().vm(id).cloned())
-                        .map(|vm: Vm| EvacuationVm {
-                            vm: vm.id(),
-                            actual_remaining: vm.actual_remaining(event.time),
-                            predicted_remaining: predictor.predict_remaining(&vm, event.time),
-                        })
-                        .collect();
-                    if !vms.is_empty() {
-                        tasks.push(EvacuationTask {
-                            start: event.time,
-                            vms,
-                        });
-                    }
-                }
-            }
-        }
-
-        match &event.kind {
-            TraceEventKind::Create { vm, spec, lifetime } => {
-                let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
-                if scheduler.schedule(record, event.time).is_err() {
-                    rejected.insert(*vm);
-                }
-            }
-            TraceEventKind::Exit { vm } => {
-                if !rejected.remove(vm) {
-                    let _ = scheduler.exit(*vm, event.time);
-                }
-            }
-        }
+    let timing = DriveTiming {
+        warmup: Duration::ZERO,
+        warmup_with_baseline: false,
+        tick_interval: Duration::from_mins(5),
+        sample_interval: Duration::from_hours(1),
+        sample_during_warmup: false,
+    };
+    let mut collector = EvacuationCollector::new(
+        config.empty_host_threshold,
+        config.hosts_per_trigger,
+        config.trigger_interval,
+    );
+    {
+        let mut observers: Vec<&mut dyn SimObserver> = vec![&mut collector];
+        let _ = drive(trace, &mut scheduler, None, &timing, &mut observers);
     }
-    tasks
+    collector.into_tasks()
 }
 
 /// How migrations are ordered within one evacuation task.

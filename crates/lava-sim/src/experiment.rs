@@ -1,0 +1,1481 @@
+//! The declarative experiment API.
+//!
+//! Every result in the paper is a variation of one loop: a **workload**
+//! replayed against a **policy** driven by a **predictor** under some
+//! **scenario**, with metrics sampled on a cadence. This module makes that
+//! loop declarative:
+//!
+//! * [`ExperimentSpec`] — a serde-serializable description of a run
+//!   (workload, predictor, policy incl. candidate-scan mode, scenario,
+//!   horizon/seed via the workload, sample cadence). Specs round-trip
+//!   through JSON, so an experiment can be stored, diffed and replayed
+//!   bit-identically.
+//! * [`ExperimentBuilder`] — a fluent builder over the spec.
+//! * [`Experiment::run`] — the single entry point that subsumes the former
+//!   ad-hoc drivers (`Simulator::run`, `run_with_policy` and the per-module
+//!   A/B / causal / defrag / stranding wiring). Metric collection is
+//!   composed from [`SimObserver`]s; the loop itself lives in [`drive`].
+//!
+//! # Example
+//!
+//! ```
+//! use lava_sched::Algorithm;
+//! use lava_sim::experiment::Experiment;
+//!
+//! let report = Experiment::builder()
+//!     .hosts(24)
+//!     .duration(lava_core::time::Duration::from_days(2))
+//!     .seed(7)
+//!     .algorithm(Algorithm::Nilas)
+//!     .run()
+//!     .expect("valid spec");
+//! assert!(report.result.mean_empty_host_fraction() >= 0.0);
+//! ```
+
+use crate::ab::{paired_comparison, AbResult};
+use crate::causal::{causal_impact, CausalConfig, CausalImpactReport};
+use crate::defrag::{simulate_migration_queue, EvacuationCollector, MigrationOrder};
+use crate::observer::{MetricRecorder, ObserverContext, SimObserver, StrandingProbe};
+use crate::recording::{PredictionRecord, RecordingPredictor};
+use crate::simulator::SimulationResult;
+use crate::stranding::InflationMix;
+use crate::trace::Trace;
+use crate::workload::{PoolConfig, WorkloadGenerator};
+use lava_core::events::TraceEventKind;
+use lava_core::pool::{Pool, PoolId};
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::{Vm, VmId};
+use lava_model::dataset::DatasetBuilder;
+use lava_model::gbdt::GbdtConfig;
+use lava_model::predictor::{
+    GbdtPredictor, LifetimePredictor, NoisyOraclePredictor, OraclePredictor,
+};
+use lava_sched::cluster::Cluster;
+use lava_sched::la_binary::{LaBinaryConfig, LaBinaryPolicy};
+use lava_sched::lava::{LavaConfig, LavaPolicy};
+use lava_sched::nilas::{NilasConfig, NilasPolicy};
+use lava_sched::policy::{CandidateScan, PlacementPolicy};
+use lava_sched::scheduler::{Scheduler, SchedulerEvent};
+use lava_sched::Algorithm;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Which lifetime predictor drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorSpec {
+    /// Perfect (oracular) lifetimes.
+    Oracle,
+    /// The accuracy-dial noisy oracle of Appendix G.1.
+    Noisy {
+        /// Fraction of correctly predicted VMs, in percent (0–100).
+        accuracy_pct: u8,
+    },
+    /// The production-style GBDT, trained on a historical trace generated
+    /// from the same workload configuration with a shifted seed.
+    Learned,
+    /// As [`PredictorSpec::Learned`] but with the fast (small) GBDT
+    /// configuration — for smoke runs and tests.
+    LearnedFast,
+}
+
+impl PredictorSpec {
+    /// Short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            PredictorSpec::Oracle => "oracle".to_string(),
+            PredictorSpec::Noisy { accuracy_pct } => format!("noisy-{accuracy_pct}"),
+            PredictorSpec::Learned => "model".to_string(),
+            PredictorSpec::LearnedFast => "model-fast".to_string(),
+        }
+    }
+
+    /// Instantiate the predictor for a workload. Deterministic: the noisy
+    /// oracle's seed and the GBDT's training trace derive from the
+    /// workload's seed.
+    pub fn build(&self, workload: &PoolConfig) -> Arc<dyn LifetimePredictor> {
+        match self {
+            PredictorSpec::Oracle => Arc::new(OraclePredictor::new()),
+            PredictorSpec::Noisy { accuracy_pct } => Arc::new(NoisyOraclePredictor::new(
+                *accuracy_pct as f64 / 100.0,
+                workload.seed ^ 0xab,
+            )),
+            PredictorSpec::Learned => {
+                Arc::new(train_gbdt_predictor(workload, GbdtConfig::default()))
+            }
+            PredictorSpec::LearnedFast => {
+                Arc::new(train_gbdt_predictor(workload, GbdtConfig::fast()))
+            }
+        }
+    }
+}
+
+/// Train the production-style GBDT predictor on "historical" data for a
+/// workload: a separate trace generated from the same pool configuration
+/// but a shifted seed, mirroring the paper's train-on-the-warehouse /
+/// evaluate-on-live-traffic split.
+pub fn train_gbdt_predictor(workload: &PoolConfig, gbdt: GbdtConfig) -> GbdtPredictor {
+    let mut historical = workload.clone();
+    historical.seed = workload.seed.wrapping_add(0x5eed);
+    historical.duration = Duration::from_days(7);
+    let trace = WorkloadGenerator::new(historical).generate();
+    let mut builder = DatasetBuilder::new();
+    builder.extend(trace.observations());
+    GbdtPredictor::train(gbdt, &builder.build())
+}
+
+/// How the NILAS/LAVA host exit-time cache is configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CachePolicy {
+    /// The algorithm's default refresh interval.
+    #[default]
+    Default,
+    /// No caching: every scoring pass repredicts (forces the linear scan).
+    Disabled,
+    /// Refresh cached host exit times every N seconds.
+    RefreshSecs(u64),
+}
+
+/// A placement policy choice plus the knobs the ablations vary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// The algorithm family.
+    pub algorithm: Algorithm,
+    /// Candidate enumeration mode (indexed vs reference linear scan;
+    /// NILAS/LAVA only — the baselines and LA-Binary have a single scan).
+    pub scan: CandidateScan,
+    /// Exit-time cache configuration (NILAS/LAVA only).
+    pub cache: CachePolicy,
+    /// Whether repredictions are enabled (the Fig. 16 "no reprediction"
+    /// ablation sets this to `false`; NILAS/LAVA only).
+    pub repredict: bool,
+    /// Display label override (defaults to the algorithm name).
+    pub label: Option<String>,
+}
+
+impl PolicySpec {
+    /// A spec for `algorithm` with default knobs.
+    pub fn new(algorithm: Algorithm) -> PolicySpec {
+        PolicySpec {
+            algorithm,
+            scan: CandidateScan::default(),
+            cache: CachePolicy::Default,
+            repredict: true,
+            label: None,
+        }
+    }
+
+    /// Set the candidate scan mode.
+    pub fn with_scan(mut self, scan: CandidateScan) -> PolicySpec {
+        self.scan = scan;
+        self
+    }
+
+    /// Set the cache policy.
+    pub fn with_cache(mut self, cache: CachePolicy) -> PolicySpec {
+        self.cache = cache;
+        self
+    }
+
+    /// Disable repredictions (use only scheduling-time predictions).
+    pub fn without_reprediction(mut self) -> PolicySpec {
+        self.repredict = false;
+        self
+    }
+
+    /// Override the display label.
+    pub fn labeled(mut self, label: impl Into<String>) -> PolicySpec {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The name used in reports: the label if set, else the algorithm name.
+    pub fn display_name(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.algorithm.to_string())
+    }
+
+    fn nilas_config(&self) -> NilasConfig {
+        let defaults = NilasConfig::default();
+        NilasConfig {
+            cache_refresh: match self.cache {
+                CachePolicy::Default => defaults.cache_refresh,
+                CachePolicy::Disabled => None,
+                CachePolicy::RefreshSecs(secs) => Some(Duration::from_secs(secs)),
+            },
+            repredict: self.repredict,
+            scan: self.scan,
+            ..defaults
+        }
+    }
+
+    /// Instantiate the placement policy.
+    pub fn build(&self, predictor: Arc<dyn LifetimePredictor>) -> Box<dyn PlacementPolicy> {
+        match self.algorithm {
+            Algorithm::BestFit => Box::new(lava_sched::baseline::BestFitPolicy::new()),
+            Algorithm::Baseline => Box::new(lava_sched::baseline::WasteMinimizationPolicy::new()),
+            Algorithm::LaBinary => {
+                Box::new(LaBinaryPolicy::new(predictor, LaBinaryConfig::default()))
+            }
+            Algorithm::Nilas => Box::new(NilasPolicy::new(predictor, self.nilas_config())),
+            Algorithm::Lava => Box::new(LavaPolicy::new(
+                predictor,
+                LavaConfig {
+                    nilas: self.nilas_config(),
+                    ..LavaConfig::default()
+                },
+            )),
+        }
+    }
+}
+
+/// Which experiment shape a run follows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Steady state: warm-up under the production baseline, then the
+    /// evaluated policy; metrics sampled post-warm-up (the Fig. 6 setting).
+    SteadyState,
+    /// Cold start (Appendix G.2): the evaluated policy controls every
+    /// placement from the first VM; no warm-up.
+    ColdStart,
+    /// Whole-pool pre/post rollout: the pool runs the baseline until the
+    /// warm-up boundary, then switches to the evaluated policy; a baseline
+    /// control run and a CausalImpact-style analysis on the
+    /// treated-minus-control series are produced (Fig. 7 / Table 1 "All").
+    PrePost,
+    /// A/B split: every arm replays the same trace steady-state style; arm
+    /// 0 is the control and each later arm is compared against it with a
+    /// paired test (Table 1 "A/B").
+    AbSplit {
+        /// The arms; must not be empty. Arm 0 is the control.
+        arms: Vec<PolicySpec>,
+    },
+    /// Defragmentation / maintenance (§4.4, Table 2): replay with the
+    /// evaluated policy, record the evacuation tasks a drain-based
+    /// defragmenter would generate and evaluate baseline vs LARS migration
+    /// orderings on them.
+    Defrag {
+        /// Drain hosts when the empty-host fraction falls below this.
+        empty_host_threshold: f64,
+        /// Hosts drained per trigger.
+        hosts_per_trigger: usize,
+        /// Minimum interval between triggers.
+        trigger_interval: Duration,
+        /// Pool-wide concurrent live-migration slots.
+        concurrent_slots: usize,
+        /// Duration of one live migration.
+        migration_duration: Duration,
+    },
+    /// Steady state plus the stranding inflation pipeline every N samples
+    /// (§2.3).
+    Stranding {
+        /// Probe cadence in samples; must be non-zero (validated).
+        every_samples: usize,
+    },
+}
+
+/// The sampling cadence of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cadence {
+    /// Length of the warm-up phase (also the switch point of
+    /// [`Scenario::PrePost`]). Ignored by [`Scenario::ColdStart`].
+    pub warmup: Duration,
+    /// Interval between policy ticks (deadline checks).
+    pub tick_interval: Duration,
+    /// Interval between metric samples.
+    pub sample_interval: Duration,
+}
+
+impl Default for Cadence {
+    fn default() -> Self {
+        Cadence {
+            warmup: Duration::from_days(2),
+            tick_interval: Duration::from_mins(5),
+            sample_interval: Duration::from_hours(1),
+        }
+    }
+}
+
+/// A declarative, serializable description of one experiment.
+///
+/// The horizon is `workload.duration` and the seed is `workload.seed`; a
+/// spec plus the code version fully determines the outcome, so serialising
+/// a spec to JSON and re-running it reproduces identical results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Human-readable experiment name (used in reports).
+    pub name: String,
+    /// The synthetic workload (pool shape, mix, duration, seed).
+    pub workload: PoolConfig,
+    /// The lifetime predictor.
+    pub predictor: PredictorSpec,
+    /// The evaluated policy. Under [`Scenario::AbSplit`] the arms replace
+    /// this field.
+    pub policy: PolicySpec,
+    /// The experiment shape.
+    pub scenario: Scenario,
+    /// Warm-up / tick / sample cadence.
+    pub cadence: Cadence,
+    /// Record every lifetime prediction (with ground truth) made during the
+    /// primary run and return them in the report (Fig. 12's error
+    /// analysis). Under `AbSplit` only the final arm records.
+    pub record_predictions: bool,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            name: "experiment".to_string(),
+            workload: PoolConfig::default(),
+            predictor: PredictorSpec::Oracle,
+            policy: PolicySpec::new(Algorithm::Baseline),
+            scenario: Scenario::SteadyState,
+            cadence: Cadence::default(),
+            record_predictions: false,
+        }
+    }
+}
+
+/// Validation errors for [`ExperimentSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The workload has no hosts.
+    ZeroHosts,
+    /// The workload duration (experiment horizon) is zero.
+    ZeroHorizon,
+    /// The workload has no VM categories.
+    EmptyWorkloadMix,
+    /// The A/B scenario has no arms.
+    EmptyAbArms,
+    /// The tick interval is zero.
+    ZeroTickInterval,
+    /// The sample interval is zero.
+    ZeroSampleInterval,
+    /// The noisy-oracle accuracy is above 100 %.
+    AccuracyOutOfRange,
+    /// The defrag scenario has no migration slots.
+    ZeroMigrationSlots,
+    /// The defrag scenario drains zero hosts per trigger (it would run the
+    /// whole simulation and record no evacuations).
+    ZeroDrainHosts,
+    /// The stranding scenario has a zero probe cadence (it would run the
+    /// whole simulation and measure nothing).
+    ZeroStrandingCadence,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroHosts => write!(f, "workload must have at least one host"),
+            SpecError::ZeroHorizon => write!(f, "workload duration (horizon) must be non-zero"),
+            SpecError::EmptyWorkloadMix => {
+                write!(f, "workload must have at least one VM category")
+            }
+            SpecError::EmptyAbArms => write!(f, "A/B scenario needs at least one arm"),
+            SpecError::ZeroTickInterval => write!(f, "tick interval must be non-zero"),
+            SpecError::ZeroSampleInterval => write!(f, "sample interval must be non-zero"),
+            SpecError::AccuracyOutOfRange => {
+                write!(f, "noisy-oracle accuracy must be at most 100 %")
+            }
+            SpecError::ZeroMigrationSlots => {
+                write!(f, "defrag scenario needs at least one migration slot")
+            }
+            SpecError::ZeroDrainHosts => {
+                write!(
+                    f,
+                    "defrag scenario must drain at least one host per trigger"
+                )
+            }
+            SpecError::ZeroStrandingCadence => {
+                write!(f, "stranding scenario needs a non-zero probe cadence")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+impl ExperimentSpec {
+    /// Start building a spec fluently.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::new()
+    }
+
+    /// Check the spec for configurations that cannot produce a meaningful
+    /// run.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.workload.hosts == 0 {
+            return Err(SpecError::ZeroHosts);
+        }
+        if self.workload.duration.is_zero() {
+            return Err(SpecError::ZeroHorizon);
+        }
+        if self.workload.categories.is_empty() {
+            return Err(SpecError::EmptyWorkloadMix);
+        }
+        if self.cadence.tick_interval.is_zero() {
+            return Err(SpecError::ZeroTickInterval);
+        }
+        if self.cadence.sample_interval.is_zero() {
+            return Err(SpecError::ZeroSampleInterval);
+        }
+        if let PredictorSpec::Noisy { accuracy_pct } = self.predictor {
+            if accuracy_pct > 100 {
+                return Err(SpecError::AccuracyOutOfRange);
+            }
+        }
+        match &self.scenario {
+            Scenario::AbSplit { arms } if arms.is_empty() => return Err(SpecError::EmptyAbArms),
+            Scenario::Defrag {
+                concurrent_slots, ..
+            } if *concurrent_slots == 0 => return Err(SpecError::ZeroMigrationSlots),
+            Scenario::Defrag {
+                hosts_per_trigger, ..
+            } if *hosts_per_trigger == 0 => return Err(SpecError::ZeroDrainHosts),
+            Scenario::Stranding { every_samples } if *every_samples == 0 => {
+                return Err(SpecError::ZeroStrandingCadence)
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Serialise the spec as pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a spec from JSON (does not validate; call
+    /// [`ExperimentSpec::validate`] or [`Experiment::new`]).
+    pub fn from_json(json: &str) -> Result<ExperimentSpec, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Generate the workload trace this spec describes (deterministic in
+    /// the workload seed).
+    pub fn generate_trace(&self) -> Trace {
+        WorkloadGenerator::new(self.workload.clone()).generate()
+    }
+}
+
+/// Fluent builder over [`ExperimentSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentBuilder {
+    /// Start from the default spec (default workload, oracle predictor,
+    /// baseline policy, steady-state scenario).
+    pub fn new() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// Set the experiment name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Replace the whole workload configuration.
+    pub fn workload(mut self, workload: PoolConfig) -> Self {
+        self.spec.workload = workload;
+        self
+    }
+
+    /// Set the number of hosts.
+    pub fn hosts(mut self, hosts: usize) -> Self {
+        self.spec.workload.hosts = hosts;
+        self
+    }
+
+    /// Set the trace duration (the experiment horizon).
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.spec.workload.duration = duration;
+        self
+    }
+
+    /// Set the workload RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.workload.seed = seed;
+        self
+    }
+
+    /// Set the target steady-state utilisation.
+    pub fn target_utilization(mut self, target: f64) -> Self {
+        self.spec.workload.target_utilization = target;
+        self
+    }
+
+    /// Choose the predictor.
+    pub fn predictor(mut self, predictor: PredictorSpec) -> Self {
+        self.spec.predictor = predictor;
+        self
+    }
+
+    /// Choose the evaluated algorithm (with default policy knobs).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.spec.policy = PolicySpec::new(algorithm);
+        self
+    }
+
+    /// Replace the whole policy spec.
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// Set the candidate-scan mode on the policy.
+    pub fn scan(mut self, scan: CandidateScan) -> Self {
+        self.spec.policy.scan = scan;
+        self
+    }
+
+    /// Set the cache policy on the policy.
+    pub fn cache(mut self, cache: CachePolicy) -> Self {
+        self.spec.policy.cache = cache;
+        self
+    }
+
+    /// Enable or disable repredictions on the policy.
+    pub fn repredict(mut self, repredict: bool) -> Self {
+        self.spec.policy.repredict = repredict;
+        self
+    }
+
+    /// Set the scenario directly.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.spec.scenario = scenario;
+        self
+    }
+
+    /// Use the cold-start scenario (no warm-up).
+    pub fn cold_start(self) -> Self {
+        self.scenario(Scenario::ColdStart)
+    }
+
+    /// Use the whole-pool pre/post rollout scenario, switching policies at
+    /// the warm-up boundary.
+    pub fn pre_post(self) -> Self {
+        self.scenario(Scenario::PrePost)
+    }
+
+    /// Use the A/B scenario with the given arms (arm 0 is the control).
+    pub fn ab_arms(self, arms: Vec<PolicySpec>) -> Self {
+        self.scenario(Scenario::AbSplit { arms })
+    }
+
+    /// Enable stranding probes every `every_samples` samples.
+    pub fn stranding_every(self, every_samples: usize) -> Self {
+        self.scenario(Scenario::Stranding { every_samples })
+    }
+
+    /// Set the warm-up duration.
+    pub fn warmup(mut self, warmup: Duration) -> Self {
+        self.spec.cadence.warmup = warmup;
+        self
+    }
+
+    /// Set the tick interval.
+    pub fn tick_interval(mut self, interval: Duration) -> Self {
+        self.spec.cadence.tick_interval = interval;
+        self
+    }
+
+    /// Set the metric sample interval.
+    pub fn sample_interval(mut self, interval: Duration) -> Self {
+        self.spec.cadence.sample_interval = interval;
+        self
+    }
+
+    /// Record predictions made during the primary run.
+    pub fn record_predictions(mut self, record: bool) -> Self {
+        self.spec.record_predictions = record;
+        self
+    }
+
+    /// Validate and return the spec.
+    pub fn build(self) -> Result<ExperimentSpec, SpecError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+
+    /// Validate, build and run the experiment in one call.
+    pub fn run(self) -> Result<ExperimentReport, SpecError> {
+        Ok(Experiment::new(self.build()?)?.run())
+    }
+}
+
+/// One A/B arm's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmReport {
+    /// The arm's display label.
+    pub label: String,
+    /// The arm's simulation result.
+    pub result: SimulationResult,
+    /// Paired comparison against arm 0 (`None` for the control itself).
+    pub vs_control: Option<AbResult>,
+}
+
+/// Defragmentation scenario outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefragReport {
+    /// Number of host-drain events recorded.
+    pub drain_events: usize,
+    /// Total VM evacuations scheduled across all drains.
+    pub evacuated_vms: usize,
+    /// Migration-queue outcome with the production (host) ordering.
+    pub baseline: crate::defrag::MigrationOutcome,
+    /// Migration-queue outcome with LARS ordering.
+    pub lars: crate::defrag::MigrationOutcome,
+}
+
+impl DefragReport {
+    /// Fraction of baseline migrations LARS avoided.
+    pub fn reduction(&self) -> f64 {
+        self.lars.reduction_vs(&self.baseline)
+    }
+}
+
+/// Everything an experiment produced, assembled from observers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// The spec's name.
+    pub name: String,
+    /// The primary run's result (under `AbSplit`, the final arm's).
+    pub result: SimulationResult,
+    /// The control run's result (`PrePost` control, or arm 0 when the
+    /// scenario has more than one arm).
+    pub control: Option<SimulationResult>,
+    /// Per-arm outcomes (`AbSplit` only; empty otherwise).
+    pub arms: Vec<ArmReport>,
+    /// Causal analysis of the pre/post rollout (`PrePost` only).
+    pub causal: Option<CausalImpactReport>,
+    /// Defragmentation outcome (`Defrag` only).
+    pub defrag: Option<DefragReport>,
+    /// Recorded predictions, when `record_predictions` was set.
+    pub predictions: Vec<PredictionRecord>,
+}
+
+impl ExperimentReport {
+    /// Look up an arm by label.
+    pub fn arm(&self, label: &str) -> Option<&ArmReport> {
+        self.arms.iter().find(|a| a.label == label)
+    }
+
+    /// Empty-host improvement of the primary result over the control, in
+    /// percentage points (positive = primary leaves more empty hosts).
+    pub fn improvement_pp(&self) -> Option<f64> {
+        self.control.as_ref().map(|control| {
+            (self.result.mean_empty_host_fraction() - control.mean_empty_host_fraction()) * 100.0
+        })
+    }
+}
+
+/// A validated, runnable experiment.
+pub struct Experiment {
+    spec: ExperimentSpec,
+    /// Memoised trace: generation is deterministic in the spec, so one
+    /// experiment instance generates it at most once even when callers mix
+    /// `trace()` and `run()`.
+    trace_cache: OnceLock<Trace>,
+    /// Memoised predictor (GBDT training is the expensive case).
+    predictor_cache: OnceLock<Arc<dyn LifetimePredictor>>,
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for Experiment {
+    fn clone(&self) -> Experiment {
+        let clone = Experiment {
+            spec: self.spec.clone(),
+            trace_cache: OnceLock::new(),
+            predictor_cache: OnceLock::new(),
+        };
+        if let Some(trace) = self.trace_cache.get() {
+            let _ = clone.trace_cache.set(trace.clone());
+        }
+        if let Some(predictor) = self.predictor_cache.get() {
+            let _ = clone.predictor_cache.set(predictor.clone());
+        }
+        clone
+    }
+}
+
+impl Experiment {
+    /// Validate a spec and wrap it as a runnable experiment.
+    pub fn new(spec: ExperimentSpec) -> Result<Experiment, SpecError> {
+        spec.validate()?;
+        Ok(Experiment {
+            spec,
+            trace_cache: OnceLock::new(),
+            predictor_cache: OnceLock::new(),
+        })
+    }
+
+    /// Start building an experiment fluently.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::new()
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// The experiment's workload trace (generated once per instance).
+    pub fn trace(&self) -> &Trace {
+        self.trace_cache.get_or_init(|| self.spec.generate_trace())
+    }
+
+    /// The experiment's predictor (built — and for the learned specs,
+    /// trained — once per instance).
+    pub fn predictor(&self) -> Arc<dyn LifetimePredictor> {
+        self.predictor_cache
+            .get_or_init(|| self.spec.predictor.build(&self.spec.workload))
+            .clone()
+    }
+
+    /// Adopt `donor`'s memoised trace and predictor where the specs agree:
+    /// the trace when both experiments describe the identical workload, the
+    /// predictor when the workload seed and predictor spec also match.
+    /// Trace generation is deterministic in the workload, so sharing never
+    /// changes results — it only avoids regenerating the same trace (or
+    /// retraining the same model) across experiments in a sweep. A no-op
+    /// when the specs differ or the donor has not materialised anything.
+    pub fn share_artifacts_from(&self, donor: &Experiment) {
+        if self.spec.workload != donor.spec.workload {
+            return;
+        }
+        if let Some(trace) = donor.trace_cache.get() {
+            let _ = self.trace_cache.set(trace.clone());
+        }
+        if self.spec.predictor == donor.spec.predictor {
+            if let Some(predictor) = donor.predictor_cache.get() {
+                let _ = self.predictor_cache.set(predictor.clone());
+            }
+        }
+    }
+
+    /// Run the experiment with the built-in observers only.
+    pub fn run(&self) -> ExperimentReport {
+        self.run_with_observers(&mut [])
+    }
+
+    /// Run the experiment with additional observers attached. Extra
+    /// observers are attached to **every** run the scenario performs (all
+    /// A/B arms and the pre/post control), in run order.
+    pub fn run_with_observers(&self, extra: &mut [&mut dyn SimObserver]) -> ExperimentReport {
+        let spec = &self.spec;
+        let trace = self.trace();
+        let predictor = self.predictor();
+        let steady = DriveTiming {
+            warmup: spec.cadence.warmup,
+            warmup_with_baseline: true,
+            tick_interval: spec.cadence.tick_interval,
+            sample_interval: spec.cadence.sample_interval,
+            sample_during_warmup: false,
+        };
+        let mut report = ExperimentReport {
+            name: spec.name.clone(),
+            result: SimulationResult::empty(),
+            control: None,
+            arms: Vec::new(),
+            causal: None,
+            defrag: None,
+            predictions: Vec::new(),
+        };
+
+        match &spec.scenario {
+            Scenario::SteadyState => {
+                let (result, predictions) = self.run_one(
+                    trace,
+                    &spec.policy,
+                    &predictor,
+                    &steady,
+                    None,
+                    spec.record_predictions,
+                    extra,
+                );
+                report.result = result;
+                report.predictions = predictions;
+            }
+            Scenario::ColdStart => {
+                let timing = DriveTiming {
+                    warmup: Duration::ZERO,
+                    warmup_with_baseline: false,
+                    ..steady
+                };
+                let (result, predictions) = self.run_one(
+                    trace,
+                    &spec.policy,
+                    &predictor,
+                    &timing,
+                    None,
+                    spec.record_predictions,
+                    extra,
+                );
+                report.result = result;
+                report.predictions = predictions;
+            }
+            Scenario::Stranding { every_samples } => {
+                let (result, predictions) = self.run_one(
+                    trace,
+                    &spec.policy,
+                    &predictor,
+                    &steady,
+                    Some(*every_samples),
+                    spec.record_predictions,
+                    extra,
+                );
+                report.result = result;
+                report.predictions = predictions;
+            }
+            Scenario::PrePost => {
+                let timing = DriveTiming {
+                    sample_during_warmup: true,
+                    ..steady
+                };
+                let (treated, predictions) = self.run_one(
+                    trace,
+                    &spec.policy,
+                    &predictor,
+                    &timing,
+                    None,
+                    spec.record_predictions,
+                    extra,
+                );
+                let control_policy = PolicySpec::new(Algorithm::Baseline);
+                let (control, _) = self.run_one(
+                    trace,
+                    &control_policy,
+                    &predictor,
+                    &timing,
+                    None,
+                    false,
+                    extra,
+                );
+                // Causal analysis on the treated-minus-control difference,
+                // which removes the pool's background occupancy trend; the
+                // pre/post split is the policy-switch (warm-up) boundary.
+                let switch_at = SimTime::ZERO + spec.cadence.warmup;
+                let treated_samples = treated.series.samples();
+                let control_samples = control.series.samples();
+                let n = treated_samples.len().min(control_samples.len());
+                let (mut pre, mut post) = (Vec::new(), Vec::new());
+                for i in 0..n {
+                    let diff = treated_samples[i].empty_host_fraction
+                        - control_samples[i].empty_host_fraction;
+                    if treated_samples[i].time < switch_at {
+                        pre.push(diff);
+                    } else {
+                        post.push(diff);
+                    }
+                }
+                report.causal = Some(causal_impact(
+                    &pre,
+                    &post,
+                    CausalConfig {
+                        fit_trend: false,
+                        ..CausalConfig::default()
+                    },
+                ));
+                report.result = treated;
+                report.control = Some(control);
+                report.predictions = predictions;
+            }
+            Scenario::AbSplit { arms } => {
+                let mut arm_reports: Vec<ArmReport> = Vec::with_capacity(arms.len());
+                for (i, arm) in arms.iter().enumerate() {
+                    let record = spec.record_predictions && i + 1 == arms.len();
+                    let (result, predictions) =
+                        self.run_one(trace, arm, &predictor, &steady, None, record, extra);
+                    if record {
+                        report.predictions = predictions;
+                    }
+                    let vs_control = if i == 0 {
+                        None
+                    } else {
+                        Some(paired_comparison(
+                            &result.series.empty_host_series(),
+                            &arm_reports[0].result.series.empty_host_series(),
+                        ))
+                    };
+                    arm_reports.push(ArmReport {
+                        label: arm.display_name(),
+                        result,
+                        vs_control,
+                    });
+                }
+                report.result = arm_reports
+                    .last()
+                    .expect("validated: at least one arm")
+                    .result
+                    .clone();
+                if arm_reports.len() > 1 {
+                    report.control = Some(arm_reports[0].result.clone());
+                }
+                report.arms = arm_reports;
+            }
+            Scenario::Defrag {
+                empty_host_threshold,
+                hosts_per_trigger,
+                trigger_interval,
+                concurrent_slots,
+                migration_duration,
+            } => {
+                // Like the legacy collector, the evaluated policy controls
+                // the pool from the first placement (no baseline warm-up).
+                let timing = DriveTiming {
+                    warmup: Duration::ZERO,
+                    warmup_with_baseline: false,
+                    ..steady
+                };
+                let mut collector = EvacuationCollector::new(
+                    *empty_host_threshold,
+                    *hosts_per_trigger,
+                    *trigger_interval,
+                );
+                let (result, predictions) = {
+                    let mut combined: Vec<&mut dyn SimObserver> =
+                        Vec::with_capacity(1 + extra.len());
+                    combined.push(&mut collector);
+                    for o in extra.iter_mut() {
+                        combined.push(&mut **o);
+                    }
+                    self.run_one(
+                        trace,
+                        &spec.policy,
+                        &predictor,
+                        &timing,
+                        None,
+                        spec.record_predictions,
+                        &mut combined,
+                    )
+                };
+                let tasks = collector.into_tasks();
+                let baseline = simulate_migration_queue(
+                    &tasks,
+                    MigrationOrder::Baseline,
+                    *concurrent_slots,
+                    *migration_duration,
+                );
+                let lars = simulate_migration_queue(
+                    &tasks,
+                    MigrationOrder::Lars,
+                    *concurrent_slots,
+                    *migration_duration,
+                );
+                report.defrag = Some(DefragReport {
+                    drain_events: tasks.len(),
+                    evacuated_vms: tasks.iter().map(|t| t.vms.len()).sum(),
+                    baseline,
+                    lars,
+                });
+                report.result = result;
+                report.predictions = predictions;
+            }
+        }
+        report
+    }
+
+    /// One full replay of the trace under one policy: the primitive every
+    /// scenario composes.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one(
+        &self,
+        trace: &Trace,
+        policy: &PolicySpec,
+        predictor: &Arc<dyn LifetimePredictor>,
+        timing: &DriveTiming,
+        stranding_every: Option<usize>,
+        record_predictions: bool,
+        extra: &mut [&mut dyn SimObserver],
+    ) -> (SimulationResult, Vec<PredictionRecord>) {
+        let predictor_name = predictor.name().to_string();
+        let (run_predictor, recorder): (
+            Arc<dyn LifetimePredictor>,
+            Option<Arc<RecordingPredictor>>,
+        ) = if record_predictions {
+            let rec = RecordingPredictor::new(predictor.clone());
+            (rec.clone(), Some(rec))
+        } else {
+            (predictor.clone(), None)
+        };
+
+        let pool = Pool::with_uniform_hosts(
+            PoolId(trace.pool().0),
+            self.spec.workload.hosts,
+            self.spec.workload.host_spec(),
+        );
+        let cluster = Cluster::new(pool);
+        let evaluated = policy.build(run_predictor.clone());
+        let (initial, deferred) = if timing.warmup_with_baseline && !timing.warmup.is_zero() {
+            (
+                Algorithm::Baseline.build_policy(run_predictor.clone()),
+                Some(evaluated),
+            )
+        } else {
+            (evaluated, None)
+        };
+        let mut scheduler = Scheduler::new(cluster, initial, run_predictor);
+
+        let mut metrics = MetricRecorder::new();
+        let mut stranding =
+            stranding_every.map(|every| StrandingProbe::new(every, InflationMix::default()));
+        let rejected = {
+            let mut observers: Vec<&mut dyn SimObserver> = Vec::with_capacity(2 + extra.len());
+            observers.push(&mut metrics);
+            if let Some(probe) = stranding.as_mut() {
+                observers.push(probe);
+            }
+            for o in extra.iter_mut() {
+                observers.push(&mut **o);
+            }
+            drive(trace, &mut scheduler, deferred, timing, &mut observers)
+        };
+
+        let result = SimulationResult {
+            algorithm: policy.display_name(),
+            predictor: predictor_name,
+            series: metrics.into_series(),
+            scheduler_stats: scheduler.stats(),
+            stranding: stranding.as_ref().and_then(|p| p.average()),
+            rejected_vms: rejected,
+        };
+        let predictions = recorder.map(|r| r.records()).unwrap_or_default();
+        (result, predictions)
+    }
+}
+
+/// Timing parameters of one [`drive`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveTiming {
+    /// Length of the warm-up phase.
+    pub warmup: Duration,
+    /// Whether warm-up placements use the lifetime-agnostic baseline (the
+    /// caller swaps in the evaluated policy via `deferred_policy`).
+    pub warmup_with_baseline: bool,
+    /// Interval between policy ticks.
+    pub tick_interval: Duration,
+    /// Interval between metric samples.
+    pub sample_interval: Duration,
+    /// Record samples during warm-up too (pre/post analyses need the
+    /// pre-intervention series).
+    pub sample_during_warmup: bool,
+}
+
+fn dispatch<F>(
+    scheduler: &Scheduler,
+    now: SimTime,
+    observers: &mut [&mut dyn SimObserver],
+    mut hook: F,
+) where
+    F: FnMut(&mut dyn SimObserver, &ObserverContext<'_>),
+{
+    let ctx = ObserverContext {
+        cluster: scheduler.cluster(),
+        predictor: scheduler.predictor().as_ref(),
+        policy: scheduler.policy_name(),
+        now,
+    };
+    for observer in observers.iter_mut() {
+        hook(&mut **observer, &ctx);
+    }
+}
+
+/// The unified event loop: replay `trace` through `scheduler`, swapping in
+/// `deferred_policy` when warm-up ends, running ticks and samples on the
+/// configured cadence, and fanning every event out to `observers`.
+///
+/// Returns the number of creation events that could not be placed. All
+/// higher-level entry points — [`Experiment::run`] and the legacy
+/// `Simulator` shims — drive the simulation through this single function.
+pub fn drive(
+    trace: &Trace,
+    scheduler: &mut Scheduler,
+    mut deferred_policy: Option<Box<dyn PlacementPolicy>>,
+    timing: &DriveTiming,
+    observers: &mut [&mut dyn SimObserver],
+) -> u64 {
+    scheduler.enable_event_log();
+    let warmup_end = SimTime::ZERO + timing.warmup;
+    let sample_start = if timing.sample_during_warmup {
+        SimTime::ZERO
+    } else {
+        warmup_end
+    };
+    let sample_end = trace.last_arrival_time();
+
+    let mut rejected: BTreeSet<VmId> = BTreeSet::new();
+    let mut rejected_count = 0u64;
+    let mut next_tick = SimTime::ZERO;
+    let mut next_sample = sample_start;
+    let mut event_scratch: Vec<SchedulerEvent> = Vec::new();
+
+    for event in trace.events() {
+        // Policy switch at the end of warm-up.
+        if deferred_policy.is_some() && event.time >= warmup_end {
+            let policy = deferred_policy.take().expect("checked is_some");
+            scheduler.set_policy(policy);
+            dispatch(scheduler, event.time, observers, |o, ctx| {
+                o.on_policy_switched(ctx)
+            });
+        }
+        // Ticks strictly before (or at) the event time.
+        while next_tick <= event.time {
+            scheduler.tick(next_tick);
+            dispatch(scheduler, next_tick, observers, |o, ctx| o.on_tick(ctx));
+            next_tick += timing.tick_interval;
+        }
+        // Samples between warm-up and the last arrival.
+        while next_sample <= event.time && next_sample <= sample_end {
+            dispatch(scheduler, next_sample, observers, |o, ctx| o.on_sample(ctx));
+            next_sample += timing.sample_interval;
+        }
+
+        match &event.kind {
+            TraceEventKind::Create { vm, spec, lifetime } => {
+                let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
+                if scheduler.schedule(record, event.time).is_err() {
+                    rejected.insert(*vm);
+                    rejected_count += 1;
+                }
+            }
+            TraceEventKind::Exit { vm } => {
+                if !rejected.remove(vm) {
+                    // Ignore exits of VMs that were never placed.
+                    let _ = scheduler.exit(*vm, event.time);
+                }
+            }
+        }
+
+        // Fan the scheduler's event stream out to the observers; the
+        // scratch buffer is swapped (not taken) so the steady-state loop
+        // performs no per-event allocation.
+        scheduler.swap_events(&mut event_scratch);
+        for sched_event in event_scratch.drain(..) {
+            match sched_event {
+                SchedulerEvent::Placed { vm, host, at } => {
+                    dispatch(scheduler, at, observers, |o, ctx| {
+                        o.on_placed(ctx, vm, host)
+                    });
+                }
+                SchedulerEvent::Rejected { vm, at } => {
+                    dispatch(scheduler, at, observers, |o, ctx| o.on_rejected(ctx, vm));
+                }
+                SchedulerEvent::Exited { vm, host, at } => {
+                    dispatch(scheduler, at, observers, |o, ctx| {
+                        o.on_exited(ctx, vm, host)
+                    });
+                }
+                SchedulerEvent::Migrated { vm, from, to, at } => {
+                    dispatch(scheduler, at, observers, |o, ctx| {
+                        o.on_migrated(ctx, vm, from, to)
+                    });
+                }
+            }
+        }
+    }
+    dispatch(scheduler, trace.end_time(), observers, |o, ctx| {
+        o.on_finish(ctx)
+    });
+    rejected_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::PolicyStatsCollector;
+
+    fn tiny_builder() -> ExperimentBuilder {
+        Experiment::builder()
+            .name("tiny")
+            .hosts(24)
+            .duration(Duration::from_days(2))
+            .seed(3)
+            .warmup(Duration::from_hours(6))
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let spec = ExperimentBuilder::new().build().expect("defaults valid");
+        assert_eq!(spec.name, "experiment");
+        assert_eq!(spec.policy.algorithm, Algorithm::Baseline);
+        assert_eq!(spec.scenario, Scenario::SteadyState);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        assert_eq!(
+            ExperimentBuilder::new().hosts(0).build().unwrap_err(),
+            SpecError::ZeroHosts
+        );
+        assert_eq!(
+            ExperimentBuilder::new()
+                .duration(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroHorizon
+        );
+        assert_eq!(
+            ExperimentBuilder::new()
+                .ab_arms(vec![])
+                .build()
+                .unwrap_err(),
+            SpecError::EmptyAbArms
+        );
+        assert_eq!(
+            ExperimentBuilder::new()
+                .tick_interval(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroTickInterval
+        );
+        assert_eq!(
+            ExperimentBuilder::new()
+                .sample_interval(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroSampleInterval
+        );
+        assert_eq!(
+            ExperimentBuilder::new()
+                .predictor(PredictorSpec::Noisy { accuracy_pct: 101 })
+                .build()
+                .unwrap_err(),
+            SpecError::AccuracyOutOfRange
+        );
+        assert_eq!(
+            ExperimentBuilder::new()
+                .stranding_every(0)
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroStrandingCadence
+        );
+        assert_eq!(
+            ExperimentBuilder::new()
+                .scenario(Scenario::Defrag {
+                    empty_host_threshold: 0.2,
+                    hosts_per_trigger: 0,
+                    trigger_interval: Duration::from_hours(4),
+                    concurrent_slots: 3,
+                    migration_duration: Duration::from_mins(20),
+                })
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroDrainHosts
+        );
+        let mut spec = ExperimentSpec::default();
+        spec.workload.categories.clear();
+        assert_eq!(spec.validate().unwrap_err(), SpecError::EmptyWorkloadMix);
+        assert!(!SpecError::ZeroHosts.to_string().is_empty());
+    }
+
+    #[test]
+    fn steady_state_runs_and_reports() {
+        let report = tiny_builder()
+            .algorithm(Algorithm::Nilas)
+            .run()
+            .expect("valid spec");
+        assert_eq!(report.name, "tiny");
+        assert_eq!(report.result.algorithm, "nilas");
+        assert_eq!(report.result.predictor, "oracle");
+        assert!(report.result.series.len() > 10);
+        assert!(report.result.scheduler_stats.placed > 100);
+        assert!(report.control.is_none());
+        assert!(report.arms.is_empty());
+        assert!(report.improvement_pp().is_none());
+    }
+
+    #[test]
+    fn cold_start_samples_from_time_zero() {
+        let report = tiny_builder()
+            .algorithm(Algorithm::Nilas)
+            .cold_start()
+            .run()
+            .expect("valid spec");
+        assert_eq!(report.result.series.samples()[0].time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn ab_split_compares_arms_against_control() {
+        let report = tiny_builder()
+            .ab_arms(vec![
+                PolicySpec::new(Algorithm::Baseline),
+                PolicySpec::new(Algorithm::Nilas),
+            ])
+            .run()
+            .expect("valid spec");
+        assert_eq!(report.arms.len(), 2);
+        assert!(report.arms[0].vs_control.is_none());
+        let ab = report.arms[1].vs_control.expect("treatment compared");
+        assert!(ab.samples > 10);
+        assert_eq!(report.result.algorithm, "nilas");
+        assert_eq!(report.control.as_ref().unwrap().algorithm, "baseline");
+        assert!(report.improvement_pp().is_some());
+        assert!(report.arm("nilas").is_some());
+        assert!(report.arm("missing").is_none());
+    }
+
+    #[test]
+    fn pre_post_produces_causal_report() {
+        let report = tiny_builder()
+            .algorithm(Algorithm::Nilas)
+            .warmup(Duration::from_days(1))
+            .pre_post()
+            .run()
+            .expect("valid spec");
+        let causal = report.causal.expect("causal analysis");
+        assert!(!causal.counterfactual.is_empty());
+        assert!(report.control.is_some());
+        // Samples start at time zero in the pre/post scenario.
+        assert_eq!(report.result.series.samples()[0].time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stranding_scenario_attaches_report() {
+        let report = tiny_builder()
+            .stranding_every(12)
+            .run()
+            .expect("valid spec");
+        let stranding = report.result.stranding.expect("stranding measured");
+        assert!(stranding.stranded_cpu_fraction >= 0.0);
+    }
+
+    #[test]
+    fn record_predictions_surfaces_records() {
+        let report = tiny_builder()
+            .algorithm(Algorithm::Nilas)
+            .record_predictions(true)
+            .run()
+            .expect("valid spec");
+        assert!(!report.predictions.is_empty());
+        assert!(report.predictions.iter().all(|r| r.log10_error() == 0.0));
+    }
+
+    #[test]
+    fn extra_observers_see_the_run() {
+        let experiment = Experiment::new(
+            tiny_builder()
+                .algorithm(Algorithm::Nilas)
+                .build()
+                .expect("valid"),
+        )
+        .expect("valid");
+        let mut stats = PolicyStatsCollector::new();
+        let mut observers: Vec<&mut dyn SimObserver> = vec![&mut stats];
+        let report = experiment.run_with_observers(&mut observers);
+        let warmup_placed = stats.stats_for("waste-min").expect("warm-up segment");
+        let nilas_placed = stats.stats_for("nilas").expect("evaluated segment");
+        assert!(warmup_placed.placed > 0);
+        assert!(nilas_placed.placed > 0);
+        assert_eq!(
+            warmup_placed.placed + nilas_placed.placed,
+            report.result.scheduler_stats.placed
+        );
+    }
+
+    #[test]
+    fn share_artifacts_reuses_trace_and_predictor_only_when_specs_match() {
+        let donor = Experiment::new(tiny_builder().build().expect("valid")).expect("valid");
+        let trace_events = donor.trace().events().len();
+        let _ = donor.predictor();
+
+        // Same workload + predictor: both artifacts adopted (same trace
+        // allocation, not merely an equal one — the Arc is shared).
+        let same = Experiment::new(
+            tiny_builder()
+                .algorithm(Algorithm::Lava)
+                .build()
+                .expect("valid"),
+        )
+        .expect("valid");
+        same.share_artifacts_from(&donor);
+        assert_eq!(same.trace().events().len(), trace_events);
+        assert!(Arc::ptr_eq(&same.predictor(), &donor.predictor()));
+
+        // Different workload: nothing adopted, results stay governed by the
+        // receiver's own spec.
+        let other =
+            Experiment::new(tiny_builder().seed(99).build().expect("valid")).expect("valid");
+        other.share_artifacts_from(&donor);
+        assert_ne!(other.trace().events(), donor.trace().events());
+
+        // Same workload, different predictor: trace adopted, predictor not.
+        let noisy = Experiment::new(
+            tiny_builder()
+                .predictor(PredictorSpec::Noisy { accuracy_pct: 80 })
+                .build()
+                .expect("valid"),
+        )
+        .expect("valid");
+        noisy.share_artifacts_from(&donor);
+        assert_eq!(noisy.trace().events(), donor.trace().events());
+        assert_eq!(noisy.predictor().name(), "noisy-oracle");
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = tiny_builder()
+            .algorithm(Algorithm::Lava)
+            .predictor(PredictorSpec::Noisy { accuracy_pct: 90 })
+            .build()
+            .expect("valid");
+        let json = spec.to_json().expect("serializes");
+        let parsed = ExperimentSpec::from_json(&json).expect("parses");
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn policy_spec_knobs_build() {
+        let predictor: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+        for algorithm in Algorithm::ALL {
+            let spec = PolicySpec::new(algorithm)
+                .with_scan(CandidateScan::Linear)
+                .with_cache(CachePolicy::Disabled)
+                .without_reprediction();
+            let policy = spec.build(predictor.clone());
+            assert!(!policy.name().is_empty());
+            assert_eq!(spec.display_name(), algorithm.to_string());
+        }
+        let labeled = PolicySpec::new(Algorithm::Nilas)
+            .with_cache(CachePolicy::RefreshSecs(60))
+            .labeled("nilas[1m]");
+        assert_eq!(labeled.display_name(), "nilas[1m]");
+    }
+
+    #[test]
+    fn predictor_specs_build_and_label() {
+        let workload = PoolConfig {
+            hosts: 8,
+            duration: Duration::from_days(1),
+            ..PoolConfig::small(5)
+        };
+        assert_eq!(PredictorSpec::Oracle.label(), "oracle");
+        assert_eq!(
+            PredictorSpec::Noisy { accuracy_pct: 80 }.label(),
+            "noisy-80"
+        );
+        assert_eq!(PredictorSpec::Learned.label(), "model");
+        assert_eq!(PredictorSpec::LearnedFast.label(), "model-fast");
+        assert_eq!(PredictorSpec::Oracle.build(&workload).name(), "oracle");
+        assert_eq!(
+            PredictorSpec::Noisy { accuracy_pct: 80 }
+                .build(&workload)
+                .name(),
+            "noisy-oracle"
+        );
+        assert_eq!(PredictorSpec::LearnedFast.build(&workload).name(), "gbdt");
+    }
+}

@@ -3,11 +3,17 @@
 //! This crate hosts everything the paper's evaluation needs around the
 //! scheduler:
 //!
+//! * [`experiment`] — **the declarative experiment API**: a serializable
+//!   [`ExperimentSpec`] (workload × predictor × policy × scenario), a
+//!   fluent [`ExperimentBuilder`] and the single [`Experiment::run`] entry
+//!   point with the unified event loop ([`experiment::drive`]),
+//! * [`observer`] — the [`SimObserver`] trait and the provided observers
+//!   metric collection is composed from,
 //! * [`workload`] — synthetic production-like trace generation (the
 //!   substitute for Google's C2/E2 production traces),
 //! * [`trace`] — trace containers and training-data extraction,
-//! * [`simulator`] — the event-driven replay engine with warm-up, ticks and
-//!   metric sampling,
+//! * [`simulator`] — the legacy replay entry points, kept as thin shims
+//!   over the experiment loop,
 //! * [`metrics`] — empty hosts, empty-to-free ratio, packing density,
 //!   utilisation,
 //! * [`stranding`] — the inflation-simulation stranding pipeline,
@@ -17,28 +23,25 @@
 //! * [`causal`] — CausalImpact-style pre/post counterfactual analysis,
 //! * [`validation`] — simulator-vs-trace consistency checking,
 //! * [`recording`] — a predictor wrapper that records predictions for error
-//!   analysis.
+//!   analysis (driven by `ExperimentSpec::record_predictions`).
 //!
 //! # Example
 //!
 //! ```
-//! use std::sync::Arc;
-//! use lava_model::predictor::OraclePredictor;
+//! use lava_core::time::Duration;
 //! use lava_sched::Algorithm;
-//! use lava_sim::simulator::{SimulationConfig, Simulator};
-//! use lava_sim::workload::{PoolConfig, WorkloadGenerator};
+//! use lava_sim::experiment::{Experiment, PredictorSpec};
 //!
-//! let pool = PoolConfig::small(42);
-//! let trace = WorkloadGenerator::new(pool.clone()).generate();
-//! let simulator = Simulator::new(SimulationConfig::default());
-//! let result = simulator.run(
-//!     &trace,
-//!     pool.hosts,
-//!     pool.host_spec(),
-//!     Algorithm::Nilas,
-//!     Arc::new(OraclePredictor::new()),
-//! );
-//! assert!(result.mean_empty_host_fraction() >= 0.0);
+//! let report = Experiment::builder()
+//!     .name("quick-nilas")
+//!     .hosts(24)
+//!     .duration(Duration::from_days(2))
+//!     .seed(42)
+//!     .predictor(PredictorSpec::Oracle)
+//!     .algorithm(Algorithm::Nilas)
+//!     .run()
+//!     .expect("valid spec");
+//! assert!(report.result.mean_empty_host_fraction() >= 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -47,10 +50,18 @@
 pub mod ab;
 pub mod causal;
 pub mod defrag;
+pub mod experiment;
 pub mod metrics;
+pub mod observer;
 pub mod recording;
 pub mod simulator;
 pub mod stranding;
 pub mod trace;
 pub mod validation;
 pub mod workload;
+
+pub use experiment::{
+    Experiment, ExperimentBuilder, ExperimentReport, ExperimentSpec, PolicySpec, PredictorSpec,
+    Scenario,
+};
+pub use observer::{ObserverContext, SimObserver};

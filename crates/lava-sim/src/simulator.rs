@@ -1,8 +1,21 @@
-//! The event-driven cluster simulator (§5.1, Appendix F).
+//! The legacy simulator entry points (§5.1, Appendix F), now thin shims.
 //!
-//! The simulator replays a trace of VM create/exit events against a
-//! scheduler instance built from a placement algorithm and a lifetime
-//! predictor. It models the paper's methodology:
+//! **Deprecated surface:** [`Simulator::run`] and
+//! [`Simulator::run_with_policy`] predate the declarative experiment API
+//! and are kept for one release so existing callers and tests keep working
+//! unchanged. New code should build an
+//! [`ExperimentSpec`](crate::experiment::ExperimentSpec) and call
+//! [`Experiment::run`](crate::experiment::Experiment::run) instead — it
+//! subsumes these entry points plus the A/B, causal, defragmentation and
+//! stranding drivers.
+//!
+//! Both shims delegate to the single unified event loop
+//! ([`crate::experiment::drive`]) with the standard observers attached
+//! ([`MetricRecorder`](crate::observer::MetricRecorder), plus a
+//! [`StrandingProbe`](crate::observer::StrandingProbe) when stranding
+//! measurement is enabled), so they produce bit-identical results to an
+//! equivalent experiment run. The simulator models the paper's
+//! methodology:
 //!
 //! * a **warm-up** phase during which VMs are placed with the
 //!   lifetime-agnostic production baseline (mimicking gradual rollout /
@@ -14,20 +27,20 @@
 //!   arrival;
 //! * optional **stranding** measurements via the inflation pipeline.
 
-use crate::metrics::{sample_pool, MetricSeries};
-use crate::stranding::{measure_stranding, InflationMix, StrandingReport};
+use crate::experiment::{drive, DriveTiming};
+use crate::metrics::MetricSeries;
+use crate::observer::{MetricRecorder, SimObserver, StrandingProbe};
+use crate::stranding::{InflationMix, StrandingReport};
 use crate::trace::Trace;
-use lava_core::events::TraceEventKind;
 use lava_core::host::HostSpec;
 use lava_core::pool::{Pool, PoolId};
-use lava_core::time::{Duration, SimTime};
-use lava_core::vm::{Vm, VmId};
+use lava_core::time::Duration;
 use lava_model::predictor::LifetimePredictor;
 use lava_sched::cluster::Cluster;
 use lava_sched::policy::PlacementPolicy;
 use lava_sched::scheduler::{Scheduler, SchedulerStats};
 use lava_sched::Algorithm;
-use std::collections::BTreeSet;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Configuration of a simulation run.
@@ -77,10 +90,20 @@ impl SimulationConfig {
             ..SimulationConfig::default()
         }
     }
+
+    fn timing(&self) -> DriveTiming {
+        DriveTiming {
+            warmup: self.warmup,
+            warmup_with_baseline: self.warmup_with_baseline,
+            tick_interval: self.tick_interval,
+            sample_interval: self.sample_interval,
+            sample_during_warmup: self.sample_during_warmup,
+        }
+    }
 }
 
-/// The outcome of one simulation run.
-#[derive(Debug, Clone)]
+/// The outcome of one simulation run, assembled from the run's observers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationResult {
     /// Name of the placement algorithm that was evaluated.
     pub algorithm: String,
@@ -97,13 +120,38 @@ pub struct SimulationResult {
 }
 
 impl SimulationResult {
+    /// An empty placeholder result (no samples, zero counters).
+    pub fn empty() -> SimulationResult {
+        SimulationResult {
+            algorithm: String::new(),
+            predictor: String::new(),
+            series: MetricSeries::new(),
+            scheduler_stats: SchedulerStats::default(),
+            stranding: None,
+            rejected_vms: 0,
+        }
+    }
+
     /// Mean post-warm-up empty-host fraction (the paper's headline metric).
+    ///
+    /// Delegates to [`MetricSeries::mean_empty_host_fraction`] — the series
+    /// is the single source of truth for per-sample summary statistics.
     pub fn mean_empty_host_fraction(&self) -> f64 {
         self.series.mean_empty_host_fraction()
     }
+
+    /// Mean packing density over the series (delegates to the series).
+    pub fn mean_packing_density(&self) -> f64 {
+        self.series.mean_packing_density()
+    }
+
+    /// Mean CPU utilisation over the series (delegates to the series).
+    pub fn mean_cpu_utilization(&self) -> f64 {
+        self.series.mean_cpu_utilization()
+    }
 }
 
-/// The event-driven simulator.
+/// The event-driven simulator (legacy shim over the experiment loop).
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
     config: SimulationConfig,
@@ -122,6 +170,8 @@ impl Simulator {
 
     /// Run `algorithm` with `predictor` over `trace` on a pool of
     /// `hosts` × `host_spec`.
+    ///
+    /// Deprecated shim: prefer [`Experiment::run`](crate::experiment::Experiment::run).
     pub fn run(
         &self,
         trace: &Trace,
@@ -143,6 +193,9 @@ impl Simulator {
 
     /// Run with an explicitly constructed policy (used by ablations that
     /// need non-default policy configuration).
+    ///
+    /// Deprecated shim: prefer [`Experiment::run`](crate::experiment::Experiment::run)
+    /// with a configured [`PolicySpec`](crate::experiment::PolicySpec).
     pub fn run_with_policy(
         &self,
         trace: &Trace,
@@ -155,7 +208,6 @@ impl Simulator {
         let pool = Pool::with_uniform_hosts(PoolId(trace.pool().0), hosts, host_spec);
         let cluster = Cluster::new(pool);
         let predictor_name = predictor.name();
-        let warmup_end = SimTime::ZERO + self.config.warmup;
 
         // During warm-up the baseline policy places VMs; the evaluated
         // policy is swapped in at the end of warm-up.
@@ -169,119 +221,34 @@ impl Simulator {
                 (policy, None)
             };
         let mut scheduler = Scheduler::new(cluster, initial_policy, predictor);
-        let mut deferred_policy = deferred_policy;
 
-        let sample_start = if self.config.sample_during_warmup {
-            SimTime::ZERO
-        } else {
-            warmup_end
-        };
-        let sample_end = trace.last_arrival_time();
-        let mut series = MetricSeries::new();
-        let mut stranding_reports: Vec<StrandingReport> = Vec::new();
-        let mut rejected: BTreeSet<VmId> = BTreeSet::new();
-        let mut rejected_count = 0u64;
-
-        let mut next_tick = SimTime::ZERO;
-        let mut next_sample = sample_start;
-        let mut sample_index = 0usize;
-
-        for event in trace.events() {
-            // Policy switch at the end of warm-up.
-            if let Some(policy) = deferred_policy.take_if_ready(event.time, warmup_end) {
-                scheduler.set_policy(policy);
+        let mut metrics = MetricRecorder::new();
+        let mut stranding = self
+            .config
+            .stranding_every_samples
+            .map(|every| StrandingProbe::new(every, self.config.inflation_mix.clone()));
+        let rejected = {
+            let mut observers: Vec<&mut dyn SimObserver> = Vec::with_capacity(2);
+            observers.push(&mut metrics);
+            if let Some(probe) = stranding.as_mut() {
+                observers.push(probe);
             }
-            // Ticks strictly before (or at) the event time.
-            while next_tick <= event.time {
-                scheduler.tick(next_tick);
-                next_tick += self.config.tick_interval;
-            }
-            // Samples between warm-up and the last arrival.
-            while next_sample <= event.time && next_sample <= sample_end {
-                series.push(sample_pool(scheduler.cluster().pool(), next_sample));
-                if let Some(every) = self.config.stranding_every_samples {
-                    if every > 0 && sample_index.is_multiple_of(every) {
-                        stranding_reports.push(measure_stranding(
-                            scheduler.cluster().pool(),
-                            &self.config.inflation_mix,
-                        ));
-                    }
-                }
-                sample_index += 1;
-                next_sample += self.config.sample_interval;
-            }
-
-            match &event.kind {
-                TraceEventKind::Create { vm, spec, lifetime } => {
-                    let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
-                    if scheduler.schedule(record, event.time).is_err() {
-                        rejected.insert(*vm);
-                        rejected_count += 1;
-                    }
-                }
-                TraceEventKind::Exit { vm } => {
-                    if !rejected.remove(vm) {
-                        // Ignore exits of VMs that were never placed.
-                        let _ = scheduler.exit(*vm, event.time);
-                    }
-                }
-            }
-        }
-
-        let stranding = if stranding_reports.is_empty() {
-            None
-        } else {
-            let n = stranding_reports.len() as f64;
-            Some(StrandingReport {
-                stranded_cpu_fraction: stranding_reports
-                    .iter()
-                    .map(|r| r.stranded_cpu_fraction)
-                    .sum::<f64>()
-                    / n,
-                stranded_memory_fraction: stranding_reports
-                    .iter()
-                    .map(|r| r.stranded_memory_fraction)
-                    .sum::<f64>()
-                    / n,
-                vms_packed: (stranding_reports
-                    .iter()
-                    .map(|r| r.vms_packed)
-                    .sum::<usize>() as f64
-                    / n)
-                    .round() as usize,
-            })
+            drive(
+                trace,
+                &mut scheduler,
+                deferred_policy,
+                &self.config.timing(),
+                &mut observers,
+            )
         };
 
         SimulationResult {
             algorithm: algorithm_name,
             predictor: predictor_name.to_string(),
-            series,
+            series: metrics.into_series(),
             scheduler_stats: scheduler.stats(),
-            stranding,
-            rejected_vms: rejected_count,
-        }
-    }
-}
-
-/// Small extension to express "take the deferred policy once warm-up ends".
-trait TakeIfReady {
-    fn take_if_ready(
-        &mut self,
-        now: SimTime,
-        warmup_end: SimTime,
-    ) -> Option<Box<dyn PlacementPolicy>>;
-}
-
-impl TakeIfReady for Option<Box<dyn PlacementPolicy>> {
-    fn take_if_ready(
-        &mut self,
-        now: SimTime,
-        warmup_end: SimTime,
-    ) -> Option<Box<dyn PlacementPolicy>> {
-        if self.is_some() && now >= warmup_end {
-            self.take()
-        } else {
-            None
+            stranding: stranding.as_ref().and_then(|p| p.average()),
+            rejected_vms: rejected,
         }
     }
 }
@@ -290,6 +257,7 @@ impl TakeIfReady for Option<Box<dyn PlacementPolicy>> {
 mod tests {
     use super::*;
     use crate::workload::{PoolConfig, WorkloadGenerator};
+    use lava_core::time::SimTime;
     use lava_model::predictor::OraclePredictor;
 
     fn small_trace(seed: u64) -> (Trace, PoolConfig) {
@@ -388,5 +356,41 @@ mod tests {
         let b = run(Algorithm::Lava, SimulationConfig::default());
         assert_eq!(a.series.samples(), b.series.samples());
         assert_eq!(a.scheduler_stats, b.scheduler_stats);
+    }
+
+    #[test]
+    fn shim_matches_experiment_api_run() {
+        // The legacy entry point and the declarative API must produce
+        // bit-identical results for an equivalent configuration.
+        let (trace, pool_config) = small_trace(9);
+        let legacy = Simulator::new(SimulationConfig::default()).run(
+            &trace,
+            pool_config.hosts,
+            pool_config.host_spec(),
+            Algorithm::Nilas,
+            Arc::new(OraclePredictor::new()),
+        );
+        let report = crate::experiment::Experiment::builder()
+            .workload(pool_config)
+            .algorithm(Algorithm::Nilas)
+            .run()
+            .expect("valid spec");
+        assert_eq!(legacy.series, report.result.series);
+        assert_eq!(legacy.scheduler_stats, report.result.scheduler_stats);
+        assert_eq!(legacy.rejected_vms, report.result.rejected_vms);
+    }
+
+    #[test]
+    fn simulation_result_serde_round_trips() {
+        let result = run(
+            Algorithm::Baseline,
+            SimulationConfig {
+                warmup: Duration::from_hours(6),
+                ..SimulationConfig::default()
+            },
+        );
+        let json = serde_json::to_string(&result).expect("serializes");
+        let parsed: SimulationResult = serde_json::from_str(&json).expect("parses");
+        assert_eq!(parsed, result);
     }
 }

@@ -1,53 +1,59 @@
 //! Capacity-planning scenario: how much stranding does each scheduling
 //! policy leave behind, and how many more VMs would fit? Uses the paper's
-//! inflation-simulation methodology (§2.3).
+//! inflation-simulation methodology (§2.3) via the experiment API's
+//! stranding scenario.
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
-use lava::model::predictor::OraclePredictor;
 use lava::sched::Algorithm;
-use lava::sim::simulator::{SimulationConfig, Simulator};
-use lava::sim::stranding::InflationMix;
-use lava::sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava::sim::experiment::{Experiment, PredictorSpec};
+use lava::sim::workload::PoolConfig;
 
 fn main() {
-    let pool = PoolConfig {
+    let workload = PoolConfig {
         hosts: 80,
         target_utilization: 0.8,
         duration: lava::core::time::Duration::from_days(10),
         seed: 33,
         ..PoolConfig::default()
     };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig {
-        stranding_every_samples: Some(24),
-        inflation_mix: InflationMix::default(),
-        ..SimulationConfig::default()
-    });
 
     println!(
         "{:<10} {:>14} {:>16} {:>16}",
         "policy", "empty hosts", "stranded CPU", "stranded memory"
     );
+    // Every policy replays the identical trace; share it across the runs.
+    let mut trace_donor: Option<Experiment> = None;
     for algorithm in [
         Algorithm::Baseline,
         Algorithm::LaBinary,
         Algorithm::Nilas,
         Algorithm::Lava,
     ] {
-        let result = simulator.run(
-            &trace,
-            pool.hosts,
-            pool.host_spec(),
-            algorithm,
-            Arc::new(OraclePredictor::new()),
-        );
-        let stranding = result.stranding.expect("stranding measurement enabled");
+        // The stranding scenario runs the inflation pipeline every 24
+        // samples and averages the reports into `result.stranding`.
+        let experiment = Experiment::builder()
+            .name(format!("capacity-planning-{algorithm}"))
+            .workload(workload.clone())
+            .predictor(PredictorSpec::Oracle)
+            .algorithm(algorithm)
+            .stranding_every(24)
+            .build()
+            .and_then(Experiment::new)
+            .expect("valid spec");
+        if let Some(donor) = &trace_donor {
+            experiment.share_artifacts_from(donor);
+        }
+        let report = experiment.run();
+        trace_donor.get_or_insert(experiment);
+        let stranding = report
+            .result
+            .stranding
+            .expect("stranding measurement enabled");
         println!(
             "{:<10} {:>13.1}% {:>15.1}% {:>15.1}%",
             algorithm.to_string(),
-            result.mean_empty_host_fraction() * 100.0,
+            report.result.mean_empty_host_fraction() * 100.0,
             stranding.stranded_cpu_fraction * 100.0,
             stranding.stranded_memory_fraction * 100.0
         );

@@ -6,58 +6,51 @@
 //! Run with: `cargo run --release --example defrag_maintenance`
 
 use lava::core::time::Duration;
-use lava::model::predictor::OraclePredictor;
-use lava::sim::defrag::{
-    collect_evacuations, simulate_migration_queue, DefragConfig, MigrationOrder,
-};
-use lava::sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava::sched::Algorithm;
+use lava::sim::experiment::{Experiment, Scenario};
+use lava::sim::workload::PoolConfig;
 
 fn main() {
-    let pool = PoolConfig {
-        hosts: 80,
-        target_utilization: 0.85,
-        duration: Duration::from_days(10),
-        seed: 21,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    println!(
-        "replaying {} VMs and recording defragmentation drains...",
-        trace.vm_count()
-    );
-
-    let tasks = collect_evacuations(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Arc::new(OraclePredictor::new()),
-        &DefragConfig {
+    // The defrag scenario replays the trace, records the drain events a
+    // defragmenter would trigger, and evaluates both migration orderings
+    // (production host-order vs LARS) on the recorded evacuation tasks.
+    let report = Experiment::builder()
+        .name("defrag-maintenance")
+        .workload(PoolConfig {
+            hosts: 80,
+            target_utilization: 0.85,
+            duration: Duration::from_days(10),
+            seed: 21,
+            ..PoolConfig::default()
+        })
+        .algorithm(Algorithm::Baseline)
+        .scenario(Scenario::Defrag {
             empty_host_threshold: 0.2,
             hosts_per_trigger: 3,
             trigger_interval: Duration::from_hours(4),
-            ..DefragConfig::default()
-        },
+            concurrent_slots: 3,
+            migration_duration: Duration::from_mins(20),
+        })
+        .run()
+        .expect("valid spec");
+
+    println!(
+        "replayed {} placements and recorded defragmentation drains...",
+        report.result.scheduler_stats.placed
     );
-    let total_vms: usize = tasks.iter().map(|t| t.vms.len()).sum();
+    let defrag = report.defrag.expect("defrag scenario produces report");
     println!(
         "{} drain events covering {} VM evacuations",
-        tasks.len(),
-        total_vms
+        defrag.drain_events, defrag.evacuated_vms
     );
-
-    let slots = 3;
-    let migration = Duration::from_mins(20);
-    let baseline = simulate_migration_queue(&tasks, MigrationOrder::Baseline, slots, migration);
-    let lars = simulate_migration_queue(&tasks, MigrationOrder::Lars, slots, migration);
     println!(
         "baseline order: {} migrations performed, {} avoided",
-        baseline.performed, baseline.avoided
+        defrag.baseline.performed, defrag.baseline.avoided
     );
     println!(
         "LARS order:     {} migrations performed, {} avoided ({:.1}% fewer migrations)",
-        lars.performed,
-        lars.avoided,
-        100.0 * lars.reduction_vs(&baseline)
+        defrag.lars.performed,
+        defrag.lars.avoided,
+        100.0 * defrag.reduction()
     );
 }

@@ -1,47 +1,52 @@
-//! Quickstart: build a small cluster, train nothing (use the oracle), and
-//! compare the production baseline against LAVA on a synthetic trace.
+//! Quickstart for the declarative experiment API: describe a small pool
+//! with [`ExperimentSpec`], run the production baseline against NILAS and
+//! LAVA as arms of one A/B experiment, and read the results off the report.
+//!
+//! The spec is plain data — the example also prints it as JSON, which can
+//! be stored and replayed later to reproduce the exact same results
+//! (`ExperimentSpec::from_json(...)` → `Experiment::run()`).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lava::model::predictor::OraclePredictor;
 use lava::sched::Algorithm;
-use lava::sim::simulator::{SimulationConfig, Simulator};
-use lava::sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava::sim::experiment::{Experiment, PolicySpec, PredictorSpec};
 
 fn main() {
-    // A 60-host pool with a week of synthetic production-like traffic.
-    let pool = PoolConfig {
-        hosts: 60,
-        duration: lava::core::time::Duration::from_days(10),
-        seed: 42,
-        ..PoolConfig::default()
-    };
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
+    // A 60-host pool with ten days of synthetic production-like traffic.
+    // Oracle lifetimes keep the quickstart free of model training; swap in
+    // `PredictorSpec::Learned` for the full production loop.
+    let spec = Experiment::builder()
+        .name("quickstart")
+        .hosts(60)
+        .duration(lava::core::time::Duration::from_days(10))
+        .seed(42)
+        .predictor(PredictorSpec::Oracle)
+        .ab_arms(vec![
+            PolicySpec::new(Algorithm::Baseline),
+            PolicySpec::new(Algorithm::Nilas),
+            PolicySpec::new(Algorithm::Lava),
+        ])
+        .build()
+        .expect("valid spec");
+    println!("spec as JSON (replayable with ExperimentSpec::from_json):");
+    println!("{}\n", spec.to_json().expect("spec serializes"));
+
+    let experiment = Experiment::new(spec).expect("validated above");
     println!(
         "generated {} VMs over {:.0} days on {} hosts",
-        trace.vm_count(),
-        pool.duration.as_days(),
-        pool.hosts
+        experiment.trace().vm_count(),
+        experiment.spec().workload.duration.as_days(),
+        experiment.spec().workload.hosts
     );
 
-    let simulator = Simulator::new(SimulationConfig::default());
-    let predictor = Arc::new(OraclePredictor::new());
-
-    for algorithm in [Algorithm::Baseline, Algorithm::Nilas, Algorithm::Lava] {
-        let result = simulator.run(
-            &trace,
-            pool.hosts,
-            pool.host_spec(),
-            algorithm,
-            predictor.clone(),
-        );
+    let report = experiment.run();
+    for arm in &report.arms {
         println!(
             "{:<10} avg empty hosts = {:5.1}%   placements = {}   rejected = {}",
-            algorithm.to_string(),
-            result.mean_empty_host_fraction() * 100.0,
-            result.scheduler_stats.placed,
-            result.rejected_vms
+            arm.label,
+            arm.result.mean_empty_host_fraction() * 100.0,
+            arm.result.scheduler_stats.placed,
+            arm.result.rejected_vms
         );
     }
     println!("\nEmpty hosts are the paper's headline metric: every extra percentage point");

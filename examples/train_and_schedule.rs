@@ -2,48 +2,66 @@
 //! NILAS scheduler with it — the full production loop of the paper:
 //! warehouse data -> model -> in-binary predictions -> repredictions.
 //!
+//! `PredictorSpec::Learned` encapsulates the training pipeline (a
+//! historical trace derived deterministically from the workload seed) and
+//! the experiment memoises the trained model, so the offline accuracy
+//! check and the scheduling runs below share **one** training pass.
+//!
 //! Run with: `cargo run --release --example train_and_schedule`
 
-use lava::core::time::Duration;
-use lava::model::dataset::DatasetBuilder;
-use lava::model::gbdt::GbdtConfig;
+use lava::core::time::SimTime;
+use lava::core::vm::{Vm, VmId};
 use lava::model::metrics::classify_at_threshold;
-use lava::model::predictor::GbdtPredictor;
 use lava::model::LONG_LIVED_THRESHOLD;
 use lava::sched::Algorithm;
-use lava::sim::simulator::{SimulationConfig, Simulator};
-use lava::sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava::sim::experiment::{Experiment, PolicySpec, PredictorSpec};
+use lava::sim::workload::PoolConfig;
 
 fn main() {
-    // 1. "Historical" traffic from last month: the training set.
-    let history_pool = PoolConfig {
+    let live_workload = PoolConfig {
         hosts: 80,
-        seed: 7,
+        seed: 9,
         ..PoolConfig::default()
     };
-    let history = WorkloadGenerator::new(history_pool.clone()).generate();
-    let mut builder = DatasetBuilder::new();
-    builder.extend(history.observations());
-    let dataset = builder.build();
+
+    // 1. One experiment: learned predictor, baseline (control) vs NILAS as
+    //    arms on the same live trace. `predictor()` trains the GBDT once;
+    //    `run()` below reuses the same trained model.
+    let experiment = Experiment::builder()
+        .name("train-and-schedule")
+        .workload(live_workload.clone())
+        .predictor(PredictorSpec::Learned)
+        .ab_arms(vec![
+            PolicySpec::new(Algorithm::Baseline),
+            PolicySpec::new(Algorithm::Nilas),
+        ])
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
+    let predictor = experiment.predictor();
     println!(
-        "training GBDT on {} examples ({} VMs, uptime-augmented)...",
-        dataset.len(),
-        history.vm_count()
+        "trained the {} predictor on a historical trace derived from seed {}",
+        predictor.name(),
+        live_workload.seed
     );
-    let predictor = GbdtPredictor::train(GbdtConfig::default(), &dataset);
 
     // 2. Offline accuracy, as the paper reports it: precision/recall at the
-    //    7-day long-lived threshold on unseen traffic.
-    let eval_pool = PoolConfig {
-        seed: 8,
-        ..history_pool.clone()
-    };
-    let eval = WorkloadGenerator::new(eval_pool).generate();
+    //    7-day long-lived threshold on unseen traffic (scheduling-time
+    //    predictions, i.e. uptime zero).
+    let eval = Experiment::builder()
+        .name("train-and-schedule-eval")
+        .workload(PoolConfig {
+            seed: 8,
+            ..live_workload
+        })
+        .build()
+        .and_then(Experiment::new)
+        .expect("valid spec");
     let counts = classify_at_threshold(
-        eval.observations()
-            .iter()
-            .map(|(spec, lifetime)| (predictor.predict_spec(spec, Duration::ZERO), *lifetime)),
+        eval.trace().observations().iter().map(|(spec, lifetime)| {
+            let vm = Vm::new(VmId(0), spec.clone(), SimTime::ZERO, *lifetime);
+            (predictor.predict_at_creation(&vm), *lifetime)
+        }),
         LONG_LIVED_THRESHOLD,
     );
     println!(
@@ -54,31 +72,13 @@ fn main() {
     );
 
     // 3. Drive the scheduler with the learned model on live traffic.
-    let live_pool = PoolConfig {
-        seed: 9,
-        ..history_pool
-    };
-    let live = WorkloadGenerator::new(live_pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
-    let shared = Arc::new(predictor);
-    let baseline = simulator.run(
-        &live,
-        live_pool.hosts,
-        live_pool.host_spec(),
-        Algorithm::Baseline,
-        shared.clone(),
-    );
-    let nilas = simulator.run(
-        &live,
-        live_pool.hosts,
-        live_pool.host_spec(),
-        Algorithm::Nilas,
-        shared,
-    );
+    let report = experiment.run();
+    let baseline = &report.arms[0].result;
+    let nilas = &report.arms[1].result;
     println!(
         "baseline empty hosts {:.1}% -> NILAS with learned model {:.1}% ({:+.2} pp)",
         baseline.mean_empty_host_fraction() * 100.0,
         nilas.mean_empty_host_fraction() * 100.0,
-        (nilas.mean_empty_host_fraction() - baseline.mean_empty_host_fraction()) * 100.0
+        report.improvement_pp().expect("control arm present")
     );
 }

@@ -1,0 +1,176 @@
+//! Integration tests for the declarative experiment API: spec
+//! serialisation and validation, observer composition, and
+//! reproduce-from-JSON guarantees.
+
+use lava::core::time::{Duration, SimTime};
+use lava::sched::policy::CandidateScan;
+use lava::sched::Algorithm;
+use lava::sim::experiment::{
+    CachePolicy, Experiment, ExperimentSpec, PolicySpec, PredictorSpec, Scenario, SpecError,
+};
+use lava::sim::observer::{
+    EmptyHostTracker, JsonlRecorder, MetricRecorder, PolicyStatsCollector, SimObserver,
+};
+use lava::sim::workload::PoolConfig;
+
+fn tiny_spec(seed: u64) -> ExperimentSpec {
+    Experiment::builder()
+        .name("integration-tiny")
+        .workload(PoolConfig {
+            hosts: 24,
+            duration: Duration::from_days(2),
+            seed,
+            ..PoolConfig::default()
+        })
+        .warmup(Duration::from_hours(6))
+        .algorithm(Algorithm::Nilas)
+        .build()
+        .expect("valid spec")
+}
+
+#[test]
+fn spec_round_trips_through_json_for_every_scenario() {
+    let scenarios = vec![
+        Scenario::SteadyState,
+        Scenario::ColdStart,
+        Scenario::PrePost,
+        Scenario::AbSplit {
+            arms: vec![
+                PolicySpec::new(Algorithm::Baseline),
+                PolicySpec::new(Algorithm::Lava)
+                    .with_scan(CandidateScan::Linear)
+                    .with_cache(CachePolicy::RefreshSecs(120))
+                    .labeled("lava-linear"),
+            ],
+        },
+        Scenario::Defrag {
+            empty_host_threshold: 0.2,
+            hosts_per_trigger: 3,
+            trigger_interval: Duration::from_hours(4),
+            concurrent_slots: 3,
+            migration_duration: Duration::from_mins(20),
+        },
+        Scenario::Stranding { every_samples: 12 },
+    ];
+    for scenario in scenarios {
+        let mut spec = tiny_spec(5);
+        spec.scenario = scenario;
+        spec.predictor = PredictorSpec::Noisy { accuracy_pct: 85 };
+        spec.record_predictions = true;
+        let json = spec.to_json().expect("spec serializes");
+        let parsed = ExperimentSpec::from_json(&json).expect("spec parses");
+        assert_eq!(parsed, spec, "round-trip changed the spec");
+    }
+}
+
+#[test]
+fn validation_rejects_degenerate_specs() {
+    let mut zero_hosts = tiny_spec(1);
+    zero_hosts.workload.hosts = 0;
+    assert_eq!(zero_hosts.validate().unwrap_err(), SpecError::ZeroHosts);
+    assert!(Experiment::new(zero_hosts).is_err());
+
+    let mut zero_horizon = tiny_spec(1);
+    zero_horizon.workload.duration = Duration::ZERO;
+    assert_eq!(zero_horizon.validate().unwrap_err(), SpecError::ZeroHorizon);
+
+    let mut empty_arms = tiny_spec(1);
+    empty_arms.scenario = Scenario::AbSplit { arms: vec![] };
+    assert_eq!(empty_arms.validate().unwrap_err(), SpecError::EmptyAbArms);
+
+    // A degenerate spec parsed from JSON is still rejected at run time.
+    let mut from_json = tiny_spec(1);
+    from_json.workload.hosts = 0;
+    let json = from_json.to_json().expect("serializes");
+    let parsed = ExperimentSpec::from_json(&json).expect("parses");
+    assert_eq!(Experiment::new(parsed).unwrap_err(), SpecError::ZeroHosts);
+}
+
+#[test]
+fn two_observers_see_identical_event_streams() {
+    let experiment = Experiment::new(tiny_spec(11)).expect("valid spec");
+    let mut first = JsonlRecorder::new();
+    let mut second = JsonlRecorder::new();
+    let mut observers: Vec<&mut dyn SimObserver> = vec![&mut first, &mut second];
+    let report = experiment.run_with_observers(&mut observers);
+    assert!(!first.lines().is_empty(), "observers saw no events");
+    assert_eq!(
+        first.lines(),
+        second.lines(),
+        "composed observers diverged on the same run"
+    );
+    // The stream agrees with the built-in collection: one Placed line per
+    // placement, one Sample line per metric sample.
+    let placed = first
+        .lines()
+        .iter()
+        .filter(|l| l.contains("\"Placed\""))
+        .count() as u64;
+    let samples = first
+        .lines()
+        .iter()
+        .filter(|l| l.contains("\"Sample\""))
+        .count();
+    assert_eq!(placed, report.result.scheduler_stats.placed);
+    assert_eq!(samples, report.result.series.len());
+}
+
+#[test]
+fn heterogeneous_observers_agree_with_builtin_series() {
+    let experiment = Experiment::new(tiny_spec(13)).expect("valid spec");
+    let mut series = MetricRecorder::new();
+    let mut tracker = EmptyHostTracker::new();
+    let mut stats = PolicyStatsCollector::new();
+    let mut observers: Vec<&mut dyn SimObserver> = vec![&mut series, &mut tracker, &mut stats];
+    let report = experiment.run_with_observers(&mut observers);
+
+    // The extra MetricRecorder saw exactly the samples the built-in one did.
+    assert_eq!(series.series(), &report.result.series);
+    // The cheap tracker summarises the same series.
+    let summary = tracker.summary();
+    assert_eq!(summary.samples, report.result.series.len());
+    assert!((summary.mean - report.result.mean_empty_host_fraction()).abs() < 1e-12);
+    // Per-policy counters add up to the scheduler totals.
+    let total: u64 = stats.segments().iter().map(|(_, s)| s.placed).sum();
+    assert_eq!(total, report.result.scheduler_stats.placed);
+    assert_eq!(stats.segments().len(), 2, "warm-up + evaluated policy");
+}
+
+#[test]
+fn json_spec_reproduces_identical_results() {
+    let spec = tiny_spec(17);
+    let first = Experiment::new(spec.clone()).expect("valid").run();
+    let json = spec.to_json().expect("serializes");
+    let replayed = Experiment::new(ExperimentSpec::from_json(&json).expect("parses"))
+        .expect("valid")
+        .run();
+    assert_eq!(first.result, replayed.result, "replay diverged");
+    assert_eq!(first, replayed, "full report diverged");
+}
+
+#[test]
+fn scan_modes_agree_through_the_experiment_api() {
+    // The spec-level scan knob must not change placement decisions.
+    let mut indexed = tiny_spec(23);
+    indexed.policy = PolicySpec::new(Algorithm::Lava).with_scan(CandidateScan::Indexed);
+    let mut linear = indexed.clone();
+    linear.policy.scan = CandidateScan::Linear;
+    let a = Experiment::new(indexed).expect("valid").run();
+    let b = Experiment::new(linear).expect("valid").run();
+    assert_eq!(a.result.series, b.result.series);
+    assert_eq!(a.result.scheduler_stats, b.result.scheduler_stats);
+}
+
+#[test]
+fn cold_start_and_steady_state_differ_only_in_warmup() {
+    let mut spec = tiny_spec(29);
+    spec.scenario = Scenario::ColdStart;
+    let cold = Experiment::new(spec.clone()).expect("valid").run();
+    assert_eq!(cold.result.series.samples()[0].time, SimTime::ZERO);
+    spec.scenario = Scenario::SteadyState;
+    let steady = Experiment::new(spec).expect("valid").run();
+    assert!(
+        steady.result.series.samples()[0].time >= SimTime::ZERO + Duration::from_hours(6),
+        "steady state must not sample during warm-up"
+    );
+}
