@@ -2,9 +2,9 @@
 //! Section 5 overheads): the paper's in-binary GBDT answers in ~9 us.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lava_bench::train_gbdt_predictor;
 use lava_core::time::Duration;
 use lava_model::gbdt::GbdtConfig;
+use lava_sim::experiment::train_gbdt_predictor;
 use lava_sim::workload::PoolConfig;
 use std::hint::black_box;
 

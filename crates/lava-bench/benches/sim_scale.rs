@@ -1,0 +1,288 @@
+//! `sim_scale`: end-to-end throughput of the streaming discrete-event
+//! engine at cluster scale.
+//!
+//! Drives a [`StreamingWorkload`] through the unified timeline over a
+//! large host count and millions of events, reporting events/sec and the
+//! source's peak pending-buffer size (which stays O(live VMs), horizon
+//! independent). Two rows are measured:
+//!
+//! * **engine** — placement is a trivial most-free-first walk of the
+//!   pool's free-capacity index (O(1) amortised), so the row isolates the
+//!   engine itself: source generation, timeline ordering, cluster
+//!   bookkeeping and observer dispatch. This is the row that scales to
+//!   100 000 hosts / millions of events.
+//! * **nilas** — the full lifetime-aware policy at a smaller host count,
+//!   for context (per-placement policy cost is measured in detail by the
+//!   `scheduling_throughput` bench).
+//!
+//! Before the timed rows, a medium-sized parity check asserts that a
+//! `TraceSource` replay and a `StreamingWorkload` run of the same spec
+//! produce bit-identical `SimulationResult`s.
+//!
+//! Flags (after `--`):
+//!
+//! * `--quick` — CI-scale settings (fewer hosts/events);
+//! * `--hosts N` / `--events N` — override the engine row's scale;
+//! * `--json PATH` — write the measurements as a JSON artifact
+//!   (`BENCH_sim_scale.json` in CI).
+//!
+//! Usage: `cargo bench -p lava-bench --bench sim_scale -- [--quick] [--json BENCH_sim_scale.json]`
+
+use lava_core::host::HostId;
+use lava_core::pool::Pool;
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::Vm;
+use lava_model::predictor::OraclePredictor;
+use lava_sched::cluster::Cluster;
+use lava_sched::policy::PlacementPolicy;
+use lava_sched::scheduler::Scheduler;
+use lava_sched::Algorithm;
+use lava_sim::experiment::{drive, DriveTiming, Experiment, SourceMode};
+use lava_sim::observer::SimObserver;
+use lava_sim::workload::{PoolConfig, StreamingWorkload, WorkloadGenerator};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Trivial O(1)-amortised placement: take the most-free host that fits,
+/// straight off the pool's free-capacity index. Used to isolate engine
+/// throughput from policy scoring cost.
+struct MostFreeFirstPolicy;
+
+impl PlacementPolicy for MostFreeFirstPolicy {
+    fn name(&self) -> &'static str {
+        "most-free-first"
+    }
+
+    fn choose_host(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        _now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        cluster
+            .pool()
+            .hosts_by_free()
+            .rev()
+            .filter(|h| Some(h.id()) != exclude && !h.is_unavailable())
+            .find(|h| h.can_fit(vm.resources()))
+            .map(|h| h.id())
+    }
+}
+
+struct Config {
+    quick: bool,
+    hosts: usize,
+    target_events: u64,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = Config {
+        quick: false,
+        hosts: 100_000,
+        target_events: 4_000_000,
+        json_path: None,
+    };
+    let mut hosts_override = None;
+    let mut events_override = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => config.quick = true,
+            "--hosts" => {
+                hosts_override = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--events" => {
+                events_override = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--json" => {
+                config.json_path = args.get(i + 1).cloned();
+                i += 1;
+            }
+            // `cargo bench` passes `--bench`; ignore it and anything else.
+            _ => {}
+        }
+        i += 1;
+    }
+    if config.quick {
+        config.hosts = 10_000;
+        config.target_events = 1_200_000;
+    }
+    if let Some(hosts) = hosts_override {
+        config.hosts = hosts;
+    }
+    if let Some(events) = events_override {
+        config.target_events = events;
+    }
+    config
+}
+
+fn scale_pool(hosts: usize, target_events: u64) -> PoolConfig {
+    let mut pool = PoolConfig {
+        hosts,
+        seed: 4242,
+        ..PoolConfig::default()
+    };
+    // Size the horizon so the arrival process emits roughly the requested
+    // event count (2 events per VM), on top of the standing population.
+    let rate = WorkloadGenerator::new(pool.clone()).arrival_rate();
+    let seconds = (target_events as f64 / 2.0 / rate.max(1e-9)).ceil() as u64;
+    pool.duration = Duration::from_secs(seconds.max(3600));
+    pool
+}
+
+struct RowOutcome {
+    events: u64,
+    elapsed: f64,
+    events_per_sec: f64,
+    max_pending: usize,
+    placed: u64,
+    rejected: u64,
+}
+
+/// Stream `pool_config` through the engine under `policy`, returning the
+/// throughput measurements.
+fn run_row(label: &str, pool_config: &PoolConfig, policy: Box<dyn PlacementPolicy>) -> RowOutcome {
+    let mut source = StreamingWorkload::new(pool_config.clone());
+    let pool = Pool::with_uniform_hosts(
+        pool_config.pool_id,
+        pool_config.hosts,
+        pool_config.host_spec(),
+    );
+    let predictor = Arc::new(OraclePredictor::new());
+    let mut scheduler = Scheduler::new(Cluster::new(pool), policy, predictor);
+    let timing = DriveTiming {
+        warmup: Duration::ZERO,
+        warmup_with_baseline: false,
+        tick_interval: Duration::from_mins(5),
+        sample_interval: Duration::from_hours(1),
+        sample_during_warmup: false,
+        defrag_trigger: None,
+    };
+
+    let started = Instant::now();
+    let rejected = {
+        let mut observers: Vec<&mut dyn SimObserver> = Vec::new();
+        drive(&mut source, &mut scheduler, None, &timing, &mut observers)
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Every pulled event was a create (placed or failed) or an exit
+    // (processed, or suppressed because its create was rejected).
+    let stats = scheduler.stats();
+    let events = stats.placed + stats.exited + 2 * stats.failed;
+    let events_per_sec = events as f64 / elapsed.max(1e-9);
+    let max_pending = source.max_pending_len();
+    println!(
+        "sim_scale[{label}]: {} hosts, {events} events in {elapsed:.2}s -> {events_per_sec:.0} \
+         events/sec (placed {}, rejected {rejected}, peak pending buffer {max_pending} events)",
+        pool_config.hosts, stats.placed
+    );
+    RowOutcome {
+        events,
+        elapsed,
+        events_per_sec,
+        max_pending,
+        placed: stats.placed,
+        rejected,
+    }
+}
+
+/// In-bench parity assert: the two source modes must produce bit-identical
+/// results for the same spec before we bother timing anything.
+fn assert_source_parity() {
+    let workload = PoolConfig {
+        hosts: 64,
+        duration: Duration::from_days(4),
+        seed: 77,
+        ..PoolConfig::default()
+    };
+    let run = |source: SourceMode| {
+        Experiment::builder()
+            .workload(workload.clone())
+            .warmup(Duration::from_hours(6))
+            .algorithm(Algorithm::Nilas)
+            .source_mode(source)
+            .run()
+            .expect("valid spec")
+    };
+    let materialized = run(SourceMode::Materialized);
+    let streaming = run(SourceMode::Streaming);
+    assert_eq!(
+        materialized.result, streaming.result,
+        "TraceSource and StreamingWorkload diverged"
+    );
+    println!("parity check passed: TraceSource and StreamingWorkload runs are bit-identical");
+}
+
+fn main() {
+    let config = parse_args();
+    assert_source_parity();
+
+    // Engine row: full scale, trivial placement.
+    let engine_pool = scale_pool(config.hosts, config.target_events);
+    println!(
+        "sim_scale: engine row at {} hosts, ~{:.1}M target events, {:.2}-day horizon ({})",
+        engine_pool.hosts,
+        config.target_events as f64 / 1e6,
+        engine_pool.duration.as_days(),
+        if config.quick { "quick" } else { "full" }
+    );
+    let engine = run_row("engine", &engine_pool, Box::new(MostFreeFirstPolicy));
+    assert!(
+        engine.events >= config.target_events / 2,
+        "horizon produced far fewer events ({}) than targeted ({})",
+        engine.events,
+        config.target_events
+    );
+    // The memory guarantee at scale: the pending buffer is a small
+    // multiple of the live-VM population, never the total event count.
+    assert!(
+        (engine.max_pending as u64) < engine.events / 2,
+        "pending buffer {} is not O(live VMs) vs {} events",
+        engine.max_pending,
+        engine.events
+    );
+
+    // Context row: the full lifetime-aware policy at a smaller pool.
+    let nilas_hosts = if config.quick { 1_000 } else { 4_000 };
+    let nilas_events = if config.quick { 100_000 } else { 400_000 };
+    let nilas_pool = scale_pool(nilas_hosts, nilas_events);
+    let predictor: Arc<dyn lava_model::predictor::LifetimePredictor> =
+        Arc::new(OraclePredictor::new());
+    let nilas = run_row(
+        "nilas",
+        &nilas_pool,
+        Algorithm::Nilas.build_policy(predictor),
+    );
+
+    if let Some(path) = &config.json_path {
+        let json = format!(
+            "{{\n  \"mode\": \"{}\",\n  \"engine\": {{\n    \"hosts\": {},\n    \"events\": {},\n    \
+             \"elapsed_seconds\": {:.3},\n    \"events_per_sec\": {:.0},\n    \
+             \"max_pending_events\": {},\n    \"placed\": {},\n    \"rejected\": {}\n  }},\n  \
+             \"nilas\": {{\n    \"hosts\": {},\n    \"events\": {},\n    \
+             \"elapsed_seconds\": {:.3},\n    \"events_per_sec\": {:.0},\n    \
+             \"max_pending_events\": {}\n  }}\n}}\n",
+            if config.quick { "quick" } else { "full" },
+            engine_pool.hosts,
+            engine.events,
+            engine.elapsed,
+            engine.events_per_sec,
+            engine.max_pending,
+            engine.placed,
+            engine.rejected,
+            nilas_pool.hosts,
+            nilas.events,
+            nilas.elapsed,
+            nilas.events_per_sec,
+            nilas.max_pending
+        );
+        std::fs::write(path, json).expect("write bench artifact");
+        println!("sim_scale: wrote {path}");
+    }
+}

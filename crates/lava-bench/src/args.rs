@@ -9,6 +9,8 @@
 //! * `--seed N` — base RNG seed,
 //! * `--scan indexed|linear` — candidate-scan mode for the policies
 //!   (affects NILAS/LAVA; the baselines and LA-Binary have a single scan),
+//! * `--threads N` — worker threads for sweep suites (0 = one per CPU);
+//!   per-arm results are bit-identical at any thread count,
 //! * `--full` — paper-scale settings (24 pools, 7-day traces),
 //! * `--quick` — the smallest sensible settings (for CI smoke runs).
 
@@ -29,6 +31,9 @@ pub struct ExperimentArgs {
     /// Candidate-scan mode for the placement policies (NILAS/LAVA only —
     /// the lifetime-agnostic policies and LA-Binary ignore it).
     pub scan: CandidateScan,
+    /// Worker threads for sweep suites (0 = one per available CPU).
+    /// Results are bit-identical per arm regardless of the thread count.
+    pub threads: usize,
     /// True when `--full` was passed.
     pub full: bool,
 }
@@ -41,6 +46,7 @@ impl Default for ExperimentArgs {
             hosts: None,
             seed: 1,
             scan: CandidateScan::default(),
+            threads: 0,
             full: false,
         }
     }
@@ -88,6 +94,12 @@ impl ExperimentArgs {
                     }
                     i += 1;
                 }
+                "--threads" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        parsed.threads = v;
+                    }
+                    i += 1;
+                }
                 "--full" => {
                     parsed.full = true;
                     parsed.pools = 24;
@@ -125,13 +137,25 @@ mod tests {
     #[test]
     fn parses_individual_flags() {
         let args = ExperimentArgs::parse([
-            "--pools", "10", "--days", "3", "--seed", "7", "--hosts", "50", "--scan", "linear",
+            "--pools",
+            "10",
+            "--days",
+            "3",
+            "--seed",
+            "7",
+            "--hosts",
+            "50",
+            "--scan",
+            "linear",
+            "--threads",
+            "4",
         ]);
         assert_eq!(args.pools, 10);
         assert_eq!(args.duration, Duration::from_days(3));
         assert_eq!(args.seed, 7);
         assert_eq!(args.hosts, Some(50));
         assert_eq!(args.scan, CandidateScan::Linear);
+        assert_eq!(args.threads, 4);
     }
 
     #[test]

@@ -2,9 +2,14 @@
 //! production baseline across a fleet of pools, with both the learned model
 //! and oracular lifetimes.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig06_empty_hosts -- [--pools N] [--days N] [--scan indexed|linear] [--full|--quick]`
+//! The whole fleet runs as one [`lava_sim::suite::ExperimentSuite`]: one
+//! experiment per (pool, predictor) with the algorithms as A/B arms, fanned
+//! out across `--threads` workers. Per-arm results are bit-identical to a
+//! serial run; same-pool experiments share one generated trace.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin fig06_empty_hosts -- [--pools N] [--days N] [--scan indexed|linear] [--threads N] [--full|--quick]`
 
-use lava_bench::{improvement_pp, policy_spec, ExperimentArgs, PredictorKind};
+use lava_bench::{improvement_pp, policy_spec, suite_from_specs, ExperimentArgs, PredictorKind};
 use lava_sched::Algorithm;
 use lava_sim::experiment::Experiment;
 use lava_sim::workload::PoolConfig;
@@ -25,11 +30,12 @@ fn main() {
 
     println!("# Figure 6: empty-host improvement over the production baseline (percentage points)");
     println!(
-        "# pools={} days={:.0} hosts={:?} scan={}",
+        "# pools={} days={:.0} hosts={:?} scan={} threads={}",
         pools.len(),
         args.duration.as_days(),
         args.hosts,
-        args.scan
+        args.scan,
+        args.threads
     );
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
@@ -42,33 +48,31 @@ fn main() {
         "lava(oracle)"
     );
 
-    let mut totals = vec![0.0f64; algorithms.len() * predictors.len()];
-    for pool in &pools {
-        let mut row = vec![];
-        // Both predictor kinds replay the identical trace: generate it once
-        // per pool and share it across the two experiments.
-        let mut trace_donor: Option<Experiment> = None;
-        for kind in predictors {
-            // One experiment per (pool, predictor): the baseline is arm 0
-            // and each algorithm is a treatment arm on the same trace.
+    // One experiment per (pool, predictor): the baseline is arm 0 and each
+    // algorithm is a treatment arm on the same trace. Suite arms over the
+    // same pool adopt each other's trace automatically.
+    let specs = pools.iter().flat_map(|pool| {
+        predictors.map(|kind| {
             let mut arms = vec![policy_spec(Algorithm::Baseline, &args)];
             arms.extend(algorithms.iter().map(|&a| policy_spec(a, &args)));
-            let experiment = Experiment::builder()
+            Experiment::builder()
                 .name(format!("fig06-pool{}-{}", pool.pool_id.0, kind.label()))
                 .workload(pool.clone())
                 .predictor(kind.spec())
                 .ab_arms(arms)
                 .build()
-                .and_then(Experiment::new)
-                .expect("valid spec");
-            if let Some(donor) = &trace_donor {
-                experiment.share_artifacts_from(donor);
-            }
-            let report = experiment.run();
-            trace_donor.get_or_insert(experiment);
-            let baseline = report.arms[0].result.clone();
+                .expect("valid spec")
+        })
+    });
+    let reports = suite_from_specs(specs, &args).run();
+
+    let mut totals = vec![0.0f64; algorithms.len() * predictors.len()];
+    for (pool, pool_reports) in pools.iter().zip(reports.chunks(predictors.len())) {
+        let mut row = vec![];
+        for report in pool_reports {
+            let baseline = &report.arms[0].result;
             for arm in &report.arms[1..] {
-                row.push(improvement_pp(&arm.result, &baseline));
+                row.push(improvement_pp(&arm.result, baseline));
             }
         }
         for (i, v) in row.iter().enumerate() {

@@ -2,12 +2,18 @@
 //! the baseline at different prediction-accuracy levels, using the noisy
 //! oracle (sigma 0.001 for correct VMs, sigma 3 for mispredicted VMs).
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig15_accuracy_tradeoff -- [--seed N] [--days N] [--scan indexed|linear]`
+//! The accuracy sweep runs as one parallel
+//! [`lava_sim::suite::ExperimentSuite`]; every level replays the identical
+//! workload, so all arms share one generated trace.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin fig15_accuracy_tradeoff -- [--seed N] [--days N] [--scan indexed|linear] [--threads N]`
 
-use lava_bench::{improvement_pp, policy_spec, ExperimentArgs};
+use lava_bench::{improvement_pp, policy_spec, suite_from_specs, ExperimentArgs};
 use lava_sched::Algorithm;
 use lava_sim::experiment::{Experiment, PredictorSpec};
 use lava_sim::workload::PoolConfig;
+
+const ACCURACY_LEVELS: [u8; 8] = [50, 60, 70, 80, 90, 95, 99, 100];
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -20,11 +26,8 @@ fn main() {
 
     println!("# Figure 15: empty-host improvement (pp over baseline) vs prediction accuracy");
     println!("{:<10} {:>10} {:>10}", "accuracy", "nilas", "lava");
-    // The accuracy levels all replay the identical workload: generate the
-    // trace once and share it across the sweep's experiments.
-    let mut trace_donor: Option<Experiment> = None;
-    for accuracy_pct in [50u8, 60, 70, 80, 90, 95, 99, 100] {
-        let experiment = Experiment::builder()
+    let specs = ACCURACY_LEVELS.map(|accuracy_pct| {
+        Experiment::builder()
             .name(format!("fig15-accuracy-{accuracy_pct}"))
             .workload(pool.clone())
             .predictor(PredictorSpec::Noisy { accuracy_pct })
@@ -34,13 +37,10 @@ fn main() {
                 policy_spec(Algorithm::Lava, &args),
             ])
             .build()
-            .and_then(Experiment::new)
-            .expect("valid spec");
-        if let Some(donor) = &trace_donor {
-            experiment.share_artifacts_from(donor);
-        }
-        let report = experiment.run();
-        trace_donor.get_or_insert(experiment);
+            .expect("valid spec")
+    });
+    let reports = suite_from_specs(specs, &args).run();
+    for (accuracy_pct, report) in ACCURACY_LEVELS.iter().zip(&reports) {
         let baseline = &report.arms[0].result;
         println!(
             "{:<10} {:>10.2} {:>10.2}",

@@ -2,9 +2,15 @@
 //! empty-host optimum, and what each factor costs — warm-up (gradual
 //! rollout), model accuracy and repredictions.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig16_ablation -- [--seed N] [--days N] [--scan indexed|linear]`
+//! The three experiments (oracle steady-state A/B, oracle cold start,
+//! learned-model A/B) run as one parallel
+//! [`lava_sim::suite::ExperimentSuite`]; they all describe the identical
+//! workload, so one generated trace is shared, and the learned A/B's two
+//! arms share one trained model.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin fig16_ablation -- [--seed N] [--days N] [--scan indexed|linear] [--threads N]`
 
-use lava_bench::{policy_spec, ExperimentArgs};
+use lava_bench::{policy_spec, suite_from_specs, ExperimentArgs};
 use lava_sched::Algorithm;
 use lava_sim::experiment::{Experiment, PredictorSpec};
 use lava_sim::validation::trace_utilization;
@@ -19,59 +25,44 @@ fn main() {
         ..PoolConfig::default()
     };
 
-    // Oracle rows: baseline and NILAS share one trace as A/B arms; the
-    // cold-start ideal is its own scenario. All experiments describe the
-    // identical workload, so the first one's trace is shared with the rest.
-    let oracle_steady = Experiment::new(
-        Experiment::builder()
-            .name("fig16-oracle-steady")
-            .workload(pool.clone())
-            .ab_arms(vec![
-                policy_spec(Algorithm::Baseline, &args),
-                policy_spec(Algorithm::Nilas, &args),
-            ])
-            .build()
-            .expect("valid spec"),
-    )
-    .expect("valid spec");
-    let oracle_steady_report = oracle_steady.run();
+    let oracle_steady = Experiment::builder()
+        .name("fig16-oracle-steady")
+        .workload(pool.clone())
+        .ab_arms(vec![
+            policy_spec(Algorithm::Baseline, &args),
+            policy_spec(Algorithm::Nilas, &args),
+        ])
+        .build()
+        .expect("valid spec");
+    let cold = Experiment::builder()
+        .name("fig16-nilas-oracle-ideal")
+        .workload(pool.clone())
+        .policy(policy_spec(Algorithm::Nilas, &args))
+        .cold_start()
+        .build()
+        .expect("valid spec");
+    let learned = Experiment::builder()
+        .name("fig16-learned")
+        .workload(pool.clone())
+        .predictor(PredictorSpec::Learned)
+        .ab_arms(vec![
+            policy_spec(Algorithm::Nilas, &args),
+            policy_spec(Algorithm::Nilas, &args)
+                .without_reprediction()
+                .labeled("nilas-no-reprediction"),
+        ])
+        .build()
+        .expect("valid spec");
 
-    let cold = Experiment::new(
-        Experiment::builder()
-            .name("fig16-nilas-oracle-ideal")
-            .workload(pool.clone())
-            .policy(policy_spec(Algorithm::Nilas, &args))
-            .cold_start()
-            .build()
-            .expect("valid spec"),
-    )
-    .expect("valid spec");
-    cold.share_artifacts_from(&oracle_steady);
-    let nilas_oracle_ideal = cold.run();
-
-    // Learned rows: NILAS with and without repredictions share the trace
-    // AND one trained model (the predictor is built once per experiment).
-    let learned = Experiment::new(
-        Experiment::builder()
-            .name("fig16-learned")
-            .workload(pool.clone())
-            .predictor(PredictorSpec::Learned)
-            .ab_arms(vec![
-                policy_spec(Algorithm::Nilas, &args),
-                policy_spec(Algorithm::Nilas, &args)
-                    .without_reprediction()
-                    .labeled("nilas-no-reprediction"),
-            ])
-            .build()
-            .expect("valid spec"),
-    )
-    .expect("valid spec");
-    learned.share_artifacts_from(&oracle_steady);
-    let learned_report = learned.run();
+    let suite = suite_from_specs([oracle_steady, cold, learned], &args);
+    let reports = suite.run();
+    let (oracle_steady_report, nilas_oracle_ideal, learned_report) =
+        (&reports[0], &reports[1], &reports[2]);
 
     // Theoretical optimum: at each sample time, the minimum number of hosts
     // able to hold the trace-implied utilisation; the rest could be empty.
-    let trace = oracle_steady.trace();
+    // The suite's first arm memoised the shared trace during its run.
+    let trace = suite.experiments()[0].trace();
     let times: Vec<_> = (0..(args.duration.as_days() as u64 * 24))
         .map(|h| lava_core::time::SimTime(h * 3600))
         .collect();

@@ -2,12 +2,18 @@
 //! Compares NILAS with no cache, a 1-minute refresh and a 15-minute refresh
 //! on both packing quality and scheduler runtime.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig17_cache_ablation -- [--seed N] [--days N] [--pools N]`
+//! Each cache setting runs its pools as one parallel
+//! [`lava_sim::suite::ExperimentSuite`] (the runtime column is the wall
+//! clock of that suite — comparable across settings at a fixed
+//! `--threads`); all settings replay identical pre-generated traces.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin fig17_cache_ablation -- [--seed N] [--days N] [--pools N] [--threads N]`
 
 use lava_bench::ExperimentArgs;
 use lava_sched::policy::CandidateScan;
 use lava_sched::Algorithm;
 use lava_sim::experiment::{CachePolicy, Experiment, PolicySpec};
+use lava_sim::suite::ExperimentSuite;
 use lava_sim::workload::PoolConfig;
 use std::time::Instant;
 
@@ -34,7 +40,8 @@ fn main() {
         .collect();
     // Pre-generate every pool's trace once (outside the timed loops) so the
     // runtime column measures only the scheduler, and all cache settings
-    // replay identical traffic.
+    // replay identical traffic. The donors are kept around so each timed
+    // suite adopts their memoised traces.
     let donors: Vec<Experiment> = pools
         .iter()
         .map(|pool| {
@@ -52,34 +59,40 @@ fn main() {
         .collect();
 
     for (label, cache) in settings {
-        let started = Instant::now();
-        let mut total_empty = 0.0;
-        for (pool, donor) in pools.iter().zip(&donors) {
-            // Pin the linear scan so the rows differ ONLY in caching: the
-            // default indexed scan would fall back to linear for the
-            // no-cache row and attribute its own speedup to the cache.
-            let experiment = Experiment::new(
-                Experiment::builder()
-                    .name(format!("fig17-{label}"))
-                    .workload(pool.clone())
-                    .policy(
-                        PolicySpec::new(Algorithm::Nilas)
-                            .with_scan(CandidateScan::Linear)
-                            .with_cache(cache)
-                            .labeled(format!("nilas[{label}]")),
-                    )
-                    .build()
-                    .expect("valid spec"),
-            )
-            .expect("valid spec");
+        // Pin the linear scan so the rows differ ONLY in caching: the
+        // default indexed scan would fall back to linear for the no-cache
+        // row and attribute its own speedup to the cache.
+        let specs = pools.iter().map(|pool| {
+            Experiment::builder()
+                .name(format!("fig17-{label}"))
+                .workload(pool.clone())
+                .policy(
+                    PolicySpec::new(Algorithm::Nilas)
+                        .with_scan(CandidateScan::Linear)
+                        .with_cache(cache)
+                        .labeled(format!("nilas[{label}]")),
+                )
+                .build()
+                .expect("valid spec")
+        });
+        let mut suite = ExperimentSuite::new().with_threads(args.threads);
+        for (spec, donor) in specs.zip(&donors) {
+            let mut experiment = Experiment::new(spec).expect("valid spec");
             experiment.share_artifacts_from(donor);
-            total_empty += experiment.run().result.mean_empty_host_fraction();
+            suite.push(experiment);
         }
+        let started = Instant::now();
+        let reports = suite.run();
+        let elapsed = started.elapsed().as_secs_f64();
+        let total_empty: f64 = reports
+            .iter()
+            .map(|r| r.result.mean_empty_host_fraction())
+            .sum();
         println!(
             "{:<16} {:>18.2} {:>16.2}",
             label,
             100.0 * total_empty / pools.len() as f64,
-            started.elapsed().as_secs_f64()
+            elapsed
         );
     }
     println!();

@@ -1,9 +1,13 @@
 //! Table 1: NILAS empty-host improvements in pilot pools — A/B experiments
 //! plus whole-pool pre/post (CausalImpact-style) pilots for C2 and E2.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin table1_pilots -- [--days N] [--seed N] [--scan indexed|linear]`
+//! All five pilots run as one parallel
+//! [`lava_sim::suite::ExperimentSuite`] fanned out across `--threads`
+//! workers; per-pilot results are bit-identical to a serial run.
+//!
+//! Usage: `cargo run --release -p lava-bench --bin table1_pilots -- [--days N] [--seed N] [--scan indexed|linear] [--threads N]`
 
-use lava_bench::{policy_spec, ExperimentArgs};
+use lava_bench::{policy_spec, suite_from_specs, ExperimentArgs};
 use lava_core::vm::VmFamily;
 use lava_sched::Algorithm;
 use lava_sim::experiment::Experiment;
@@ -24,11 +28,21 @@ fn main() {
         ("C2 Wave 2 pool 1", 2, 140),
         ("C2 Wave 2 pool 2", 3, 80),
     ];
-    for (name, seed, hosts) in ab_pools {
-        let report = Experiment::builder()
+    // Whole-pool pilots: one run whose policy switches from the baseline to
+    // NILAS halfway through; the pre/post scenario replays a baseline
+    // control on the same trace and runs the causal analysis on the
+    // treated-minus-control difference.
+    let prepost_pools = [
+        ("C2 Wave 3 pool", VmFamily::C2, 7u64),
+        ("E2 Wave 1 pool", VmFamily::E2, 8),
+    ];
+
+    let switch_at = lava_core::time::Duration::from_secs(args.duration.as_secs() / 2);
+    let ab_specs = ab_pools.iter().map(|(name, seed, hosts)| {
+        Experiment::builder()
             .name(format!("table1-ab-{name}"))
             .workload(PoolConfig {
-                hosts,
+                hosts: *hosts,
                 duration: args.duration,
                 seed: args.seed + seed,
                 ..PoolConfig::default()
@@ -37,8 +51,28 @@ fn main() {
                 policy_spec(Algorithm::Baseline, &args),
                 policy_spec(Algorithm::Nilas, &args),
             ])
-            .run()
-            .expect("valid spec");
+            .build()
+            .expect("valid spec")
+    });
+    let prepost_specs = prepost_pools.iter().map(|(name, family, seed)| {
+        Experiment::builder()
+            .name(format!("table1-prepost-{name}"))
+            .workload(PoolConfig {
+                hosts: 120,
+                family: *family,
+                duration: args.duration,
+                seed: args.seed + seed,
+                ..PoolConfig::default()
+            })
+            .policy(policy_spec(Algorithm::Nilas, &args))
+            .warmup(switch_at)
+            .pre_post()
+            .build()
+            .expect("valid spec")
+    });
+    let reports = suite_from_specs(ab_specs.chain(prepost_specs), &args).run();
+
+    for ((name, _, _), report) in ab_pools.iter().zip(&reports) {
         let ab = report.arms[1].vs_control.expect("treatment arm compared");
         println!(
             "{:<22} {:<6} {:>13.2}  {:>22}",
@@ -48,31 +82,11 @@ fn main() {
             format!("p-value = {:.3}", ab.p_value)
         );
     }
-
-    // Whole-pool pilots: one run whose policy switches from the baseline to
-    // NILAS halfway through; the pre/post scenario replays a baseline
-    // control on the same trace and runs the causal analysis on the
-    // treated-minus-control difference.
-    for (name, family, seed) in [
-        ("C2 Wave 3 pool", VmFamily::C2, 7u64),
-        ("E2 Wave 1 pool", VmFamily::E2, 8),
-    ] {
-        let switch_at = lava_core::time::Duration::from_secs(args.duration.as_secs() / 2);
-        let report = Experiment::builder()
-            .name(format!("table1-prepost-{name}"))
-            .workload(PoolConfig {
-                hosts: 120,
-                family,
-                duration: args.duration,
-                seed: args.seed + seed,
-                ..PoolConfig::default()
-            })
-            .policy(policy_spec(Algorithm::Nilas, &args))
-            .warmup(switch_at)
-            .pre_post()
-            .run()
-            .expect("valid spec");
-        let causal = report.causal.expect("pre/post produces causal report");
+    for ((name, _, _), report) in prepost_pools.iter().zip(&reports[ab_pools.len()..]) {
+        let causal = report
+            .causal
+            .as_ref()
+            .expect("pre/post produces causal report");
         println!(
             "{:<22} {:<6} {:>13.2}  {:>22}",
             name,

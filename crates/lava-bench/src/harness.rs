@@ -1,21 +1,18 @@
 //! Experiment harness helpers shared by the figure/table binaries.
 //!
 //! The heavy lifting lives in `lava-sim`'s declarative experiment API
-//! ([`Experiment`](lava_sim::experiment::Experiment)); this module keeps
-//! the thin glue the binaries share — mapping the common CLI predictor
-//! choice onto [`PredictorSpec`], threading the `--scan` flag into policy
-//! specs, and report formatting — plus deprecated shims for the previous
-//! ad-hoc entry points.
+//! ([`Experiment`](lava_sim::experiment::Experiment)) and the parallel
+//! [`ExperimentSuite`](lava_sim::suite::ExperimentSuite); this module
+//! keeps the thin glue the binaries share — mapping the common CLI
+//! predictor choice onto [`PredictorSpec`], threading the `--scan` flag
+//! into policy specs, building suites with the CLI thread count, and
+//! report formatting.
 
 use crate::args::ExperimentArgs;
-use lava_model::gbdt::GbdtConfig;
-use lava_model::predictor::{GbdtPredictor, LifetimePredictor};
 use lava_sched::Algorithm;
-use lava_sim::experiment::{PolicySpec, PredictorSpec};
-use lava_sim::simulator::{SimulationConfig, SimulationResult, Simulator};
-use lava_sim::trace::Trace;
-use lava_sim::workload::PoolConfig;
-use std::sync::Arc;
+use lava_sim::experiment::{ExperimentSpec, PolicySpec, PredictorSpec};
+use lava_sim::simulator::SimulationResult;
+use lava_sim::suite::ExperimentSuite;
 
 /// Which predictor drives the lifetime-aware algorithms in a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,60 +53,16 @@ pub fn policy_spec(algorithm: Algorithm, args: &ExperimentArgs) -> PolicySpec {
     PolicySpec::new(algorithm).with_scan(args.scan)
 }
 
-/// Train the production-style GBDT predictor for a pool.
-///
-/// Deprecated shim: delegates to
-/// [`lava_sim::experiment::train_gbdt_predictor`].
-pub fn train_gbdt_predictor(pool: &PoolConfig, gbdt: GbdtConfig) -> GbdtPredictor {
-    lava_sim::experiment::train_gbdt_predictor(pool, gbdt)
-}
-
-/// Build the predictor for a run on a given pool.
-///
-/// Deprecated shim: prefer [`PredictorKind::spec`] +
-/// [`PredictorSpec::build`].
-pub fn build_predictor(
-    kind: PredictorKind,
-    pool: &PoolConfig,
-    gbdt: GbdtConfig,
-) -> Arc<dyn LifetimePredictor> {
-    match kind {
-        PredictorKind::Learned => Arc::new(train_gbdt_predictor(pool, gbdt)),
-        _ => kind.spec().build(pool),
-    }
-}
-
-/// The outcome of running one algorithm on one pool.
-#[derive(Debug, Clone)]
-pub struct AlgorithmRun {
-    /// The algorithm that ran.
-    pub algorithm: Algorithm,
-    /// The predictor label.
-    pub predictor: String,
-    /// The simulation result.
-    pub result: SimulationResult,
-}
-
-/// Run one algorithm over a pool's trace with the given predictor.
-///
-/// Deprecated shim over the legacy `Simulator` entry point; prefer
-/// [`Experiment::run`](lava_sim::experiment::Experiment::run) (e.g. with an
-/// A/B-split scenario when several algorithms share one trace).
-pub fn run_algorithm(
-    pool: &PoolConfig,
-    trace: &Trace,
-    algorithm: Algorithm,
-    predictor: Arc<dyn LifetimePredictor>,
-    sim_config: &SimulationConfig,
-) -> AlgorithmRun {
-    let simulator = Simulator::new(sim_config.clone());
-    let predictor_label = predictor.name().to_string();
-    let result = simulator.run(trace, pool.hosts, pool.host_spec(), algorithm, predictor);
-    AlgorithmRun {
-        algorithm,
-        predictor: predictor_label,
-        result,
-    }
+/// An [`ExperimentSuite`] over `specs` using the CLI-selected thread
+/// count — the uniform way sweep binaries honour `--threads`. Panics on an
+/// invalid spec (sweep binaries construct their specs programmatically).
+pub fn suite_from_specs(
+    specs: impl IntoIterator<Item = ExperimentSpec>,
+    args: &ExperimentArgs,
+) -> ExperimentSuite {
+    ExperimentSuite::from_specs(specs)
+        .expect("valid sweep spec")
+        .with_threads(args.threads)
 }
 
 /// Empty-host improvement of `treatment` over `baseline`, in percentage
@@ -131,8 +84,10 @@ pub fn report_row(label: &str, values: &[(&str, f64)]) -> String {
 mod tests {
     use super::*;
     use lava_core::time::Duration;
+    use lava_model::gbdt::GbdtConfig;
     use lava_sched::policy::CandidateScan;
     use lava_sim::experiment::Experiment;
+    use lava_sim::workload::PoolConfig;
 
     fn tiny_pool() -> PoolConfig {
         PoolConfig {
@@ -154,10 +109,32 @@ mod tests {
             PredictorKind::Noisy(50).spec(),
             PredictorSpec::Noisy { accuracy_pct: 50 }
         );
-        let oracle = build_predictor(PredictorKind::Oracle, &pool, GbdtConfig::fast());
-        assert_eq!(oracle.name(), "oracle");
-        let noisy = build_predictor(PredictorKind::Noisy(50), &pool, GbdtConfig::fast());
-        assert_eq!(noisy.name(), "noisy-oracle");
+        assert_eq!(PredictorKind::Oracle.spec().build(&pool).name(), "oracle");
+        assert_eq!(
+            PredictorKind::Noisy(50).spec().build(&pool).name(),
+            "noisy-oracle"
+        );
+    }
+
+    #[test]
+    fn suite_from_specs_threads_the_cli_thread_count() {
+        let args = ExperimentArgs {
+            threads: 2,
+            ..ExperimentArgs::default()
+        };
+        let specs = [Algorithm::Baseline, Algorithm::Nilas].map(|algorithm| {
+            Experiment::builder()
+                .workload(tiny_pool())
+                .warmup(Duration::from_hours(6))
+                .algorithm(algorithm)
+                .build()
+                .expect("valid spec")
+        });
+        let suite = suite_from_specs(specs, &args);
+        assert_eq!(suite.len(), 2);
+        let reports = suite.run();
+        assert_eq!(reports[0].result.algorithm, "baseline");
+        assert_eq!(reports[1].result.algorithm, "nilas");
     }
 
     #[test]
@@ -200,7 +177,8 @@ mod tests {
 
     #[test]
     fn gbdt_training_from_pool_runs() {
-        let predictor = train_gbdt_predictor(&tiny_pool(), GbdtConfig::fast());
+        let predictor =
+            lava_sim::experiment::train_gbdt_predictor(&tiny_pool(), GbdtConfig::fast());
         assert!(predictor.model().tree_count() > 0);
     }
 }

@@ -14,6 +14,4 @@ pub mod args;
 pub mod harness;
 
 pub use args::ExperimentArgs;
-pub use harness::{
-    improvement_pp, policy_spec, run_algorithm, train_gbdt_predictor, AlgorithmRun, PredictorKind,
-};
+pub use harness::{improvement_pp, policy_spec, suite_from_specs, PredictorKind};

@@ -11,7 +11,9 @@
 //! * [`lifetime`] — lifetime classes and the NILAS temporal-cost buckets,
 //! * [`pool`] — a pool (zone/cluster) of hosts,
 //! * [`time`] — the simulated clock,
-//! * [`events`] — trace events shared between trace generation and replay.
+//! * [`events`] — trace events shared between trace generation and replay,
+//! * [`source`] — the pull-based [`source::EventSource`] abstraction the
+//!   streaming discrete-event engine consumes events through.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ pub mod host;
 pub mod lifetime;
 pub mod pool;
 pub mod resources;
+pub mod source;
 pub mod time;
 pub mod vm;
 
@@ -47,6 +50,7 @@ pub mod prelude {
     pub use crate::lifetime::{LifetimeClass, TemporalCostBuckets};
     pub use crate::pool::{Pool, PoolId};
     pub use crate::resources::Resources;
+    pub use crate::source::EventSource;
     pub use crate::time::{Duration, SimTime};
     pub use crate::vm::{ProvisioningModel, Vm, VmFamily, VmId, VmPriority, VmSpec};
 }

@@ -9,31 +9,31 @@
 //! migrations are saved. LARS maximises the savings by migrating the VMs
 //! with the longest predicted remaining lifetime first.
 //!
-//! This module has three parts:
+//! This module has two parts:
 //!
-//! * [`EvacuationCollector`] — a [`SimObserver`] that, on the experiment
-//!   loop's tick cadence, records the hosts a drain-based defragmenter
-//!   would evacuate (with each VM's remaining lifetime at that moment)
-//!   whenever the empty-host fraction drops below a threshold;
-//! * [`collect_evacuations`] — the legacy entry point, now a thin shim
-//!   that runs the collector through the unified experiment loop;
+//! * [`EvacuationCollector`] — a [`SimObserver`] that records the hosts a
+//!   drain-based defragmenter would evacuate (with each VM's remaining
+//!   lifetime at that moment) whenever the empty-host fraction is below a
+//!   threshold at a trigger point. Triggers arrive through
+//!   [`SimObserver::on_defrag_trigger`]: the unified timeline schedules
+//!   them at the *exact* trigger cadence, firing before the events of
+//!   their timestamp — the same semantics as the original per-event
+//!   collector (which checked its trigger before applying the first event
+//!   past the due time), without the up-to-one-tick drift the interim
+//!   tick-quantised collector had;
 //! * [`simulate_migration_queue`] — evaluates a migration *ordering*
 //!   against the recorded evacuation tasks and counts how many migrations
 //!   actually had to be performed.
+//!
+//! Runs are driven through
+//! [`Scenario::Defrag`](crate::experiment::Scenario) via
+//! [`Experiment::run`](crate::experiment::Experiment::run).
 
-use crate::experiment::{drive, DriveTiming};
 use crate::observer::{ObserverContext, SimObserver};
-use crate::trace::Trace;
-use lava_core::host::{HostId, HostSpec};
-use lava_core::pool::{Pool, PoolId};
+use lava_core::host::HostId;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
-use lava_model::predictor::LifetimePredictor;
-use lava_sched::cluster::Cluster;
-use lava_sched::scheduler::Scheduler;
-use lava_sched::Algorithm;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// One VM that needs to be evacuated from a host being drained.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,62 +56,33 @@ pub struct EvacuationTask {
     pub vms: Vec<EvacuationVm>,
 }
 
-/// Configuration of the defragmentation trigger.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DefragConfig {
-    /// Drain hosts whenever the empty-host fraction falls below this value.
-    pub empty_host_threshold: f64,
-    /// How many hosts to drain per trigger.
-    pub hosts_per_trigger: usize,
-    /// Minimum interval between triggers.
-    pub trigger_interval: Duration,
-    /// Scheduling algorithm used for the underlying placement run.
-    pub algorithm: Algorithm,
-}
-
-impl Default for DefragConfig {
-    fn default() -> Self {
-        DefragConfig {
-            empty_host_threshold: 0.12,
-            hosts_per_trigger: 2,
-            trigger_interval: Duration::from_hours(6),
-            algorithm: Algorithm::Baseline,
-        }
-    }
-}
-
 /// A [`SimObserver`] that records the evacuation tasks a drain-based
 /// defragmenter would generate.
 ///
-/// On every tick at or past the trigger cadence it checks the pool's
-/// empty-host fraction; below the threshold it picks the non-empty hosts
-/// with the most excess (free) resources as drain candidates (§4.4) and
-/// records each candidate's VMs with their actual and predicted remaining
+/// At every defrag trigger point (scheduled on the unified timeline at
+/// the scenario's exact cadence) it checks the pool's empty-host
+/// fraction; below the threshold it picks the non-empty hosts with the
+/// most excess (free) resources as drain candidates (§4.4) and records
+/// each candidate's VMs with their actual and predicted remaining
 /// lifetimes. The pool itself is not mutated — the recorded tasks feed
 /// [`simulate_migration_queue`].
 #[derive(Debug, Clone)]
 pub struct EvacuationCollector {
     empty_host_threshold: f64,
     hosts_per_trigger: usize,
-    trigger_interval: Duration,
-    next_trigger: SimTime,
     tasks: Vec<EvacuationTask>,
 }
 
 impl EvacuationCollector {
-    /// Create a collector that triggers at most every `trigger_interval`
-    /// when the empty-host fraction is below `empty_host_threshold`,
-    /// draining `hosts_per_trigger` hosts per trigger.
-    pub fn new(
-        empty_host_threshold: f64,
-        hosts_per_trigger: usize,
-        trigger_interval: Duration,
-    ) -> EvacuationCollector {
+    /// Create a collector that drains `hosts_per_trigger` hosts whenever a
+    /// trigger fires while the empty-host fraction is below
+    /// `empty_host_threshold`. The trigger cadence itself belongs to the
+    /// timeline (see
+    /// [`DriveTiming::defrag_trigger`](crate::experiment::DriveTiming)).
+    pub fn new(empty_host_threshold: f64, hosts_per_trigger: usize) -> EvacuationCollector {
         EvacuationCollector {
             empty_host_threshold,
             hosts_per_trigger,
-            trigger_interval,
-            next_trigger: SimTime::ZERO + trigger_interval,
             tasks: Vec::new(),
         }
     }
@@ -128,11 +99,7 @@ impl EvacuationCollector {
 }
 
 impl SimObserver for EvacuationCollector {
-    fn on_tick(&mut self, ctx: &ObserverContext<'_>) {
-        if ctx.now < self.next_trigger {
-            return;
-        }
-        self.next_trigger = ctx.now + self.trigger_interval;
+    fn on_defrag_trigger(&mut self, ctx: &ObserverContext<'_>) {
         let pool = ctx.cluster.pool();
         if pool.empty_host_fraction() >= self.empty_host_threshold {
             return;
@@ -179,51 +146,6 @@ impl SimObserver for EvacuationCollector {
             }
         }
     }
-}
-
-/// Replay `trace` with the configured algorithm and record the evacuation
-/// tasks the defragmenter would generate.
-///
-/// Deprecated shim: runs an [`EvacuationCollector`] through the unified
-/// experiment loop ([`crate::experiment::drive`]); prefer
-/// [`Scenario::Defrag`](crate::experiment::Scenario) via
-/// [`Experiment::run`](crate::experiment::Experiment::run).
-///
-/// Two semantics changed relative to the pre-experiment-API
-/// implementation: drain triggers are now checked on the loop's 5-minute
-/// tick cadence rather than at every trace event (trigger times shift by
-/// up to one tick), and — because the unified loop always ticks — policies
-/// with tick-driven behaviour (LAVA's deadline corrections) now run those
-/// corrections during collection, where the legacy loop never ticked.
-pub fn collect_evacuations(
-    trace: &Trace,
-    hosts: usize,
-    host_spec: HostSpec,
-    predictor: Arc<dyn LifetimePredictor>,
-    config: &DefragConfig,
-) -> Vec<EvacuationTask> {
-    let pool = Pool::with_uniform_hosts(PoolId(trace.pool().0), hosts, host_spec);
-    let cluster = Cluster::new(pool);
-    let policy = config.algorithm.build_policy(predictor.clone());
-    let mut scheduler = Scheduler::new(cluster, policy, predictor);
-
-    let timing = DriveTiming {
-        warmup: Duration::ZERO,
-        warmup_with_baseline: false,
-        tick_interval: Duration::from_mins(5),
-        sample_interval: Duration::from_hours(1),
-        sample_during_warmup: false,
-    };
-    let mut collector = EvacuationCollector::new(
-        config.empty_host_threshold,
-        config.hosts_per_trigger,
-        config.trigger_interval,
-    );
-    {
-        let mut observers: Vec<&mut dyn SimObserver> = vec![&mut collector];
-        let _ = drive(trace, &mut scheduler, None, &timing, &mut observers);
-    }
-    collector.into_tasks()
 }
 
 /// How migrations are ordered within one evacuation task.
@@ -317,8 +239,7 @@ pub fn simulate_migration_queue(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::{PoolConfig, WorkloadGenerator};
-    use lava_model::predictor::OraclePredictor;
+    use crate::workload::PoolConfig;
 
     fn task(remainings_minutes: &[u64]) -> EvacuationTask {
         EvacuationTask {
@@ -383,36 +304,35 @@ mod tests {
     }
 
     #[test]
-    fn collect_evacuations_produces_tasks_on_a_busy_pool() {
+    fn defrag_scenario_produces_tasks_on_a_busy_pool() {
         // A small, highly utilised pool dips below the empty-host threshold
-        // quickly, triggering drains.
+        // quickly, triggering drains. The Defrag scenario routes the
+        // triggers through the unified timeline at their exact cadence.
+        use crate::experiment::{Experiment, Scenario};
         let config = PoolConfig {
             hosts: 16,
             target_utilization: 0.85,
             duration: Duration::from_days(2),
             ..PoolConfig::small(5)
         };
-        let trace = WorkloadGenerator::new(config.clone()).generate();
-        let tasks = collect_evacuations(
-            &trace,
-            config.hosts,
-            config.host_spec(),
-            Arc::new(OraclePredictor::new()),
-            &DefragConfig {
+        let report = Experiment::builder()
+            .workload(config)
+            .scenario(Scenario::Defrag {
                 empty_host_threshold: 0.5,
+                hosts_per_trigger: 2,
                 trigger_interval: Duration::from_hours(3),
-                ..DefragConfig::default()
-            },
-        );
-        assert!(!tasks.is_empty(), "expected at least one evacuation task");
-        assert!(tasks.iter().all(|t| !t.vms.is_empty()));
+                concurrent_slots: 3,
+                migration_duration: Duration::from_mins(20),
+            })
+            .run()
+            .expect("valid spec");
+        let defrag = report.defrag.expect("defrag scenario reports");
+        assert!(defrag.drain_events > 0, "expected at least one drain");
+        assert!(defrag.evacuated_vms > 0);
         // Evaluating both orderings on the same tasks must keep the number
         // of scheduled migrations identical.
-        let baseline =
-            simulate_migration_queue(&tasks, MigrationOrder::Baseline, 3, Duration::from_mins(20));
-        let lars =
-            simulate_migration_queue(&tasks, MigrationOrder::Lars, 3, Duration::from_mins(20));
-        assert_eq!(baseline.scheduled, lars.scheduled);
-        assert!(lars.performed <= baseline.performed);
+        assert_eq!(defrag.baseline.scheduled, defrag.lars.scheduled);
+        assert!(defrag.lars.performed <= defrag.baseline.performed);
+        assert!(defrag.reduction() >= 0.0);
     }
 }

@@ -39,10 +39,12 @@ use crate::observer::{MetricRecorder, ObserverContext, SimObserver, StrandingPro
 use crate::recording::{PredictionRecord, RecordingPredictor};
 use crate::simulator::SimulationResult;
 use crate::stranding::InflationMix;
+use crate::timeline::{Timeline, TimelineAction, TimelineItem};
 use crate::trace::Trace;
-use crate::workload::{PoolConfig, WorkloadGenerator};
+use crate::workload::{PoolConfig, StreamingWorkload, WorkloadGenerator};
 use lava_core::events::TraceEventKind;
-use lava_core::pool::{Pool, PoolId};
+use lava_core::pool::Pool;
+use lava_core::source::EventSource;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
 use lava_model::dataset::DatasetBuilder;
@@ -124,6 +126,24 @@ pub fn train_gbdt_predictor(workload: &PoolConfig, gbdt: GbdtConfig) -> GbdtPred
     let mut builder = DatasetBuilder::new();
     builder.extend(trace.observations());
     GbdtPredictor::train(gbdt, &builder.build())
+}
+
+/// How the event stream is fed to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SourceMode {
+    /// Materialise the whole workload as a [`Trace`] and replay it through
+    /// a [`TraceSource`](crate::trace::TraceSource). Memory is O(total
+    /// events); the trace is memoised
+    /// on the experiment and can be shared across arms/sweeps.
+    #[default]
+    Materialized,
+    /// Stream arrivals lazily through a
+    /// [`StreamingWorkload`]: memory is
+    /// O(pending VMs), independent of the horizon. Produces bit-identical
+    /// results to [`SourceMode::Materialized`] for the same spec (the
+    /// emitted event stream is identical; property-tested in
+    /// `tests/streaming_engine.rs`).
+    Streaming,
 }
 
 /// How the NILAS/LAVA host exit-time cache is configured.
@@ -319,6 +339,11 @@ pub struct ExperimentSpec {
     pub scenario: Scenario,
     /// Warm-up / tick / sample cadence.
     pub cadence: Cadence,
+    /// How the event stream is produced (materialised trace replay vs lazy
+    /// streaming generation). Results are identical either way; the choice
+    /// trades memory against trace reuse.
+    #[serde(default)]
+    pub source: SourceMode,
     /// Record every lifetime prediction (with ground truth) made during the
     /// primary run and return them in the report (Fig. 12's error
     /// analysis). Under `AbSplit` only the final arm records.
@@ -334,6 +359,7 @@ impl Default for ExperimentSpec {
             policy: PolicySpec::new(Algorithm::Baseline),
             scenario: Scenario::SteadyState,
             cadence: Cadence::default(),
+            source: SourceMode::default(),
             record_predictions: false,
         }
     }
@@ -592,6 +618,18 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Choose how the event stream is produced.
+    pub fn source_mode(mut self, source: SourceMode) -> Self {
+        self.spec.source = source;
+        self
+    }
+
+    /// Stream the workload lazily instead of materialising the trace
+    /// (shorthand for [`SourceMode::Streaming`]).
+    pub fn streaming(self) -> Self {
+        self.source_mode(SourceMode::Streaming)
+    }
+
     /// Record predictions made during the primary run.
     pub fn record_predictions(mut self, record: bool) -> Self {
         self.spec.record_predictions = record;
@@ -677,14 +715,20 @@ impl ExperimentReport {
 }
 
 /// A validated, runnable experiment.
+///
+/// The memoised artifacts (trace, predictor) live in shared, thread-safe
+/// cells: cloning an experiment — or adopting a donor's cells via
+/// [`Experiment::share_artifacts_from`] — shares the cells, so whichever
+/// arm of a sweep (or thread of an [`crate::suite::ExperimentSuite`])
+/// needs an artifact first computes it exactly once for everyone.
+#[derive(Clone)]
 pub struct Experiment {
     spec: ExperimentSpec,
-    /// Memoised trace: generation is deterministic in the spec, so one
-    /// experiment instance generates it at most once even when callers mix
-    /// `trace()` and `run()`.
-    trace_cache: OnceLock<Trace>,
-    /// Memoised predictor (GBDT training is the expensive case).
-    predictor_cache: OnceLock<Arc<dyn LifetimePredictor>>,
+    /// Memoised trace cell: generation is deterministic in the spec, so
+    /// every experiment sharing this cell generates it at most once.
+    trace_cache: Arc<OnceLock<Arc<Trace>>>,
+    /// Memoised predictor cell (GBDT training is the expensive case).
+    predictor_cache: Arc<OnceLock<Arc<dyn LifetimePredictor>>>,
 }
 
 impl fmt::Debug for Experiment {
@@ -695,31 +739,14 @@ impl fmt::Debug for Experiment {
     }
 }
 
-impl Clone for Experiment {
-    fn clone(&self) -> Experiment {
-        let clone = Experiment {
-            spec: self.spec.clone(),
-            trace_cache: OnceLock::new(),
-            predictor_cache: OnceLock::new(),
-        };
-        if let Some(trace) = self.trace_cache.get() {
-            let _ = clone.trace_cache.set(trace.clone());
-        }
-        if let Some(predictor) = self.predictor_cache.get() {
-            let _ = clone.predictor_cache.set(predictor.clone());
-        }
-        clone
-    }
-}
-
 impl Experiment {
     /// Validate a spec and wrap it as a runnable experiment.
     pub fn new(spec: ExperimentSpec) -> Result<Experiment, SpecError> {
         spec.validate()?;
         Ok(Experiment {
             spec,
-            trace_cache: OnceLock::new(),
-            predictor_cache: OnceLock::new(),
+            trace_cache: Arc::new(OnceLock::new()),
+            predictor_cache: Arc::new(OnceLock::new()),
         })
     }
 
@@ -733,37 +760,37 @@ impl Experiment {
         &self.spec
     }
 
-    /// The experiment's workload trace (generated once per instance).
+    /// The experiment's workload trace (generated at most once per shared
+    /// cache cell). Note that [`SourceMode::Streaming`] runs never call
+    /// this — they stream the workload instead of materialising it.
     pub fn trace(&self) -> &Trace {
-        self.trace_cache.get_or_init(|| self.spec.generate_trace())
+        self.trace_cache
+            .get_or_init(|| Arc::new(self.spec.generate_trace()))
     }
 
     /// The experiment's predictor (built — and for the learned specs,
-    /// trained — once per instance).
+    /// trained — at most once per shared cache cell).
     pub fn predictor(&self) -> Arc<dyn LifetimePredictor> {
         self.predictor_cache
             .get_or_init(|| self.spec.predictor.build(&self.spec.workload))
             .clone()
     }
 
-    /// Adopt `donor`'s memoised trace and predictor where the specs agree:
-    /// the trace when both experiments describe the identical workload, the
-    /// predictor when the workload seed and predictor spec also match.
-    /// Trace generation is deterministic in the workload, so sharing never
-    /// changes results — it only avoids regenerating the same trace (or
-    /// retraining the same model) across experiments in a sweep. A no-op
-    /// when the specs differ or the donor has not materialised anything.
-    pub fn share_artifacts_from(&self, donor: &Experiment) {
+    /// Adopt `donor`'s artifact cells where the specs agree: the trace
+    /// cell when both experiments describe the identical workload, the
+    /// predictor cell when the predictor spec also matches. Sharing is
+    /// *lazy*: the cells are shared even before anything is materialised,
+    /// so whichever experiment needs the artifact first computes it for
+    /// both (including across suite threads — the cells are thread-safe).
+    /// Generation is deterministic in the workload, so sharing never
+    /// changes results. A no-op when the specs differ.
+    pub fn share_artifacts_from(&mut self, donor: &Experiment) {
         if self.spec.workload != donor.spec.workload {
             return;
         }
-        if let Some(trace) = donor.trace_cache.get() {
-            let _ = self.trace_cache.set(trace.clone());
-        }
+        self.trace_cache = Arc::clone(&donor.trace_cache);
         if self.spec.predictor == donor.spec.predictor {
-            if let Some(predictor) = donor.predictor_cache.get() {
-                let _ = self.predictor_cache.set(predictor.clone());
-            }
+            self.predictor_cache = Arc::clone(&donor.predictor_cache);
         }
     }
 
@@ -777,7 +804,6 @@ impl Experiment {
     /// A/B arms and the pre/post control), in run order.
     pub fn run_with_observers(&self, extra: &mut [&mut dyn SimObserver]) -> ExperimentReport {
         let spec = &self.spec;
-        let trace = self.trace();
         let predictor = self.predictor();
         let steady = DriveTiming {
             warmup: spec.cadence.warmup,
@@ -785,6 +811,7 @@ impl Experiment {
             tick_interval: spec.cadence.tick_interval,
             sample_interval: spec.cadence.sample_interval,
             sample_during_warmup: false,
+            defrag_trigger: None,
         };
         let mut report = ExperimentReport {
             name: spec.name.clone(),
@@ -799,7 +826,6 @@ impl Experiment {
         match &spec.scenario {
             Scenario::SteadyState => {
                 let (result, predictions) = self.run_one(
-                    trace,
                     &spec.policy,
                     &predictor,
                     &steady,
@@ -817,7 +843,6 @@ impl Experiment {
                     ..steady
                 };
                 let (result, predictions) = self.run_one(
-                    trace,
                     &spec.policy,
                     &predictor,
                     &timing,
@@ -830,7 +855,6 @@ impl Experiment {
             }
             Scenario::Stranding { every_samples } => {
                 let (result, predictions) = self.run_one(
-                    trace,
                     &spec.policy,
                     &predictor,
                     &steady,
@@ -847,7 +871,6 @@ impl Experiment {
                     ..steady
                 };
                 let (treated, predictions) = self.run_one(
-                    trace,
                     &spec.policy,
                     &predictor,
                     &timing,
@@ -856,15 +879,8 @@ impl Experiment {
                     extra,
                 );
                 let control_policy = PolicySpec::new(Algorithm::Baseline);
-                let (control, _) = self.run_one(
-                    trace,
-                    &control_policy,
-                    &predictor,
-                    &timing,
-                    None,
-                    false,
-                    extra,
-                );
+                let (control, _) =
+                    self.run_one(&control_policy, &predictor, &timing, None, false, extra);
                 // Causal analysis on the treated-minus-control difference,
                 // which removes the pool's background occupancy trend; the
                 // pre/post split is the policy-switch (warm-up) boundary.
@@ -899,7 +915,7 @@ impl Experiment {
                 for (i, arm) in arms.iter().enumerate() {
                     let record = spec.record_predictions && i + 1 == arms.len();
                     let (result, predictions) =
-                        self.run_one(trace, arm, &predictor, &steady, None, record, extra);
+                        self.run_one(arm, &predictor, &steady, None, record, extra);
                     if record {
                         report.predictions = predictions;
                     }
@@ -939,13 +955,11 @@ impl Experiment {
                 let timing = DriveTiming {
                     warmup: Duration::ZERO,
                     warmup_with_baseline: false,
+                    defrag_trigger: Some(*trigger_interval),
                     ..steady
                 };
-                let mut collector = EvacuationCollector::new(
-                    *empty_host_threshold,
-                    *hosts_per_trigger,
-                    *trigger_interval,
-                );
+                let mut collector =
+                    EvacuationCollector::new(*empty_host_threshold, *hosts_per_trigger);
                 let (result, predictions) = {
                     let mut combined: Vec<&mut dyn SimObserver> =
                         Vec::with_capacity(1 + extra.len());
@@ -954,7 +968,6 @@ impl Experiment {
                         combined.push(&mut **o);
                     }
                     self.run_one(
-                        trace,
                         &spec.policy,
                         &predictor,
                         &timing,
@@ -989,12 +1002,15 @@ impl Experiment {
         report
     }
 
-    /// One full replay of the trace under one policy: the primitive every
-    /// scenario composes.
+    /// One full replay of the workload under one policy: the primitive
+    /// every scenario composes. The event stream comes from the spec's
+    /// [`SourceMode`]: a fresh [`TraceSource`](crate::trace::TraceSource)
+    /// over the memoised trace, or
+    /// a fresh [`StreamingWorkload`] generating the identical stream
+    /// lazily.
     #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
-        trace: &Trace,
         policy: &PolicySpec,
         predictor: &Arc<dyn LifetimePredictor>,
         timing: &DriveTiming,
@@ -1014,7 +1030,7 @@ impl Experiment {
         };
 
         let pool = Pool::with_uniform_hosts(
-            PoolId(trace.pool().0),
+            self.spec.workload.pool_id,
             self.spec.workload.hosts,
             self.spec.workload.host_spec(),
         );
@@ -1042,7 +1058,19 @@ impl Experiment {
             for o in extra.iter_mut() {
                 observers.push(&mut **o);
             }
-            drive(trace, &mut scheduler, deferred, timing, &mut observers)
+            let mut source: Box<dyn EventSource + '_> = match self.spec.source {
+                SourceMode::Materialized => Box::new(self.trace().source()),
+                SourceMode::Streaming => {
+                    Box::new(StreamingWorkload::new(self.spec.workload.clone()))
+                }
+            };
+            drive(
+                source.as_mut(),
+                &mut scheduler,
+                deferred,
+                timing,
+                &mut observers,
+            )
         };
 
         let result = SimulationResult {
@@ -1073,6 +1101,10 @@ pub struct DriveTiming {
     /// Record samples during warm-up too (pre/post analyses need the
     /// pre-intervention series).
     pub sample_during_warmup: bool,
+    /// When set, schedule defragmentation trigger checks on the timeline
+    /// at this exact cadence (first trigger one interval in), dispatched
+    /// to [`SimObserver::on_defrag_trigger`].
+    pub defrag_trigger: Option<Duration>,
 }
 
 fn dispatch<F>(
@@ -1094,15 +1126,58 @@ fn dispatch<F>(
     }
 }
 
-/// The unified event loop: replay `trace` through `scheduler`, swapping in
-/// `deferred_policy` when warm-up ends, running ticks and samples on the
-/// configured cadence, and fanning every event out to `observers`.
+/// Fan the scheduler's event stream out to the observers; the scratch
+/// buffer is swapped (not taken) so the steady-state loop performs no
+/// per-event allocation.
+fn drain_scheduler_events(
+    scheduler: &mut Scheduler,
+    scratch: &mut Vec<SchedulerEvent>,
+    observers: &mut [&mut dyn SimObserver],
+) {
+    scheduler.swap_events(scratch);
+    for sched_event in scratch.drain(..) {
+        match sched_event {
+            SchedulerEvent::Placed { vm, host, at } => {
+                dispatch(scheduler, at, observers, |o, ctx| {
+                    o.on_placed(ctx, vm, host)
+                });
+            }
+            SchedulerEvent::Rejected { vm, at } => {
+                dispatch(scheduler, at, observers, |o, ctx| o.on_rejected(ctx, vm));
+            }
+            SchedulerEvent::Exited { vm, host, at } => {
+                dispatch(scheduler, at, observers, |o, ctx| {
+                    o.on_exited(ctx, vm, host)
+                });
+            }
+            SchedulerEvent::Migrated { vm, from, to, at } => {
+                dispatch(scheduler, at, observers, |o, ctx| {
+                    o.on_migrated(ctx, vm, from, to)
+                });
+            }
+        }
+    }
+}
+
+/// The unified, streaming event loop: pull events from `source`, merge
+/// them with the tick/sample cadences, defragmentation triggers and the
+/// warm-up policy switch on one [`Timeline`], and fan everything out to
+/// `observers`.
+///
+/// The loop keeps exactly one source event buffered on the timeline (the
+/// source cursor), so total memory is the source's pending buffer plus a
+/// handful of cadence entries — O(pending VMs) with a streaming source.
+/// Cadence entries fire only up to the time of the source's last event;
+/// metric samples additionally stop at the source's last arrival. The
+/// tiebreak at equal timestamps is the timeline's documented order
+/// (policy switch, defrag triggers, exits, creates, ticks, samples — see
+/// [`crate::timeline`]).
 ///
 /// Returns the number of creation events that could not be placed. All
-/// higher-level entry points — [`Experiment::run`] and the legacy
-/// `Simulator` shims — drive the simulation through this single function.
+/// higher-level entry points ([`Experiment::run`] and the scenarios it
+/// composes) drive the simulation through this single function.
 pub fn drive(
-    trace: &Trace,
+    source: &mut dyn EventSource,
     scheduler: &mut Scheduler,
     mut deferred_policy: Option<Box<dyn PlacementPolicy>>,
     timing: &DriveTiming,
@@ -1115,81 +1190,107 @@ pub fn drive(
     } else {
         warmup_end
     };
-    let sample_end = trace.last_arrival_time();
+
+    let mut timeline = Timeline::new();
+    timeline.schedule(TimelineAction::Tick, SimTime::ZERO);
+    timeline.schedule(TimelineAction::Sample, sample_start);
+    if let Some(interval) = timing.defrag_trigger {
+        timeline.schedule(TimelineAction::DefragTrigger, SimTime::ZERO + interval);
+    }
+    if deferred_policy.is_some() {
+        timeline.schedule(TimelineAction::PolicySwitch, warmup_end);
+    }
 
     let mut rejected: BTreeSet<VmId> = BTreeSet::new();
     let mut rejected_count = 0u64;
-    let mut next_tick = SimTime::ZERO;
-    let mut next_sample = sample_start;
     let mut event_scratch: Vec<SchedulerEvent> = Vec::new();
+    let mut cursor_buffered = false;
+    let mut source_exhausted = false;
+    let mut last_event_time: Option<SimTime> = None;
 
-    for event in trace.events() {
-        // Policy switch at the end of warm-up.
-        if deferred_policy.is_some() && event.time >= warmup_end {
-            let policy = deferred_policy.take().expect("checked is_some");
-            scheduler.set_policy(policy);
-            dispatch(scheduler, event.time, observers, |o, ctx| {
-                o.on_policy_switched(ctx)
-            });
-        }
-        // Ticks strictly before (or at) the event time.
-        while next_tick <= event.time {
-            scheduler.tick(next_tick);
-            dispatch(scheduler, next_tick, observers, |o, ctx| o.on_tick(ctx));
-            next_tick += timing.tick_interval;
-        }
-        // Samples between warm-up and the last arrival.
-        while next_sample <= event.time && next_sample <= sample_end {
-            dispatch(scheduler, next_sample, observers, |o, ctx| o.on_sample(ctx));
-            next_sample += timing.sample_interval;
-        }
-
-        match &event.kind {
-            TraceEventKind::Create { vm, spec, lifetime } => {
-                let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
-                if scheduler.schedule(record, event.time).is_err() {
-                    rejected.insert(*vm);
-                    rejected_count += 1;
+    loop {
+        // Keep the source cursor (its next event) on the timeline.
+        if !cursor_buffered && !source_exhausted {
+            match source.next_event() {
+                Some(event) => {
+                    last_event_time = Some(event.time);
+                    timeline.schedule_event(event);
+                    cursor_buffered = true;
                 }
-            }
-            TraceEventKind::Exit { vm } => {
-                if !rejected.remove(vm) {
-                    // Ignore exits of VMs that were never placed.
-                    let _ = scheduler.exit(*vm, event.time);
-                }
+                None => source_exhausted = true,
             }
         }
+        // Cadence entries do not outlive the event stream: once the source
+        // is exhausted, anything scheduled past its final event is moot.
+        let Some(next_time) = timeline.next_time() else {
+            break;
+        };
+        if source_exhausted && last_event_time.is_none_or(|last| next_time > last) {
+            break;
+        }
 
-        // Fan the scheduler's event stream out to the observers; the
-        // scratch buffer is swapped (not taken) so the steady-state loop
-        // performs no per-event allocation.
-        scheduler.swap_events(&mut event_scratch);
-        for sched_event in event_scratch.drain(..) {
-            match sched_event {
-                SchedulerEvent::Placed { vm, host, at } => {
-                    dispatch(scheduler, at, observers, |o, ctx| {
-                        o.on_placed(ctx, vm, host)
-                    });
+        match timeline.pop().expect("peeked non-empty") {
+            TimelineItem::Action(TimelineAction::PolicySwitch, at) => {
+                if let Some(policy) = deferred_policy.take() {
+                    scheduler.set_policy(policy);
+                    dispatch(scheduler, at, observers, |o, ctx| o.on_policy_switched(ctx));
                 }
-                SchedulerEvent::Rejected { vm, at } => {
-                    dispatch(scheduler, at, observers, |o, ctx| o.on_rejected(ctx, vm));
+            }
+            TimelineItem::Action(TimelineAction::DefragTrigger, at) => {
+                dispatch(scheduler, at, observers, |o, ctx| o.on_defrag_trigger(ctx));
+                let interval = timing
+                    .defrag_trigger
+                    .expect("defrag triggers are scheduled only when an interval is set");
+                timeline.schedule(TimelineAction::DefragTrigger, at + interval);
+            }
+            TimelineItem::Action(TimelineAction::Tick, at) => {
+                scheduler.tick(at);
+                dispatch(scheduler, at, observers, |o, ctx| o.on_tick(ctx));
+                timeline.schedule(TimelineAction::Tick, at + timing.tick_interval);
+            }
+            TimelineItem::Action(TimelineAction::Sample, at) => {
+                // Samples stop at the last arrival. When the source cannot
+                // know its final arrival yet (`None`), at least one more
+                // create is coming — necessarily at a time ≥ this sample
+                // (the stream is ordered and its cursor is on the
+                // timeline), so the sample is inside the arrival window.
+                let in_window = match source.last_arrival_time() {
+                    Some(last_arrival) => at <= last_arrival,
+                    None => true,
+                };
+                if in_window {
+                    dispatch(scheduler, at, observers, |o, ctx| o.on_sample(ctx));
+                    timeline.schedule(TimelineAction::Sample, at + timing.sample_interval);
                 }
-                SchedulerEvent::Exited { vm, host, at } => {
-                    dispatch(scheduler, at, observers, |o, ctx| {
-                        o.on_exited(ctx, vm, host)
-                    });
+            }
+            TimelineItem::Event(event) => {
+                cursor_buffered = false;
+                match &event.kind {
+                    TraceEventKind::Create { vm, spec, lifetime } => {
+                        let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
+                        if scheduler.schedule(record, event.time).is_err() {
+                            rejected.insert(*vm);
+                            rejected_count += 1;
+                        }
+                    }
+                    TraceEventKind::Exit { vm } => {
+                        if !rejected.remove(vm) {
+                            // Ignore exits of VMs that were never placed.
+                            let _ = scheduler.exit(*vm, event.time);
+                        }
+                    }
                 }
-                SchedulerEvent::Migrated { vm, from, to, at } => {
-                    dispatch(scheduler, at, observers, |o, ctx| {
-                        o.on_migrated(ctx, vm, from, to)
-                    });
-                }
+                drain_scheduler_events(scheduler, &mut event_scratch, observers);
             }
         }
     }
-    dispatch(scheduler, trace.end_time(), observers, |o, ctx| {
-        o.on_finish(ctx)
-    });
+    drain_scheduler_events(scheduler, &mut event_scratch, observers);
+    dispatch(
+        scheduler,
+        last_event_time.unwrap_or(SimTime::ZERO),
+        observers,
+        |o, ctx| o.on_finish(ctx),
+    );
     rejected_count
 }
 
@@ -1389,12 +1490,11 @@ mod tests {
     #[test]
     fn share_artifacts_reuses_trace_and_predictor_only_when_specs_match() {
         let donor = Experiment::new(tiny_builder().build().expect("valid")).expect("valid");
-        let trace_events = donor.trace().events().len();
-        let _ = donor.predictor();
 
-        // Same workload + predictor: both artifacts adopted (same trace
-        // allocation, not merely an equal one — the Arc is shared).
-        let same = Experiment::new(
+        // Same workload + predictor: both artifact cells adopted *before*
+        // anything is materialised (sharing is lazy) — the first user
+        // computes for both, so the allocations are literally shared.
+        let mut same = Experiment::new(
             tiny_builder()
                 .algorithm(Algorithm::Lava)
                 .build()
@@ -1402,18 +1502,18 @@ mod tests {
         )
         .expect("valid");
         same.share_artifacts_from(&donor);
-        assert_eq!(same.trace().events().len(), trace_events);
+        assert!(std::ptr::eq(same.trace(), donor.trace()));
         assert!(Arc::ptr_eq(&same.predictor(), &donor.predictor()));
 
         // Different workload: nothing adopted, results stay governed by the
         // receiver's own spec.
-        let other =
+        let mut other =
             Experiment::new(tiny_builder().seed(99).build().expect("valid")).expect("valid");
         other.share_artifacts_from(&donor);
         assert_ne!(other.trace().events(), donor.trace().events());
 
         // Same workload, different predictor: trace adopted, predictor not.
-        let noisy = Experiment::new(
+        let mut noisy = Experiment::new(
             tiny_builder()
                 .predictor(PredictorSpec::Noisy { accuracy_pct: 80 })
                 .build()
@@ -1423,6 +1523,10 @@ mod tests {
         noisy.share_artifacts_from(&donor);
         assert_eq!(noisy.trace().events(), donor.trace().events());
         assert_eq!(noisy.predictor().name(), "noisy-oracle");
+
+        // Cloning shares the cells too.
+        let clone = donor.clone();
+        assert!(std::ptr::eq(clone.trace(), donor.trace()));
     }
 
     #[test]

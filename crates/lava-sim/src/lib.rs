@@ -4,16 +4,25 @@
 //! scheduler:
 //!
 //! * [`experiment`] — **the declarative experiment API**: a serializable
-//!   [`ExperimentSpec`] (workload × predictor × policy × scenario), a
-//!   fluent [`ExperimentBuilder`] and the single [`Experiment::run`] entry
-//!   point with the unified event loop ([`experiment::drive`]),
+//!   [`ExperimentSpec`] (workload × predictor × policy × scenario ×
+//!   source mode), a fluent [`ExperimentBuilder`] and the single
+//!   [`Experiment::run`] entry point with the streaming event loop
+//!   ([`experiment::drive`]),
+//! * [`timeline`] — the unified [`timeline::Timeline`]: one
+//!   `BinaryHeap`-ordered queue merging source events, dynamically
+//!   scheduled VM exits, tick/sample cadences and defrag triggers,
+//! * [`suite`] — [`suite::ExperimentSuite`], parallel multi-arm sweeps
+//!   with bit-identical per-arm results,
 //! * [`observer`] — the [`SimObserver`] trait and the provided observers
 //!   metric collection is composed from,
-//! * [`workload`] — synthetic production-like trace generation (the
-//!   substitute for Google's C2/E2 production traces),
-//! * [`trace`] — trace containers and training-data extraction,
-//! * [`simulator`] — the legacy replay entry points, kept as thin shims
-//!   over the experiment loop,
+//! * [`workload`] — synthetic production-like workload generation (the
+//!   substitute for Google's C2/E2 production traces): the materialising
+//!   [`workload::WorkloadGenerator`] and the lazy, O(pending VMs)
+//!   [`workload::StreamingWorkload`] event source,
+//! * [`trace`] — trace containers, training-data extraction and the
+//!   replaying [`trace::TraceSource`],
+//! * [`simulator`] — the [`simulator::SimulationResult`] type runs
+//!   produce,
 //! * [`metrics`] — empty hosts, empty-to-free ratio, packing density,
 //!   utilisation,
 //! * [`stranding`] — the inflation-simulation stranding pipeline,
@@ -56,12 +65,17 @@ pub mod observer;
 pub mod recording;
 pub mod simulator;
 pub mod stranding;
+pub mod suite;
+pub mod timeline;
 pub mod trace;
 pub mod validation;
 pub mod workload;
 
 pub use experiment::{
     Experiment, ExperimentBuilder, ExperimentReport, ExperimentSpec, PolicySpec, PredictorSpec,
-    Scenario,
+    Scenario, SourceMode,
 };
 pub use observer::{ObserverContext, SimObserver};
+pub use suite::ExperimentSuite;
+pub use trace::TraceSource;
+pub use workload::StreamingWorkload;

@@ -67,6 +67,12 @@ pub trait SimObserver {
     /// A periodic metric sample point was reached.
     fn on_sample(&mut self, _ctx: &ObserverContext<'_>) {}
 
+    /// A defragmentation trigger point was reached (scheduled on the
+    /// unified timeline at the exact trigger cadence, firing *before* the
+    /// events of its timestamp — drain decisions see the pool as of just
+    /// before the trigger time).
+    fn on_defrag_trigger(&mut self, _ctx: &ObserverContext<'_>) {}
+
     /// The warm-up policy was swapped out for the evaluated policy.
     fn on_policy_switched(&mut self, _ctx: &ObserverContext<'_>) {}
 

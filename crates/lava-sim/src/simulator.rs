@@ -1,106 +1,18 @@
-//! The legacy simulator entry points (§5.1, Appendix F), now thin shims.
+//! Simulation result types.
 //!
-//! **Deprecated surface:** [`Simulator::run`] and
-//! [`Simulator::run_with_policy`] predate the declarative experiment API
-//! and are kept for one release so existing callers and tests keep working
-//! unchanged. New code should build an
-//! [`ExperimentSpec`](crate::experiment::ExperimentSpec) and call
-//! [`Experiment::run`](crate::experiment::Experiment::run) instead — it
-//! subsumes these entry points plus the A/B, causal, defragmentation and
-//! stranding drivers.
-//!
-//! Both shims delegate to the single unified event loop
-//! ([`crate::experiment::drive`]) with the standard observers attached
-//! ([`MetricRecorder`](crate::observer::MetricRecorder), plus a
-//! [`StrandingProbe`](crate::observer::StrandingProbe) when stranding
-//! measurement is enabled), so they produce bit-identical results to an
-//! equivalent experiment run. The simulator models the paper's
-//! methodology:
-//!
-//! * a **warm-up** phase during which VMs are placed with the
-//!   lifetime-agnostic production baseline (mimicking gradual rollout /
-//!   left-censorship of the trace) and metrics are not counted;
-//! * periodic **ticks** that let the policy run deadline-based corrections
-//!   (LAVA's misprediction handling);
-//! * periodic **metric samples** (empty hosts, empty-to-free, packing
-//!   density, utilisation) taken between the end of warm-up and the last
-//!   arrival;
-//! * optional **stranding** measurements via the inflation pipeline.
+//! The legacy `Simulator::run` / `run_with_policy` entry points that used
+//! to live here (and the `collect_evacuations` defrag driver) have been
+//! removed: every run now goes through the declarative experiment API —
+//! build an [`ExperimentSpec`](crate::experiment::ExperimentSpec) and call
+//! [`Experiment::run`](crate::experiment::Experiment::run), which drives
+//! the streaming discrete-event engine ([`crate::experiment::drive`])
+//! over a pull-based event source and the unified timeline. What remains
+//! here is the result type those runs produce.
 
-use crate::experiment::{drive, DriveTiming};
 use crate::metrics::MetricSeries;
-use crate::observer::{MetricRecorder, SimObserver, StrandingProbe};
-use crate::stranding::{InflationMix, StrandingReport};
-use crate::trace::Trace;
-use lava_core::host::HostSpec;
-use lava_core::pool::{Pool, PoolId};
-use lava_core::time::Duration;
-use lava_model::predictor::LifetimePredictor;
-use lava_sched::cluster::Cluster;
-use lava_sched::policy::PlacementPolicy;
-use lava_sched::scheduler::{Scheduler, SchedulerStats};
-use lava_sched::Algorithm;
+use crate::stranding::StrandingReport;
+use lava_sched::scheduler::SchedulerStats;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
-
-/// Configuration of a simulation run.
-#[derive(Debug, Clone)]
-pub struct SimulationConfig {
-    /// Length of the warm-up phase at the start of the trace.
-    pub warmup: Duration,
-    /// Whether warm-up placements use the lifetime-agnostic baseline
-    /// (`true`, the default, mirrors production rollout; `false` is the
-    /// "cold start" ideal setting of Appendix G.2).
-    pub warmup_with_baseline: bool,
-    /// Interval between policy ticks (deadline checks).
-    pub tick_interval: Duration,
-    /// Interval between metric samples.
-    pub sample_interval: Duration,
-    /// Also record samples during warm-up (used by the pre/post causal
-    /// analysis, which needs the pre-intervention series).
-    pub sample_during_warmup: bool,
-    /// If set, run the stranding inflation pipeline every N samples and
-    /// average the reports.
-    pub stranding_every_samples: Option<usize>,
-    /// The VM mix used for stranding inflation.
-    pub inflation_mix: InflationMix,
-}
-
-impl Default for SimulationConfig {
-    fn default() -> Self {
-        SimulationConfig {
-            warmup: Duration::from_days(2),
-            warmup_with_baseline: true,
-            tick_interval: Duration::from_mins(5),
-            sample_interval: Duration::from_hours(1),
-            sample_during_warmup: false,
-            stranding_every_samples: None,
-            inflation_mix: InflationMix::default(),
-        }
-    }
-}
-
-impl SimulationConfig {
-    /// The ideal "cold start" setting of Appendix G.2: no warm-up, the
-    /// evaluated algorithm controls every placement from the first VM.
-    pub fn cold_start() -> SimulationConfig {
-        SimulationConfig {
-            warmup: Duration::ZERO,
-            warmup_with_baseline: false,
-            ..SimulationConfig::default()
-        }
-    }
-
-    fn timing(&self) -> DriveTiming {
-        DriveTiming {
-            warmup: self.warmup,
-            warmup_with_baseline: self.warmup_with_baseline,
-            tick_interval: self.tick_interval,
-            sample_interval: self.sample_interval,
-            sample_during_warmup: self.sample_during_warmup,
-        }
-    }
-}
 
 /// The outcome of one simulation run, assembled from the run's observers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,142 +63,25 @@ impl SimulationResult {
     }
 }
 
-/// The event-driven simulator (legacy shim over the experiment loop).
-#[derive(Debug, Clone, Default)]
-pub struct Simulator {
-    config: SimulationConfig,
-}
-
-impl Simulator {
-    /// Create a simulator with the given configuration.
-    pub fn new(config: SimulationConfig) -> Simulator {
-        Simulator { config }
-    }
-
-    /// The configuration in use.
-    pub fn config(&self) -> &SimulationConfig {
-        &self.config
-    }
-
-    /// Run `algorithm` with `predictor` over `trace` on a pool of
-    /// `hosts` × `host_spec`.
-    ///
-    /// Deprecated shim: prefer [`Experiment::run`](crate::experiment::Experiment::run).
-    pub fn run(
-        &self,
-        trace: &Trace,
-        hosts: usize,
-        host_spec: HostSpec,
-        algorithm: Algorithm,
-        predictor: Arc<dyn LifetimePredictor>,
-    ) -> SimulationResult {
-        let policy = algorithm.build_policy(predictor.clone());
-        self.run_with_policy(
-            trace,
-            hosts,
-            host_spec,
-            policy,
-            predictor,
-            algorithm.to_string(),
-        )
-    }
-
-    /// Run with an explicitly constructed policy (used by ablations that
-    /// need non-default policy configuration).
-    ///
-    /// Deprecated shim: prefer [`Experiment::run`](crate::experiment::Experiment::run)
-    /// with a configured [`PolicySpec`](crate::experiment::PolicySpec).
-    pub fn run_with_policy(
-        &self,
-        trace: &Trace,
-        hosts: usize,
-        host_spec: HostSpec,
-        policy: Box<dyn PlacementPolicy>,
-        predictor: Arc<dyn LifetimePredictor>,
-        algorithm_name: String,
-    ) -> SimulationResult {
-        let pool = Pool::with_uniform_hosts(PoolId(trace.pool().0), hosts, host_spec);
-        let cluster = Cluster::new(pool);
-        let predictor_name = predictor.name();
-
-        // During warm-up the baseline policy places VMs; the evaluated
-        // policy is swapped in at the end of warm-up.
-        let (initial_policy, deferred_policy) =
-            if self.config.warmup_with_baseline && !self.config.warmup.is_zero() {
-                (
-                    Algorithm::Baseline.build_policy(predictor.clone()),
-                    Some(policy),
-                )
-            } else {
-                (policy, None)
-            };
-        let mut scheduler = Scheduler::new(cluster, initial_policy, predictor);
-
-        let mut metrics = MetricRecorder::new();
-        let mut stranding = self
-            .config
-            .stranding_every_samples
-            .map(|every| StrandingProbe::new(every, self.config.inflation_mix.clone()));
-        let rejected = {
-            let mut observers: Vec<&mut dyn SimObserver> = Vec::with_capacity(2);
-            observers.push(&mut metrics);
-            if let Some(probe) = stranding.as_mut() {
-                observers.push(probe);
-            }
-            drive(
-                trace,
-                &mut scheduler,
-                deferred_policy,
-                &self.config.timing(),
-                &mut observers,
-            )
-        };
-
-        SimulationResult {
-            algorithm: algorithm_name,
-            predictor: predictor_name.to_string(),
-            series: metrics.into_series(),
-            scheduler_stats: scheduler.stats(),
-            stranding: stranding.as_ref().and_then(|p| p.average()),
-            rejected_vms: rejected,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::workload::{PoolConfig, WorkloadGenerator};
-    use lava_core::time::SimTime;
-    use lava_model::predictor::OraclePredictor;
+    use crate::experiment::{Experiment, ExperimentReport, SourceMode};
+    use crate::workload::PoolConfig;
+    use lava_core::time::{Duration, SimTime};
+    use lava_sched::Algorithm;
 
-    fn small_trace(seed: u64) -> (Trace, PoolConfig) {
-        let config = PoolConfig::small(seed);
-        let trace = WorkloadGenerator::new(config.clone()).generate();
-        (trace, config)
-    }
-
-    fn run(algorithm: Algorithm, config: SimulationConfig) -> SimulationResult {
-        let (trace, pool_config) = small_trace(3);
-        let sim = Simulator::new(config);
-        sim.run(
-            &trace,
-            pool_config.hosts,
-            pool_config.host_spec(),
-            algorithm,
-            Arc::new(OraclePredictor::new()),
-        )
+    fn run(algorithm: Algorithm, warmup_hours: u64) -> ExperimentReport {
+        Experiment::builder()
+            .workload(PoolConfig::small(3))
+            .warmup(Duration::from_hours(warmup_hours))
+            .algorithm(algorithm)
+            .run()
+            .expect("valid spec")
     }
 
     #[test]
     fn baseline_run_produces_samples_and_places_vms() {
-        let result = run(
-            Algorithm::Baseline,
-            SimulationConfig {
-                warmup: Duration::from_hours(6),
-                ..SimulationConfig::default()
-            },
-        );
+        let result = run(Algorithm::Baseline, 6).result;
         assert!(result.series.len() > 10, "samples: {}", result.series.len());
         assert!(result.scheduler_stats.placed > 100);
         assert_eq!(result.rejected_vms, 0, "small pool should fit everything");
@@ -306,13 +101,9 @@ mod tests {
         // (§6.1); the large-scale comparison lives in the Fig. 6 bench and
         // the integration tests. Here we only require that the
         // lifetime-aware algorithms are not materially worse.
-        let config = SimulationConfig {
-            warmup: Duration::from_hours(6),
-            ..SimulationConfig::default()
-        };
-        let best_fit = run(Algorithm::BestFit, config.clone());
-        let nilas = run(Algorithm::Nilas, config.clone());
-        let lava = run(Algorithm::Lava, config);
+        let best_fit = run(Algorithm::BestFit, 6).result;
+        let nilas = run(Algorithm::Nilas, 6).result;
+        let lava = run(Algorithm::Lava, 6).result;
         let tolerance = 0.03;
         assert!(
             nilas.mean_empty_host_fraction() >= best_fit.mean_empty_host_fraction() - tolerance,
@@ -329,68 +120,50 @@ mod tests {
     }
 
     #[test]
-    fn stranding_measurement_runs_when_enabled() {
-        let result = run(
-            Algorithm::Baseline,
-            SimulationConfig {
-                warmup: Duration::from_hours(6),
-                stranding_every_samples: Some(12),
-                ..SimulationConfig::default()
-            },
-        );
-        let stranding = result.stranding.expect("stranding enabled");
-        assert!(stranding.stranded_cpu_fraction >= 0.0);
-        assert!(stranding.stranded_cpu_fraction <= 1.0);
-    }
-
-    #[test]
-    fn cold_start_config_skips_warmup() {
-        let result = run(Algorithm::Nilas, SimulationConfig::cold_start());
-        // Without warm-up, samples start at time zero.
-        assert_eq!(result.series.samples()[0].time, SimTime::ZERO);
-    }
-
-    #[test]
     fn deterministic_across_runs() {
-        let a = run(Algorithm::Lava, SimulationConfig::default());
-        let b = run(Algorithm::Lava, SimulationConfig::default());
+        let a = run(Algorithm::Lava, 48).result;
+        let b = run(Algorithm::Lava, 48).result;
         assert_eq!(a.series.samples(), b.series.samples());
         assert_eq!(a.scheduler_stats, b.scheduler_stats);
     }
 
     #[test]
-    fn shim_matches_experiment_api_run() {
-        // The legacy entry point and the declarative API must produce
-        // bit-identical results for an equivalent configuration.
-        let (trace, pool_config) = small_trace(9);
-        let legacy = Simulator::new(SimulationConfig::default()).run(
-            &trace,
-            pool_config.hosts,
-            pool_config.host_spec(),
-            Algorithm::Nilas,
-            Arc::new(OraclePredictor::new()),
-        );
-        let report = crate::experiment::Experiment::builder()
-            .workload(pool_config)
+    fn streaming_source_matches_materialized_run_bit_for_bit() {
+        // The replacement for the legacy shim-vs-experiment parity test:
+        // the two source modes must produce bit-identical results for the
+        // same spec (the deeper property test lives in
+        // tests/streaming_engine.rs).
+        let build = |source: SourceMode| {
+            Experiment::builder()
+                .workload(PoolConfig::small(9))
+                .algorithm(Algorithm::Nilas)
+                .source_mode(source)
+                .run()
+                .expect("valid spec")
+        };
+        let materialized = build(SourceMode::Materialized);
+        let streaming = build(SourceMode::Streaming);
+        assert_eq!(materialized.result, streaming.result);
+        assert_eq!(materialized, streaming);
+    }
+
+    #[test]
+    fn cold_start_skips_warmup() {
+        let report = Experiment::builder()
+            .workload(PoolConfig::small(3))
             .algorithm(Algorithm::Nilas)
+            .cold_start()
             .run()
             .expect("valid spec");
-        assert_eq!(legacy.series, report.result.series);
-        assert_eq!(legacy.scheduler_stats, report.result.scheduler_stats);
-        assert_eq!(legacy.rejected_vms, report.result.rejected_vms);
+        // Without warm-up, samples start at time zero.
+        assert_eq!(report.result.series.samples()[0].time, SimTime::ZERO);
     }
 
     #[test]
     fn simulation_result_serde_round_trips() {
-        let result = run(
-            Algorithm::Baseline,
-            SimulationConfig {
-                warmup: Duration::from_hours(6),
-                ..SimulationConfig::default()
-            },
-        );
+        let result = run(Algorithm::Baseline, 6).result;
         let json = serde_json::to_string(&result).expect("serializes");
-        let parsed: SimulationResult = serde_json::from_str(&json).expect("parses");
+        let parsed: super::SimulationResult = serde_json::from_str(&json).expect("parses");
         assert_eq!(parsed, result);
     }
 }

@@ -1,0 +1,256 @@
+//! The unified simulation timeline: one ordered queue for everything that
+//! happens.
+//!
+//! The legacy replay loop hand-interleaved trace events with tick and
+//! sample cadences (`while next_tick <= event.time { ... }`) and left
+//! defragmentation triggers to quantise themselves onto the tick grid,
+//! which drifted their cadence by up to one tick per trigger. This module
+//! replaces that with a single [`BinaryHeap`]-based [`Timeline`] that
+//! merges **source events** (VM creates and dynamically scheduled VM
+//! exits), the **tick** and **sample** cadences, **defragmentation
+//! triggers** and the warm-up **policy switch** into one totally ordered
+//! queue.
+//!
+//! # Ordering
+//!
+//! Entries pop in `(time, rank)` order. At equal timestamps the documented
+//! tiebreak is:
+//!
+//! 1. **policy switch** — the evaluated policy is in control for
+//!    everything that happens from the switch time onwards;
+//! 2. **defrag triggers** — drain decisions see the pool as of *just
+//!    before* their trigger time (the legacy per-event collector checked
+//!    its trigger before applying the event that crossed the due time);
+//! 3. **exits** — capacity is freed before new placements at the same
+//!    timestamp;
+//! 4. **creates**;
+//! 5. **ticks** — deadline corrections run against the post-event state of
+//!    their timestamp;
+//! 6. **samples** — metrics observe the state after everything else that
+//!    happened at their timestamp.
+//!
+//! Events with equal time and rank (e.g. two exits in the same second)
+//! order by VM id, matching [`TraceEvent::sort_key`], so the timeline is a
+//! strict total order and replay is deterministic.
+
+use lava_core::events::{TraceEvent, TraceEventKind};
+use lava_core::time::SimTime;
+use lava_core::vm::VmId;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// A non-event engine action scheduled on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineAction {
+    /// Swap the warm-up policy for the evaluated policy.
+    PolicySwitch,
+    /// Check the defragmentation drain trigger.
+    DefragTrigger,
+    /// Run a periodic policy tick (deadline checks).
+    Tick,
+    /// Take a periodic metric sample.
+    Sample,
+}
+
+impl TimelineAction {
+    fn rank(self) -> u8 {
+        match self {
+            TimelineAction::PolicySwitch => 0,
+            TimelineAction::DefragTrigger => 1,
+            // Exits are 2, creates 3 (see `event_rank`).
+            TimelineAction::Tick => 4,
+            TimelineAction::Sample => 5,
+        }
+    }
+}
+
+fn event_rank(kind: &TraceEventKind) -> u8 {
+    match kind {
+        TraceEventKind::Exit { .. } => 2,
+        TraceEventKind::Create { .. } => 3,
+    }
+}
+
+/// One item popped off the timeline, stamped with its simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineItem {
+    /// A source event (VM create or exit).
+    Event(TraceEvent),
+    /// A scheduled action.
+    Action(TimelineAction, SimTime),
+}
+
+#[derive(Debug, Clone)]
+enum Payload {
+    Event(TraceEvent),
+    Action(TimelineAction),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    time: SimTime,
+    rank: u8,
+    /// VM-id tiebreak for events; zero for actions (at most one instance
+    /// of each action kind is ever pending, so no further tiebreak is
+    /// needed).
+    vm: VmId,
+    payload: Payload,
+}
+
+impl Entry {
+    fn key(&self) -> (SimTime, u8, VmId) {
+        (self.time, self.rank, self.vm)
+    }
+}
+
+// Equality follows the ordering key (not the payload), keeping the
+// `Eq`/`Ord` contract (`a == b` iff `cmp` is `Equal`) intact.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// The unified, totally ordered event queue of one simulation run.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Schedule a source event (a VM create, or a dynamically scheduled VM
+    /// exit) at its own timestamp.
+    pub fn schedule_event(&mut self, event: TraceEvent) {
+        self.heap.push(Reverse(Entry {
+            time: event.time,
+            rank: event_rank(&event.kind),
+            vm: event.kind.vm(),
+            payload: Payload::Event(event),
+        }));
+    }
+
+    /// Schedule an action at `at`.
+    pub fn schedule(&mut self, action: TimelineAction, at: SimTime) {
+        self.heap.push(Reverse(Entry {
+            time: at,
+            rank: action.rank(),
+            vm: VmId(0),
+            payload: Payload::Action(action),
+        }));
+    }
+
+    /// The timestamp of the next item, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pop the next item in `(time, tiebreak)` order.
+    pub fn pop(&mut self) -> Option<TimelineItem> {
+        self.heap.pop().map(|Reverse(entry)| match entry.payload {
+            Payload::Event(event) => TimelineItem::Event(event),
+            Payload::Action(action) => TimelineItem::Action(action, entry.time),
+        })
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::resources::Resources;
+    use lava_core::time::Duration;
+    use lava_core::vm::VmSpec;
+
+    fn spec() -> VmSpec {
+        VmSpec::builder(Resources::cores_gib(2, 8)).build()
+    }
+
+    #[test]
+    fn documented_tiebreak_order_at_equal_timestamps() {
+        let t = SimTime(100);
+        let mut timeline = Timeline::new();
+        timeline.schedule(TimelineAction::Sample, t);
+        timeline.schedule(TimelineAction::Tick, t);
+        timeline.schedule_event(TraceEvent::create(
+            t,
+            VmId(7),
+            spec(),
+            Duration::from_hours(1),
+        ));
+        timeline.schedule_event(TraceEvent::exit(t, VmId(9)));
+        timeline.schedule(TimelineAction::DefragTrigger, t);
+        timeline.schedule(TimelineAction::PolicySwitch, t);
+        assert_eq!(timeline.len(), 6);
+
+        let order: Vec<TimelineItem> = std::iter::from_fn(|| timeline.pop()).collect();
+        assert_eq!(
+            order[0],
+            TimelineItem::Action(TimelineAction::PolicySwitch, t)
+        );
+        assert_eq!(
+            order[1],
+            TimelineItem::Action(TimelineAction::DefragTrigger, t)
+        );
+        assert!(matches!(
+            &order[2],
+            TimelineItem::Event(e) if matches!(e.kind, TraceEventKind::Exit { .. })
+        ));
+        assert!(matches!(
+            &order[3],
+            TimelineItem::Event(e) if matches!(e.kind, TraceEventKind::Create { .. })
+        ));
+        assert_eq!(order[4], TimelineItem::Action(TimelineAction::Tick, t));
+        assert_eq!(order[5], TimelineItem::Action(TimelineAction::Sample, t));
+        assert!(timeline.is_empty());
+    }
+
+    #[test]
+    fn time_dominates_rank() {
+        let mut timeline = Timeline::new();
+        timeline.schedule(TimelineAction::Tick, SimTime(5));
+        timeline.schedule_event(TraceEvent::exit(SimTime(10), VmId(1)));
+        assert_eq!(timeline.next_time(), Some(SimTime(5)));
+        assert_eq!(
+            timeline.pop(),
+            Some(TimelineItem::Action(TimelineAction::Tick, SimTime(5)))
+        );
+        assert_eq!(timeline.next_time(), Some(SimTime(10)));
+    }
+
+    #[test]
+    fn events_with_equal_time_and_rank_order_by_vm_id() {
+        let mut timeline = Timeline::new();
+        timeline.schedule_event(TraceEvent::exit(SimTime(10), VmId(4)));
+        timeline.schedule_event(TraceEvent::exit(SimTime(10), VmId(2)));
+        let first = timeline.pop().unwrap();
+        assert!(matches!(first, TimelineItem::Event(e) if e.kind.vm() == VmId(2)));
+    }
+}

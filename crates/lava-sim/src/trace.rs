@@ -1,8 +1,10 @@
 //! Trace containers: time-ordered VM create/exit events plus helpers used
-//! for model training and simulator warm-up.
+//! for model training and simulator warm-up, and [`TraceSource`] — the
+//! replay [`EventSource`] over a materialised trace.
 
 use lava_core::events::{TraceEvent, TraceEventKind};
 use lava_core::pool::PoolId;
+use lava_core::source::EventSource;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{VmId, VmSpec};
 use serde::{Deserialize, Serialize};
@@ -135,6 +137,60 @@ impl Trace {
     pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
         serde_json::from_str(json)
     }
+
+    /// A pull-based [`EventSource`] replaying this trace.
+    pub fn source(&self) -> TraceSource<'_> {
+        TraceSource::new(self)
+    }
+}
+
+/// Replays a materialised [`Trace`] as a pull-based
+/// [`EventSource`] — the streaming engine's view of recorded traffic.
+///
+/// Events are served in the trace's canonical order; the last arrival
+/// time is known up front, so [`EventSource::last_arrival_time`] always
+/// answers. `pending_len` reports the remaining (not yet replayed)
+/// events: a replay source necessarily holds the whole trace in memory —
+/// the O(pending VMs) footprint is what
+/// [`StreamingWorkload`](crate::workload::StreamingWorkload) buys.
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    events: &'a [TraceEvent],
+    next: usize,
+    last_arrival: SimTime,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Create a source replaying `trace` from the beginning.
+    pub fn new(trace: &'a Trace) -> TraceSource<'a> {
+        TraceSource {
+            events: trace.events(),
+            next: 0,
+            last_arrival: trace.last_arrival_time(),
+        }
+    }
+}
+
+impl EventSource for TraceSource<'_> {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        let event = self.events.get(self.next).cloned();
+        if event.is_some() {
+            self.next += 1;
+        }
+        event
+    }
+
+    fn peek(&mut self) -> Option<&TraceEvent> {
+        self.events.get(self.next)
+    }
+
+    fn last_arrival_time(&mut self) -> Option<SimTime> {
+        Some(self.last_arrival)
+    }
+
+    fn pending_len(&self) -> usize {
+        self.events.len() - self.next
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +255,20 @@ mod tests {
         let json = t.to_json().unwrap();
         let back = Trace::from_json(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn trace_source_replays_in_canonical_order() {
+        let t = sample_trace();
+        let mut source = t.source();
+        assert_eq!(source.pending_len(), 6);
+        assert_eq!(source.last_arrival_time(), Some(SimTime(5000)));
+        assert_eq!(source.peek(), Some(&t.events()[0]));
+        let replayed: Vec<_> = std::iter::from_fn(|| source.next_event()).collect();
+        assert_eq!(replayed, t.events());
+        assert_eq!(source.pending_len(), 0);
+        assert_eq!(source.peek(), None);
+        assert_eq!(source.next_event(), None);
     }
 
     #[test]

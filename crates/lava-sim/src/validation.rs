@@ -88,16 +88,14 @@ pub fn validate(series: &MetricSeries, trace: &Trace, total_cpu_milli: u64) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulator::{SimulationConfig, Simulator};
-    use crate::workload::{PoolConfig, WorkloadGenerator};
+    use crate::experiment::Experiment;
+    use crate::workload::PoolConfig;
     use lava_core::events::TraceEvent;
     use lava_core::pool::PoolId;
     use lava_core::resources::Resources;
     use lava_core::time::Duration;
     use lava_core::vm::{VmId, VmSpec};
-    use lava_model::predictor::OraclePredictor;
     use lava_sched::Algorithm;
-    use std::sync::Arc;
 
     #[test]
     fn trace_utilization_hand_computed() {
@@ -124,19 +122,17 @@ mod tests {
     #[test]
     fn simulator_matches_trace_implied_utilization() {
         let config = PoolConfig::small(9);
-        let trace = WorkloadGenerator::new(config.clone()).generate();
-        let sim = Simulator::new(SimulationConfig {
-            warmup: Duration::from_hours(6),
-            ..SimulationConfig::default()
-        });
-        let result = sim.run(
-            &trace,
-            config.hosts,
-            config.host_spec(),
-            Algorithm::Baseline,
-            Arc::new(OraclePredictor::new()),
-        );
-        let report = validate(&result.series, &trace, config.total_cpu_milli());
+        let experiment = Experiment::new(
+            Experiment::builder()
+                .workload(config.clone())
+                .warmup(Duration::from_hours(6))
+                .algorithm(Algorithm::Baseline)
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("valid spec");
+        let result = experiment.run().result;
+        let report = validate(&result.series, experiment.trace(), config.total_cpu_milli());
         // No placements are rejected in this small pool, so the simulated
         // utilisation must track the trace-implied one almost exactly
         // (the paper reports ~1.6% mean deviation against production).

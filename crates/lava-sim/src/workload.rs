@@ -19,16 +19,19 @@
 //! steady-state utilisation.
 
 use crate::trace::Trace;
-use lava_core::events::TraceEvent;
+use lava_core::events::{TraceEvent, TraceEventKind};
 use lava_core::host::HostSpec;
 use lava_core::pool::PoolId;
 use lava_core::resources::Resources;
+use lava_core::source::EventSource;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{ProvisioningModel, VmFamily, VmId, VmPriority, VmSpec};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One mode of a category's lifetime mixture: a log-normal component.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -480,6 +483,38 @@ impl WorkloadGenerator {
         events
     }
 
+    /// Advance the Poisson arrival process by one arrival: draw the
+    /// exponential inter-arrival gap and, if the clock stays inside the
+    /// horizon, the arrival's category, lifetime and spec. Returns the
+    /// `(create, exit)` event pair, or `None` once the clock crosses the
+    /// horizon — in which case no further RNG draws are made, so the
+    /// materialised and streaming paths consume the RNG identically.
+    fn next_arrival(
+        &self,
+        rng: &mut ChaCha8Rng,
+        clock: &mut f64,
+        rate: f64,
+        next_id: &mut u64,
+    ) -> Option<(TraceEvent, TraceEvent)> {
+        let horizon = self.config.duration.as_secs() as f64;
+        // Exponential inter-arrival times.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        *clock += -u.ln() / rate.max(1e-12);
+        if *clock >= horizon {
+            return None;
+        }
+        let at = SimTime(*clock as u64);
+        let category = self.sample_category(rng).clone();
+        let lifetime = self.sample_lifetime(&category, at, rng);
+        let spec = self.sample_spec(&category, rng);
+        let vm = VmId(*next_id);
+        *next_id += 1;
+        Some((
+            TraceEvent::create(at, vm, spec, lifetime),
+            TraceEvent::exit(at + lifetime, vm),
+        ))
+    }
+
     /// Generate a trace covering `[0, duration)` (plus exits that may fall
     /// after the end of the arrival window).
     pub fn generate(&self) -> Trace {
@@ -487,25 +522,165 @@ impl WorkloadGenerator {
         let rate = self.arrival_rate();
         let mut next_id = 0u64;
         let mut events = self.standing_population(&mut rng, &mut next_id);
-        let mut t = 0.0f64;
-        let horizon = self.config.duration.as_secs() as f64;
-        while t < horizon {
-            // Exponential inter-arrival times.
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            t += -u.ln() / rate.max(1e-12);
-            if t >= horizon {
-                break;
-            }
-            let at = SimTime(t as u64);
-            let category = self.sample_category(&mut rng).clone();
-            let lifetime = self.sample_lifetime(&category, at, &mut rng);
-            let spec = self.sample_spec(&category, &mut rng);
-            let vm = VmId(next_id);
-            next_id += 1;
-            events.push(TraceEvent::create(at, vm, spec, lifetime));
-            events.push(TraceEvent::exit(at + lifetime, vm));
+        let mut clock = 0.0f64;
+        while let Some((create, exit)) = self.next_arrival(&mut rng, &mut clock, rate, &mut next_id)
+        {
+            events.push(create);
+            events.push(exit);
         }
         Trace::new(self.config.pool_id, events)
+    }
+
+    /// Turn the generator into a lazy, pull-based [`StreamingWorkload`]
+    /// emitting event-for-event the same stream as [`generate`]
+    /// (see [`WorkloadGenerator::generate`]) for the same seed.
+    pub fn stream(self) -> StreamingWorkload {
+        StreamingWorkload::from_generator(self)
+    }
+}
+
+/// A lazy, pull-based [`EventSource`] over the synthetic workload: the
+/// streaming twin of [`WorkloadGenerator::generate`].
+///
+/// Instead of materialising the whole horizon as a `Vec<TraceEvent>`, the
+/// source draws arrivals from the seeded distributions *on demand* and
+/// keeps only what it cannot know yet: the exit events of VMs that have
+/// been created but not yet retired, plus one look-ahead arrival. Memory
+/// is therefore O(pending VMs) — proportional to the standing population
+/// the pool can hold — and independent of the horizon length, which is
+/// what makes multi-million-event runs feasible.
+///
+/// For the same [`PoolConfig`] (and in particular the same seed) the
+/// emitted stream is **event-for-event identical** to the canonical order
+/// of the materialised trace: both consume the RNG in the same sequence,
+/// and the internal heap pops events in [`TraceEvent::sort_key`] order —
+/// the exact order [`Trace::new`](crate::trace::Trace::new) sorts into.
+/// This is property-tested in `tests/streaming_engine.rs`.
+#[derive(Debug, Clone)]
+pub struct StreamingWorkload {
+    generator: WorkloadGenerator,
+    rng: ChaCha8Rng,
+    rate: f64,
+    /// Arrival-process clock, in (fractional) seconds.
+    clock: f64,
+    next_id: u64,
+    /// Buffered future events: pending exits of live VMs, the staggered
+    /// standing-population events not yet replayed, and the look-ahead
+    /// arrival. Pops in `sort_key` order.
+    pending: BinaryHeap<Reverse<TraceEvent>>,
+    /// Sort key of the most recently generated create. Every event the
+    /// generator has *not* produced yet sorts strictly after it (arrival
+    /// times are non-decreasing, ids increase, and lifetimes are ≥ 30 s),
+    /// so heap entries at or below this frontier are safe to emit.
+    frontier: Option<(SimTime, u8, VmId)>,
+    arrivals_done: bool,
+    last_create_time: SimTime,
+    max_pending: usize,
+}
+
+impl StreamingWorkload {
+    /// Create a streaming source for a pool configuration.
+    pub fn new(config: PoolConfig) -> StreamingWorkload {
+        WorkloadGenerator::new(config).stream()
+    }
+
+    fn from_generator(generator: WorkloadGenerator) -> StreamingWorkload {
+        let mut rng = ChaCha8Rng::seed_from_u64(generator.config.seed);
+        let rate = generator.arrival_rate();
+        let mut next_id = 0u64;
+        // The standing population is drawn eagerly (exactly as the
+        // materialised generator does, keeping the RNG streams aligned);
+        // it is O(pool size), not O(horizon).
+        let standing = generator.standing_population(&mut rng, &mut next_id);
+        let mut last_create_time = SimTime::ZERO;
+        let mut pending = BinaryHeap::with_capacity(standing.len() + 2);
+        for event in standing {
+            if matches!(event.kind, TraceEventKind::Create { .. }) {
+                last_create_time = last_create_time.max(event.time);
+            }
+            pending.push(Reverse(event));
+        }
+        let max_pending = pending.len();
+        StreamingWorkload {
+            generator,
+            rng,
+            rate,
+            clock: 0.0,
+            next_id,
+            pending,
+            frontier: None,
+            arrivals_done: false,
+            last_create_time,
+            max_pending,
+        }
+    }
+
+    /// The configuration being streamed.
+    pub fn config(&self) -> &PoolConfig {
+        &self.generator.config
+    }
+
+    /// High-water mark of the pending-event buffer — the source's peak
+    /// memory footprint in events. Stays O(live VMs) regardless of the
+    /// horizon (asserted in the memory-bound tests and the `sim_scale`
+    /// bench).
+    pub fn max_pending_len(&self) -> usize {
+        self.max_pending
+    }
+
+    fn generate_one_arrival(&mut self) {
+        let generator = &self.generator;
+        match generator.next_arrival(&mut self.rng, &mut self.clock, self.rate, &mut self.next_id) {
+            Some((create, exit)) => {
+                self.frontier = Some(create.sort_key());
+                self.last_create_time = self.last_create_time.max(create.time);
+                self.pending.push(Reverse(exit));
+                self.pending.push(Reverse(create));
+                self.max_pending = self.max_pending.max(self.pending.len());
+            }
+            None => self.arrivals_done = true,
+        }
+    }
+
+    /// Generate arrivals until the heap's minimum is safe to emit: every
+    /// not-yet-generated event sorts strictly after the frontier, so the
+    /// minimum may only be released once it is at or below it (or the
+    /// arrival process has crossed the horizon).
+    fn refill(&mut self) {
+        while !self.arrivals_done {
+            let safe = match (self.pending.peek(), self.frontier) {
+                (Some(Reverse(min)), Some(frontier)) => min.sort_key() <= frontier,
+                _ => false,
+            };
+            if safe {
+                break;
+            }
+            self.generate_one_arrival();
+        }
+    }
+}
+
+impl EventSource for StreamingWorkload {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        self.refill();
+        self.pending.pop().map(|Reverse(event)| event)
+    }
+
+    fn peek(&mut self) -> Option<&TraceEvent> {
+        self.refill();
+        self.pending.peek().map(|Reverse(event)| event)
+    }
+
+    fn last_arrival_time(&mut self) -> Option<SimTime> {
+        if self.arrivals_done {
+            Some(self.last_create_time)
+        } else {
+            None
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 }
 
@@ -652,6 +827,32 @@ mod tests {
         assert!(sizes.len() > 1, "pools should vary in size");
         let ids: std::collections::BTreeSet<_> = fleet.iter().map(|p| p.pool_id).collect();
         assert_eq!(ids.len(), 24, "pool ids must be unique");
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_generator() {
+        let config = PoolConfig::small(21);
+        let trace = WorkloadGenerator::new(config.clone()).generate();
+        let mut source = StreamingWorkload::new(config);
+        assert_eq!(source.last_arrival_time(), None, "arrivals still coming");
+        let streamed: Vec<_> = std::iter::from_fn(|| source.next_event()).collect();
+        assert_eq!(streamed, trace.events(), "streams diverged");
+        assert_eq!(source.last_arrival_time(), Some(trace.last_arrival_time()));
+        assert_eq!(source.pending_len(), 0);
+        assert!(
+            source.max_pending_len() < trace.events().len(),
+            "pending buffer ({}) should stay below the full event count ({})",
+            source.max_pending_len(),
+            trace.events().len()
+        );
+    }
+
+    #[test]
+    fn streaming_peek_is_stable_and_non_consuming() {
+        let mut source = StreamingWorkload::new(PoolConfig::small(22));
+        let peeked = source.peek().cloned().expect("non-empty stream");
+        assert_eq!(source.peek(), Some(&peeked), "peek must not consume");
+        assert_eq!(source.next_event(), Some(peeked));
     }
 
     #[test]

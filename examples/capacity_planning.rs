@@ -1,12 +1,14 @@
 //! Capacity-planning scenario: how much stranding does each scheduling
 //! policy leave behind, and how many more VMs would fit? Uses the paper's
 //! inflation-simulation methodology (§2.3) via the experiment API's
-//! stranding scenario.
+//! stranding scenario, with every policy's run fanned out across threads
+//! by an [`ExperimentSuite`] — all four replay the identical shared trace.
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
 use lava::sched::Algorithm;
 use lava::sim::experiment::{Experiment, PredictorSpec};
+use lava::sim::suite::ExperimentSuite;
 use lava::sim::workload::PoolConfig;
 
 fn main() {
@@ -18,34 +20,32 @@ fn main() {
         ..PoolConfig::default()
     };
 
-    println!(
-        "{:<10} {:>14} {:>16} {:>16}",
-        "policy", "empty hosts", "stranded CPU", "stranded memory"
-    );
-    // Every policy replays the identical trace; share it across the runs.
-    let mut trace_donor: Option<Experiment> = None;
-    for algorithm in [
+    let algorithms = [
         Algorithm::Baseline,
         Algorithm::LaBinary,
         Algorithm::Nilas,
         Algorithm::Lava,
-    ] {
-        // The stranding scenario runs the inflation pipeline every 24
-        // samples and averages the reports into `result.stranding`.
-        let experiment = Experiment::builder()
+    ];
+    // The stranding scenario runs the inflation pipeline every 24 samples
+    // and averages the reports into `result.stranding`. All arms share one
+    // generated trace (the suite links same-workload arms automatically).
+    let suite = ExperimentSuite::from_specs(algorithms.map(|algorithm| {
+        Experiment::builder()
             .name(format!("capacity-planning-{algorithm}"))
             .workload(workload.clone())
             .predictor(PredictorSpec::Oracle)
             .algorithm(algorithm)
             .stranding_every(24)
             .build()
-            .and_then(Experiment::new)
-            .expect("valid spec");
-        if let Some(donor) = &trace_donor {
-            experiment.share_artifacts_from(donor);
-        }
-        let report = experiment.run();
-        trace_donor.get_or_insert(experiment);
+            .expect("valid spec")
+    }))
+    .expect("valid specs");
+
+    println!(
+        "{:<10} {:>14} {:>16} {:>16}",
+        "policy", "empty hosts", "stranded CPU", "stranded memory"
+    );
+    for (algorithm, report) in algorithms.iter().zip(suite.run()) {
         let stranding = report
             .result
             .stranding

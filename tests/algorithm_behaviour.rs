@@ -1,16 +1,11 @@
 //! Integration tests for the paper's qualitative claims about the
-//! algorithms' behaviour on full traces (rather than unit-level scenarios).
+//! algorithms' behaviour on full traces (rather than unit-level scenarios),
+//! driven through the declarative experiment API.
 
 use lava::core::time::Duration;
-use lava::model::predictor::{NoisyOraclePredictor, OraclePredictor};
 use lava::sched::Algorithm;
-use lava::sim::ab::paired_comparison;
-use lava::sim::defrag::{
-    collect_evacuations, simulate_migration_queue, DefragConfig, MigrationOrder,
-};
-use lava::sim::simulator::{SimulationConfig, Simulator};
-use lava::sim::workload::{PoolConfig, WorkloadGenerator};
-use std::sync::Arc;
+use lava::sim::experiment::{Experiment, PolicySpec, PredictorSpec, Scenario};
+use lava::sim::workload::PoolConfig;
 
 fn pool(seed: u64, hosts: usize, utilization: f64, days: u64) -> PoolConfig {
     PoolConfig {
@@ -24,28 +19,15 @@ fn pool(seed: u64, hosts: usize, utilization: f64, days: u64) -> PoolConfig {
 
 #[test]
 fn nilas_with_oracle_beats_the_baseline_on_a_churning_pool() {
-    let pool = pool(11, 60, 0.8, 10);
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
-    let oracle = Arc::new(OraclePredictor::new());
-    let baseline = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Baseline,
-        oracle.clone(),
-    );
-    let nilas = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Nilas,
-        oracle,
-    );
-    let ab = paired_comparison(
-        &nilas.series.empty_host_series(),
-        &baseline.series.empty_host_series(),
-    );
+    let report = Experiment::builder()
+        .workload(pool(11, 60, 0.8, 10))
+        .ab_arms(vec![
+            PolicySpec::new(Algorithm::Baseline),
+            PolicySpec::new(Algorithm::Nilas),
+        ])
+        .run()
+        .expect("valid spec");
+    let ab = report.arms[1].vs_control.expect("treatment arm compared");
     assert!(
         ab.mean_difference_pp > 0.0,
         "expected NILAS to free hosts vs baseline, got {:+.2} pp",
@@ -58,18 +40,17 @@ fn lava_tolerates_low_accuracy_better_than_it_degrades() {
     // Appendix G.1: improvements persist across accuracy levels. At 60%
     // accuracy the lifetime-aware algorithms must not collapse below the
     // baseline by more than noise.
-    let pool = pool(13, 60, 0.8, 8);
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
-    let noisy = Arc::new(NoisyOraclePredictor::new(0.6, 99));
-    let baseline = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Baseline,
-        noisy.clone(),
-    );
-    let lava = simulator.run(&trace, pool.hosts, pool.host_spec(), Algorithm::Lava, noisy);
+    let report = Experiment::builder()
+        .workload(pool(13, 60, 0.8, 8))
+        .predictor(PredictorSpec::Noisy { accuracy_pct: 60 })
+        .ab_arms(vec![
+            PolicySpec::new(Algorithm::Baseline),
+            PolicySpec::new(Algorithm::Lava),
+        ])
+        .run()
+        .expect("valid spec");
+    let baseline = &report.arms[0].result;
+    let lava = &report.arms[1].result;
     assert!(
         lava.mean_empty_host_fraction() > baseline.mean_empty_host_fraction() - 0.02,
         "lava {} vs baseline {}",
@@ -80,30 +61,25 @@ fn lava_tolerates_low_accuracy_better_than_it_degrades() {
 
 #[test]
 fn lars_reduces_migrations_on_a_real_defrag_workload() {
-    let pool = pool(17, 48, 0.85, 6);
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let tasks = collect_evacuations(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Arc::new(OraclePredictor::new()),
-        &DefragConfig {
+    let report = Experiment::builder()
+        .workload(pool(17, 48, 0.85, 6))
+        .scenario(Scenario::Defrag {
             empty_host_threshold: 0.25,
             hosts_per_trigger: 3,
             trigger_interval: Duration::from_hours(4),
-            ..DefragConfig::default()
-        },
-    );
-    assert!(!tasks.is_empty(), "no defragmentation was triggered");
-    let baseline =
-        simulate_migration_queue(&tasks, MigrationOrder::Baseline, 3, Duration::from_mins(20));
-    let lars = simulate_migration_queue(&tasks, MigrationOrder::Lars, 3, Duration::from_mins(20));
-    assert_eq!(baseline.scheduled, lars.scheduled);
+            concurrent_slots: 3,
+            migration_duration: Duration::from_mins(20),
+        })
+        .run()
+        .expect("valid spec");
+    let defrag = report.defrag.expect("defrag scenario reports");
+    assert!(defrag.drain_events > 0, "no defragmentation was triggered");
+    assert_eq!(defrag.baseline.scheduled, defrag.lars.scheduled);
     assert!(
-        lars.performed <= baseline.performed,
+        defrag.lars.performed <= defrag.baseline.performed,
         "LARS performed more migrations ({} vs {})",
-        lars.performed,
-        baseline.performed
+        defrag.lars.performed,
+        defrag.baseline.performed
     );
 }
 
@@ -111,24 +87,16 @@ fn lars_reduces_migrations_on_a_real_defrag_workload() {
 fn empty_host_and_packing_density_metrics_agree_on_the_winner() {
     // Appendix D: the bin-packing metrics are interchangeable. Whatever
     // algorithm wins on empty hosts must not lose on packing density.
-    let pool = pool(19, 60, 0.8, 8);
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
-    let oracle = Arc::new(OraclePredictor::new());
-    let baseline = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Baseline,
-        oracle.clone(),
-    );
-    let nilas = simulator.run(
-        &trace,
-        pool.hosts,
-        pool.host_spec(),
-        Algorithm::Nilas,
-        oracle,
-    );
+    let report = Experiment::builder()
+        .workload(pool(19, 60, 0.8, 8))
+        .ab_arms(vec![
+            PolicySpec::new(Algorithm::Baseline),
+            PolicySpec::new(Algorithm::Nilas),
+        ])
+        .run()
+        .expect("valid spec");
+    let baseline = &report.arms[0].result;
+    let nilas = &report.arms[1].result;
     let empty_delta =
         nilas.series.mean_empty_host_fraction() - baseline.series.mean_empty_host_fraction();
     let density_delta =

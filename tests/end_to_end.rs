@@ -9,7 +9,7 @@ use lava::model::metrics::classify_at_threshold;
 use lava::model::predictor::{GbdtPredictor, LifetimePredictor, OraclePredictor};
 use lava::model::LONG_LIVED_THRESHOLD;
 use lava::sched::Algorithm;
-use lava::sim::simulator::{SimulationConfig, Simulator};
+use lava::sim::experiment::Experiment;
 use lava::sim::validation::validate;
 use lava::sim::workload::{PoolConfig, WorkloadGenerator};
 use std::sync::Arc;
@@ -26,16 +26,17 @@ fn small_pool(seed: u64) -> PoolConfig {
 #[test]
 fn every_algorithm_replays_a_trace_without_rejections() {
     let pool = small_pool(101);
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
     for algorithm in Algorithm::ALL {
-        let result = simulator.run(
-            &trace,
-            pool.hosts,
-            pool.host_spec(),
-            algorithm,
-            Arc::new(OraclePredictor::new()),
-        );
+        let experiment = Experiment::new(
+            Experiment::builder()
+                .workload(pool.clone())
+                .algorithm(algorithm)
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("valid spec");
+        let result = experiment.run().result;
+        let trace = experiment.trace();
         assert_eq!(
             result.rejected_vms, 0,
             "{algorithm} rejected VMs on an uncontended pool"
@@ -49,7 +50,7 @@ fn every_algorithm_replays_a_trace_without_rejections() {
             "{algorithm} produced too few samples"
         );
         // Utilisation must track the trace regardless of the algorithm.
-        let report = validate(&result.series, &trace, pool.total_cpu_milli());
+        let report = validate(&result.series, trace, pool.total_cpu_milli());
         assert!(
             report.mean_absolute_error < 0.02,
             "{algorithm} diverged from trace-implied utilisation: {}",
@@ -118,21 +119,17 @@ fn repredictions_beat_initial_predictions_on_survivors() {
 #[test]
 fn scheduler_is_deterministic_across_identical_runs() {
     let pool = small_pool(404);
-    let trace = WorkloadGenerator::new(pool.clone()).generate();
-    let simulator = Simulator::new(SimulationConfig::default());
-    let run = |seed_offset: u64| {
-        // Same trace, same predictor: results must be bit-identical.
-        let _ = seed_offset;
-        simulator.run(
-            &trace,
-            pool.hosts,
-            pool.host_spec(),
-            Algorithm::Lava,
-            Arc::new(OraclePredictor::new()),
-        )
+    let run = || {
+        // Same spec, same predictor: results must be bit-identical.
+        Experiment::builder()
+            .workload(pool.clone())
+            .algorithm(Algorithm::Lava)
+            .run()
+            .expect("valid spec")
+            .result
     };
-    let a = run(0);
-    let b = run(0);
+    let a = run();
+    let b = run();
     assert_eq!(a.series.samples(), b.series.samples());
     assert_eq!(a.scheduler_stats, b.scheduler_stats);
 }

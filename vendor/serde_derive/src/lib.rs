@@ -1,15 +1,26 @@
 //! Vendored offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
-//! plain (non-generic, attribute-free) structs and enums this repository
-//! uses, without depending on `syn`/`quote`: the input token stream is
-//! walked directly and the generated impl is emitted as source text.
+//! plain (non-generic) structs and enums this repository uses, without
+//! depending on `syn`/`quote`: the input token stream is walked directly
+//! and the generated impl is emitted as source text. The only helper
+//! attribute honoured is `#[serde(default)]` on named fields, which makes
+//! deserialization fall back to `Default::default()` when the key is
+//! absent (all other `#[serde(...)]` forms are ignored).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
+struct Field {
+    name: String,
+    /// Whether the field carries `#[serde(default)]`: deserialization
+    /// falls back to `Default::default()` when the key is absent.
+    default: bool,
+}
+
+#[derive(Debug)]
 enum FieldsShape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -60,17 +71,26 @@ impl Cursor {
     /// Skip `#[...]` attributes (including doc comments, which arrive as
     /// attributes).
     fn skip_attributes(&mut self) {
+        let _ = self.take_attributes();
+    }
+
+    /// Skip `#[...]` attributes, reporting whether a `#[serde(default)]`
+    /// was among them (the single helper attribute this stand-in honours).
+    fn take_attributes(&mut self) -> bool {
+        let mut has_default = false;
         loop {
             match self.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     self.pos += 1;
-                    if let Some(TokenTree::Group(_)) = self.peek() {
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        has_default |= attribute_is_serde_default(g.stream());
                         self.pos += 1;
                     }
                 }
                 _ => break,
             }
         }
+        has_default
     }
 
     /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
@@ -112,11 +132,26 @@ impl Cursor {
     }
 }
 
-fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(default)`.
+fn attribute_is_serde_default(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            inner == ["default"]
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
     let mut c = Cursor::new(group);
     let mut fields = Vec::new();
     loop {
-        c.skip_attributes();
+        let default = c.take_attributes();
         if c.peek().is_none() {
             break;
         }
@@ -126,7 +161,7 @@ fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         if !c.skip_until_comma() {
             break;
         }
@@ -219,9 +254,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 
 fn serialize_struct_body(fields: &FieldsShape, path: &str) -> String {
     match fields {
-        FieldsShape::Named(names) => {
+        FieldsShape::Named(fields) => {
             let mut pushes = String::new();
-            for n in names {
+            for f in fields {
+                let n = &f.name;
                 pushes.push_str(&format!(
                     "__pairs.push((::std::string::String::from(\"{n}\"), \
                      ::serde::Serialize::to_value(&self.{n})));"
@@ -252,15 +288,28 @@ fn serialize_struct_body(fields: &FieldsShape, path: &str) -> String {
     }
 }
 
+/// The initializer expression for one named field, deserialised from the
+/// object bound to `accessor`. `#[serde(default)]` fields fall back to
+/// `Default::default()` when the key is absent.
+fn named_field_init(field: &Field, accessor: &str) -> String {
+    let n = &field.name;
+    if field.default {
+        format!(
+            "{n}: match {accessor}.field(\"{n}\") {{ \
+             ::std::result::Result::Ok(__f) => \
+             ::serde::Deserialize::from_value(__f)?, \
+             ::std::result::Result::Err(_) => \
+             ::std::default::Default::default(), }},"
+        )
+    } else {
+        format!("{n}: ::serde::Deserialize::from_value({accessor}.field(\"{n}\")?)?,")
+    }
+}
+
 fn deserialize_struct_body(fields: &FieldsShape, path: &str) -> String {
     match fields {
-        FieldsShape::Named(names) => {
-            let mut inits = String::new();
-            for n in names {
-                inits.push_str(&format!(
-                    "{n}: ::serde::Deserialize::from_value(__v.field(\"{n}\")?)?,"
-                ));
-            }
+        FieldsShape::Named(fields) => {
+            let inits: String = fields.iter().map(|f| named_field_init(f, "__v")).collect();
             format!("::std::result::Result::Ok({path} {{ {inits} }})")
         }
         FieldsShape::Tuple(1) => {
@@ -297,9 +346,14 @@ fn generate_serialize(item: &Item) -> String {
                         "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
                     )),
                     FieldsShape::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut pushes = String::new();
                         for f in fields {
+                            let f = &f.name;
                             pushes.push_str(&format!(
                                 "__inner.push((::std::string::String::from(\"{f}\"), \
                                  ::serde::Serialize::to_value({f})));"
@@ -366,12 +420,10 @@ fn generate_deserialize(item: &Item) -> String {
                         "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
                     )),
                     FieldsShape::Named(fields) => {
-                        let mut inits = String::new();
-                        for f in fields {
-                            inits.push_str(&format!(
-                                "{f}: ::serde::Deserialize::from_value(__payload.field(\"{f}\")?)?,"
-                            ));
-                        }
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| named_field_init(f, "__payload"))
+                            .collect();
                         keyed_arms.push_str(&format!(
                             "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
                         ));
@@ -433,13 +485,13 @@ fn derive(input: TokenStream, serialize: bool) -> TokenStream {
 }
 
 /// Derive the vendored `serde::Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     derive(input, true)
 }
 
 /// Derive the vendored `serde::Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     derive(input, false)
 }
