@@ -1,30 +1,273 @@
-//! Criterion benchmark for single-prediction model latency (Figure 8 /
-//! Section 5 overheads): the paper's in-binary GBDT answers in ~9 us.
+//! `model_latency`: the Fig. 8 / §5 model-inference latency reproduction.
+//!
+//! The paper's production story hinges on compiling the learned lifetime
+//! model out of a generic ML runtime and into the allocator binary,
+//! dropping single-prediction latency to ~9 µs. This bench measures that
+//! same compilation step in this repo: the reference tree-walking
+//! [`GbdtRegressor`] versus the flat [`CompiledGbdt`] engine, single-row
+//! and batched, at a paper-scale ensemble (2000 trees, 32 leaves — the
+//! Appendix B configuration). Every timed prediction includes feature
+//! encoding, because that is what the scoring hot path pays.
+//!
+//! Three rows are reported (ns per prediction):
+//!
+//! * **reference** — `GbdtPredictor::predict_spec` (enum-node tree walk);
+//! * **compiled** — `CompiledGbdtPredictor::predict_spec` (flat SoA arena,
+//!   interleaved traversal, allocation-free);
+//! * **batched** — `predict_remaining_batch` over whole hosts' worth of
+//!   VMs at a time (the entry point `Cluster::host_exit_time` uses), which
+//!   amortises setup and walks trees cache-hot across the batch.
+//!
+//! Before anything is timed, a bit-parity pass asserts the compiled engine
+//! (single-row *and* batched) agrees with the reference on every sampled
+//! row to exact `f64` equality. In full mode the bench then asserts the
+//! ≥ 5x compiled-vs-reference speedup this repo's Fig. 8 reproduction
+//! claims.
+//!
+//! Flags (after `--`):
+//!
+//! * `--quick` — CI-scale settings (smaller ensemble, shorter timing);
+//! * `--json PATH` — write the measurements as a JSON artifact
+//!   (`BENCH_model_latency.json` in CI).
+//!
+//! Usage: `cargo bench -p lava-bench --bench model_latency -- [--quick] [--json BENCH_model_latency.json]`
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lava_core::time::Duration;
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::{Vm, VmId, VmSpec};
+use lava_model::dataset::DatasetBuilder;
 use lava_model::gbdt::GbdtConfig;
-use lava_sim::experiment::train_gbdt_predictor;
-use lava_sim::workload::PoolConfig;
+use lava_model::predictor::{GbdtPredictor, LifetimePredictor};
+use lava_sim::workload::{PoolConfig, WorkloadGenerator};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_model_latency(c: &mut Criterion) {
-    let pool = PoolConfig::small(11);
-    let fast = train_gbdt_predictor(&pool, GbdtConfig::fast());
-    let default = train_gbdt_predictor(&pool, GbdtConfig::default());
-    let spec = lava_core::vm::VmSpec::builder(lava_core::resources::Resources::cores_gib(4, 16))
-        .category(2)
-        .build();
-
-    let mut group = c.benchmark_group("model_latency");
-    group.bench_function("gbdt_fast_predict", |b| {
-        b.iter(|| fast.predict_spec(black_box(&spec), black_box(Duration::from_hours(3))))
-    });
-    group.bench_function("gbdt_default_predict", |b| {
-        b.iter(|| default.predict_spec(black_box(&spec), black_box(Duration::from_hours(3))))
-    });
-    group.finish();
+struct Config {
+    quick: bool,
+    json_path: Option<String>,
 }
 
-criterion_group!(benches, bench_model_latency);
-criterion_main!(benches);
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = Config {
+        quick: false,
+        json_path: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => config.quick = true,
+            "--json" => {
+                config.json_path = args.get(i + 1).cloned();
+                i += 1;
+            }
+            // `cargo bench` passes `--bench`; ignore it and anything else.
+            _ => {}
+        }
+        i += 1;
+    }
+    config
+}
+
+/// Train the predictor the same way `PredictorSpec::Learned*` does — on a
+/// 7-day "historical" trace with a shifted seed — but truncate the
+/// augmented dataset so the paper-scale (2000-tree) training pass stays
+/// bench-friendly. Inference cost depends on the ensemble shape, not the
+/// training-set size.
+fn train(config: GbdtConfig, max_examples: usize) -> (GbdtPredictor, Vec<(VmSpec, Duration)>) {
+    let mut pool = PoolConfig::small(11);
+    pool.seed = pool.seed.wrapping_add(0x5eed);
+    pool.duration = Duration::from_days(7);
+    let trace = WorkloadGenerator::new(pool).generate();
+    let observations = trace.observations();
+    let mut builder = DatasetBuilder::new();
+    builder.extend(observations.iter().cloned());
+    let mut dataset = builder.build();
+    dataset.examples.truncate(max_examples);
+    (GbdtPredictor::train(config, &dataset), observations)
+}
+
+/// The (spec, uptime) sample every row predicts over: real specs from the
+/// workload, with deterministic uptimes spread across each VM's life.
+fn sample_inputs(observations: &[(VmSpec, Duration)], count: usize) -> Vec<(VmSpec, Duration)> {
+    observations
+        .iter()
+        .cycle()
+        .take(count)
+        .enumerate()
+        .map(|(i, (spec, lifetime))| {
+            let fraction = (i % 8) as f64 / 8.0;
+            let uptime = Duration::from_secs_f64(lifetime.as_secs() as f64 * fraction);
+            (spec.clone(), uptime)
+        })
+        .collect()
+}
+
+/// Time `op` (which performs `per_iter` predictions per call) until the
+/// measurement is stable, returning ns per prediction.
+fn time_ns_per_prediction(target_secs: f64, per_iter: u64, mut op: impl FnMut()) -> f64 {
+    // Warm-up: one call to fault everything in.
+    op();
+    // Calibrate the iteration count to roughly hit the time target.
+    let probe = Instant::now();
+    op();
+    let per_call = probe.elapsed().as_secs_f64().max(1e-9);
+    let calls = ((target_secs / per_call).ceil() as u64).clamp(1, 100_000_000);
+    let started = Instant::now();
+    for _ in 0..calls {
+        op();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    elapsed * 1e9 / (calls * per_iter) as f64
+}
+
+fn main() {
+    let config = parse_args();
+
+    // Paper scale (Appendix B): 2000 trees, 32 leaves. Quick mode keeps the
+    // default simulation-scale ensemble so CI stays fast.
+    let (gbdt_config, max_examples, target_secs) = if config.quick {
+        (GbdtConfig::default(), 4_000, 0.25)
+    } else {
+        (GbdtConfig::paper(), 4_000, 1.0)
+    };
+    println!(
+        "model_latency: training {} trees x {} leaves ({} mode)...",
+        gbdt_config.num_trees,
+        gbdt_config.max_leaves,
+        if config.quick { "quick" } else { "full" }
+    );
+    let train_started = Instant::now();
+    let (reference, observations) = train(gbdt_config, max_examples);
+    let compiled = reference.compile();
+    println!(
+        "model_latency: trained in {:.1}s; compiled arena: {} internal nodes, {} leaves, {} trees",
+        train_started.elapsed().as_secs_f64(),
+        compiled.model().internal_node_count(),
+        compiled.model().leaf_count(),
+        compiled.model().tree_count(),
+    );
+
+    let inputs = sample_inputs(&observations, 512);
+
+    // --- bit-parity gate -------------------------------------------------
+    // The compiled engine must agree with the reference to exact f64
+    // equality on every sampled row before any timing is trusted.
+    // A clock far enough out that any sampled uptime fits before it.
+    let now = SimTime::ZERO + Duration::from_days(36_500);
+    let vms: Vec<Vm> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, (spec, uptime))| {
+            // A VM created `uptime` before `now`, so `vm.uptime(now)`
+            // reproduces the sampled uptime exactly.
+            let created = SimTime(now.0 - uptime.0);
+            Vm::new(
+                VmId(i as u64),
+                spec.clone(),
+                created,
+                Duration::from_days(60),
+            )
+        })
+        .collect();
+    for (spec, uptime) in &inputs {
+        let r = reference.predict_spec(spec, *uptime);
+        let c = compiled.predict_spec(spec, *uptime);
+        assert_eq!(
+            r, c,
+            "compiled prediction diverged from reference for uptime {uptime:?}"
+        );
+    }
+    let mut batched: Vec<Duration> = Vec::new();
+    compiled.predict_remaining_batch(&mut vms.iter(), now, &mut |_, d| batched.push(d));
+    for (i, vm) in vms.iter().enumerate() {
+        let single = compiled.predict_spec(vm.spec(), vm.uptime(now));
+        assert_eq!(
+            batched[i], single,
+            "batched prediction diverged from single-row at row {i}"
+        );
+    }
+    println!(
+        "parity check passed: reference, compiled and batched agree bit-for-bit on {} rows",
+        inputs.len()
+    );
+
+    // --- timed rows ------------------------------------------------------
+    let n = inputs.len() as u64;
+    let reference_ns = time_ns_per_prediction(target_secs, n, || {
+        for (spec, uptime) in &inputs {
+            black_box(reference.predict_spec(black_box(spec), black_box(*uptime)));
+        }
+    });
+    println!("model_latency[reference]: {reference_ns:.0} ns/prediction");
+
+    let compiled_ns = time_ns_per_prediction(target_secs, n, || {
+        for (spec, uptime) in &inputs {
+            black_box(compiled.predict_spec(black_box(spec), black_box(*uptime)));
+        }
+    });
+    println!("model_latency[compiled]:  {compiled_ns:.0} ns/prediction");
+
+    let batched_ns = time_ns_per_prediction(target_secs, n, || {
+        let mut latest = SimTime::ZERO;
+        compiled.predict_remaining_batch(&mut vms.iter(), now, &mut |_, remaining| {
+            latest = latest.max(now + remaining);
+        });
+        black_box(latest);
+    });
+    println!("model_latency[batched]:   {batched_ns:.0} ns/prediction");
+
+    let speedup_single = reference_ns / compiled_ns;
+    let speedup_batched = reference_ns / batched_ns;
+    println!(
+        "model_latency: compiled is {speedup_single:.1}x, batched {speedup_batched:.1}x \
+         the reference engine"
+    );
+    if config.quick {
+        // CI-scale sanity floor only, deliberately loose: the quick-mode
+        // ensemble fits in cache (typical speedups are 3-4x here) and
+        // shared CI runners add timing noise. Correctness is carried by
+        // the bit-parity gate above, not by wall-clock ratios.
+        assert!(
+            speedup_single >= 1.2 && speedup_batched >= 1.2,
+            "compiled engine should beat the reference even at quick scale \
+             (single {speedup_single:.2}x, batched {speedup_batched:.2}x)"
+        );
+    } else {
+        // The repo's Fig. 8 claim, enforced at paper scale.
+        assert!(
+            speedup_single >= 5.0,
+            "compiled single-row speedup {speedup_single:.2}x fell below the 5x floor"
+        );
+        // Batching amortises setup and improves locality; allow timing
+        // slack rather than demanding a strict win on every host.
+        assert!(
+            speedup_batched >= speedup_single * 0.8,
+            "batched path ({batched_ns:.0} ns) regressed far behind single-row \
+             ({compiled_ns:.0} ns) at paper scale"
+        );
+    }
+
+    if let Some(path) = &config.json_path {
+        let json = format!(
+            "{{\n  \"mode\": \"{}\",\n  \"ensemble\": {{\n    \"trees\": {},\n    \
+             \"max_leaves\": {},\n    \"internal_nodes\": {},\n    \"leaves\": {},\n    \
+             \"features\": {}\n  }},\n  \"reference_ns_per_prediction\": {:.1},\n  \
+             \"compiled_ns_per_prediction\": {:.1},\n  \"batched_ns_per_prediction\": {:.1},\n  \
+             \"speedup_compiled\": {:.2},\n  \"speedup_batched\": {:.2},\n  \
+             \"bit_parity\": \"ok\"\n}}\n",
+            if config.quick { "quick" } else { "full" },
+            compiled.model().tree_count(),
+            reference.model().config().max_leaves,
+            compiled.model().internal_node_count(),
+            compiled.model().leaf_count(),
+            compiled.model().num_features(),
+            reference_ns,
+            compiled_ns,
+            batched_ns,
+            speedup_single,
+            speedup_batched,
+        );
+        std::fs::write(path, json).expect("write bench artifact");
+        println!("model_latency: wrote {path}");
+    }
+}

@@ -35,6 +35,57 @@ pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
 /// The categorical code reserved for collapsed ("Other") categories.
 pub const OTHER_CATEGORY: u32 = u32::MAX;
 
+/// A fixed-capacity, inline feature row.
+///
+/// This is the encoding-side analogue of the scheduler's `ScoreVector`: the
+/// prediction hot path encodes one of these per (VM, uptime) pair, and the
+/// whole row lives on the stack — no heap allocation per prediction. The
+/// row always has exactly [`FEATURE_COUNT`] entries, which is what lets the
+/// compiled inference engine validate row length once per row instead of
+/// per tree node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureRow {
+    values: [f64; FEATURE_COUNT],
+}
+
+impl FeatureRow {
+    /// The all-zero row (every feature at its "missing" value).
+    pub const ZERO: FeatureRow = FeatureRow {
+        values: [0.0; FEATURE_COUNT],
+    };
+
+    /// The row as a slice (always [`FEATURE_COUNT`] long).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the row's values.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+}
+
+impl Default for FeatureRow {
+    fn default() -> FeatureRow {
+        FeatureRow::ZERO
+    }
+}
+
+impl AsRef<[f64]> for FeatureRow {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl std::ops::Index<usize> for FeatureRow {
+    type Output = f64;
+    fn index(&self, index: usize) -> &f64 {
+        &self.values[index]
+    }
+}
+
 /// Feature schema: the vocabulary of categorical values observed during
 /// training, used to collapse rare categories consistently at inference
 /// time.
@@ -106,11 +157,22 @@ impl FeatureSchema {
     /// Encode a VM spec plus uptime into a fixed-length numeric feature
     /// vector (see [`FEATURE_NAMES`] for the layout).
     ///
-    /// Lifetime-like quantities (shape dimensions, uptime) are encoded in
-    /// the log10 domain as in the paper.
+    /// Allocates a fresh `Vec`; the prediction hot path uses
+    /// [`FeatureSchema::encode_into`] with a stack-resident [`FeatureRow`]
+    /// instead. Both produce identical values.
     pub fn encode(&self, spec: &VmSpec, uptime: Duration) -> Vec<f64> {
+        let mut row = FeatureRow::ZERO;
+        self.encode_into(spec, uptime, &mut row);
+        row.as_slice().to_vec()
+    }
+
+    /// Encode a VM spec plus uptime into a caller-provided inline row.
+    ///
+    /// Lifetime-like quantities (shape dimensions, uptime) are encoded in
+    /// the log10 domain as in the paper. Performs no heap allocation.
+    pub fn encode_into(&self, spec: &VmSpec, uptime: Duration, row: &mut FeatureRow) {
         let r = spec.resources();
-        vec![
+        row.values = [
             self.zone_code(spec) as f64,
             self.category_code(spec) as f64,
             self.metadata_code(spec) as f64,
@@ -129,7 +191,7 @@ impl FeatureSchema {
             },
             if spec.admission_bypass() { 1.0 } else { 0.0 },
             uptime.log10_secs(),
-        ]
+        ];
     }
 }
 
@@ -179,6 +241,25 @@ mod tests {
         let v1 = schema.encode(&spec(0), Duration::from_secs(1000));
         assert_eq!(v0[FEATURE_COUNT - 1], 0.0);
         assert!((v1[FEATURE_COUNT - 1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let mut specs = Vec::new();
+        for _ in 0..12 {
+            specs.push(spec(1));
+        }
+        let schema = FeatureSchema::fit(specs.iter());
+        for (s, uptime) in [
+            (spec(1), Duration::ZERO),
+            (spec(2), Duration::from_hours(7)),
+            (spec(99), Duration::from_secs(123_456)),
+        ] {
+            let vec = schema.encode(&s, uptime);
+            let mut row = FeatureRow::ZERO;
+            schema.encode_into(&s, uptime, &mut row);
+            assert_eq!(vec.as_slice(), row.as_slice());
+        }
     }
 
     #[test]

@@ -65,9 +65,11 @@ impl GbdtConfig {
     }
 }
 
-/// A node in a regression tree (flat representation).
+/// A node in a regression tree (flat representation). Crate-visible so
+/// [`crate::compiled::CompiledGbdt`] can flatten trained trees into its
+/// arena without a public node API.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -88,6 +90,13 @@ pub struct RegressionTree {
 
 impl RegressionTree {
     /// Predict the response for one feature row.
+    ///
+    /// **Short-row fallback:** a feature index beyond the end of `features`
+    /// reads as `0.0` instead of panicking. This is the one documented
+    /// missing-feature semantic shared by every inference engine in this
+    /// crate (see [`GbdtRegressor::predict`], which validates row length
+    /// once and only routes genuinely short rows through this fallback, and
+    /// the compiled engine, which replicates it bit-for-bit).
     pub fn predict(&self, features: &[f64]) -> f64 {
         let mut idx = 0;
         loop {
@@ -107,6 +116,34 @@ impl RegressionTree {
                 }
             }
         }
+    }
+
+    /// Predict for a row already validated to cover every feature the
+    /// ensemble was trained on: plain indexing, no per-node `Option`.
+    fn predict_full(&self, features: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// The tree's flat node storage (for the compiled engine).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Number of leaves in the tree.
@@ -424,12 +461,43 @@ impl GbdtRegressor {
     }
 
     /// Predict the response for one feature row.
+    ///
+    /// Row length is validated **once** here, at the ensemble boundary:
+    /// full-length rows (covering every feature seen in training) take a
+    /// branch-free indexing path through all trees. Shorter rows fall back
+    /// to the legacy per-node semantics where a missing feature reads as
+    /// `0.0` (see [`RegressionTree::predict`]); both paths produce
+    /// bit-identical results whenever both apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics (index out of bounds) on a model whose trees reference a
+    /// feature index at or beyond `num_features`. [`GbdtRegressor::fit`]
+    /// never produces such a model; only a corrupt or hand-edited
+    /// deserialized model can (the same invariant is hard-asserted with a
+    /// clearer message by [`crate::compiled::CompiledGbdt::compile`]).
     pub fn predict(&self, features: &[f64]) -> f64 {
         let mut pred = self.base_prediction;
-        for tree in &self.trees {
-            pred += self.config.learning_rate * tree.predict(features);
+        if features.len() >= self.num_features {
+            for tree in &self.trees {
+                pred += self.config.learning_rate * tree.predict_full(features);
+            }
+        } else {
+            for tree in &self.trees {
+                pred += self.config.learning_rate * tree.predict(features);
+            }
         }
         pred
+    }
+
+    /// The trained trees (for the compiled engine).
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// The constant prediction every tree's contribution is added to.
+    pub(crate) fn base_prediction(&self) -> f64 {
+        self.base_prediction
     }
 
     /// Number of trees in the ensemble.

@@ -11,6 +11,9 @@
 //!   capping and uptime augmentation,
 //! * [`gbdt`] — gradient-boosted regression trees (best-first growth,
 //!   histogram splits, split-score feature importance),
+//! * [`compiled`] — the flat, structure-of-arrays inference engine the
+//!   paper compiles into the production binary (§5 / Fig. 8): bit-identical
+//!   to the reference trees, allocation-free, with batched prediction,
 //! * [`survival`] — Kaplan–Meier curves, empirical lifetime distributions
 //!   and conditional expectations `E(T_r | T_u)`, plus a linear Cox
 //!   proportional-hazards baseline,
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compiled;
 pub mod dataset;
 pub mod features;
 pub mod gbdt;

@@ -20,8 +20,9 @@
 //! * [`ConstantPredictor`] — a fixed prediction, the "no lifetime knowledge"
 //!   strawman used in tests and ablations.
 
+use crate::compiled::CompiledGbdt;
 use crate::dataset::Dataset;
-use crate::features::FeatureSchema;
+use crate::features::{FeatureRow, FeatureSchema};
 use crate::gbdt::{GbdtConfig, GbdtRegressor};
 use crate::survival::EmpiricalDistribution;
 use crate::LIFETIME_CAP;
@@ -49,6 +50,29 @@ pub trait LifetimePredictor: Send + Sync {
     fn predict_at_creation(&self, vm: &Vm) -> Duration {
         self.predict_remaining(vm, vm.created_at())
     }
+
+    /// Batched reprediction: predict the remaining lifetime of every VM
+    /// yielded by `vms` at `now`, calling `sink(vm, remaining)` once per
+    /// VM in iteration order.
+    ///
+    /// The default implementation is one virtual dispatch per VM and is
+    /// exactly equivalent to calling [`predict_remaining`] in a loop.
+    /// Implementations with per-call setup cost (the compiled GBDT)
+    /// override it to amortise that cost across the batch — host
+    /// repredictions at scoring time go through this entry point. Every
+    /// override must produce bit-identical values to the per-VM path.
+    ///
+    /// [`predict_remaining`]: LifetimePredictor::predict_remaining
+    fn predict_remaining_batch<'a>(
+        &self,
+        vms: &mut dyn Iterator<Item = &'a Vm>,
+        now: SimTime,
+        sink: &mut dyn FnMut(&'a Vm, Duration),
+    ) {
+        for vm in vms {
+            sink(vm, self.predict_remaining(vm, now));
+        }
+    }
 }
 
 impl<T: LifetimePredictor + ?Sized> LifetimePredictor for Arc<T> {
@@ -57,6 +81,14 @@ impl<T: LifetimePredictor + ?Sized> LifetimePredictor for Arc<T> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn predict_remaining_batch<'a>(
+        &self,
+        vms: &mut dyn Iterator<Item = &'a Vm>,
+        now: SimTime,
+        sink: &mut dyn FnMut(&'a Vm, Duration),
+    ) {
+        (**self).predict_remaining_batch(vms, now, sink)
     }
 }
 
@@ -299,10 +331,23 @@ impl GbdtPredictor {
     }
 
     /// Predict remaining lifetime for a raw spec + uptime (bypassing the
-    /// [`Vm`] record). Used by evaluation code.
+    /// [`Vm`] record). Used by evaluation code. Encodes into a
+    /// stack-resident [`FeatureRow`] — no heap allocation per prediction.
     pub fn predict_spec(&self, spec: &VmSpec, uptime: Duration) -> Duration {
-        let features = self.schema.encode(spec, uptime);
-        duration_from_log10(self.model.predict(&features), self.cap)
+        let mut row = FeatureRow::ZERO;
+        self.schema.encode_into(spec, uptime, &mut row);
+        duration_from_log10(self.model.predict(row.as_slice()), self.cap)
+    }
+
+    /// Compile the trained ensemble into the flat inference engine
+    /// (§5 / Fig. 8). The compiled predictor produces bit-identical
+    /// predictions and reports as `"gbdt-fast"`.
+    pub fn compile(&self) -> CompiledGbdtPredictor {
+        CompiledGbdtPredictor {
+            model: CompiledGbdt::compile(&self.model),
+            schema: self.schema.clone(),
+            cap: self.cap,
+        }
     }
 }
 
@@ -313,6 +358,89 @@ impl LifetimePredictor for GbdtPredictor {
 
     fn name(&self) -> &'static str {
         "gbdt"
+    }
+}
+
+/// Number of rows the compiled predictor's batch entry point encodes and
+/// predicts per chunk. The chunk buffers live on the stack, so batched
+/// host repredictions stay allocation-free at any host size.
+pub const COMPILED_BATCH_CHUNK: usize = 64;
+
+/// The compiled production predictor: a [`CompiledGbdt`] plus the feature
+/// schema, serving the same predictions as [`GbdtPredictor`] bit-for-bit
+/// at a fraction of the latency (Fig. 8). Build one with
+/// [`GbdtPredictor::compile`].
+#[derive(Debug, Clone)]
+pub struct CompiledGbdtPredictor {
+    model: CompiledGbdt,
+    schema: FeatureSchema,
+    cap: Duration,
+}
+
+impl CompiledGbdtPredictor {
+    /// The compiled inference engine.
+    pub fn model(&self) -> &CompiledGbdt {
+        &self.model
+    }
+
+    /// The feature schema used at inference time.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// Predict remaining lifetime for a raw spec + uptime. Allocation-free:
+    /// the feature row lives on the stack and the compiled traversal loop
+    /// never touches the heap.
+    pub fn predict_spec(&self, spec: &VmSpec, uptime: Duration) -> Duration {
+        let mut row = FeatureRow::ZERO;
+        self.schema.encode_into(spec, uptime, &mut row);
+        duration_from_log10(self.model.predict(row.as_slice()), self.cap)
+    }
+}
+
+impl LifetimePredictor for CompiledGbdtPredictor {
+    fn predict_remaining(&self, vm: &Vm, now: SimTime) -> Duration {
+        self.predict_spec(vm.spec(), vm.uptime(now))
+    }
+
+    fn name(&self) -> &'static str {
+        "gbdt-fast"
+    }
+
+    /// Batched repredictions: encode up to [`COMPILED_BATCH_CHUNK`] VMs
+    /// into stack-resident rows, run one [`CompiledGbdt::predict_batch`]
+    /// per chunk, and emit results in iteration order. Zero heap
+    /// allocations, bit-identical to the per-VM path.
+    fn predict_remaining_batch<'a>(
+        &self,
+        vms: &mut dyn Iterator<Item = &'a Vm>,
+        now: SimTime,
+        sink: &mut dyn FnMut(&'a Vm, Duration),
+    ) {
+        let mut rows = [FeatureRow::ZERO; COMPILED_BATCH_CHUNK];
+        let mut batch: [Option<&Vm>; COMPILED_BATCH_CHUNK] = [None; COMPILED_BATCH_CHUNK];
+        let mut out = [0.0f64; COMPILED_BATCH_CHUNK];
+        loop {
+            let mut n = 0;
+            while n < COMPILED_BATCH_CHUNK {
+                let Some(vm) = vms.next() else { break };
+                self.schema
+                    .encode_into(vm.spec(), vm.uptime(now), &mut rows[n]);
+                batch[n] = Some(vm);
+                n += 1;
+            }
+            if n == 0 {
+                return;
+            }
+            self.model.predict_batch(&rows[..n], &mut out[..n]);
+            for i in 0..n {
+                let vm = batch[i].take().expect("filled above");
+                sink(vm, duration_from_log10(out[i], self.cap));
+            }
+            if n < COMPILED_BATCH_CHUNK {
+                return;
+            }
+        }
     }
 }
 

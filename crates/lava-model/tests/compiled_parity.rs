@@ -1,0 +1,167 @@
+//! Property tests: the compiled flat-GBDT engine is bit-identical to the
+//! reference tree-walking engine on every input it can see.
+//!
+//! Randomised over ensemble shape (tree count, leaf budget, feature
+//! count — including more features than [`FEATURE_COUNT`], which forces
+//! the batch fallback), training data, full-length rows, short rows and
+//! the `predict` / `predict_batch` pair. "Bit-identical" means exact
+//! `f64::to_bits` equality, which is what lets `PredictorSpec::LearnedFast`
+//! replay any `Learned` experiment without changing a single decision.
+
+use lava_model::compiled::CompiledGbdt;
+use lava_model::features::{FeatureRow, FEATURE_COUNT};
+use lava_model::gbdt::{GbdtConfig, GbdtRegressor};
+use proptest::prelude::*;
+
+/// Deterministically generate a training set and fit both engines.
+fn fit(
+    num_rows: usize,
+    num_features: usize,
+    num_trees: usize,
+    max_leaves: usize,
+    seed: u64,
+    constant_labels: bool,
+) -> (GbdtRegressor, CompiledGbdt, Vec<Vec<f64>>) {
+    // Cheap deterministic value stream (keeps the test independent of any
+    // RNG crate details).
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut rows = Vec::with_capacity(num_rows);
+    let mut labels = Vec::with_capacity(num_rows);
+    for _ in 0..num_rows {
+        let row: Vec<f64> = (0..num_features).map(|_| next() * 10.0).collect();
+        let label = if constant_labels {
+            42.0
+        } else {
+            // A mild non-linear relationship plus noise so trees have
+            // something to split on.
+            row.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    if i % 2 == 0 {
+                        *v
+                    } else {
+                        (v > &5.0) as u8 as f64 * 3.0
+                    }
+                })
+                .sum::<f64>()
+                + next()
+        };
+        rows.push(row);
+        labels.push(label);
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let config = GbdtConfig {
+        num_trees,
+        max_leaves,
+        min_samples_leaf: 3,
+        ..GbdtConfig::default()
+    };
+    let model = GbdtRegressor::fit(config, &refs, &labels);
+    let compiled = CompiledGbdt::compile(&model);
+    (model, compiled, rows)
+}
+
+proptest! {
+    #[test]
+    fn prop_predict_bit_identical(
+        num_rows in 20usize..120,
+        num_features in 1usize..14,
+        num_trees in 1usize..24,
+        max_leaves in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let (model, compiled, rows) = fit(num_rows, num_features, num_trees, max_leaves, seed, false);
+        for row in &rows {
+            let reference = model.predict(row);
+            let fast = compiled.predict(row);
+            prop_assert_eq!(
+                reference.to_bits(), fast.to_bits(),
+                "engines diverged: reference {} vs compiled {}", reference, fast
+            );
+        }
+    }
+
+    #[test]
+    fn prop_short_rows_bit_identical(
+        num_features in 2usize..10,
+        num_trees in 1usize..16,
+        max_leaves in 2usize..16,
+        seed in 0u64..1_000_000,
+        cut in 0usize..9,
+    ) {
+        let (model, compiled, rows) = fit(60, num_features, num_trees, max_leaves, seed, false);
+        // Truncate every row below the trained feature count: the one
+        // documented fallback (missing features read as 0.0) must agree
+        // across engines.
+        let cut = cut.min(num_features.saturating_sub(1));
+        for row in &rows {
+            let short = &row[..cut];
+            prop_assert_eq!(model.predict(short).to_bits(), compiled.predict(short).to_bits());
+        }
+    }
+
+    #[test]
+    fn prop_predict_batch_matches_predict(
+        num_features in 1usize..14,
+        num_trees in 1usize..24,
+        max_leaves in 1usize..24,
+        seed in 0u64..1_000_000,
+        batch in 1usize..70,
+    ) {
+        let (model, compiled, rows) = fit(80, num_features, num_trees, max_leaves, seed, false);
+        // Pack the generated rows into fixed-width FeatureRows. Models
+        // trained on more than FEATURE_COUNT features exercise the batch
+        // fallback path (every FeatureRow is then a "short" row).
+        let feature_rows: Vec<FeatureRow> = rows
+            .iter()
+            .take(batch)
+            .map(|r| {
+                let mut packed = FeatureRow::ZERO;
+                for (slot, v) in packed.as_mut_slice().iter_mut().zip(r.iter()) {
+                    *slot = *v;
+                }
+                packed
+            })
+            .collect();
+        let mut out = vec![0.0f64; feature_rows.len()];
+        compiled.predict_batch(&feature_rows, &mut out);
+        for (row, batched) in feature_rows.iter().zip(&out) {
+            let single = compiled.predict(row.as_slice());
+            let reference = model.predict(row.as_slice());
+            prop_assert_eq!(batched.to_bits(), single.to_bits());
+            prop_assert_eq!(batched.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn prop_degenerate_single_leaf_ensembles(
+        num_features in 1usize..6,
+        num_trees in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        // Constant labels make every tree a single leaf; max_leaves: 1
+        // forbids splits outright. Both degenerate shapes must compile and
+        // agree with the reference.
+        for constant in [true, false] {
+            let max_leaves = if constant { 8 } else { 1 };
+            let (model, compiled, rows) =
+                fit(40, num_features, num_trees, max_leaves, seed, constant);
+            prop_assert_eq!(compiled.internal_node_count(), 0);
+            for row in &rows {
+                prop_assert_eq!(model.predict(row).to_bits(), compiled.predict(row).to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn feature_row_width_matches_schema() {
+    // The batch kernel's once-per-batch validation hinges on this.
+    assert_eq!(FeatureRow::ZERO.as_slice().len(), FEATURE_COUNT);
+}

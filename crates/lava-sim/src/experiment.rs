@@ -76,10 +76,15 @@ pub enum PredictorSpec {
         accuracy_pct: u8,
     },
     /// The production-style GBDT, trained on a historical trace generated
-    /// from the same workload configuration with a shifted seed.
+    /// from the same workload configuration with a shifted seed, served by
+    /// the reference tree-walking engine.
     Learned,
-    /// As [`PredictorSpec::Learned`] but with the fast (small) GBDT
-    /// configuration — for smoke runs and tests.
+    /// The same trained model as [`PredictorSpec::Learned`], compiled into
+    /// the flat inference engine
+    /// ([`lava_model::compiled::CompiledGbdt`]) — the paper's §5 / Fig. 8
+    /// production configuration. Predictions are bit-identical to
+    /// `Learned`; only inference latency differs. Reports as
+    /// `"gbdt-fast"`.
     LearnedFast,
 }
 
@@ -97,6 +102,10 @@ impl PredictorSpec {
     /// Instantiate the predictor for a workload. Deterministic: the noisy
     /// oracle's seed and the GBDT's training trace derive from the
     /// workload's seed.
+    ///
+    /// Stateless — the learned specs train from scratch on every call.
+    /// [`Experiment::predictor`] wraps the same constructors in memoising
+    /// cells, so experiment-driven runs (and sweeps) train at most once.
     pub fn build(&self, workload: &PoolConfig) -> Arc<dyn LifetimePredictor> {
         match self {
             PredictorSpec::Oracle => Arc::new(OraclePredictor::new()),
@@ -104,13 +113,17 @@ impl PredictorSpec {
                 *accuracy_pct as f64 / 100.0,
                 workload.seed ^ 0xab,
             )),
-            PredictorSpec::Learned => {
-                Arc::new(train_gbdt_predictor(workload, GbdtConfig::default()))
-            }
-            PredictorSpec::LearnedFast => {
-                Arc::new(train_gbdt_predictor(workload, GbdtConfig::fast()))
-            }
+            PredictorSpec::Learned => Self::train_learned(workload),
+            PredictorSpec::LearnedFast => Arc::new(Self::train_learned(workload).compile()),
         }
+    }
+
+    /// The one constructor behind the learned-predictor family: `Learned`
+    /// serves this model directly, `LearnedFast` compiles this exact
+    /// model. Keeping it single-sourced is what guarantees the two specs
+    /// can never drift onto differently-configured ensembles.
+    fn train_learned(workload: &PoolConfig) -> Arc<GbdtPredictor> {
+        Arc::new(train_gbdt_predictor(workload, GbdtConfig::default()))
     }
 }
 
@@ -729,6 +742,11 @@ pub struct Experiment {
     trace_cache: Arc<OnceLock<Arc<Trace>>>,
     /// Memoised predictor cell (GBDT training is the expensive case).
     predictor_cache: Arc<OnceLock<Arc<dyn LifetimePredictor>>>,
+    /// Memoised *trained* reference GBDT, shared across the `Learned` /
+    /// `LearnedFast` pair: both specs describe the same trained model
+    /// (they differ only in the serving engine), so a sweep comparing
+    /// them trains once and the fast arm compiles the shared ensemble.
+    gbdt_cache: Arc<OnceLock<Arc<GbdtPredictor>>>,
 }
 
 impl fmt::Debug for Experiment {
@@ -747,6 +765,7 @@ impl Experiment {
             spec,
             trace_cache: Arc::new(OnceLock::new()),
             predictor_cache: Arc::new(OnceLock::new()),
+            gbdt_cache: Arc::new(OnceLock::new()),
         })
     }
 
@@ -769,10 +788,24 @@ impl Experiment {
     }
 
     /// The experiment's predictor (built — and for the learned specs,
-    /// trained — at most once per shared cache cell).
+    /// trained — at most once per shared cache cell). `Learned` and
+    /// `LearnedFast` draw the same trained model from the shared GBDT
+    /// cell; `LearnedFast` then compiles it.
     pub fn predictor(&self) -> Arc<dyn LifetimePredictor> {
         self.predictor_cache
-            .get_or_init(|| self.spec.predictor.build(&self.spec.workload))
+            .get_or_init(|| match self.spec.predictor {
+                PredictorSpec::Learned => self.trained_gbdt(),
+                PredictorSpec::LearnedFast => Arc::new(self.trained_gbdt().compile()),
+                other => other.build(&self.spec.workload),
+            })
+            .clone()
+    }
+
+    /// The memoised reference GBDT behind the learned predictor specs
+    /// (trained at most once per shared cache cell).
+    fn trained_gbdt(&self) -> Arc<GbdtPredictor> {
+        self.gbdt_cache
+            .get_or_init(|| PredictorSpec::train_learned(&self.spec.workload))
             .clone()
     }
 
@@ -789,6 +822,14 @@ impl Experiment {
             return;
         }
         self.trace_cache = Arc::clone(&donor.trace_cache);
+        // `Learned` and `LearnedFast` differ only in the serving engine,
+        // so the trained-model cell is shared across the pair: comparing
+        // the two engines on one workload trains a single model.
+        let learned_family =
+            |p: &PredictorSpec| matches!(p, PredictorSpec::Learned | PredictorSpec::LearnedFast);
+        if learned_family(&self.spec.predictor) && learned_family(&donor.spec.predictor) {
+            self.gbdt_cache = Arc::clone(&donor.gbdt_cache);
+        }
         if self.spec.predictor == donor.spec.predictor {
             self.predictor_cache = Arc::clone(&donor.predictor_cache);
         }
@@ -1580,6 +1621,11 @@ mod tests {
                 .name(),
             "noisy-oracle"
         );
-        assert_eq!(PredictorSpec::LearnedFast.build(&workload).name(), "gbdt");
+        // The compiled predictor is distinguishable from the reference
+        // engine in reports.
+        assert_eq!(
+            PredictorSpec::LearnedFast.build(&workload).name(),
+            "gbdt-fast"
+        );
     }
 }

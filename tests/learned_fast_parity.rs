@@ -1,0 +1,58 @@
+//! End-to-end guarantee behind `PredictorSpec::LearnedFast`: compiling the
+//! learned model changes *latency only*. A full `Experiment::run` driven
+//! by the compiled engine must reproduce the reference-engine run
+//! bit-for-bit — every placement, rejection, migration and metric sample —
+//! because the two engines return bit-identical predictions for every
+//! (VM, uptime) the scheduler asks about.
+//!
+//! The pair shares artifacts the way a sweep would
+//! (`Experiment::share_artifacts_from`), which also exercises the shared
+//! trained-GBDT cell: one training run feeds both engines.
+
+use lava::core::time::Duration;
+use lava::sched::Algorithm;
+use lava::sim::experiment::{Experiment, PredictorSpec};
+use lava::sim::simulator::SimulationResult;
+use lava::sim::workload::PoolConfig;
+
+fn run_pair(algorithm: Algorithm, seed: u64) -> (SimulationResult, SimulationResult) {
+    let spec = |predictor: PredictorSpec| {
+        Experiment::builder()
+            .workload(PoolConfig {
+                hosts: 24,
+                duration: Duration::from_days(2),
+                seed,
+                ..PoolConfig::default()
+            })
+            .warmup(Duration::from_hours(6))
+            .algorithm(algorithm)
+            .predictor(predictor)
+            .build()
+            .expect("valid spec")
+    };
+    let learned = Experiment::new(spec(PredictorSpec::Learned)).expect("valid spec");
+    let mut fast = Experiment::new(spec(PredictorSpec::LearnedFast)).expect("valid spec");
+    // Same workload, both learned-family: the trained model is shared and
+    // trained exactly once for the pair.
+    fast.share_artifacts_from(&learned);
+    (learned.run().result, fast.run().result)
+}
+
+#[test]
+fn learned_fast_replays_learned_bit_identically() {
+    for algorithm in [Algorithm::Nilas, Algorithm::Lava] {
+        let (learned, mut fast) = run_pair(algorithm, 21);
+
+        // The engines are distinguishable in reports...
+        assert_eq!(learned.predictor, "gbdt");
+        assert_eq!(fast.predictor, "gbdt-fast");
+
+        // ...and identical in every decision and metric: normalise the
+        // name, then demand full structural equality.
+        fast.predictor = learned.predictor.clone();
+        assert_eq!(
+            learned, fast,
+            "compiled predictor changed a {algorithm:?} run's outcome"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Zero-allocation guarantee of the compiled prediction hot path.
+//!
+//! The scoring hot path repredicts every VM on every candidate host
+//! (§5 / Fig. 8); one heap allocation per prediction would dominate the
+//! compiled engine's latency and fragment the allocator under production
+//! traffic. This test swaps in a counting global allocator and asserts
+//! that the compiled path — **feature encoding included** — performs zero
+//! heap allocations per prediction, single-row and batched, while the
+//! legacy `FeatureSchema::encode` Vec path visibly does allocate (i.e. the
+//! counter works).
+//!
+//! The file intentionally holds a single `#[test]` so no concurrent test
+//! can perturb the allocation counter.
+
+use lava::core::resources::Resources;
+use lava::core::time::{Duration, SimTime};
+use lava::core::vm::{Vm, VmId, VmSpec};
+use lava::model::dataset::DatasetBuilder;
+use lava::model::gbdt::GbdtConfig;
+use lava::model::predictor::{GbdtPredictor, LifetimePredictor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc) made through the
+/// global allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn compiled_prediction_path_is_allocation_free() {
+    // --- setup (allowed to allocate freely) -----------------------------
+    let mut builder = DatasetBuilder::new();
+    for i in 0..400u64 {
+        let spec = VmSpec::builder(Resources::cores_gib(2 + (i % 4), 8))
+            .category((i % 3) as u32)
+            .build();
+        builder.push(spec, Duration::from_hours(1 + (i % 96)));
+    }
+    let reference = GbdtPredictor::train(GbdtConfig::fast(), &builder.build());
+    let compiled = reference.compile();
+
+    let now = SimTime::ZERO + Duration::from_hours(500);
+    let vms: Vec<Vm> = (0..64u64)
+        .map(|i| {
+            let spec = VmSpec::builder(Resources::cores_gib(2 + (i % 4), 8))
+                .category((i % 3) as u32)
+                .build();
+            Vm::new(
+                VmId(i),
+                spec,
+                SimTime::ZERO + Duration::from_hours(i),
+                Duration::from_hours(1000),
+            )
+        })
+        .collect();
+
+    // Warm up both paths (first calls may lazily touch allocator-backed
+    // state somewhere below; steady state is what the hot path pays).
+    for vm in &vms {
+        let _ = compiled.predict_remaining(vm, now);
+    }
+    let mut sink_count = 0usize;
+    compiled.predict_remaining_batch(&mut vms.iter(), now, &mut |_, _| sink_count += 1);
+    assert_eq!(sink_count, vms.len());
+
+    // --- single-row path: zero allocations per prediction ---------------
+    let before = allocations();
+    for _ in 0..10 {
+        for vm in &vms {
+            let _ = compiled.predict_remaining(vm, now);
+        }
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "compiled single-row path allocated"
+    );
+
+    // --- batched path (chunked encode + predict_batch): also zero -------
+    let before = allocations();
+    for _ in 0..10 {
+        compiled.predict_remaining_batch(&mut vms.iter(), now, &mut |_, _| {});
+    }
+    assert_eq!(allocations() - before, 0, "compiled batched path allocated");
+
+    // --- reference predictor's hot path is also allocation-free now -----
+    // (`FeatureSchema::encode_into` killed its per-prediction Vec).
+    let before = allocations();
+    for vm in &vms {
+        let _ = reference.predict_remaining(vm, now);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "reference predictor's encode_into path allocated"
+    );
+
+    // --- sanity: the counter actually counts ----------------------------
+    let before = allocations();
+    let v = compiled
+        .schema()
+        .encode(vms[0].spec(), Duration::from_hours(3));
+    assert_eq!(v.len(), lava::model::features::FEATURE_COUNT);
+    assert!(
+        allocations() - before >= 1,
+        "legacy Vec encoding should register on the allocation counter"
+    );
+}
