@@ -1,0 +1,357 @@
+//! `fleet_scale`: end-to-end throughput of the fleet tier at fleet scale.
+//!
+//! Drives one streamed workload through [`lava_sim::fleet::run_fleet`]
+//! over hundreds of thousands of hosts sharded into 32–128 heterogeneous
+//! cells, with the summary-driven least-loaded router (the configuration
+//! that exercises the epoch/summary machinery) and per-CPU cell workers.
+//! Placement inside each cell is the trivial most-free-first walk, so the
+//! row isolates the fleet tier itself: routing, per-cell queueing, epoch
+//! barriers, summary extraction and N independent engines.
+//!
+//! Before the timed rows:
+//!
+//! * a **thread-parity assert** replays a small heterogeneous fleet at 1
+//!   worker and 2 workers through the full experiment path and requires
+//!   bit-identical reports (the CI smoke's determinism check);
+//! * a **1-cell overhead pair** runs the identical workload through the
+//!   plain single-cluster engine (`drive()`, the `sim_scale` engine row)
+//!   and through a 1-cell Hash fleet, and asserts the fleet tier's
+//!   pass-through overhead stays under 5 % in full mode (a lenient bound
+//!   in quick mode — CI machines are noisy).
+//!
+//! Flags (after `--`):
+//!
+//! * `--quick` — CI-scale settings (32k hosts / 32 cells);
+//! * `--hosts N` / `--cells N` / `--events N` — override the fleet row;
+//! * `--threads N` — cell workers (0 = one per CPU);
+//! * `--json PATH` — write the measurements as a JSON artifact
+//!   (`BENCH_fleet_scale.json` in CI).
+//!
+//! Usage: `cargo bench -p lava-bench --bench fleet_scale -- [--quick] [--json BENCH_fleet_scale.json]`
+
+use lava_bench::{heterogeneous_overrides, MostFreeFirstPolicy};
+use lava_core::pool::Pool;
+use lava_core::time::Duration;
+use lava_model::predictor::{LifetimePredictor, OraclePredictor};
+use lava_sched::cluster::Cluster;
+use lava_sched::policy::PlacementPolicy;
+use lava_sched::scheduler::Scheduler;
+use lava_sim::experiment::{drive, DriveTiming, Experiment};
+use lava_sim::fleet::{run_fleet, CellOverride, FleetConfig, FleetOutcome, RouterSpec};
+use lava_sim::observer::SimObserver;
+use lava_sim::workload::{PoolConfig, StreamingWorkload, WorkloadGenerator};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    hosts: usize,
+    cells: usize,
+    target_events: u64,
+    threads: usize,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = Config {
+        quick: false,
+        hosts: 512_000,
+        cells: 64,
+        target_events: 3_000_000,
+        threads: 0,
+        json_path: None,
+    };
+    let mut hosts_override = None;
+    let mut cells_override = None;
+    let mut events_override = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => config.quick = true,
+            "--hosts" => {
+                hosts_override = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--cells" => {
+                cells_override = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--events" => {
+                events_override = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--threads" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    config.threads = v;
+                }
+                i += 1;
+            }
+            "--json" => {
+                config.json_path = args.get(i + 1).cloned();
+                i += 1;
+            }
+            // `cargo bench` passes `--bench`; ignore it and anything else.
+            _ => {}
+        }
+        i += 1;
+    }
+    if config.quick {
+        config.hosts = 32_768;
+        config.cells = 32;
+        config.target_events = 400_000;
+    }
+    if let Some(hosts) = hosts_override {
+        config.hosts = hosts;
+    }
+    if let Some(cells) = cells_override {
+        config.cells = cells;
+    }
+    if let Some(events) = events_override {
+        config.target_events = events;
+    }
+    config
+}
+
+/// A pool sized so the arrival process emits roughly `target_events`
+/// events. The standing population is thinned (`initial_fill_fraction`)
+/// so memory at 500k+ hosts stays dominated by live VMs, not the t≈0
+/// burst.
+fn scale_pool(hosts: usize, target_events: u64) -> PoolConfig {
+    let mut pool = PoolConfig {
+        hosts,
+        seed: 4242,
+        initial_fill_fraction: 0.3,
+        ..PoolConfig::default()
+    };
+    let rate = WorkloadGenerator::new(pool.clone()).arrival_rate();
+    let seconds = (target_events as f64 / 2.0 / rate.max(1e-9)).ceil() as u64;
+    pool.duration = Duration::from_secs(seconds.max(3600));
+    pool
+}
+
+fn no_warmup_timing() -> DriveTiming {
+    DriveTiming {
+        warmup: Duration::ZERO,
+        warmup_with_baseline: false,
+        tick_interval: Duration::from_mins(5),
+        sample_interval: Duration::from_hours(1),
+        sample_during_warmup: false,
+        defrag_trigger: None,
+    }
+}
+
+/// Events processed by a fleet outcome (creates that placed or failed
+/// count once; a rejected create suppresses its exit, hence the 2x).
+fn fleet_events(outcome: &FleetOutcome) -> u64 {
+    outcome
+        .cells
+        .iter()
+        .map(|c| c.stats.placed + c.stats.exited + 2 * c.stats.failed)
+        .sum()
+}
+
+/// Bit-parity across worker counts on a small heterogeneous fleet, for
+/// the summary-driven routers (the ones with cross-epoch state).
+fn assert_thread_parity() {
+    for router in [RouterSpec::LeastLoaded, RouterSpec::LifetimeAware] {
+        let run = |threads: usize| {
+            let spec = Experiment::builder()
+                .name("fleet-parity")
+                .workload(PoolConfig {
+                    hosts: 48,
+                    duration: Duration::from_days(2),
+                    seed: 99,
+                    ..PoolConfig::default()
+                })
+                .warmup(Duration::from_hours(6))
+                .algorithm(lava_sched::Algorithm::Nilas)
+                .fleet(
+                    FleetConfig::new(4)
+                        .with_router(router)
+                        .with_override(CellOverride::new(1).with_hosts(20))
+                        .with_override(CellOverride::new(3).with_host_shape(96, 384))
+                        .with_threads(threads),
+                )
+                .build()
+                .expect("valid spec");
+            Experiment::new(spec).expect("valid").run()
+        };
+        let serial = run(1);
+        let parallel = run(2);
+        assert_eq!(
+            serial.fleet, parallel.fleet,
+            "{router}: 1-thread and 2-thread fleet runs diverged"
+        );
+    }
+    println!("parity check passed: 1-thread and 2-thread fleet runs are bit-identical");
+}
+
+struct RowOutcome {
+    events: u64,
+    elapsed: f64,
+    events_per_sec: f64,
+}
+
+/// The plain single-cluster engine on `pool` (the `sim_scale` engine
+/// row).
+fn run_plain_engine(pool: &PoolConfig) -> RowOutcome {
+    let mut source = StreamingWorkload::new(pool.clone());
+    let cluster = Cluster::new(Pool::with_uniform_hosts(
+        pool.pool_id,
+        pool.hosts,
+        pool.host_spec(),
+    ));
+    let predictor = Arc::new(OraclePredictor::new());
+    let mut scheduler = Scheduler::new(cluster, Box::new(MostFreeFirstPolicy), predictor);
+    let timing = no_warmup_timing();
+    let started = Instant::now();
+    let mut observers: Vec<&mut dyn SimObserver> = Vec::new();
+    drive(&mut source, &mut scheduler, None, &timing, &mut observers);
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = scheduler.stats();
+    let events = stats.placed + stats.exited + 2 * stats.failed;
+    RowOutcome {
+        events,
+        elapsed,
+        events_per_sec: events as f64 / elapsed.max(1e-9),
+    }
+}
+
+/// A fleet run over `pool` with `fleet_config`, most-free-first cells.
+fn run_fleet_row(pool: &PoolConfig, fleet_config: &FleetConfig) -> (RowOutcome, FleetOutcome) {
+    let predictor: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+    let cells = fleet_config.build_cells(pool, |_| {
+        (
+            Box::new(MostFreeFirstPolicy) as Box<dyn PlacementPolicy>,
+            None,
+        )
+    });
+    let mut source = StreamingWorkload::new(pool.clone());
+    let timing = no_warmup_timing();
+    let started = Instant::now();
+    let outcome = run_fleet(
+        cells,
+        predictor,
+        fleet_config.router,
+        fleet_config.summary_refresh,
+        &timing,
+        &mut source,
+        fleet_config.threads,
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+    let events = fleet_events(&outcome);
+    (
+        RowOutcome {
+            events,
+            elapsed,
+            events_per_sec: events as f64 / elapsed.max(1e-9),
+        },
+        outcome,
+    )
+}
+
+fn main() {
+    let config = parse_args();
+    assert_thread_parity();
+
+    // 1-cell overhead pair: identical workload through the plain engine
+    // and through a 1-cell Hash fleet.
+    let overhead_pool = scale_pool(10_000, 1_200_000);
+    println!(
+        "fleet_scale: overhead pair at {} hosts, ~{:.1}M target events",
+        overhead_pool.hosts, 1.2
+    );
+    let plain = run_plain_engine(&overhead_pool);
+    let (one_cell, one_cell_outcome) =
+        run_fleet_row(&overhead_pool, &FleetConfig::new(1).with_threads(1));
+    assert_eq!(
+        plain.events, one_cell.events,
+        "1-cell fleet processed a different event count than the plain engine"
+    );
+    let overhead_pct = (plain.events_per_sec / one_cell.events_per_sec - 1.0) * 100.0;
+    println!(
+        "fleet_scale[overhead]: plain {:.0} ev/s vs 1-cell fleet {:.0} ev/s -> {overhead_pct:+.2}% overhead",
+        plain.events_per_sec, one_cell.events_per_sec
+    );
+    let overhead_bound = if config.quick { 50.0 } else { 5.0 };
+    assert!(
+        overhead_pct < overhead_bound,
+        "1-cell fleet overhead {overhead_pct:.2}% exceeds the {overhead_bound}% bound"
+    );
+    assert_eq!(one_cell_outcome.cells.len(), 1);
+
+    // The fleet row: heterogeneous cells, summary-driven router, per-CPU
+    // workers.
+    let fleet_pool = scale_pool(config.hosts, config.target_events);
+    let mut fleet_config = FleetConfig::new(config.cells)
+        .with_router(RouterSpec::LeastLoaded)
+        .with_threads(config.threads);
+    for o in heterogeneous_overrides(config.cells, config.hosts) {
+        fleet_config = fleet_config.with_override(o);
+    }
+    let total_hosts: usize = fleet_config
+        .cell_layout(&fleet_pool)
+        .iter()
+        .map(|(_, hosts, _)| *hosts)
+        .sum();
+    println!(
+        "fleet_scale: fleet row at {} hosts across {} heterogeneous cells, ~{:.1}M target events, \
+         {:.2}-day horizon, router {} ({})",
+        total_hosts,
+        config.cells,
+        config.target_events as f64 / 1e6,
+        fleet_pool.duration.as_days(),
+        fleet_config.router,
+        if config.quick { "quick" } else { "full" }
+    );
+    if !config.quick {
+        assert!(
+            total_hosts >= 500_000 && (32..=128).contains(&config.cells),
+            "full mode must cover >=500k hosts across 32-128 cells (got {total_hosts} hosts / {} cells)",
+            config.cells
+        );
+    }
+    let (fleet_row, outcome) = run_fleet_row(&fleet_pool, &fleet_config);
+    let routed: u64 = outcome.cells.iter().map(|c| c.routed_vms).sum();
+    let rejected: u64 = outcome.cells.iter().map(|c| c.rejected_vms).sum();
+    println!(
+        "fleet_scale[fleet]: {} hosts / {} cells, {} events in {:.2}s -> {:.0} events/sec \
+         (routed {routed} VMs, rejected {rejected})",
+        total_hosts, config.cells, fleet_row.events, fleet_row.elapsed, fleet_row.events_per_sec
+    );
+    assert!(
+        fleet_row.events >= config.target_events / 2,
+        "horizon produced far fewer events ({}) than targeted ({})",
+        fleet_row.events,
+        config.target_events
+    );
+
+    if let Some(path) = &config.json_path {
+        let json = format!(
+            "{{\n  \"mode\": \"{}\",\n  \"fleet\": {{\n    \"hosts\": {},\n    \"cells\": {},\n    \
+             \"router\": \"{}\",\n    \"events\": {},\n    \"elapsed_seconds\": {:.3},\n    \
+             \"events_per_sec\": {:.0},\n    \"routed_vms\": {},\n    \"rejected_vms\": {},\n    \
+             \"threads\": {}\n  }},\n  \"one_cell_overhead\": {{\n    \"hosts\": {},\n    \
+             \"events\": {},\n    \"engine_events_per_sec\": {:.0},\n    \
+             \"fleet_events_per_sec\": {:.0},\n    \"overhead_pct\": {:.2}\n  }}\n}}\n",
+            if config.quick { "quick" } else { "full" },
+            total_hosts,
+            config.cells,
+            fleet_config.router,
+            fleet_row.events,
+            fleet_row.elapsed,
+            fleet_row.events_per_sec,
+            routed,
+            rejected,
+            config.threads,
+            overhead_pool.hosts,
+            plain.events,
+            plain.events_per_sec,
+            one_cell.events_per_sec,
+            overhead_pct
+        );
+        std::fs::write(path, json).expect("write bench artifact");
+        println!("fleet_scale: wrote {path}");
+    }
+}

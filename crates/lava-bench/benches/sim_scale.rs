@@ -28,10 +28,9 @@
 //!
 //! Usage: `cargo bench -p lava-bench --bench sim_scale -- [--quick] [--json BENCH_sim_scale.json]`
 
-use lava_core::host::HostId;
+use lava_bench::MostFreeFirstPolicy;
 use lava_core::pool::Pool;
-use lava_core::time::{Duration, SimTime};
-use lava_core::vm::Vm;
+use lava_core::time::Duration;
 use lava_model::predictor::OraclePredictor;
 use lava_sched::cluster::Cluster;
 use lava_sched::policy::PlacementPolicy;
@@ -42,33 +41,6 @@ use lava_sim::observer::SimObserver;
 use lava_sim::workload::{PoolConfig, StreamingWorkload, WorkloadGenerator};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Trivial O(1)-amortised placement: take the most-free host that fits,
-/// straight off the pool's free-capacity index. Used to isolate engine
-/// throughput from policy scoring cost.
-struct MostFreeFirstPolicy;
-
-impl PlacementPolicy for MostFreeFirstPolicy {
-    fn name(&self) -> &'static str {
-        "most-free-first"
-    }
-
-    fn choose_host(
-        &mut self,
-        cluster: &Cluster,
-        vm: &Vm,
-        _now: SimTime,
-        exclude: Option<HostId>,
-    ) -> Option<HostId> {
-        cluster
-            .pool()
-            .hosts_by_free()
-            .rev()
-            .filter(|h| Some(h.id()) != exclude && !h.is_unavailable())
-            .find(|h| h.can_fit(vm.resources()))
-            .map(|h| h.id())
-    }
-}
 
 struct Config {
     quick: bool,

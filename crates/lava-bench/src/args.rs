@@ -9,13 +9,23 @@
 //! * `--seed N` — base RNG seed,
 //! * `--scan indexed|linear` — candidate-scan mode for the policies
 //!   (affects NILAS/LAVA; the baselines and LA-Binary have a single scan),
-//! * `--threads N` — worker threads for sweep suites (0 = one per CPU);
-//!   per-arm results are bit-identical at any thread count,
+//! * `--threads N` — worker threads for sweep suites and fleet cells
+//!   (0 = one per CPU); per-arm and per-cell results are bit-identical at
+//!   any thread count,
+//! * `--cells N` — shard the pool into a fleet of N cells (default 1:
+//!   the single-cluster engine; consumed through
+//!   [`crate::harness::fleet_config`] by the fleet binaries — the
+//!   single-cluster figure binaries parse but ignore it, like
+//!   `--threads` on non-sweep binaries),
+//! * `--router R` — the fleet routing policy
+//!   (`hash|round-robin|least-loaded|lifetime-aware`; only meaningful with
+//!   `--cells > 1`),
 //! * `--full` — paper-scale settings (24 pools, 7-day traces),
 //! * `--quick` — the smallest sensible settings (for CI smoke runs).
 
 use lava_core::time::Duration;
 use lava_sched::policy::CandidateScan;
+use lava_sim::fleet::RouterSpec;
 
 /// Parsed experiment arguments with scale-aware defaults.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,9 +41,15 @@ pub struct ExperimentArgs {
     /// Candidate-scan mode for the placement policies (NILAS/LAVA only —
     /// the lifetime-agnostic policies and LA-Binary ignore it).
     pub scan: CandidateScan,
-    /// Worker threads for sweep suites (0 = one per available CPU).
-    /// Results are bit-identical per arm regardless of the thread count.
+    /// Worker threads for sweep suites and fleet cells (0 = one per
+    /// available CPU). Results are bit-identical per arm and per cell
+    /// regardless of the thread count.
     pub threads: usize,
+    /// Fleet cell count (1 = single-cluster engine, the default — every
+    /// figure binary behaves exactly as before the fleet tier).
+    pub cells: usize,
+    /// Fleet routing policy (only meaningful with `cells > 1`).
+    pub router: RouterSpec,
     /// True when `--full` was passed.
     pub full: bool,
 }
@@ -47,6 +63,8 @@ impl Default for ExperimentArgs {
             seed: 1,
             scan: CandidateScan::default(),
             threads: 0,
+            cells: 1,
+            router: RouterSpec::default(),
             full: false,
         }
     }
@@ -100,6 +118,18 @@ impl ExperimentArgs {
                     }
                     i += 1;
                 }
+                "--cells" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        parsed.cells = v;
+                    }
+                    i += 1;
+                }
+                "--router" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        parsed.router = v;
+                    }
+                    i += 1;
+                }
                 "--full" => {
                     parsed.full = true;
                     parsed.pools = 24;
@@ -132,6 +162,21 @@ mod tests {
         let args = ExperimentArgs::parse(Vec::<String>::new());
         assert_eq!(args, ExperimentArgs::default());
         assert_eq!(args.scan, CandidateScan::Indexed);
+        // The fleet flags default to the single-cluster engine, so every
+        // pre-fleet binary invocation is unchanged.
+        assert_eq!(args.cells, 1);
+        assert_eq!(args.router, RouterSpec::Hash);
+    }
+
+    #[test]
+    fn fleet_flags_parse_uniformly() {
+        let args = ExperimentArgs::parse(["--cells", "16", "--router", "lifetime-aware"]);
+        assert_eq!(args.cells, 16);
+        assert_eq!(args.router, RouterSpec::LifetimeAware);
+        // Malformed values keep the defaults.
+        let bad = ExperimentArgs::parse(["--cells", "many", "--router", "quantum"]);
+        assert_eq!(bad.cells, 1);
+        assert_eq!(bad.router, RouterSpec::Hash);
     }
 
     #[test]

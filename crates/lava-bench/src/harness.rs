@@ -9,10 +9,46 @@
 //! report formatting.
 
 use crate::args::ExperimentArgs;
+use lava_core::host::HostId;
+use lava_core::time::SimTime;
+use lava_core::vm::Vm;
+use lava_sched::cluster::Cluster;
+use lava_sched::policy::PlacementPolicy;
 use lava_sched::Algorithm;
 use lava_sim::experiment::{ExperimentSpec, PolicySpec, PredictorSpec};
+use lava_sim::fleet::{CellOverride, FleetConfig};
 use lava_sim::simulator::SimulationResult;
 use lava_sim::suite::ExperimentSuite;
+
+/// Trivial O(1)-amortised placement: take the most-free host that fits,
+/// straight off the pool's free-capacity index. The `sim_scale` and
+/// `fleet_scale` benches both run it to isolate *engine* throughput from
+/// policy scoring cost — sharing one definition keeps their rows
+/// comparable (the fleet bench's 1-cell overhead bound measures the same
+/// policy the single-cluster engine row does).
+pub struct MostFreeFirstPolicy;
+
+impl PlacementPolicy for MostFreeFirstPolicy {
+    fn name(&self) -> &'static str {
+        "most-free-first"
+    }
+
+    fn choose_host(
+        &mut self,
+        cluster: &Cluster,
+        vm: &Vm,
+        _now: SimTime,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        cluster
+            .pool()
+            .hosts_by_free()
+            .rev()
+            .filter(|h| Some(h.id()) != exclude && !h.is_unavailable())
+            .find(|h| h.can_fit(vm.resources()))
+            .map(|h| h.id())
+    }
+}
 
 /// Which predictor drives the lifetime-aware algorithms in a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +89,21 @@ pub fn policy_spec(algorithm: Algorithm, args: &ExperimentArgs) -> PolicySpec {
     PolicySpec::new(algorithm).with_scan(args.scan)
 }
 
+/// The [`FleetConfig`] the CLI fleet flags describe — the uniform way
+/// binaries honour `--cells` / `--router` / `--threads`. `None` when
+/// `--cells` is 1 (the default): the spec then runs the single-cluster
+/// engine, exactly as before the fleet tier existed.
+pub fn fleet_config(args: &ExperimentArgs) -> Option<FleetConfig> {
+    if args.cells <= 1 {
+        return None;
+    }
+    Some(
+        FleetConfig::new(args.cells)
+            .with_router(args.router)
+            .with_threads(args.threads),
+    )
+}
+
 /// An [`ExperimentSuite`] over `specs` using the CLI-selected thread
 /// count — the uniform way sweep binaries honour `--threads`. Panics on an
 /// invalid spec (sweep binaries construct their specs programmatically).
@@ -63,6 +114,27 @@ pub fn suite_from_specs(
     ExperimentSuite::from_specs(specs)
         .expect("valid sweep spec")
         .with_threads(args.threads)
+}
+
+/// The shared heterogeneous-fleet recipe: every fourth cell gets a
+/// bigger SKU shape (96 cores / 384 GiB) and every third cell a third
+/// more hosts than its even share of `hosts`. Single-sourced so the
+/// `fleet_compare` binary and the `fleet_scale` bench describe the same
+/// fleet shape (mirroring the mixed-generation cells of a real fleet).
+pub fn heterogeneous_overrides(cells: usize, hosts: usize) -> Vec<CellOverride> {
+    let per_cell = hosts / cells.max(1);
+    (0..cells as u32)
+        .map(|i| {
+            let mut o = CellOverride::new(i);
+            if i % 4 == 0 {
+                o = o.with_host_shape(96, 384);
+            }
+            if i % 3 == 0 {
+                o = o.with_hosts(per_cell + per_cell / 3);
+            }
+            o
+        })
+        .collect()
 }
 
 /// Empty-host improvement of `treatment` over `baseline`, in percentage
@@ -135,6 +207,23 @@ mod tests {
         let reports = suite.run();
         assert_eq!(reports[0].result.algorithm, "baseline");
         assert_eq!(reports[1].result.algorithm, "nilas");
+    }
+
+    #[test]
+    fn fleet_config_follows_cli_flags() {
+        use lava_sim::fleet::RouterSpec;
+        let default_args = ExperimentArgs::default();
+        assert!(fleet_config(&default_args).is_none(), "1 cell = no fleet");
+        let args = ExperimentArgs {
+            cells: 8,
+            router: RouterSpec::LeastLoaded,
+            threads: 2,
+            ..ExperimentArgs::default()
+        };
+        let fleet = fleet_config(&args).expect("fleet configured");
+        assert_eq!(fleet.cells, 8);
+        assert_eq!(fleet.router, RouterSpec::LeastLoaded);
+        assert_eq!(fleet.threads, 2);
     }
 
     #[test]

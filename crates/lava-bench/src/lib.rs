@@ -14,4 +14,7 @@ pub mod args;
 pub mod harness;
 
 pub use args::ExperimentArgs;
-pub use harness::{improvement_pp, policy_spec, suite_from_specs, PredictorKind};
+pub use harness::{
+    fleet_config, heterogeneous_overrides, improvement_pp, policy_spec, suite_from_specs,
+    MostFreeFirstPolicy, PredictorKind,
+};

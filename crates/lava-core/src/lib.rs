@@ -10,6 +10,8 @@
 //!   state machine (empty / open / recycling),
 //! * [`lifetime`] — lifetime classes and the NILAS temporal-cost buckets,
 //! * [`pool`] — a pool (zone/cluster) of hosts,
+//! * [`cell`] — fleet cells: [`cell::CellId`] and the bounded-staleness
+//!   [`cell::CellSummary`] a fleet router consumes,
 //! * [`time`] — the simulated clock,
 //! * [`events`] — trace events shared between trace generation and replay,
 //! * [`source`] — the pull-based [`source::EventSource`] abstraction the
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cell;
 pub mod error;
 pub mod events;
 pub mod host;
@@ -44,6 +47,7 @@ pub mod vm;
 
 /// Convenient glob import of the most commonly used types.
 pub mod prelude {
+    pub use crate::cell::{CellId, CellSummary};
     pub use crate::error::CoreError;
     pub use crate::events::{TraceEvent, TraceEventKind};
     pub use crate::host::{Host, HostId, HostLifetimeState, HostSpec};

@@ -102,4 +102,69 @@ mod tests {
         );
         assert!(baseline_migration_order(&c, HostId(9)).is_empty());
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        proptest! {
+            /// Randomized coverage of the two evacuation orderings: both
+            /// enumerate exactly the host's VM set; LARS is the VM set
+            /// sorted by descending repredicted remaining lifetime with a
+            /// stable VM-id tiebreak; the baseline is creation (id) order.
+            #[test]
+            fn lars_and_baseline_orders_agree_with_their_specifications(
+                // The test host holds 64 cores; 2-core VMs cap at 32.
+                lifetimes in proptest::collection::vec(1u64..60, 1..30),
+                now_hours in 0u64..30,
+            ) {
+                let c = cluster_with_vms(&lifetimes);
+                let now = SimTime::ZERO + Duration::from_hours(now_hours);
+                let oracle = OraclePredictor::new();
+                let lars = lars_migration_order(&c, HostId(0), &oracle, now);
+                let baseline = baseline_migration_order(&c, HostId(0));
+
+                // Identical VM sets (and no duplicates in either order).
+                let lars_set: BTreeSet<VmId> = lars.iter().copied().collect();
+                let baseline_set: BTreeSet<VmId> = baseline.iter().copied().collect();
+                prop_assert_eq!(lars.len(), lifetimes.len());
+                prop_assert_eq!(lars_set.len(), lars.len(), "duplicate VM in LARS order");
+                prop_assert_eq!(&lars_set, &baseline_set, "orders cover different VM sets");
+
+                // Baseline is ascending-id (creation) order.
+                let expected_baseline: Vec<VmId> =
+                    (0..lifetimes.len() as u64).map(VmId).collect();
+                prop_assert_eq!(&baseline, &expected_baseline);
+
+                // LARS is descending repredicted remaining lifetime with a
+                // stable ascending-VmId tiebreak — recomputed here
+                // independently of the implementation's sort.
+                let mut expected: Vec<(VmId, u64)> = baseline
+                    .iter()
+                    .map(|&id| {
+                        let vm = c.vm(id).expect("live VM");
+                        (id, oracle.predict_remaining(vm, now).as_secs())
+                    })
+                    .collect();
+                expected.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                let expected_order: Vec<VmId> = expected.iter().map(|&(id, _)| id).collect();
+                prop_assert_eq!(&lars, &expected_order);
+
+                // The ordering is monotone: remaining lifetimes never
+                // increase along the LARS order, and equal lifetimes keep
+                // ascending ids.
+                let remaining: Vec<u64> = lars
+                    .iter()
+                    .map(|&id| oracle.predict_remaining(c.vm(id).unwrap(), now).as_secs())
+                    .collect();
+                for (i, pair) in remaining.windows(2).enumerate() {
+                    prop_assert!(pair[0] >= pair[1], "lifetime increased at {}", i);
+                    if pair[0] == pair[1] {
+                        prop_assert!(lars[i] < lars[i + 1], "unstable tiebreak at {}", i);
+                    }
+                }
+            }
+        }
+    }
 }

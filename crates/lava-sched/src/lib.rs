@@ -15,7 +15,9 @@
 //!   defragmentation and maintenance,
 //! * [`cluster`], [`scheduler`], [`policy`], [`scoring`] — the shared
 //!   substrate (cluster state, driver loop, policy trait, lexicographic
-//!   scoring).
+//!   scoring). A fleet deployment runs one [`scheduler::Scheduler`]
+//!   instance per cell; [`scheduler::Scheduler::cell_summary`] extracts
+//!   the bounded-staleness cell summary the fleet routing tier consumes.
 //!
 //! # Example
 //!

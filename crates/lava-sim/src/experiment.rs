@@ -35,6 +35,7 @@
 use crate::ab::{paired_comparison, AbResult};
 use crate::causal::{causal_impact, CausalConfig, CausalImpactReport};
 use crate::defrag::{simulate_migration_queue, EvacuationCollector, MigrationOrder};
+use crate::fleet::{self, FleetConfig, FleetReport};
 use crate::observer::{MetricRecorder, ObserverContext, SimObserver, StrandingProbe};
 use crate::recording::{PredictionRecord, RecordingPredictor};
 use crate::simulator::SimulationResult;
@@ -357,6 +358,14 @@ pub struct ExperimentSpec {
     /// trades memory against trace reuse.
     #[serde(default)]
     pub source: SourceMode,
+    /// The optional fleet tier: shard the workload into cells behind a
+    /// [`RouterSpec`](crate::fleet::RouterSpec). `None` (the default —
+    /// and what pre-fleet spec JSON parses to) runs the single-cluster
+    /// engine; a 1-cell fleet produces bit-identical results to `None`.
+    /// Fleet runs support the [`Scenario::SteadyState`] and
+    /// [`Scenario::ColdStart`] shapes.
+    #[serde(default)]
+    pub fleet: Option<FleetConfig>,
     /// Record every lifetime prediction (with ground truth) made during the
     /// primary run and return them in the report (Fig. 12's error
     /// analysis). Under `AbSplit` only the final arm records.
@@ -373,6 +382,7 @@ impl Default for ExperimentSpec {
             scenario: Scenario::SteadyState,
             cadence: Cadence::default(),
             source: SourceMode::default(),
+            fleet: None,
             record_predictions: false,
         }
     }
@@ -404,6 +414,23 @@ pub enum SpecError {
     /// The stranding scenario has a zero probe cadence (it would run the
     /// whole simulation and measure nothing).
     ZeroStrandingCadence,
+    /// The fleet tier has zero cells.
+    FleetZeroCells,
+    /// The fleet tier has a zero summary-refresh cadence (the bounded
+    /// staleness window must be non-zero; it is also the parallel epoch
+    /// length).
+    FleetZeroSummaryRefresh,
+    /// A fleet cell override names a cell index `>= cells`.
+    FleetOverrideOutOfRange,
+    /// The fleet layout leaves a cell with zero hosts (too many cells for
+    /// the workload's host count, or a zero-host override).
+    FleetEmptyCell,
+    /// The fleet tier only supports the steady-state and cold-start
+    /// scenarios.
+    FleetUnsupportedScenario,
+    /// Prediction recording is not supported on fleet runs (cells record
+    /// in parallel; a shared recorder would not be deterministic).
+    FleetRecordingUnsupported,
 }
 
 impl fmt::Display for SpecError {
@@ -431,6 +458,25 @@ impl fmt::Display for SpecError {
             }
             SpecError::ZeroStrandingCadence => {
                 write!(f, "stranding scenario needs a non-zero probe cadence")
+            }
+            SpecError::FleetZeroCells => write!(f, "fleet must have at least one cell"),
+            SpecError::FleetZeroSummaryRefresh => {
+                write!(f, "fleet summary-refresh cadence must be non-zero")
+            }
+            SpecError::FleetOverrideOutOfRange => {
+                write!(f, "fleet cell override names a cell index out of range")
+            }
+            SpecError::FleetEmptyCell => {
+                write!(f, "fleet layout leaves a cell with zero hosts")
+            }
+            SpecError::FleetUnsupportedScenario => {
+                write!(
+                    f,
+                    "fleet runs support only the steady-state and cold-start scenarios"
+                )
+            }
+            SpecError::FleetRecordingUnsupported => {
+                write!(f, "prediction recording is not supported on fleet runs")
             }
         }
     }
@@ -479,6 +525,34 @@ impl ExperimentSpec {
                 return Err(SpecError::ZeroStrandingCadence)
             }
             _ => {}
+        }
+        if let Some(fleet) = &self.fleet {
+            if fleet.cells == 0 {
+                return Err(SpecError::FleetZeroCells);
+            }
+            if fleet.summary_refresh.is_zero() {
+                return Err(SpecError::FleetZeroSummaryRefresh);
+            }
+            if fleet
+                .overrides
+                .iter()
+                .any(|o| o.cell as usize >= fleet.cells)
+            {
+                return Err(SpecError::FleetOverrideOutOfRange);
+            }
+            if fleet
+                .cell_layout(&self.workload)
+                .iter()
+                .any(|(_, hosts, _)| *hosts == 0)
+            {
+                return Err(SpecError::FleetEmptyCell);
+            }
+            if !matches!(self.scenario, Scenario::SteadyState | Scenario::ColdStart) {
+                return Err(SpecError::FleetUnsupportedScenario);
+            }
+            if self.record_predictions {
+                return Err(SpecError::FleetRecordingUnsupported);
+            }
         }
         Ok(())
     }
@@ -643,6 +717,12 @@ impl ExperimentBuilder {
         self.source_mode(SourceMode::Streaming)
     }
 
+    /// Shard the workload into a fleet of cells behind a router.
+    pub fn fleet(mut self, fleet: FleetConfig) -> Self {
+        self.spec.fleet = Some(fleet);
+        self
+    }
+
     /// Record predictions made during the primary run.
     pub fn record_predictions(mut self, record: bool) -> Self {
         self.spec.record_predictions = record;
@@ -708,6 +788,11 @@ pub struct ExperimentReport {
     pub causal: Option<CausalImpactReport>,
     /// Defragmentation outcome (`Defrag` only).
     pub defrag: Option<DefragReport>,
+    /// Fleet-tier outcome (specs with a [`FleetConfig`] only): per-cell
+    /// results plus the router that made the assignments. The fleet-wide
+    /// aggregate is also surfaced as [`ExperimentReport::result`].
+    #[serde(default)]
+    pub fleet: Option<FleetReport>,
     /// Recorded predictions, when `record_predictions` was set.
     pub predictions: Vec<PredictionRecord>,
 }
@@ -843,6 +928,13 @@ impl Experiment {
     /// Run the experiment with additional observers attached. Extra
     /// observers are attached to **every** run the scenario performs (all
     /// A/B arms and the pre/post control), in run order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec has a fleet tier and `extra` is non-empty:
+    /// cells run in parallel, so a shared observer could not see a
+    /// deterministic event order. Fleet runs report through the per-cell
+    /// results on [`ExperimentReport::fleet`] instead.
     pub fn run_with_observers(&self, extra: &mut [&mut dyn SimObserver]) -> ExperimentReport {
         let spec = &self.spec;
         let predictor = self.predictor();
@@ -861,8 +953,36 @@ impl Experiment {
             arms: Vec::new(),
             causal: None,
             defrag: None,
+            fleet: None,
             predictions: Vec::new(),
         };
+
+        // Fleet runs take the sharded path: cells compose their own
+        // metric recorders. Extra observers cannot observe N cells
+        // running in parallel deterministically, so attaching any is a
+        // caller error (loud, not a silent no-op — same policy as the
+        // FleetRecordingUnsupported validation rule).
+        if let Some(fleet) = &spec.fleet {
+            assert!(
+                extra.is_empty(),
+                "extra observers are not supported on fleet runs (cells run in parallel); \
+                 use the per-cell results on ExperimentReport::fleet instead"
+            );
+            let timing = match spec.scenario {
+                Scenario::ColdStart => DriveTiming {
+                    warmup: Duration::ZERO,
+                    warmup_with_baseline: false,
+                    ..steady
+                },
+                // Validation restricts fleet specs to SteadyState and
+                // ColdStart.
+                _ => steady,
+            };
+            let fleet_report = self.run_fleet(fleet, &predictor, &timing);
+            report.result = fleet_report.fleet.clone();
+            report.fleet = Some(fleet_report);
+            return report;
+        }
 
         match &spec.scenario {
             Scenario::SteadyState => {
@@ -1043,6 +1163,51 @@ impl Experiment {
         report
     }
 
+    /// One full replay of the workload through the fleet tier: the
+    /// workload's pool is sharded into cells
+    /// ([`FleetConfig::build_cells`]), each cell gets its own policy
+    /// instance (with the same warm-up deferral contract as the
+    /// single-cluster path), and [`fleet::run_fleet`] drives them over
+    /// the spec's event source behind the configured router.
+    fn run_fleet(
+        &self,
+        fleet_config: &FleetConfig,
+        predictor: &Arc<dyn LifetimePredictor>,
+        timing: &DriveTiming,
+    ) -> FleetReport {
+        let spec = &self.spec;
+        let cells = fleet_config.build_cells(&spec.workload, |_| {
+            let evaluated = spec.policy.build(predictor.clone());
+            if timing.warmup_with_baseline && !timing.warmup.is_zero() {
+                (
+                    Algorithm::Baseline.build_policy(predictor.clone()),
+                    Some(evaluated),
+                )
+            } else {
+                (evaluated, None)
+            }
+        });
+        let mut source: Box<dyn EventSource + '_> = match spec.source {
+            SourceMode::Materialized => Box::new(self.trace().source()),
+            SourceMode::Streaming => Box::new(StreamingWorkload::new(spec.workload.clone())),
+        };
+        let outcome = fleet::run_fleet(
+            cells,
+            predictor.clone(),
+            fleet_config.router,
+            fleet_config.summary_refresh,
+            timing,
+            source.as_mut(),
+            fleet_config.threads,
+        );
+        FleetReport::from_outcome(
+            outcome,
+            fleet_config.router,
+            &spec.policy.display_name(),
+            predictor.name(),
+        )
+    }
+
     /// One full replay of the workload under one policy: the primitive
     /// every scenario composes. The event stream comes from the spec's
     /// [`SourceMode`]: a fresh [`TraceSource`](crate::trace::TraceSource)
@@ -1216,123 +1381,229 @@ fn drain_scheduler_events(
 ///
 /// Returns the number of creation events that could not be placed. All
 /// higher-level entry points ([`Experiment::run`] and the scenarios it
-/// composes) drive the simulation through this single function.
+/// composes) drive the simulation through this single function — a thin
+/// wrapper over [`DriveLoop`], which the fleet tier
+/// ([`crate::fleet`]) also uses to step per-cell engines in bounded
+/// epochs.
 pub fn drive(
     source: &mut dyn EventSource,
     scheduler: &mut Scheduler,
-    mut deferred_policy: Option<Box<dyn PlacementPolicy>>,
+    deferred_policy: Option<Box<dyn PlacementPolicy>>,
     timing: &DriveTiming,
     observers: &mut [&mut dyn SimObserver],
 ) -> u64 {
-    scheduler.enable_event_log();
-    let warmup_end = SimTime::ZERO + timing.warmup;
-    let sample_start = if timing.sample_during_warmup {
-        SimTime::ZERO
-    } else {
-        warmup_end
-    };
+    let mut driver = DriveLoop::new(scheduler, deferred_policy, timing);
+    driver.step(source, scheduler, observers, None, false);
+    driver.finish(scheduler, observers)
+}
 
-    let mut timeline = Timeline::new();
-    timeline.schedule(TimelineAction::Tick, SimTime::ZERO);
-    timeline.schedule(TimelineAction::Sample, sample_start);
-    if let Some(interval) = timing.defrag_trigger {
-        timeline.schedule(TimelineAction::DefragTrigger, SimTime::ZERO + interval);
-    }
-    if deferred_policy.is_some() {
-        timeline.schedule(TimelineAction::PolicySwitch, warmup_end);
-    }
+/// The resumable state of one [`drive`] pass.
+///
+/// [`drive`] runs a loop to completion over one source; the fleet tier
+/// needs the *same* loop but stepped in bounded time slices, so the loop
+/// state (timeline, rejected set, source cursor, deferred policy) lives in
+/// this struct and [`DriveLoop::step`] processes items due before a limit.
+/// A full run is `new` → `step(.., None, false)` → `finish`, which is
+/// exactly what [`drive`] does; a fleet cell interleaves
+/// `step(.., Some(epoch_end), true)` calls with router epochs and ends
+/// with the same final step + `finish`.
+pub(crate) struct DriveLoop {
+    timing: DriveTiming,
+    timeline: Timeline,
+    deferred_policy: Option<Box<dyn PlacementPolicy>>,
+    rejected: BTreeSet<VmId>,
+    rejected_count: u64,
+    event_scratch: Vec<SchedulerEvent>,
+    cursor_buffered: bool,
+    source_exhausted: bool,
+    last_event_time: Option<SimTime>,
+    /// Run the cadence at least until this time, even past the source's
+    /// final event. A fleet cell sets this to the *fleet-wide* last
+    /// arrival so every cell samples the identical grid regardless of
+    /// when its own routed events end; `None` (the plain [`drive`] path)
+    /// keeps the classic stop-at-last-event behaviour.
+    cadence_horizon: Option<SimTime>,
+}
 
-    let mut rejected: BTreeSet<VmId> = BTreeSet::new();
-    let mut rejected_count = 0u64;
-    let mut event_scratch: Vec<SchedulerEvent> = Vec::new();
-    let mut cursor_buffered = false;
-    let mut source_exhausted = false;
-    let mut last_event_time: Option<SimTime> = None;
-
-    loop {
-        // Keep the source cursor (its next event) on the timeline.
-        if !cursor_buffered && !source_exhausted {
-            match source.next_event() {
-                Some(event) => {
-                    last_event_time = Some(event.time);
-                    timeline.schedule_event(event);
-                    cursor_buffered = true;
-                }
-                None => source_exhausted = true,
-            }
-        }
-        // Cadence entries do not outlive the event stream: once the source
-        // is exhausted, anything scheduled past its final event is moot.
-        let Some(next_time) = timeline.next_time() else {
-            break;
+impl DriveLoop {
+    /// Set up the loop: enable the scheduler's event log and schedule the
+    /// initial cadence entries (tick, sample, defrag trigger, policy
+    /// switch).
+    pub(crate) fn new(
+        scheduler: &mut Scheduler,
+        deferred_policy: Option<Box<dyn PlacementPolicy>>,
+        timing: &DriveTiming,
+    ) -> DriveLoop {
+        scheduler.enable_event_log();
+        let warmup_end = SimTime::ZERO + timing.warmup;
+        let sample_start = if timing.sample_during_warmup {
+            SimTime::ZERO
+        } else {
+            warmup_end
         };
-        if source_exhausted && last_event_time.is_none_or(|last| next_time > last) {
-            break;
-        }
 
-        match timeline.pop().expect("peeked non-empty") {
-            TimelineItem::Action(TimelineAction::PolicySwitch, at) => {
-                if let Some(policy) = deferred_policy.take() {
-                    scheduler.set_policy(policy);
-                    dispatch(scheduler, at, observers, |o, ctx| o.on_policy_switched(ctx));
+        let mut timeline = Timeline::new();
+        timeline.schedule(TimelineAction::Tick, SimTime::ZERO);
+        timeline.schedule(TimelineAction::Sample, sample_start);
+        if let Some(interval) = timing.defrag_trigger {
+            timeline.schedule(TimelineAction::DefragTrigger, SimTime::ZERO + interval);
+        }
+        if deferred_policy.is_some() {
+            timeline.schedule(TimelineAction::PolicySwitch, warmup_end);
+        }
+        DriveLoop {
+            timing: *timing,
+            timeline,
+            deferred_policy,
+            rejected: BTreeSet::new(),
+            rejected_count: 0,
+            event_scratch: Vec::new(),
+            cursor_buffered: false,
+            source_exhausted: false,
+            last_event_time: None,
+            cadence_horizon: None,
+        }
+    }
+
+    /// Extend the cadence window to at least `horizon` (see
+    /// [`DriveLoop::cadence_horizon`]). A no-op when the source's own
+    /// final event is later — for a single-cell fleet the cell's last
+    /// event *is* the fleet's, so this never changes the 1-cell runs.
+    pub(crate) fn set_cadence_horizon(&mut self, horizon: Option<SimTime>) {
+        self.cadence_horizon = horizon;
+    }
+
+    /// Process every timeline item due strictly before `limit` (all items
+    /// when `None`).
+    ///
+    /// `stream_open` declares whether more events may still be *fed into*
+    /// `source` later (the fleet router appends to a cell's queue between
+    /// epochs): when `true`, a `None` from the source means "nothing more
+    /// yet" rather than end-of-stream, so the loop keeps processing cadence
+    /// entries up to the limit and resumes cleanly on the next call. When
+    /// `false`, a `None` latches exhaustion and the loop stops once every
+    /// item at or before the final event has been processed — the classic
+    /// [`drive`] behaviour.
+    pub(crate) fn step(
+        &mut self,
+        source: &mut dyn EventSource,
+        scheduler: &mut Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+        limit: Option<SimTime>,
+        stream_open: bool,
+    ) {
+        loop {
+            // Keep the source cursor (its next event) on the timeline.
+            if !self.cursor_buffered && !self.source_exhausted {
+                match source.next_event() {
+                    Some(event) => {
+                        self.last_event_time = Some(event.time);
+                        self.timeline.schedule_event(event);
+                        self.cursor_buffered = true;
+                    }
+                    None if !stream_open => self.source_exhausted = true,
+                    None => {}
                 }
             }
-            TimelineItem::Action(TimelineAction::DefragTrigger, at) => {
-                dispatch(scheduler, at, observers, |o, ctx| o.on_defrag_trigger(ctx));
-                let interval = timing
-                    .defrag_trigger
-                    .expect("defrag triggers are scheduled only when an interval is set");
-                timeline.schedule(TimelineAction::DefragTrigger, at + interval);
+            let Some(next_time) = self.timeline.next_time() else {
+                break;
+            };
+            // Items at or past the limit belong to a later epoch.
+            if limit.is_some_and(|l| next_time >= l) {
+                break;
             }
-            TimelineItem::Action(TimelineAction::Tick, at) => {
-                scheduler.tick(at);
-                dispatch(scheduler, at, observers, |o, ctx| o.on_tick(ctx));
-                timeline.schedule(TimelineAction::Tick, at + timing.tick_interval);
+            // Cadence entries do not outlive the event stream: once the
+            // source is exhausted, anything scheduled past its final event
+            // (or past the fleet-wide cadence horizon, whichever is later)
+            // is moot. `Option`'s ordering makes `None` earlier than any
+            // time, so the plain path reduces to the classic
+            // stop-at-last-event rule.
+            let cadence_end = self.last_event_time.max(self.cadence_horizon);
+            if !stream_open
+                && self.source_exhausted
+                && cadence_end.is_none_or(|last| next_time > last)
+            {
+                break;
             }
-            TimelineItem::Action(TimelineAction::Sample, at) => {
-                // Samples stop at the last arrival. When the source cannot
-                // know its final arrival yet (`None`), at least one more
-                // create is coming — necessarily at a time ≥ this sample
-                // (the stream is ordered and its cursor is on the
-                // timeline), so the sample is inside the arrival window.
-                let in_window = match source.last_arrival_time() {
-                    Some(last_arrival) => at <= last_arrival,
-                    None => true,
-                };
-                if in_window {
-                    dispatch(scheduler, at, observers, |o, ctx| o.on_sample(ctx));
-                    timeline.schedule(TimelineAction::Sample, at + timing.sample_interval);
+
+            match self.timeline.pop().expect("peeked non-empty") {
+                TimelineItem::Action(TimelineAction::PolicySwitch, at) => {
+                    if let Some(policy) = self.deferred_policy.take() {
+                        scheduler.set_policy(policy);
+                        dispatch(scheduler, at, observers, |o, ctx| o.on_policy_switched(ctx));
+                    }
                 }
-            }
-            TimelineItem::Event(event) => {
-                cursor_buffered = false;
-                match &event.kind {
-                    TraceEventKind::Create { vm, spec, lifetime } => {
-                        let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
-                        if scheduler.schedule(record, event.time).is_err() {
-                            rejected.insert(*vm);
-                            rejected_count += 1;
+                TimelineItem::Action(TimelineAction::DefragTrigger, at) => {
+                    dispatch(scheduler, at, observers, |o, ctx| o.on_defrag_trigger(ctx));
+                    let interval = self
+                        .timing
+                        .defrag_trigger
+                        .expect("defrag triggers are scheduled only when an interval is set");
+                    self.timeline
+                        .schedule(TimelineAction::DefragTrigger, at + interval);
+                }
+                TimelineItem::Action(TimelineAction::Tick, at) => {
+                    scheduler.tick(at);
+                    dispatch(scheduler, at, observers, |o, ctx| o.on_tick(ctx));
+                    self.timeline
+                        .schedule(TimelineAction::Tick, at + self.timing.tick_interval);
+                }
+                TimelineItem::Action(TimelineAction::Sample, at) => {
+                    // Samples stop at the last arrival. When the source
+                    // cannot know its final arrival yet (`None`), at least
+                    // one more create is coming — necessarily at a time ≥
+                    // this sample (the stream is ordered and everything
+                    // before this sample has already been delivered), so
+                    // the sample is inside the arrival window.
+                    let in_window = match source.last_arrival_time() {
+                        Some(last_arrival) => at <= last_arrival,
+                        None => true,
+                    };
+                    if in_window {
+                        dispatch(scheduler, at, observers, |o, ctx| o.on_sample(ctx));
+                        self.timeline
+                            .schedule(TimelineAction::Sample, at + self.timing.sample_interval);
+                    }
+                }
+                TimelineItem::Event(event) => {
+                    self.cursor_buffered = false;
+                    match &event.kind {
+                        TraceEventKind::Create { vm, spec, lifetime } => {
+                            let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
+                            if scheduler.schedule(record, event.time).is_err() {
+                                self.rejected.insert(*vm);
+                                self.rejected_count += 1;
+                            }
+                        }
+                        TraceEventKind::Exit { vm } => {
+                            if !self.rejected.remove(vm) {
+                                // Ignore exits of VMs that were never placed.
+                                let _ = scheduler.exit(*vm, event.time);
+                            }
                         }
                     }
-                    TraceEventKind::Exit { vm } => {
-                        if !rejected.remove(vm) {
-                            // Ignore exits of VMs that were never placed.
-                            let _ = scheduler.exit(*vm, event.time);
-                        }
-                    }
+                    drain_scheduler_events(scheduler, &mut self.event_scratch, observers);
                 }
-                drain_scheduler_events(scheduler, &mut event_scratch, observers);
             }
         }
     }
-    drain_scheduler_events(scheduler, &mut event_scratch, observers);
-    dispatch(
-        scheduler,
-        last_event_time.unwrap_or(SimTime::ZERO),
-        observers,
-        |o, ctx| o.on_finish(ctx),
-    );
-    rejected_count
+
+    /// Final drain and `on_finish` dispatch; returns the number of
+    /// creation events that could not be placed.
+    pub(crate) fn finish(
+        &mut self,
+        scheduler: &mut Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> u64 {
+        drain_scheduler_events(scheduler, &mut self.event_scratch, observers);
+        dispatch(
+            scheduler,
+            self.last_event_time.unwrap_or(SimTime::ZERO),
+            observers,
+            |o, ctx| o.on_finish(ctx),
+        );
+        self.rejected_count
+    }
 }
 
 #[cfg(test)]

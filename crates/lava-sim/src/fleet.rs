@@ -1,0 +1,1090 @@
+//! The fleet tier: multi-cell clusters behind a lifetime-aware router,
+//! executed deterministically in parallel.
+//!
+//! A production fleet is many heterogeneous *cells* — each with its own
+//! pool, scheduler instance, policy state and metric observers — fronted
+//! by an admission/routing tier that assigns every VM creation to a cell.
+//! This module reproduces that architecture on top of the streaming
+//! engine:
+//!
+//! * [`FleetConfig`] shards an experiment's workload into `cells` cells
+//!   (hosts split evenly, per-cell [`CellOverride`]s for heterogeneous
+//!   host counts and SKU shapes) and names the [`RouterSpec`].
+//! * [`Router`]s assign each arrival to a cell. [`RouterSpec::Hash`] and
+//!   [`RouterSpec::RoundRobin`] are stateless/counter-based;
+//!   [`RouterSpec::LeastLoaded`] and [`RouterSpec::LifetimeAware`] read
+//!   **bounded-staleness [`CellSummary`]s** — see below.
+//! * [`run_fleet`] drives the whole fleet over one event source and
+//!   returns per-cell outcomes plus the material for fleet-wide
+//!   aggregation ([`FleetReport`]).
+//!
+//! # Bounded-staleness summaries
+//!
+//! Real admission tiers do not read live per-host state: they consume
+//! periodically refreshed summaries of each cell and accept that routing
+//! decisions act on information that is up to one refresh interval old.
+//! The fleet loop models this directly. Time is partitioned into *epochs*
+//! of `summary_refresh` length; at each epoch boundary every cell's
+//! [`CellSummary`] (free capacity, empty-host count, predicted exit-time
+//! profile) is extracted **once**, and every routing decision inside the
+//! epoch uses those frozen summaries — never the cells' live state. A
+//! summary's `as_of` field records the snapshot time; its staleness at
+//! use is therefore bounded by `summary_refresh`. Between refreshes the
+//! summary-driven routers compensate with router-local bookkeeping (the
+//! CPU they themselves routed since the snapshot), exactly the way a real
+//! admission tier tracks its own in-flight placements against a stale
+//! capacity feed.
+//!
+//! # Deterministic parallelism
+//!
+//! Cells are independent *given the routing decisions*, and routing
+//! decisions are made serially, in arrival order, on the coordinating
+//! thread. The epoch boundary doubles as a barrier: cells only run in
+//! parallel *within* an epoch, after the epoch's routing is fixed and
+//! before the next summary snapshot. Results are therefore **bit-identical
+//! at any worker-thread count** — the property tests in
+//! `tests/fleet_tier.rs` replay randomized heterogeneous fleets at 1, 2
+//! and per-CPU threads and require identical reports for every router.
+//!
+//! A single-cell fleet degenerates to the plain single-cluster engine:
+//! every router sends everything to cell 0 and the per-cell loop is the
+//! same [`DriveLoop`](crate::experiment::drive) the monolithic path runs,
+//! so a 1-cell fleet run is bit-identical to a plain [`Experiment`]
+//! run of the same spec (enforced by the backward-compat tests).
+//!
+//! [`Experiment`]: crate::experiment::Experiment
+
+use crate::experiment::{DriveLoop, DriveTiming};
+use crate::metrics::{MetricSample, MetricSeries};
+use crate::observer::{MetricRecorder, SimObserver};
+use crate::simulator::SimulationResult;
+use crate::workload::PoolConfig;
+use lava_core::cell::{CellId, CellSummary};
+use lava_core::events::{TraceEvent, TraceEventKind};
+use lava_core::host::HostSpec;
+use lava_core::pool::{Pool, PoolId};
+use lava_core::resources::Resources;
+use lava_core::source::EventSource;
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::{Vm, VmId};
+use lava_model::predictor::LifetimePredictor;
+use lava_sched::cluster::Cluster;
+use lava_sched::policy::PlacementPolicy;
+use lava_sched::scheduler::{Scheduler, SchedulerStats};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Maximum number of live VMs repredicted per cell when extracting a
+/// summary's exit-time profile (see
+/// [`Scheduler::cell_summary`]); keeps refresh cost bounded regardless of
+/// cell size.
+pub const SUMMARY_SAMPLE_CAP: usize = 64;
+
+/// How the fleet router assigns arrivals to cells.
+///
+/// All routers are deterministic. `LeastLoaded` and `LifetimeAware` read
+/// the bounded-staleness summaries described in the [module docs](self);
+/// `Hash` and `RoundRobin` never look at cell state at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RouterSpec {
+    /// Route by a hash of the VM id (stateless; the default).
+    #[default]
+    Hash,
+    /// Cycle through the cells in order.
+    RoundRobin,
+    /// Route to the cell with the highest free-CPU fraction according to
+    /// its last summary, adjusted by the CPU the router itself has routed
+    /// there since the snapshot.
+    LeastLoaded,
+    /// Lifetime-aware admission: predict the arrival's remaining lifetime
+    /// and route it to the feasible cell whose summarised exit-time
+    /// profile is *closest* to the VM's predicted exit — long-lived VMs
+    /// join late-exiting cells, short-lived VMs join soon-draining ones,
+    /// extending NILAS's exit-time packing to fleet granularity. Falls
+    /// back to `LeastLoaded` when no summarised cell has enough free CPU.
+    LifetimeAware,
+}
+
+impl RouterSpec {
+    /// Every router, in a fixed sweep order.
+    pub const ALL: [RouterSpec; 4] = [
+        RouterSpec::Hash,
+        RouterSpec::RoundRobin,
+        RouterSpec::LeastLoaded,
+        RouterSpec::LifetimeAware,
+    ];
+
+    /// Whether this router consumes cell summaries (given `cells` cells) —
+    /// a single-cell fleet never needs them.
+    pub fn needs_summaries(&self, cells: usize) -> bool {
+        cells > 1 && matches!(self, RouterSpec::LeastLoaded | RouterSpec::LifetimeAware)
+    }
+}
+
+impl fmt::Display for RouterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RouterSpec::Hash => "hash",
+            RouterSpec::RoundRobin => "round-robin",
+            RouterSpec::LeastLoaded => "least-loaded",
+            RouterSpec::LifetimeAware => "lifetime-aware",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl FromStr for RouterSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RouterSpec, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "hash" => Ok(RouterSpec::Hash),
+            "round-robin" | "roundrobin" => Ok(RouterSpec::RoundRobin),
+            "least-loaded" | "leastloaded" => Ok(RouterSpec::LeastLoaded),
+            "lifetime-aware" | "lifetimeaware" => Ok(RouterSpec::LifetimeAware),
+            other => Err(format!(
+                "unknown router `{other}` (hash|round-robin|least-loaded|lifetime-aware)"
+            )),
+        }
+    }
+}
+
+/// Per-cell overrides making the fleet heterogeneous: any field left
+/// `None` keeps the value derived from the base workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellOverride {
+    /// Which cell this override applies to (must be `< cells`).
+    pub cell: u32,
+    /// Host-count override (replaces the cell's even share).
+    #[serde(default)]
+    pub hosts: Option<usize>,
+    /// Host CPU cores override.
+    #[serde(default)]
+    pub host_cores: Option<u64>,
+    /// Host memory override, in GiB.
+    #[serde(default)]
+    pub host_memory_gib: Option<u64>,
+    /// Host local-SSD override, in GiB.
+    #[serde(default)]
+    pub host_ssd_gib: Option<u64>,
+}
+
+impl CellOverride {
+    /// An override for `cell` with no fields set.
+    pub fn new(cell: u32) -> CellOverride {
+        CellOverride {
+            cell,
+            hosts: None,
+            host_cores: None,
+            host_memory_gib: None,
+            host_ssd_gib: None,
+        }
+    }
+
+    /// Override the cell's host count.
+    pub fn with_hosts(mut self, hosts: usize) -> CellOverride {
+        self.hosts = Some(hosts);
+        self
+    }
+
+    /// Override the cell's host shape (cores, memory GiB).
+    pub fn with_host_shape(mut self, cores: u64, memory_gib: u64) -> CellOverride {
+        self.host_cores = Some(cores);
+        self.host_memory_gib = Some(memory_gib);
+        self
+    }
+}
+
+/// The fleet tier of an [`ExperimentSpec`](crate::experiment::ExperimentSpec):
+/// how the workload's pool is sharded into cells and how arrivals are
+/// routed.
+///
+/// Absent (`None`) in pre-fleet specs — the field is serde-defaulted, so
+/// existing spec JSON parses unchanged and runs the single-cluster
+/// engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of cells the fleet is sharded into (≥ 1). The base
+    /// workload's hosts are split evenly across cells (earlier cells take
+    /// the remainder); [`CellOverride`]s then adjust individual cells.
+    pub cells: usize,
+    /// The routing policy.
+    #[serde(default)]
+    pub router: RouterSpec,
+    /// The bounded-staleness window: cell summaries are refreshed on this
+    /// cadence, and the epoch boundary doubles as the parallel barrier
+    /// (see the [module docs](self)). Must be non-zero.
+    pub summary_refresh: Duration,
+    /// Heterogeneity overrides, applied per cell.
+    #[serde(default)]
+    pub overrides: Vec<CellOverride>,
+    /// Worker threads for parallel cell execution (0 = one per available
+    /// CPU, capped at the cell count). Results are bit-identical at any
+    /// thread count.
+    #[serde(default)]
+    pub threads: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `cells` homogeneous cells with the default router
+    /// (hash) and a 15-minute summary-refresh cadence.
+    pub fn new(cells: usize) -> FleetConfig {
+        FleetConfig {
+            cells,
+            router: RouterSpec::default(),
+            summary_refresh: Duration::from_mins(15),
+            overrides: Vec::new(),
+            threads: 0,
+        }
+    }
+
+    /// Set the router.
+    pub fn with_router(mut self, router: RouterSpec) -> FleetConfig {
+        self.router = router;
+        self
+    }
+
+    /// Set the summary-refresh cadence.
+    pub fn with_summary_refresh(mut self, refresh: Duration) -> FleetConfig {
+        self.summary_refresh = refresh;
+        self
+    }
+
+    /// Add a per-cell override.
+    pub fn with_override(mut self, o: CellOverride) -> FleetConfig {
+        self.overrides.push(o);
+        self
+    }
+
+    /// Set the worker-thread count (0 = one per CPU).
+    pub fn with_threads(mut self, threads: usize) -> FleetConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// The per-cell layout this config derives from a base workload: each
+    /// cell's host count (even split of `base.hosts`, earlier cells take
+    /// the remainder, overrides applied last) and host spec.
+    pub fn cell_layout(&self, base: &PoolConfig) -> Vec<(CellId, usize, HostSpec)> {
+        (0..self.cells)
+            .map(|i| {
+                let mut hosts = base.hosts / self.cells + usize::from(i < base.hosts % self.cells);
+                let mut cores = base.host_cores;
+                let mut memory_gib = base.host_memory_gib;
+                let mut ssd_gib = base.host_ssd_gib;
+                for o in self.overrides.iter().filter(|o| o.cell as usize == i) {
+                    if let Some(h) = o.hosts {
+                        hosts = h;
+                    }
+                    if let Some(c) = o.host_cores {
+                        cores = c;
+                    }
+                    if let Some(m) = o.host_memory_gib {
+                        memory_gib = m;
+                    }
+                    if let Some(s) = o.host_ssd_gib {
+                        ssd_gib = s;
+                    }
+                }
+                let spec = HostSpec::new(Resources::new(cores * 1000, memory_gib * 1024, ssd_gib));
+                (CellId(i as u32), hosts, spec)
+            })
+            .collect()
+    }
+
+    /// Build the runnable cells for a base workload: one [`Pool`] per cell
+    /// (pool ids offset from the base pool id) plus the policies supplied
+    /// by `make_policies` (returning the evaluated policy and the optional
+    /// warm-up deferred policy, mirroring the single-cluster drive
+    /// contract).
+    pub fn build_cells<F>(&self, base: &PoolConfig, mut make_policies: F) -> Vec<FleetCell>
+    where
+        F: FnMut(CellId) -> (Box<dyn PlacementPolicy>, Option<Box<dyn PlacementPolicy>>),
+    {
+        self.cell_layout(base)
+            .into_iter()
+            .map(|(id, hosts, spec)| {
+                let pool = Pool::with_uniform_hosts(
+                    PoolId(base.pool_id.0.wrapping_add(id.0)),
+                    hosts,
+                    spec,
+                );
+                let (policy, deferred_policy) = make_policies(id);
+                FleetCell {
+                    pool,
+                    policy,
+                    deferred_policy,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One runnable cell handed to [`run_fleet`]: its pool and policies. The
+/// cell's [`CellId`] is its index in the `cells` vector.
+pub struct FleetCell {
+    /// The cell's host pool.
+    pub pool: Pool,
+    /// The placement policy in control (during warm-up, the warm-up
+    /// policy when `deferred_policy` is set).
+    pub policy: Box<dyn PlacementPolicy>,
+    /// Policy to switch to at the warm-up boundary (same contract as the
+    /// single-cluster drive's deferred policy).
+    pub deferred_policy: Option<Box<dyn PlacementPolicy>>,
+}
+
+/// What one cell produced over a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The cell.
+    pub cell: CellId,
+    /// Number of hosts in the cell.
+    pub hosts: usize,
+    /// Creations the router assigned to this cell.
+    pub routed_vms: u64,
+    /// Creations the cell could not place.
+    pub rejected_vms: u64,
+    /// The cell scheduler's counters.
+    pub stats: SchedulerStats,
+    /// The cell's metric series.
+    pub series: MetricSeries,
+}
+
+/// Everything a [`run_fleet`] pass produced, in cell order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Per-cell outcomes, indexed by [`CellId`].
+    pub cells: Vec<CellOutcome>,
+}
+
+/// One cell's slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// The cell.
+    pub cell: CellId,
+    /// Number of hosts in the cell.
+    pub hosts: usize,
+    /// Creations the router assigned to this cell.
+    pub routed_vms: u64,
+    /// The cell's simulation result.
+    pub result: SimulationResult,
+}
+
+/// The fleet-level outcome attached to an
+/// [`ExperimentReport`](crate::experiment::ExperimentReport) when the spec
+/// has a fleet tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The router that made the assignments.
+    pub router: RouterSpec,
+    /// Per-cell results, in cell order.
+    pub cells: Vec<CellReport>,
+    /// The fleet-wide aggregate (also surfaced as the experiment report's
+    /// primary result): scheduler counters and rejections summed across
+    /// cells; per-sample metrics host-weighted-averaged across the cells
+    /// that recorded each sample index. For a single-cell fleet this is
+    /// the cell's result verbatim (bit-identical, no re-averaging).
+    pub fleet: SimulationResult,
+}
+
+impl FleetReport {
+    /// Assemble the report from a drive outcome plus the run's display
+    /// names.
+    pub fn from_outcome(
+        outcome: FleetOutcome,
+        router: RouterSpec,
+        algorithm: &str,
+        predictor: &str,
+    ) -> FleetReport {
+        let cells: Vec<CellReport> = outcome
+            .cells
+            .into_iter()
+            .map(|c| CellReport {
+                cell: c.cell,
+                hosts: c.hosts,
+                routed_vms: c.routed_vms,
+                result: SimulationResult {
+                    algorithm: algorithm.to_string(),
+                    predictor: predictor.to_string(),
+                    series: c.series,
+                    scheduler_stats: c.stats,
+                    stranding: None,
+                    rejected_vms: c.rejected_vms,
+                },
+            })
+            .collect();
+        let fleet = aggregate(&cells, algorithm, predictor);
+        FleetReport {
+            router,
+            cells,
+            fleet,
+        }
+    }
+
+    /// Total creations the fleet could not place.
+    pub fn total_rejected(&self) -> u64 {
+        self.cells.iter().map(|c| c.result.rejected_vms).sum()
+    }
+}
+
+/// Fleet-wide aggregation: counters summed, per-sample metrics averaged
+/// across cells weighted by host count. A 1-cell fleet returns the cell's
+/// result verbatim so no floating-point re-averaging can perturb it.
+fn aggregate(cells: &[CellReport], algorithm: &str, predictor: &str) -> SimulationResult {
+    if cells.len() == 1 {
+        return cells[0].result.clone();
+    }
+    let mut stats = SchedulerStats::default();
+    let mut rejected = 0u64;
+    for c in cells {
+        stats.placed += c.result.scheduler_stats.placed;
+        stats.failed += c.result.scheduler_stats.failed;
+        stats.exited += c.result.scheduler_stats.exited;
+        stats.migrations += c.result.scheduler_stats.migrations;
+        rejected += c.result.rejected_vms;
+    }
+    let max_len = cells
+        .iter()
+        .map(|c| c.result.series.len())
+        .max()
+        .unwrap_or(0);
+    let mut series = MetricSeries::new();
+    for k in 0..max_len {
+        let mut weight = 0.0f64;
+        let mut empty = 0.0f64;
+        let mut empty_to_free = 0.0f64;
+        let mut packing = 0.0f64;
+        let mut cpu = 0.0f64;
+        let mut memory = 0.0f64;
+        let mut live_vms = 0usize;
+        let mut time = None;
+        for c in cells {
+            let Some(s) = c.result.series.samples().get(k) else {
+                continue;
+            };
+            let w = c.hosts as f64;
+            time.get_or_insert(s.time);
+            weight += w;
+            empty += w * s.empty_host_fraction;
+            empty_to_free += w * s.empty_to_free_ratio;
+            packing += w * s.packing_density;
+            cpu += w * s.cpu_utilization;
+            memory += w * s.memory_utilization;
+            live_vms += s.live_vms;
+        }
+        let (Some(time), true) = (time, weight > 0.0) else {
+            continue;
+        };
+        series.push(MetricSample {
+            time,
+            empty_host_fraction: empty / weight,
+            empty_to_free_ratio: empty_to_free / weight,
+            packing_density: packing / weight,
+            cpu_utilization: cpu / weight,
+            memory_utilization: memory / weight,
+            live_vms,
+        });
+    }
+    SimulationResult {
+        algorithm: algorithm.to_string(),
+        predictor: predictor.to_string(),
+        series,
+        scheduler_stats: stats,
+        stranding: None,
+        rejected_vms: rejected,
+    }
+}
+
+// --- the router ----------------------------------------------------------
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The serial routing state: assigns every source event to a cell. Lives
+/// on the coordinating thread; never touched concurrently.
+struct Router {
+    spec: RouterSpec,
+    cells: usize,
+    /// Round-robin position (persists across refreshes).
+    cursor: usize,
+    /// The frozen summaries of the current epoch (summary routers only).
+    summaries: Vec<CellSummary>,
+    /// CPU (milli-cores) this router routed to each cell since the last
+    /// summary refresh — the admission tier's own in-flight view layered
+    /// over the stale snapshot.
+    routed_cpu: Vec<u64>,
+    /// Where each live VM was routed, so its exit follows it. The hash
+    /// router recomputes instead (exits hash identically), keeping it
+    /// entirely stateless.
+    vm_cell: HashMap<VmId, u32>,
+}
+
+impl Router {
+    fn new(spec: RouterSpec, cells: usize) -> Router {
+        Router {
+            spec,
+            cells,
+            cursor: 0,
+            summaries: Vec::new(),
+            routed_cpu: vec![0; cells],
+            vm_cell: HashMap::new(),
+        }
+    }
+
+    fn needs_summaries(&self) -> bool {
+        self.spec.needs_summaries(self.cells)
+    }
+
+    /// Install the epoch's frozen summaries and reset the in-flight
+    /// accumulators.
+    fn refresh(&mut self, summaries: Vec<CellSummary>) {
+        debug_assert_eq!(summaries.len(), self.cells);
+        self.summaries = summaries;
+        self.routed_cpu.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Assign `event` to a cell. Creates are routed by the spec'd policy;
+    /// exits follow their create.
+    fn route(&mut self, event: &TraceEvent, predictor: &dyn LifetimePredictor) -> usize {
+        if self.cells == 1 {
+            return 0;
+        }
+        match &event.kind {
+            TraceEventKind::Exit { vm } => match self.spec {
+                RouterSpec::Hash => (splitmix64(vm.0) % self.cells as u64) as usize,
+                _ => self
+                    .vm_cell
+                    .remove(vm)
+                    .map(|c| c as usize)
+                    .expect("exit routed for a VM the router never placed"),
+            },
+            TraceEventKind::Create { vm, spec, lifetime } => {
+                let cell = match self.spec {
+                    RouterSpec::Hash => (splitmix64(vm.0) % self.cells as u64) as usize,
+                    RouterSpec::RoundRobin => {
+                        let c = self.cursor;
+                        self.cursor = (self.cursor + 1) % self.cells;
+                        c
+                    }
+                    RouterSpec::LeastLoaded => self.least_loaded(),
+                    RouterSpec::LifetimeAware => {
+                        let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
+                        let predicted_exit =
+                            event.time + predictor.predict_remaining(&record, event.time);
+                        self.lifetime_aware(predicted_exit, spec.resources())
+                    }
+                };
+                if !matches!(self.spec, RouterSpec::Hash) {
+                    self.vm_cell.insert(*vm, cell as u32);
+                }
+                self.routed_cpu[cell] += spec.resources().cpu_milli;
+                cell
+            }
+        }
+    }
+
+    /// The cell with the highest free-CPU fraction per its frozen summary,
+    /// discounted by the CPU routed there since the snapshot. Ties go to
+    /// the lowest cell id.
+    fn least_loaded(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_fraction = f64::NEG_INFINITY;
+        for (i, (summary, routed)) in self.summaries.iter().zip(&self.routed_cpu).enumerate() {
+            let free = summary.free.cpu_milli.saturating_sub(*routed);
+            let fraction = if summary.capacity.cpu_milli == 0 {
+                0.0
+            } else {
+                free as f64 / summary.capacity.cpu_milli as f64
+            };
+            if fraction > best_fraction {
+                best_fraction = fraction;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The feasible cell whose summarised mean exit time is closest to the
+    /// VM's predicted exit (ties: more adjusted free CPU, then lower cell
+    /// id); least-loaded fallback when no summarised cell has enough free
+    /// CPU for the request.
+    fn lifetime_aware(&self, predicted_exit: SimTime, request: Resources) -> usize {
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (i, (summary, routed)) in self.summaries.iter().zip(&self.routed_cpu).enumerate() {
+            let free = summary.free.cpu_milli.saturating_sub(*routed);
+            if free < request.cpu_milli {
+                continue;
+            }
+            let distance = summary
+                .mean_predicted_exit
+                .as_secs()
+                .abs_diff(predicted_exit.as_secs());
+            let better = match best {
+                None => true,
+                Some((bd, bf, _)) => distance < bd || (distance == bd && free > bf),
+            };
+            if better {
+                best = Some((distance, free, i));
+            }
+        }
+        best.map_or_else(|| self.least_loaded(), |(_, _, i)| i)
+    }
+}
+
+// --- per-cell execution --------------------------------------------------
+
+/// The routed event queue one cell consumes: a plain FIFO (the router
+/// delivers events in canonical order, and a cell's subsequence of an
+/// ordered stream is ordered). `last_arrival` mirrors the *fleet* source's
+/// knowledge, propagated at each epoch boundary, so every cell's metric
+/// samples stop at the same fleet-wide last arrival — exactly the
+/// single-cluster semantics when the fleet has one cell.
+struct CellSource {
+    queue: VecDeque<TraceEvent>,
+    last_arrival: Option<SimTime>,
+}
+
+impl EventSource for CellSource {
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        self.queue.pop_front()
+    }
+
+    fn peek(&mut self) -> Option<&TraceEvent> {
+        self.queue.front()
+    }
+
+    fn last_arrival_time(&mut self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    fn pending_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// One cell's engine: scheduler, resumable drive loop, routed queue and
+/// metric recorder.
+struct CellRunner {
+    id: CellId,
+    hosts: usize,
+    scheduler: Scheduler,
+    driver: DriveLoop,
+    source: CellSource,
+    metrics: MetricRecorder,
+    routed_vms: u64,
+    rejected_vms: u64,
+}
+
+impl CellRunner {
+    fn new(
+        index: usize,
+        cell: FleetCell,
+        predictor: Arc<dyn LifetimePredictor>,
+        timing: &DriveTiming,
+    ) -> CellRunner {
+        let hosts = cell.pool.host_count();
+        let mut scheduler = Scheduler::new(Cluster::new(cell.pool), cell.policy, predictor);
+        let driver = DriveLoop::new(&mut scheduler, cell.deferred_policy, timing);
+        CellRunner {
+            id: CellId(index as u32),
+            hosts,
+            scheduler,
+            driver,
+            source: CellSource {
+                queue: VecDeque::new(),
+                last_arrival: None,
+            },
+            metrics: MetricRecorder::new(),
+            routed_vms: 0,
+            rejected_vms: 0,
+        }
+    }
+
+    fn enqueue(&mut self, event: TraceEvent) {
+        if matches!(event.kind, TraceEventKind::Create { .. }) {
+            self.routed_vms += 1;
+        }
+        self.source.queue.push_back(event);
+    }
+
+    fn summary(&mut self, now: SimTime) -> CellSummary {
+        self.scheduler
+            .cell_summary(self.id, now, SUMMARY_SAMPLE_CAP)
+    }
+
+    /// Process everything due strictly before `limit`; the stream stays
+    /// open (more events may be routed here next epoch).
+    fn step_epoch(&mut self, limit: SimTime) {
+        let CellRunner {
+            driver,
+            source,
+            scheduler,
+            metrics,
+            ..
+        } = self;
+        let mut observers: [&mut dyn SimObserver; 1] = [metrics];
+        driver.step(source, scheduler, &mut observers, Some(limit), true);
+    }
+
+    /// The stream is closed: drain everything left and finish the run.
+    fn run_to_completion(&mut self) {
+        let CellRunner {
+            driver,
+            source,
+            scheduler,
+            metrics,
+            ..
+        } = self;
+        // Run the cadence to the fleet-wide last arrival even if this
+        // cell's own routed events end earlier: every cell then samples
+        // the identical time grid, so the host-weighted fleet aggregate
+        // never loses an early-finishing (frozen) cell from its weights.
+        driver.set_cadence_horizon(source.last_arrival);
+        let mut observers: [&mut dyn SimObserver; 1] = [metrics];
+        driver.step(source, scheduler, &mut observers, None, false);
+        self.rejected_vms = driver.finish(scheduler, &mut observers);
+    }
+
+    fn into_outcome(self) -> CellOutcome {
+        CellOutcome {
+            cell: self.id,
+            hosts: self.hosts,
+            routed_vms: self.routed_vms,
+            rejected_vms: self.rejected_vms,
+            stats: self.scheduler.stats(),
+            series: self.metrics.into_series(),
+        }
+    }
+}
+
+fn worker_count(threads: usize, cells: usize) -> usize {
+    let requested = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    requested.clamp(1, cells.max(1))
+}
+
+/// Run `f` over every cell, distributing cells across `workers` scoped
+/// threads (serially in-place when one worker suffices). Each cell is
+/// visited exactly once per call; cells share no mutable state, so the
+/// outcome is independent of which worker runs which cell.
+///
+/// Workers are spawned per call — i.e. per epoch — rather than kept in a
+/// persistent pool. An epoch is `summary_refresh` of simulated time
+/// (hundreds of events per cell at production cadences), so the
+/// microseconds-per-thread spawn cost is noise against the epoch's work;
+/// a persistent pool with a barrier would save it at a real complexity
+/// cost to the determinism argument. Revisit if profiles ever show
+/// spawn overhead at very short refresh cadences.
+fn run_cells<F>(runners: &[Mutex<CellRunner>], workers: usize, f: F)
+where
+    F: Fn(&mut CellRunner) + Sync,
+{
+    if workers <= 1 || runners.len() <= 1 {
+        for runner in runners {
+            f(&mut runner.lock());
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= runners.len() {
+                    break;
+                }
+                f(&mut runners[i].lock());
+            });
+        }
+    });
+}
+
+/// Drive a whole fleet over one event source.
+///
+/// The loop alternates three phases per epoch of `summary_refresh`
+/// length:
+///
+/// 1. **refresh** — extract every cell's [`CellSummary`] (skipped for
+///    routers that never read them) and hand the frozen snapshots to the
+///    router;
+/// 2. **route** — pull every source event due before the epoch end and
+///    assign it to a cell, serially, in arrival order;
+/// 3. **run** — step every cell's engine to the epoch end across
+///    `threads` workers (the epoch boundary is the barrier).
+///
+/// Once the source is exhausted the cells run to completion and the
+/// per-cell outcomes are returned in cell order. See the
+/// [module docs](self) for why this is bit-identical at any thread
+/// count.
+pub fn run_fleet(
+    cells: Vec<FleetCell>,
+    predictor: Arc<dyn LifetimePredictor>,
+    router: RouterSpec,
+    summary_refresh: Duration,
+    timing: &DriveTiming,
+    source: &mut dyn EventSource,
+    threads: usize,
+) -> FleetOutcome {
+    assert!(!cells.is_empty(), "fleet needs at least one cell");
+    assert!(
+        !summary_refresh.is_zero(),
+        "summary refresh cadence must be non-zero"
+    );
+    let cell_count = cells.len();
+    let mut runners: Vec<Mutex<CellRunner>> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| Mutex::new(CellRunner::new(i, cell, predictor.clone(), timing)))
+        .collect();
+    let mut router = Router::new(router, cell_count);
+    let workers = worker_count(threads, cell_count);
+
+    let mut epoch_start = SimTime::ZERO;
+    loop {
+        if router.needs_summaries() {
+            let summaries: Vec<CellSummary> = runners
+                .iter_mut()
+                .map(|runner| runner.get_mut().summary(epoch_start))
+                .collect();
+            router.refresh(summaries);
+        }
+        let epoch_end = epoch_start + summary_refresh;
+        while source.peek().is_some_and(|event| event.time < epoch_end) {
+            let event = source.next_event().expect("peeked non-empty");
+            let cell = router.route(&event, predictor.as_ref());
+            runners[cell].get_mut().enqueue(event);
+        }
+        let closed = source.peek().is_none();
+        let last_arrival = source.last_arrival_time();
+        for runner in runners.iter_mut() {
+            runner.get_mut().source.last_arrival = last_arrival;
+        }
+        run_cells(&runners, workers, |runner| {
+            if closed {
+                runner.run_to_completion();
+            } else {
+                runner.step_epoch(epoch_end);
+            }
+        });
+        if closed {
+            break;
+        }
+        epoch_start = epoch_end;
+    }
+
+    FleetOutcome {
+        cells: runners
+            .into_iter()
+            .map(|runner| runner.into_inner().into_outcome())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::vm::VmSpec;
+    use lava_model::predictor::OraclePredictor;
+
+    fn base_pool(hosts: usize) -> PoolConfig {
+        PoolConfig {
+            hosts,
+            ..PoolConfig::default()
+        }
+    }
+
+    fn summary(cell: u32, free_cores: u64, capacity_cores: u64, mean_exit: u64) -> CellSummary {
+        CellSummary {
+            cell: CellId(cell),
+            as_of: SimTime::ZERO,
+            hosts: 4,
+            empty_hosts: 0,
+            capacity: Resources::new(capacity_cores * 1000, 0, 0),
+            free: Resources::new(free_cores * 1000, 0, 0),
+            live_vms: 1,
+            mean_predicted_exit: SimTime(mean_exit),
+        }
+    }
+
+    fn create(vm: u64, at: u64, cores: u64, lifetime_hours: u64) -> TraceEvent {
+        TraceEvent::create(
+            SimTime(at),
+            VmId(vm),
+            VmSpec::builder(Resources::cores_gib(cores, cores * 4)).build(),
+            Duration::from_hours(lifetime_hours),
+        )
+    }
+
+    #[test]
+    fn router_spec_parses_and_displays() {
+        for spec in RouterSpec::ALL {
+            assert_eq!(spec.to_string().parse::<RouterSpec>(), Ok(spec));
+        }
+        assert_eq!(
+            "RoundRobin".parse::<RouterSpec>(),
+            Ok(RouterSpec::RoundRobin)
+        );
+        assert!("quantum".parse::<RouterSpec>().is_err());
+        assert_eq!(RouterSpec::default(), RouterSpec::Hash);
+    }
+
+    #[test]
+    fn summary_need_depends_on_router_and_cell_count() {
+        assert!(!RouterSpec::Hash.needs_summaries(8));
+        assert!(!RouterSpec::RoundRobin.needs_summaries(8));
+        assert!(RouterSpec::LeastLoaded.needs_summaries(8));
+        assert!(RouterSpec::LifetimeAware.needs_summaries(8));
+        assert!(!RouterSpec::LeastLoaded.needs_summaries(1));
+    }
+
+    #[test]
+    fn hash_router_is_stateless_and_pairs_exits_with_creates() {
+        let oracle = OraclePredictor::new();
+        let mut router = Router::new(RouterSpec::Hash, 5);
+        for vm in 0..50u64 {
+            let cell = router.route(&create(vm, 0, 2, 1), &oracle);
+            let exit_cell = router.route(&TraceEvent::exit(SimTime(100), VmId(vm)), &oracle);
+            assert_eq!(cell, exit_cell, "exit must follow its create");
+        }
+        assert!(router.vm_cell.is_empty(), "hash router tracks nothing");
+        // Spread: with 50 VMs over 5 cells, no cell should be empty.
+        let counts = (0..50u64).fold(vec![0usize; 5], |mut acc, vm| {
+            acc[(splitmix64(vm) % 5) as usize] += 1;
+            acc
+        });
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "degenerate spread {counts:?}"
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles_and_routes_exits_by_assignment() {
+        let oracle = OraclePredictor::new();
+        let mut router = Router::new(RouterSpec::RoundRobin, 3);
+        let cells: Vec<usize> = (0..6u64)
+            .map(|vm| router.route(&create(vm, 0, 2, 1), &oracle))
+            .collect();
+        assert_eq!(cells, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(
+            router.route(&TraceEvent::exit(SimTime(5), VmId(4)), &oracle),
+            1
+        );
+        assert_eq!(router.vm_cell.len(), 5, "exited VM forgotten");
+    }
+
+    #[test]
+    fn least_loaded_prefers_free_fraction_and_tracks_in_flight_routing() {
+        let oracle = OraclePredictor::new();
+        let mut router = Router::new(RouterSpec::LeastLoaded, 2);
+        // Cell 1 has the higher free fraction.
+        router.refresh(vec![summary(0, 16, 64, 0), summary(1, 48, 64, 0)]);
+        assert_eq!(router.route(&create(1, 0, 2, 1), &oracle), 1);
+        // Keep routing big VMs: the in-flight accumulator erodes cell 1's
+        // advantage until cell 0 wins, despite no refresh in between.
+        let mut chosen = Vec::new();
+        for vm in 2..8u64 {
+            chosen.push(router.route(&create(vm, 0, 16, 1), &oracle));
+        }
+        assert!(
+            chosen.contains(&0),
+            "stale summary never corrected by in-flight routing: {chosen:?}"
+        );
+    }
+
+    #[test]
+    fn lifetime_aware_matches_exit_profiles_and_falls_back_when_full() {
+        let oracle = OraclePredictor::new();
+        let mut router = Router::new(RouterSpec::LifetimeAware, 2);
+        let hour = 3600u64;
+        // Cell 0 drains soon, cell 1 is long-lived.
+        router.refresh(vec![
+            summary(0, 32, 64, hour),
+            summary(1, 32, 64, 200 * hour),
+        ]);
+        // A short VM joins the soon-draining cell, a long one the late cell.
+        assert_eq!(router.route(&create(1, 0, 2, 1), &oracle), 0);
+        assert_eq!(router.route(&create(2, 0, 2, 190), &oracle), 1);
+        // No feasible cell for a 64-core VM with 32 free: least-loaded
+        // fallback (equal fractions minus routed → cell with more left).
+        let fallback = router.route(&create(3, 0, 64, 1), &oracle);
+        assert!(fallback < 2);
+    }
+
+    #[test]
+    fn single_cell_router_short_circuits() {
+        let oracle = OraclePredictor::new();
+        let mut router = Router::new(RouterSpec::LifetimeAware, 1);
+        assert!(!router.needs_summaries());
+        assert_eq!(router.route(&create(1, 0, 2, 1), &oracle), 0);
+        assert_eq!(
+            router.route(&TraceEvent::exit(SimTime(9), VmId(1)), &oracle),
+            0
+        );
+    }
+
+    #[test]
+    fn cell_layout_splits_hosts_and_applies_overrides() {
+        let config = FleetConfig::new(3)
+            .with_override(CellOverride::new(2).with_hosts(50).with_host_shape(96, 384));
+        let layout = config.cell_layout(&base_pool(10));
+        assert_eq!(layout.len(), 3);
+        // 10 hosts over 3 cells: 4 + 3, then the override replaces cell 2.
+        assert_eq!(layout[0].1, 4);
+        assert_eq!(layout[1].1, 3);
+        assert_eq!(layout[2].1, 50);
+        assert_eq!(layout[0].0, CellId(0));
+        // Overridden SKU shape on cell 2 only.
+        assert_eq!(layout[2].2.capacity().cpu_milli, 96_000);
+        assert_eq!(layout[1].2.capacity().cpu_milli, 64_000);
+    }
+
+    #[test]
+    fn build_cells_offsets_pool_ids() {
+        let mut base = base_pool(6);
+        base.pool_id = PoolId(10);
+        let cells = FleetConfig::new(2).build_cells(&base, |_| {
+            (
+                lava_sched::Algorithm::Baseline.build_policy(Arc::new(OraclePredictor::new())),
+                None,
+            )
+        });
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].pool.id(), PoolId(10));
+        assert_eq!(cells[1].pool.id(), PoolId(11));
+        assert_eq!(cells[0].pool.host_count(), 3);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_cells() {
+        assert_eq!(worker_count(4, 2), 2);
+        assert_eq!(worker_count(1, 8), 1);
+        assert!(worker_count(0, 64) >= 1);
+    }
+
+    #[test]
+    fn fleet_config_round_trips_through_json() {
+        let config = FleetConfig::new(4)
+            .with_router(RouterSpec::LifetimeAware)
+            .with_summary_refresh(Duration::from_mins(5))
+            .with_override(CellOverride::new(1).with_hosts(7))
+            .with_threads(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`timeline`] — the unified [`timeline::Timeline`]: one
 //!   `BinaryHeap`-ordered queue merging source events, dynamically
 //!   scheduled VM exits, tick/sample cadences and defrag triggers,
+//! * [`fleet`] — **the fleet tier**: multi-cell clusters behind a
+//!   pluggable, lifetime-aware [`fleet::RouterSpec`] consuming
+//!   bounded-staleness cell summaries, with deterministic parallel cell
+//!   execution ([`fleet::run_fleet`]),
 //! * [`suite`] — [`suite::ExperimentSuite`], parallel multi-arm sweeps
 //!   with bit-identical per-arm results,
 //! * [`observer`] — the [`SimObserver`] trait and the provided observers
@@ -60,6 +64,7 @@ pub mod ab;
 pub mod causal;
 pub mod defrag;
 pub mod experiment;
+pub mod fleet;
 pub mod metrics;
 pub mod observer;
 pub mod recording;
@@ -75,6 +80,7 @@ pub use experiment::{
     Experiment, ExperimentBuilder, ExperimentReport, ExperimentSpec, PolicySpec, PredictorSpec,
     Scenario, SourceMode,
 };
+pub use fleet::{CellOverride, FleetConfig, FleetReport, RouterSpec};
 pub use observer::{ObserverContext, SimObserver};
 pub use suite::ExperimentSuite;
 pub use trace::TraceSource;

@@ -1,0 +1,270 @@
+//! Integration tests for the fleet tier: backward compatibility with
+//! pre-fleet specs, single-cell degeneration, deterministic parallel cell
+//! execution, and fleet-level aggregation.
+//!
+//! The load-bearing guarantees:
+//!
+//! * pre-fleet `ExperimentSpec` JSON (no `fleet` field) still parses,
+//!   round-trips, and produces a **bit-identical** `SimulationResult` to a
+//!   1-cell fleet run with `RouterSpec::Hash` (and every other router —
+//!   a single-cell fleet degenerates to the plain engine);
+//! * fleet runs are **bit-identical across worker-thread counts** for
+//!   every `RouterSpec`, over randomized heterogeneous fleets (64
+//!   property cases; routing is serial at arrival order, cells only run
+//!   in parallel between summary-refresh barriers);
+//! * the fleet-wide aggregate is consistent with the per-cell results
+//!   (counters sum, every arrival is routed exactly once).
+
+use lava::core::time::Duration;
+use lava::sched::Algorithm;
+use lava::sim::experiment::{Experiment, ExperimentSpec, Scenario, SpecError};
+use lava::sim::fleet::{CellOverride, FleetConfig, RouterSpec};
+use lava::sim::workload::PoolConfig;
+use proptest::prelude::*;
+
+fn base_spec(seed: u64, hosts: usize, hours: u64) -> ExperimentSpec {
+    Experiment::builder()
+        .name("fleet-tier-test")
+        .workload(PoolConfig {
+            hosts,
+            duration: Duration::from_hours(hours),
+            ..PoolConfig::small(seed)
+        })
+        .warmup(Duration::from_hours(3))
+        .tick_interval(Duration::from_mins(30))
+        .algorithm(Algorithm::Nilas)
+        .build()
+        .expect("valid spec")
+}
+
+fn with_fleet(mut spec: ExperimentSpec, fleet: FleetConfig) -> ExperimentSpec {
+    spec.fleet = Some(fleet);
+    spec.validate().expect("valid fleet spec");
+    spec
+}
+
+#[test]
+fn pre_fleet_spec_json_round_trips_and_matches_one_cell_hash_fleet() {
+    let spec = base_spec(11, 24, 36);
+    assert!(spec.fleet.is_none());
+
+    // A pre-fleet spec JSON has no `fleet` key at all. Serde-defaulting
+    // must fill in `None`, and the parsed spec must round-trip.
+    let json = spec.to_json().expect("serializes");
+    let pre_fleet_json = json.replace(",\"fleet\":null", "");
+    assert!(
+        !pre_fleet_json.contains("\"fleet\":"),
+        "test setup failed to strip the fleet field"
+    );
+    let parsed = ExperimentSpec::from_json(&pre_fleet_json).expect("pre-fleet JSON parses");
+    assert_eq!(parsed, spec, "pre-fleet JSON must round-trip");
+
+    // The plain single-cluster run and a 1-cell Hash fleet over the same
+    // spec are bit-identical.
+    let plain = Experiment::new(parsed).expect("valid").run();
+    let fleet_spec = with_fleet(base_spec(11, 24, 36), FleetConfig::new(1).with_threads(1));
+    let fleet_run = Experiment::new(fleet_spec).expect("valid").run();
+    assert_eq!(
+        plain.result, fleet_run.result,
+        "1-cell fleet diverged from the single-cluster engine"
+    );
+    let fleet_report = fleet_run.fleet.expect("fleet report attached");
+    assert_eq!(fleet_report.cells.len(), 1);
+    assert_eq!(fleet_report.cells[0].result, plain.result);
+    assert_eq!(fleet_report.router, RouterSpec::Hash);
+    assert!(plain.fleet.is_none());
+}
+
+#[test]
+fn one_cell_fleet_matches_plain_run_for_every_router_and_source_mode() {
+    use lava::sim::experiment::SourceMode;
+    for source in [SourceMode::Materialized, SourceMode::Streaming] {
+        let mut plain_spec = base_spec(7, 16, 30);
+        plain_spec.source = source;
+        let plain = Experiment::new(plain_spec).expect("valid").run();
+        for router in RouterSpec::ALL {
+            let mut spec = base_spec(7, 16, 30);
+            spec.source = source;
+            let spec = with_fleet(
+                spec,
+                FleetConfig::new(1).with_router(router).with_threads(1),
+            );
+            let report = Experiment::new(spec).expect("valid").run();
+            assert_eq!(
+                plain.result, report.result,
+                "router {router} diverged on a 1-cell fleet ({source:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_aggregation_is_consistent_with_cells() {
+    let spec = with_fleet(
+        base_spec(5, 30, 48),
+        FleetConfig::new(3)
+            .with_router(RouterSpec::LeastLoaded)
+            .with_summary_refresh(Duration::from_mins(30))
+            .with_override(CellOverride::new(2).with_hosts(6).with_host_shape(96, 384))
+            .with_threads(2),
+    );
+    let report = Experiment::new(spec).expect("valid").run();
+    let fleet = report.fleet.expect("fleet report");
+    assert_eq!(fleet.cells.len(), 3);
+    // Host split: 30 hosts over 3 cells = 10 each; cell 2 overridden to 6.
+    assert_eq!(
+        fleet.cells.iter().map(|c| c.hosts).collect::<Vec<_>>(),
+        vec![10, 10, 6]
+    );
+    // Every arrival is routed to exactly one cell, and the aggregate sums
+    // the per-cell counters.
+    let routed: u64 = fleet.cells.iter().map(|c| c.routed_vms).sum();
+    let placed: u64 = fleet
+        .cells
+        .iter()
+        .map(|c| c.result.scheduler_stats.placed)
+        .sum();
+    let rejected: u64 = fleet.cells.iter().map(|c| c.result.rejected_vms).sum();
+    assert!(routed > 100, "workload routed only {routed} VMs");
+    assert_eq!(routed, placed + rejected);
+    assert_eq!(fleet.fleet.scheduler_stats.placed, placed);
+    assert_eq!(fleet.fleet.rejected_vms, rejected);
+    assert_eq!(fleet.total_rejected(), rejected);
+    assert_eq!(report.result, fleet.fleet);
+    // Every cell samples the identical time grid up to the fleet-wide
+    // last arrival (the cadence horizon), even when its own routed events
+    // end earlier — so the host-weighted aggregate never drops an
+    // early-finishing cell from its weights.
+    for cell in &fleet.cells {
+        assert_eq!(
+            cell.result.series.len(),
+            fleet.fleet.series.len(),
+            "cell {} sampled a different grid than the fleet",
+            cell.cell
+        );
+    }
+    // The aggregated series is host-weighted: every sample stays a valid
+    // fraction.
+    assert!(!fleet.fleet.series.is_empty());
+    for sample in fleet.fleet.series.samples() {
+        assert!((0.0..=1.0).contains(&sample.empty_host_fraction));
+        assert!((0.0..=1.0).contains(&sample.cpu_utilization));
+    }
+    // The fleet spec round-trips through JSON like any other spec.
+    let json = Experiment::new(with_fleet(
+        base_spec(5, 30, 48),
+        FleetConfig::new(3).with_router(RouterSpec::LifetimeAware),
+    ))
+    .expect("valid")
+    .spec()
+    .to_json()
+    .expect("serializes");
+    let parsed = ExperimentSpec::from_json(&json).expect("parses");
+    assert_eq!(
+        parsed.fleet.as_ref().map(|f| f.router),
+        Some(RouterSpec::LifetimeAware)
+    );
+}
+
+#[test]
+fn fleet_validation_rejects_degenerate_configs() {
+    let reject = |fleet: FleetConfig, expected: SpecError| {
+        let mut spec = base_spec(1, 12, 24);
+        spec.fleet = Some(fleet);
+        assert_eq!(spec.validate().unwrap_err(), expected);
+    };
+    reject(FleetConfig::new(0), SpecError::FleetZeroCells);
+    reject(
+        FleetConfig::new(2).with_summary_refresh(Duration::ZERO),
+        SpecError::FleetZeroSummaryRefresh,
+    );
+    reject(
+        FleetConfig::new(2).with_override(CellOverride::new(5)),
+        SpecError::FleetOverrideOutOfRange,
+    );
+    reject(
+        FleetConfig::new(2).with_override(CellOverride::new(0).with_hosts(0)),
+        SpecError::FleetEmptyCell,
+    );
+    // More cells than hosts leaves empty cells.
+    reject(FleetConfig::new(64), SpecError::FleetEmptyCell);
+
+    let mut ab = base_spec(1, 12, 24);
+    ab.scenario = Scenario::AbSplit {
+        arms: vec![lava::sim::experiment::PolicySpec::new(Algorithm::Baseline)],
+    };
+    ab.fleet = Some(FleetConfig::new(2));
+    assert_eq!(
+        ab.validate().unwrap_err(),
+        SpecError::FleetUnsupportedScenario
+    );
+
+    let mut recording = base_spec(1, 12, 24);
+    recording.record_predictions = true;
+    recording.fleet = Some(FleetConfig::new(2));
+    assert_eq!(
+        recording.validate().unwrap_err(),
+        SpecError::FleetRecordingUnsupported
+    );
+
+    // Cold start is supported.
+    let mut cold = base_spec(1, 12, 24);
+    cold.scenario = Scenario::ColdStart;
+    cold.fleet = Some(FleetConfig::new(2));
+    cold.validate().expect("cold-start fleet is valid");
+}
+
+proptest! {
+    /// The headline determinism guarantee: for randomized heterogeneous
+    /// fleets, every router produces bit-identical reports at 1 worker,
+    /// 2 workers and one-per-CPU workers. Routing decisions are made
+    /// serially at arrival order; the summary-refresh epochs are barriers,
+    /// so cell parallelism cannot reorder anything observable.
+    #[test]
+    fn fleet_runs_are_bit_identical_across_thread_counts(
+        seed in 0u64..100_000,
+        cells in 2usize..5,
+        hosts in 12usize..28,
+        hours in 12u64..30,
+        refresh_mins in 10u64..120,
+        hetero_hosts in 3usize..9,
+    ) {
+        // Derive the remaining knobs from the seed (the vendored proptest
+        // supports at most 6 strategy bindings).
+        let hetero_cores = (seed >> 3) % 2;
+        let algorithm = if seed % 2 == 0 { Algorithm::Baseline } else { Algorithm::Nilas };
+        for router in RouterSpec::ALL {
+            let build = |threads: usize| {
+                let mut spec = base_spec(seed, hosts, hours);
+                spec.policy = lava::sim::experiment::PolicySpec::new(algorithm);
+                let fleet = FleetConfig::new(cells)
+                    .with_router(router)
+                    .with_summary_refresh(Duration::from_mins(refresh_mins))
+                    // Heterogeneous cells: one cell gets a custom host
+                    // count, another a bigger SKU.
+                    .with_override(CellOverride::new(0).with_hosts(hetero_hosts))
+                    .with_override(
+                        CellOverride::new(cells as u32 - 1)
+                            .with_host_shape(64 + 32 * hetero_cores, 256 + 128 * hetero_cores),
+                    )
+                    .with_threads(threads);
+                with_fleet(spec, fleet)
+            };
+            let serial = Experiment::new(build(1)).expect("valid").run();
+            let two = Experiment::new(build(2)).expect("valid").run();
+            let per_cpu = Experiment::new(build(0)).expect("valid").run();
+            prop_assert_eq!(
+                &serial.result, &two.result,
+                "router {} diverged between 1 and 2 threads", router
+            );
+            prop_assert_eq!(
+                serial.fleet.as_ref(), two.fleet.as_ref(),
+                "router {} per-cell reports diverged between 1 and 2 threads", router
+            );
+            prop_assert_eq!(
+                serial.fleet.as_ref(), per_cpu.fleet.as_ref(),
+                "router {} diverged between 1 and per-CPU threads", router
+            );
+        }
+    }
+}
