@@ -238,6 +238,7 @@ fn run_fleet_row(pool: &PoolConfig, fleet_config: &FleetConfig) -> (RowOutcome, 
         &timing,
         &mut source,
         fleet_config.threads,
+        None,
     );
     let elapsed = started.elapsed().as_secs_f64();
     let events = fleet_events(&outcome);

@@ -30,7 +30,10 @@ fn main() {
         Experiment::builder()
             .name(format!("fig15-accuracy-{accuracy_pct}"))
             .workload(pool.clone())
-            .predictor(PredictorSpec::Noisy { accuracy_pct })
+            .predictor(PredictorSpec::Noisy {
+                accuracy_pct,
+                bias_pct: 0,
+            })
             .ab_arms(vec![
                 policy_spec(Algorithm::Baseline, &args),
                 policy_spec(Algorithm::Nilas, &args),

@@ -78,6 +78,7 @@ impl PredictorKind {
             PredictorKind::Oracle => PredictorSpec::Oracle,
             PredictorKind::Noisy(accuracy_pct) => PredictorSpec::Noisy {
                 accuracy_pct: *accuracy_pct,
+                bias_pct: 0,
             },
         }
     }
@@ -179,7 +180,10 @@ mod tests {
         assert_eq!(PredictorKind::Oracle.spec(), PredictorSpec::Oracle);
         assert_eq!(
             PredictorKind::Noisy(50).spec(),
-            PredictorSpec::Noisy { accuracy_pct: 50 }
+            PredictorSpec::Noisy {
+                accuracy_pct: 50,
+                bias_pct: 0
+            }
         );
         assert_eq!(PredictorKind::Oracle.spec().build(&pool).name(), "oracle");
         assert_eq!(

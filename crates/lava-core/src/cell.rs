@@ -59,6 +59,14 @@ pub struct CellSummary {
     /// time (`as_of + predicted remaining lifetime`) over a deterministic
     /// sample of the cell's live VMs. Equal to `as_of` for an empty cell.
     pub mean_predicted_exit: SimTime,
+    /// How wrong the cell's exit profile has recently been: the mean
+    /// absolute log10 error between the scheduling-time lifetime
+    /// prediction and the observed lifetime, over a bounded window of the
+    /// cell's most recent VM exits. Zero until the first exit is observed.
+    /// Serde-defaulted so summaries serialized before this field existed
+    /// still parse.
+    #[serde(default)]
+    pub misprediction_log10: f64,
 }
 
 impl CellSummary {
@@ -73,6 +81,7 @@ impl CellSummary {
             free: capacity,
             live_vms: 0,
             mean_predicted_exit: as_of,
+            misprediction_log10: 0.0,
         }
     }
 
@@ -120,5 +129,17 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: CellSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn summaries_without_misprediction_field_parse_to_zero() {
+        let s = CellSummary::empty(CellId(7), SimTime(42), 4, Resources::cores_gib(32, 128));
+        let json = serde_json::to_string(&s)
+            .unwrap()
+            .replace(",\"misprediction_log10\":0.0", "");
+        assert!(!json.contains("misprediction_log10"), "field stripped");
+        let back: CellSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.misprediction_log10, 0.0);
+        assert_eq!(back, s);
     }
 }

@@ -1,0 +1,351 @@
+//! Adaptive model management: hot-swappable predictors, degraded predictor
+//! variants, and online recalibration.
+//!
+//! The paper's title promises adaptation to mispredictions; §6.6 / Fig. 10
+//! show model accuracy decaying under workload drift. This module supplies
+//! the model-side mechanics the simulation's incident layer
+//! (`lava-sim/src/chaos.rs`) builds on:
+//!
+//! * [`SwappablePredictor`] — an `Arc`-shareable predictor whose *live*
+//!   implementation can be replaced mid-run (predictor-degradation
+//!   incidents) and whose output can be shifted by a log10-domain
+//!   correction (online recalibration). Every call reads the current state
+//!   behind an `RwLock`; swaps are rare, predictions are the hot path.
+//! * [`StalePredictor`] — serves every VM its scheduling-time prediction
+//!   forever (no reprediction conditioning), modelling a model-serving
+//!   pipeline that stopped refreshing.
+//! * [`BiasedPredictor`] — scales the inner predictor's output by a
+//!   constant factor in the log10 domain, modelling systematic drift
+//!   between the training and serving distributions.
+//! * [`median_log10_residual`] — the quantile-recalibration fit: the
+//!   median signed residual (actual − predicted, log10 domain) over a
+//!   window of observed lifetimes, which [`SwappablePredictor::apply_offset`]
+//!   then cancels. For a constant multiplicative bias one round converges;
+//!   draining the observation window between rounds keeps repeated
+//!   recalibrations from double-counting old residuals.
+
+use crate::predictor::{duration_from_log10, LifetimePredictor};
+use lava_core::time::{Duration, SimTime};
+use lava_core::vm::Vm;
+use std::sync::{Arc, RwLock};
+
+/// Cap applied when reconstructing a shifted prediction. Deliberately
+/// [`SwappablePredictor::MAX_OFFSET_LOG10`] decades above the noisy
+/// oracle's 14-day cap: the cap must never bind within the offset clamp
+/// range, or a shift stops being invertible — the recalibration loop would
+/// then chase the clipped mass it cannot actually move, dragging the
+/// offset away from the true bias (observed as a runaway to the clamp
+/// when a strongly positive bias met a binding 14-day cap).
+const SHIFT_CAP: Duration = Duration(14 * 86_400 * 1_000);
+
+/// Floor for shifted predictions, mirroring
+/// [`crate::predictor::NoisyOraclePredictor`]'s "about to exit" floor.
+const SHIFT_FLOOR: Duration = Duration(60);
+
+/// Apply a log10-domain shift to a predicted duration.
+fn shift(d: Duration, offset_log10: f64) -> Duration {
+    if offset_log10 == 0.0 {
+        return d;
+    }
+    duration_from_log10(d.log10_secs() + offset_log10, SHIFT_CAP).max(SHIFT_FLOOR)
+}
+
+/// A predictor that always serves the VM's scheduling-time prediction,
+/// never conditioning on observed uptime: repredictions return the initial
+/// total-lifetime prediction minus uptime. VMs placed before the
+/// degradation (or through paths that bypass initial-prediction capture)
+/// fall through to the inner predictor.
+pub struct StalePredictor {
+    inner: Arc<dyn LifetimePredictor>,
+}
+
+impl StalePredictor {
+    /// Wrap `inner`, freezing each VM's prediction at scheduling time.
+    pub fn new(inner: Arc<dyn LifetimePredictor>) -> StalePredictor {
+        StalePredictor { inner }
+    }
+}
+
+impl LifetimePredictor for StalePredictor {
+    fn predict_remaining(&self, vm: &Vm, now: SimTime) -> Duration {
+        match vm.initial_prediction() {
+            Some(total) => total.saturating_sub(vm.uptime(now)).max(SHIFT_FLOOR),
+            None => self.inner.predict_remaining(vm, now),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stale"
+    }
+}
+
+/// A predictor that scales the inner predictor's output by a constant
+/// factor: `1 + bias_pct / 100`, applied in the log10 domain (floored at
+/// 1 % so extreme negative biases stay finite).
+pub struct BiasedPredictor {
+    inner: Arc<dyn LifetimePredictor>,
+    bias_log10: f64,
+}
+
+impl BiasedPredictor {
+    /// Wrap `inner` with a systematic bias of `bias_pct` percent.
+    pub fn new(inner: Arc<dyn LifetimePredictor>, bias_pct: i16) -> BiasedPredictor {
+        let factor = (1.0 + bias_pct as f64 / 100.0).max(0.01);
+        BiasedPredictor {
+            inner,
+            bias_log10: factor.log10(),
+        }
+    }
+
+    /// The bias as a log10-domain shift.
+    pub fn bias_log10(&self) -> f64 {
+        self.bias_log10
+    }
+}
+
+impl LifetimePredictor for BiasedPredictor {
+    fn predict_remaining(&self, vm: &Vm, now: SimTime) -> Duration {
+        shift(self.inner.predict_remaining(vm, now), self.bias_log10)
+    }
+
+    fn name(&self) -> &'static str {
+        "biased"
+    }
+}
+
+struct AdaptiveState {
+    live: Arc<dyn LifetimePredictor>,
+    offset_log10: f64,
+}
+
+/// The hot-swap seam of the adaptive model-management layer.
+///
+/// Wraps a *base* predictor; the scheduler holds the wrapper for the whole
+/// run, so the incident layer can degrade, restore or recalibrate the live
+/// model mid-run without touching the scheduler. All mutations and reads
+/// go through one `RwLock`, so a swap is atomic with respect to every
+/// prediction.
+pub struct SwappablePredictor {
+    base: Arc<dyn LifetimePredictor>,
+    state: RwLock<AdaptiveState>,
+}
+
+impl SwappablePredictor {
+    /// Maximum absolute recalibration offset (log10 domain): three orders
+    /// of magnitude, far beyond any sane correction, guarding against a
+    /// runaway feedback loop.
+    pub const MAX_OFFSET_LOG10: f64 = 3.0;
+
+    /// Wrap `base`; the live predictor starts as the base with no offset.
+    pub fn new(base: Arc<dyn LifetimePredictor>) -> Arc<SwappablePredictor> {
+        Arc::new(SwappablePredictor {
+            state: RwLock::new(AdaptiveState {
+                live: base.clone(),
+                offset_log10: 0.0,
+            }),
+            base,
+        })
+    }
+
+    /// Replace the live predictor with a degraded `variant` and clear any
+    /// recalibration offset (it was fitted against the previous model).
+    pub fn degrade(&self, variant: Arc<dyn LifetimePredictor>) {
+        let mut state = self.state.write().expect("predictor lock poisoned");
+        state.live = variant;
+        state.offset_log10 = 0.0;
+    }
+
+    /// Restore the base predictor and clear any recalibration offset.
+    pub fn restore(&self) {
+        let mut state = self.state.write().expect("predictor lock poisoned");
+        state.live = self.base.clone();
+        state.offset_log10 = 0.0;
+    }
+
+    /// Add `delta` to the recalibration offset (clamped to
+    /// ±[`Self::MAX_OFFSET_LOG10`]).
+    pub fn apply_offset(&self, delta: f64) {
+        if !delta.is_finite() {
+            return;
+        }
+        let mut state = self.state.write().expect("predictor lock poisoned");
+        state.offset_log10 =
+            (state.offset_log10 + delta).clamp(-Self::MAX_OFFSET_LOG10, Self::MAX_OFFSET_LOG10);
+    }
+
+    /// The current recalibration offset (log10 domain).
+    pub fn offset_log10(&self) -> f64 {
+        self.state
+            .read()
+            .expect("predictor lock poisoned")
+            .offset_log10
+    }
+
+    /// The live predictor's report name (`"oracle"`, `"biased"`, …).
+    pub fn live_name(&self) -> &'static str {
+        self.state
+            .read()
+            .expect("predictor lock poisoned")
+            .live
+            .name()
+    }
+
+    /// The wrapped base predictor.
+    pub fn base(&self) -> &Arc<dyn LifetimePredictor> {
+        &self.base
+    }
+}
+
+impl LifetimePredictor for SwappablePredictor {
+    fn predict_remaining(&self, vm: &Vm, now: SimTime) -> Duration {
+        let state = self.state.read().expect("predictor lock poisoned");
+        shift(state.live.predict_remaining(vm, now), state.offset_log10)
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+/// The quantile-recalibration fit: the median signed residual
+/// `log10(actual) − log10(predicted)` over observed `(predicted, actual)`
+/// lifetime pairs. Returns `None` when `residuals` is empty. Applying the
+/// returned value through [`SwappablePredictor::apply_offset`] cancels a
+/// constant multiplicative bias in one round (the median makes the fit
+/// robust to the heavy-tailed errors mispredicted VMs produce).
+pub fn median_log10_residual(residuals: &[f64]) -> Option<f64> {
+    let mut finite: Vec<f64> = residuals
+        .iter()
+        .copied()
+        .filter(|r| r.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals compare"));
+    let n = finite.len();
+    Some(if n % 2 == 1 {
+        finite[n / 2]
+    } else {
+        (finite[n / 2 - 1] + finite[n / 2]) / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{ConstantPredictor, OraclePredictor};
+    use lava_core::resources::Resources;
+    use lava_core::vm::{VmId, VmSpec};
+
+    fn vm(id: u64, hours: u64) -> Vm {
+        Vm::new(
+            VmId(id),
+            VmSpec::builder(Resources::cores_gib(2, 8)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(hours),
+        )
+    }
+
+    #[test]
+    fn stale_predictor_freezes_the_initial_prediction() {
+        let stale = StalePredictor::new(Arc::new(OraclePredictor::new()));
+        let mut v = vm(1, 10);
+        // No captured initial prediction: falls through to the inner model.
+        assert_eq!(
+            stale.predict_remaining(&v, SimTime::ZERO),
+            Duration::from_hours(10)
+        );
+        v.set_initial_prediction(Duration::from_hours(4));
+        let later = SimTime::ZERO + Duration::from_hours(3);
+        assert_eq!(
+            stale.predict_remaining(&v, later),
+            Duration::from_hours(1),
+            "initial prediction minus uptime, never re-conditioned"
+        );
+        // Past the stale prediction: floors at the about-to-exit minimum.
+        let much_later = SimTime::ZERO + Duration::from_hours(9);
+        assert_eq!(stale.predict_remaining(&v, much_later), SHIFT_FLOOR);
+        assert_eq!(stale.name(), "stale");
+    }
+
+    #[test]
+    fn biased_predictor_scales_predictions() {
+        let oracle: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+        let under = BiasedPredictor::new(oracle.clone(), -90);
+        let over = BiasedPredictor::new(oracle.clone(), 100);
+        let v = vm(1, 100);
+        let truth = oracle.predict_remaining(&v, SimTime::ZERO);
+        let u = under.predict_remaining(&v, SimTime::ZERO);
+        let o = over.predict_remaining(&v, SimTime::ZERO);
+        assert!(u < truth, "negative bias under-predicts");
+        assert!(o > truth, "positive bias over-predicts");
+        let ratio = u.as_secs() as f64 / truth.as_secs() as f64;
+        assert!((ratio - 0.1).abs() < 0.01, "−90 % ≈ 0.1×, got {ratio}");
+        assert!(BiasedPredictor::new(oracle, 0).bias_log10().abs() < 1e-12);
+    }
+
+    #[test]
+    fn swappable_predictor_swaps_and_restores() {
+        let swap = SwappablePredictor::new(Arc::new(OraclePredictor::new()));
+        let v = vm(1, 10);
+        assert_eq!(
+            swap.predict_remaining(&v, SimTime::ZERO),
+            Duration::from_hours(10)
+        );
+        assert_eq!(swap.live_name(), "oracle");
+        swap.degrade(Arc::new(ConstantPredictor::new(Duration::from_hours(1))));
+        assert_eq!(
+            swap.predict_remaining(&v, SimTime::ZERO),
+            Duration::from_hours(1)
+        );
+        assert_eq!(swap.live_name(), "constant");
+        swap.restore();
+        assert_eq!(
+            swap.predict_remaining(&v, SimTime::ZERO),
+            Duration::from_hours(10)
+        );
+        assert_eq!(swap.name(), "adaptive");
+    }
+
+    #[test]
+    fn offset_corrects_a_constant_bias() {
+        let base: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+        let swap = SwappablePredictor::new(base.clone());
+        swap.degrade(Arc::new(BiasedPredictor::new(base, -90)));
+        let v = vm(1, 100);
+        let truth = Duration::from_hours(100);
+        let biased = swap.predict_remaining(&v, SimTime::ZERO);
+        assert!(biased < truth);
+        // The residual of a −90 % bias is +1 in the log10 domain.
+        let residual = truth.log10_secs() - biased.log10_secs();
+        swap.apply_offset(residual);
+        let corrected = swap.predict_remaining(&v, SimTime::ZERO);
+        let ratio = corrected.as_secs() as f64 / truth.as_secs() as f64;
+        assert!(
+            (ratio - 1.0).abs() < 0.01,
+            "offset cancels the bias: {ratio}"
+        );
+        // Degrading again clears the (now stale) offset.
+        swap.degrade(Arc::new(ConstantPredictor::new(Duration::from_hours(1))));
+        assert_eq!(swap.offset_log10(), 0.0);
+        // Offsets clamp and ignore non-finite deltas.
+        swap.apply_offset(f64::NAN);
+        assert_eq!(swap.offset_log10(), 0.0);
+        swap.apply_offset(100.0);
+        assert_eq!(swap.offset_log10(), SwappablePredictor::MAX_OFFSET_LOG10);
+    }
+
+    #[test]
+    fn median_residual_is_robust_and_handles_edge_cases() {
+        assert_eq!(median_log10_residual(&[]), None);
+        assert_eq!(median_log10_residual(&[f64::NAN]), None);
+        assert_eq!(median_log10_residual(&[0.5]), Some(0.5));
+        assert_eq!(median_log10_residual(&[1.0, 3.0]), Some(2.0));
+        // An outlier does not move the median.
+        assert_eq!(
+            median_log10_residual(&[1.0, 1.0, 1.0, 1.0, 50.0]),
+            Some(1.0)
+        );
+    }
+}

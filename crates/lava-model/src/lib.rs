@@ -22,7 +22,10 @@
 //!   error statistics,
 //! * [`predictor`] — the [`predictor::LifetimePredictor`] trait consumed by
 //!   the scheduler, with GBDT, distribution, oracle and noisy-oracle
-//!   implementations.
+//!   implementations,
+//! * [`adaptive`] — adaptive model management: the hot-swappable predictor
+//!   seam, degraded (stale/biased) variants and the online quantile
+//!   recalibration fit used by the simulation's incident layer.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adaptive;
 pub mod compiled;
 pub mod dataset;
 pub mod features;

@@ -155,22 +155,41 @@ impl LifetimePredictor for ConstantPredictor {
 /// the paper. Repredictions subtract the observed uptime from that fixed
 /// noisy total, so a mispredicted VM stays mispredicted — correction must
 /// come from the scheduling algorithm.
+///
+/// Beyond symmetric noise, [`NoisyOraclePredictor::with_bias`] adds a
+/// *systematic* bias applied to every VM: the predicted total lifetime is
+/// additionally multiplied by `1 + bias_pct / 100` (in the log10 domain,
+/// before capping). A negative bias consistently under-predicts, a
+/// positive one over-predicts — the adversarial input for the
+/// misprediction-correction experiments.
 #[derive(Debug, Clone)]
 pub struct NoisyOraclePredictor {
     accuracy: f64,
     sigma_correct: f64,
     sigma_incorrect: f64,
+    /// Systematic log10-domain shift applied to every prediction.
+    bias_log10: f64,
     cap: Duration,
     seed: u64,
 }
 
 impl NoisyOraclePredictor {
-    /// Create the predictor with the paper's noise parameters.
+    /// Create the predictor with the paper's noise parameters and no
+    /// systematic bias.
     pub fn new(accuracy: f64, seed: u64) -> NoisyOraclePredictor {
+        NoisyOraclePredictor::with_bias(accuracy, 0, seed)
+    }
+
+    /// Create the predictor with a systematic bias: every predicted total
+    /// lifetime is scaled by `1 + bias_pct / 100` (floored at 1 % of the
+    /// true value so extreme negative biases stay finite).
+    pub fn with_bias(accuracy: f64, bias_pct: i16, seed: u64) -> NoisyOraclePredictor {
+        let factor = (1.0 + bias_pct as f64 / 100.0).max(0.01);
         NoisyOraclePredictor {
             accuracy: accuracy.clamp(0.0, 1.0),
             sigma_correct: 0.001,
             sigma_incorrect: 3.0,
+            bias_log10: factor.log10(),
             cap: Duration::from_days(14),
             seed,
         }
@@ -179,6 +198,11 @@ impl NoisyOraclePredictor {
     /// The accuracy setting.
     pub fn accuracy(&self) -> f64 {
         self.accuracy
+    }
+
+    /// The systematic bias as a log10-domain shift (0 when unbiased).
+    pub fn bias_log10(&self) -> f64 {
+        self.bias_log10
     }
 
     /// Deterministic uniform sample in `[0, 1)` derived from the VM id and a
@@ -201,7 +225,7 @@ impl NoisyOraclePredictor {
         let u1 = self.uniform(vm, 1).max(1e-12);
         let u2 = self.uniform(vm, 2);
         let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        let log_lifetime = vm.actual_lifetime().log10_secs() + sigma * gauss;
+        let log_lifetime = vm.actual_lifetime().log10_secs() + sigma * gauss + self.bias_log10;
         duration_from_log10(log_lifetime, self.cap)
     }
 }

@@ -79,6 +79,11 @@ pub struct LavaPolicy {
     deadline_corrections: u64,
     /// Number of class-down steps applied after residual VMs exited.
     class_downgrades: u64,
+    /// Whether the policy is currently degraded to best-fit because the
+    /// measured misprediction error crossed the fallback threshold (the
+    /// embedded NILAS tie-breaker mirrors this flag, zeroing its temporal
+    /// cost term).
+    degraded: bool,
 }
 
 impl LavaPolicy {
@@ -91,6 +96,7 @@ impl LavaPolicy {
             nilas,
             deadline_corrections: 0,
             class_downgrades: 0,
+            degraded: false,
         }
     }
 
@@ -114,6 +120,11 @@ impl LavaPolicy {
         self.class_downgrades
     }
 
+    /// Whether the policy is currently degraded to the best-fit regime.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// The lifetime class LAVA assigns to a VM request at `now`.
     pub fn vm_class(&self, vm: &Vm, now: SimTime) -> LifetimeClass {
         LifetimeClass::from_lifetime(self.predictor.predict_remaining(vm, now))
@@ -126,7 +137,19 @@ impl LavaPolicy {
 
     /// The Algorithm 3 preference level of a host for a VM of class
     /// `vm_class`: `(rank, sub_rank)`, lower is better.
+    ///
+    /// While degraded, the class-based levels are suppressed: every
+    /// occupied host ranks 2 and every empty host ranks 3 (the only
+    /// lifetime-agnostic distinction), so with the temporal cost also
+    /// zeroed the score collapses to occupied-first waste minimisation.
     fn preference(&self, host: &Host, vm_class: LifetimeClass) -> (f64, f64) {
+        if self.degraded {
+            return if !host.is_empty() {
+                (2.0, 0.0)
+            } else {
+                (3.0, 0.0)
+            };
+        }
         match (host.lifetime_state(), host.lifetime_class()) {
             (HostLifetimeState::Recycling, Some(host_class)) if host_class > vm_class => {
                 // Closest class is most preferred.
@@ -191,6 +214,7 @@ impl LavaPolicy {
         self.nilas.refresh_cache(cluster, now, request);
         let cache = cluster.exit_cache_lock();
         let buckets = self.nilas.buckets();
+        let degraded = self.degraded;
         let mut hits = 0u64;
 
         // Score the candidates of one preference level; within a level the
@@ -213,7 +237,11 @@ impl LavaPolicy {
                 consider(
                     &mut best,
                     Candidate {
-                        cost: buckets.cost(vm_exit.saturating_since(host_exit)),
+                        cost: if degraded {
+                            0
+                        } else {
+                            buckets.cost(vm_exit.saturating_since(host_exit))
+                        },
                         waste: waste_minimization_score(host, request),
                         id: host.id(),
                     },
@@ -226,22 +254,27 @@ impl LavaPolicy {
         // Separate counter: `best_of` above holds the borrow on `hits`.
         let mut level2_hits = 0u64;
         let winner = 'levels: {
-            // Level 0: recycling hosts of a strictly higher class, closest
-            // class first. Each distance is its own sub-rank, so the first
-            // non-empty feasible distance decides.
-            for idx in (vm_class.index() + 1)..=4 {
-                let class = LifetimeClass::from_index_clamped(idx as i32);
-                if let Some(id) = best_of(
-                    &mut pool.hosts_in_state_class(HostLifetimeState::Recycling, Some(class)),
-                ) {
+            // While degraded the class-based levels 0/1 are suppressed
+            // (matching `preference`): fall straight through to the
+            // lifetime-agnostic occupied/empty levels.
+            if !degraded {
+                // Level 0: recycling hosts of a strictly higher class,
+                // closest class first. Each distance is its own sub-rank,
+                // so the first non-empty feasible distance decides.
+                for idx in (vm_class.index() + 1)..=4 {
+                    let class = LifetimeClass::from_index_clamped(idx as i32);
+                    if let Some(id) = best_of(
+                        &mut pool.hosts_in_state_class(HostLifetimeState::Recycling, Some(class)),
+                    ) {
+                        break 'levels Some(id);
+                    }
+                }
+                // Level 1: open hosts of the same class.
+                if let Some(id) =
+                    best_of(&mut pool.hosts_in_state_class(HostLifetimeState::Open, Some(vm_class)))
+                {
                     break 'levels Some(id);
                 }
-            }
-            // Level 1: open hosts of the same class.
-            if let Some(id) =
-                best_of(&mut pool.hosts_in_state_class(HostLifetimeState::Open, Some(vm_class)))
-            {
-                break 'levels Some(id);
             }
             // Level 2: any occupied host. Feasible hosts matching level
             // 0/1 would have been returned above, so every feasible host
@@ -252,7 +285,11 @@ impl LavaPolicy {
             // stop at the first cost bucket that cannot win.
             let mut best: Option<Candidate> = None;
             for &(exit, id) in cache.by_exit.iter().rev() {
-                let cost = buckets.cost(vm_exit.saturating_since(exit));
+                let cost = if degraded {
+                    0
+                } else {
+                    buckets.cost(vm_exit.saturating_since(exit))
+                };
                 if let Some(current) = &best {
                     if cost > current.cost {
                         break;
@@ -391,6 +428,15 @@ impl PlacementPolicy for LavaPolicy {
                 host.step_class_up(deadline);
                 self.deadline_corrections += 1;
             }
+        }
+    }
+
+    fn on_model_health(&mut self, error: f64, samples: usize) {
+        if let Some(spec) = self.config.nilas.fallback {
+            self.degraded = spec.should_degrade(error, samples, self.degraded);
+            // Mirror the decision into the embedded tie-breaker so its
+            // temporal cost term degrades in lock-step.
+            self.nilas.set_degraded(self.degraded);
         }
     }
 }
@@ -611,6 +657,172 @@ mod tests {
         let second = schedule(&mut p, &mut c, vm(2, 6), SimTime::ZERO);
         assert_eq!(first, second);
         assert_eq!(c.pool().empty_host_count(), 2);
+    }
+
+    #[test]
+    fn degraded_lava_ignores_lifetime_classes() {
+        use crate::policy::FallbackSpec;
+        let fallback_config = || LavaConfig {
+            nilas: NilasConfig {
+                fallback: Some(FallbackSpec {
+                    threshold: 0.5,
+                    min_samples: 1,
+                }),
+                ..NilasConfig::default()
+            },
+            ..LavaConfig::default()
+        };
+        let mut c = cluster(3);
+        let mut p = LavaPolicy::new(Arc::new(OraclePredictor::new()), fallback_config());
+        // A recycling LC3 host that a healthy LAVA prefers for short VMs.
+        let recycling = build_recycling_host(&mut p, &mut c);
+        // A second occupied host with more free room, placed directly so
+        // healthy LAVA's gap-filling does not route it to the recycling
+        // host.
+        let other = HostId(1);
+        assert_ne!(recycling, other);
+        let mut second = vm_with(20, 50, 2, SimTime::ZERO);
+        second.set_initial_prediction(Duration::from_hours(50));
+        c.place(second, other).unwrap();
+        p.on_vm_placed(&mut c, VmId(20), other, SimTime::ZERO);
+
+        let request = vm_with(30, 0, 2, SimTime::ZERO);
+        assert_eq!(
+            p.choose_host(&c, &request, SimTime::ZERO, None),
+            Some(recycling),
+            "healthy LAVA gap-fills the recycling host"
+        );
+
+        // Cross the threshold: class preference and temporal cost are
+        // suppressed, so best-fit (least leftover waste) picks the fuller
+        // host — which is still the recycling one — but the *indexed and
+        // linear paths must agree* on the lifetime-agnostic decision.
+        p.on_model_health(0.9, 8);
+        assert!(p.is_degraded());
+        let mut linear = LavaPolicy::new(
+            Arc::new(OraclePredictor::new()),
+            LavaConfig {
+                nilas: NilasConfig {
+                    scan: CandidateScan::Linear,
+                    fallback: Some(FallbackSpec {
+                        threshold: 0.5,
+                        min_samples: 1,
+                    }),
+                    ..NilasConfig::default()
+                },
+                ..LavaConfig::default()
+            },
+        );
+        linear.on_model_health(0.9, 8);
+        assert!(linear.is_degraded());
+        for (id, hours, cores) in [(40u64, 0u64, 2u64), (41, 5, 4), (42, 500, 8)] {
+            let request = vm_with(id, hours, cores, SimTime::ZERO);
+            let fast = p.choose_host(&c, &request, SimTime::ZERO, None);
+            let slow = linear.choose_host(&c, &request, SimTime::ZERO, None);
+            assert_eq!(fast, slow, "degraded parity for vm {id}");
+            assert!(fast.is_some(), "occupied hosts are still preferred");
+        }
+        // Recovery below 80% of the threshold re-engages the classes.
+        p.on_model_health(0.1, 8);
+        assert!(!p.is_degraded());
+        assert_eq!(
+            p.choose_host(&c, &request, SimTime::ZERO, None),
+            Some(recycling)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use crate::la_binary::{LaBinaryConfig, LaBinaryPolicy};
+        use lava_model::adaptive::BiasedPredictor;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Under an adversarially biased predictor (every prediction
+            /// scaled far below the truth), LAVA's deadline-expiry
+            /// correction fires **exactly once per expiry** — never twice
+            /// at the same tick, never without an expired deadline — and
+            /// each firing steps the host's class up exactly one level, so
+            /// the class converges until its slacked horizon covers the
+            /// resident VM's real lifetime. LA-Binary on the same inputs
+            /// never revises its one-shot prediction: hundreds of hours
+            /// after the predicted exit it still classifies the host as
+            /// short and keeps routing short arrivals onto it.
+            #[test]
+            fn step_up_fires_once_per_expiry_and_converges(
+                actual_hours in 120u64..900,
+                bias_pct in -95i16..=-60,
+                tick_mins in 30u64..360,
+            ) {
+                let biased: Arc<dyn LifetimePredictor> = Arc::new(BiasedPredictor::new(
+                    Arc::new(OraclePredictor::new()),
+                    bias_pct,
+                ));
+                let mut c = cluster(2);
+                let mut p = LavaPolicy::with_defaults(biased.clone());
+                let host = schedule(
+                    &mut p,
+                    &mut c,
+                    vm_with(1, actual_hours, 4, SimTime::ZERO),
+                    SimTime::ZERO,
+                );
+                let initial_class = c.host(host).unwrap().lifetime_class().unwrap();
+                let true_class =
+                    LifetimeClass::from_lifetime(Duration::from_hours(actual_hours));
+                prop_assert!(initial_class <= true_class);
+
+                let exit_time = SimTime::ZERO + Duration::from_hours(actual_hours);
+                let step = Duration::from_mins(tick_mins);
+                let mut now = SimTime::ZERO;
+                while now < exit_time {
+                    now += step;
+                    let before = c.host(host).unwrap();
+                    let before_class = before.lifetime_class().unwrap();
+                    let expired = before.deadline().map(|d| d < now).unwrap_or(false);
+                    let fired_before = p.deadline_corrections();
+                    p.on_tick(&mut c, now);
+                    let fired = p.deadline_corrections() - fired_before;
+                    let class_now = c.host(host).unwrap().lifetime_class().unwrap();
+                    if expired {
+                        prop_assert_eq!(fired, 1, "an expiry fires exactly one step-up");
+                        prop_assert_eq!(class_now, before_class.step_up());
+                    } else {
+                        prop_assert_eq!(fired, 0, "no expiry, no correction");
+                        prop_assert_eq!(class_now, before_class);
+                    }
+                    // Re-ticking the same instant must not double-fire: the
+                    // correction pushed the deadline past `now`.
+                    p.on_tick(&mut c, now);
+                    prop_assert_eq!(p.deadline_corrections(), fired_before + fired);
+                }
+                // Converged: the corrections stopped because the (slacked)
+                // horizon now covers the VM's real exit.
+                let final_host = c.host(host).unwrap();
+                prop_assert!(final_host.deadline().unwrap() >= exit_time);
+                prop_assert!(final_host.lifetime_class().unwrap() >= initial_class);
+
+                // LA-Binary contrast: same biased predictor, no correction
+                // machinery. One hour before the VM's *real* exit the host
+                // has long outlived its one-shot predicted drain time, yet
+                // LA still classifies it as short-lived and routes a short
+                // arrival onto it in preference to the empty host.
+                let mut la = LaBinaryPolicy::new(biased.clone(), LaBinaryConfig::default());
+                let mut c2 = cluster(2);
+                let mut resident = vm_with(1, actual_hours, 4, SimTime::ZERO);
+                resident.set_initial_prediction(
+                    biased.predict_remaining(&resident, SimTime::ZERO),
+                );
+                c2.place(resident, HostId(0)).unwrap();
+                let late = SimTime::ZERO + Duration::from_hours(actual_hours - 1);
+                let mut probe = vm_with(99, 1, 2, late);
+                probe.set_initial_prediction(Duration::from_mins(30));
+                prop_assert_eq!(
+                    la.choose_host(&c2, &probe, late, None),
+                    Some(HostId(0)),
+                    "LA-Binary never corrects the stale one-shot prediction"
+                );
+            }
+        }
     }
 
     #[test]

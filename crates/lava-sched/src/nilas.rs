@@ -24,7 +24,7 @@
 //! parity tests and benchmarks ([`CandidateScan::Linear`]).
 
 use crate::cluster::Cluster;
-use crate::policy::{CacheCounters, CandidateScan, PlacementPolicy};
+use crate::policy::{CacheCounters, CandidateScan, FallbackSpec, PlacementPolicy};
 use crate::scoring::{waste_minimization_score, ScoreVector};
 use lava_core::host::{Host, HostId};
 use lava_core::lifetime::TemporalCostBuckets;
@@ -49,6 +49,12 @@ pub struct NilasConfig {
     /// How candidates are enumerated. `Indexed` requires caching; with
     /// `cache_refresh: None` the policy falls back to the linear scan.
     pub scan: CandidateScan,
+    /// When set, the policy listens to the scheduler's measured model
+    /// health and — past the spec's misprediction threshold — zeroes its
+    /// temporal cost term, degrading to pure waste-minimisation (the
+    /// Theorem 1 best-fit regime, whose bound holds without lifetime
+    /// knowledge). `None` (the default) trusts the model unconditionally.
+    pub fallback: Option<FallbackSpec>,
 }
 
 impl Default for NilasConfig {
@@ -58,6 +64,7 @@ impl Default for NilasConfig {
             cache_refresh: Some(Duration::from_mins(1)),
             repredict: true,
             scan: CandidateScan::Indexed,
+            fallback: None,
         }
     }
 }
@@ -128,6 +135,9 @@ pub struct NilasPolicy {
     predictor: Arc<dyn LifetimePredictor>,
     config: NilasConfig,
     stats: NilasStats,
+    /// Whether the policy is currently degraded to best-fit because the
+    /// measured misprediction error crossed the fallback threshold.
+    degraded: bool,
 }
 
 impl NilasPolicy {
@@ -137,6 +147,7 @@ impl NilasPolicy {
             predictor,
             config,
             stats: NilasStats::default(),
+            degraded: false,
         }
     }
 
@@ -158,6 +169,30 @@ impl NilasPolicy {
     /// The configured candidate scan mode.
     pub fn scan_mode(&self) -> CandidateScan {
         self.config.scan
+    }
+
+    /// Whether the policy is currently degraded to the best-fit regime.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Force the degraded state (used by LAVA, which owns the fallback
+    /// decision for its embedded tie-breaker).
+    pub(crate) fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// The quantised temporal cost between a VM exit and a host exit —
+    /// zero while degraded, so the lexicographic score collapses to pure
+    /// waste minimisation.
+    fn quantised_cost(&self, vm_exit: SimTime, host_exit: SimTime) -> usize {
+        if self.degraded {
+            0
+        } else {
+            self.config
+                .buckets
+                .cost(vm_exit.saturating_since(host_exit))
+        }
     }
 
     /// The (possibly cached) expected exit time of a host at `now`.
@@ -185,8 +220,7 @@ impl NilasPolicy {
         now: SimTime,
     ) -> usize {
         let host_exit = self.host_exit_time(cluster, host, now);
-        let delta = vm_exit.saturating_since(host_exit);
-        self.config.buckets.cost(delta)
+        self.quantised_cost(vm_exit, host_exit)
     }
 
     /// The predicted exit time of the VM being scheduled.
@@ -267,10 +301,7 @@ impl NilasPolicy {
                 self.config.repredict,
                 &mut counters,
             );
-            let cost = self
-                .config
-                .buckets
-                .cost(vm_exit.saturating_since(host_exit));
+            let cost = self.quantised_cost(vm_exit, host_exit);
             let score = ScoreVector::new([cost as f64, waste_minimization_score(host, request)]);
             match &best {
                 Some((best_score, _)) if !score.is_better_than(best_score) => {}
@@ -299,7 +330,7 @@ impl NilasPolicy {
         {
             let cache = cluster.exit_cache_lock();
             for &(exit, id) in cache.by_exit.iter().rev() {
-                let cost = self.config.buckets.cost(vm_exit.saturating_since(exit));
+                let cost = self.quantised_cost(vm_exit, exit);
                 if let Some(current) = &best {
                     if cost > current.cost {
                         // Exits are descending, so costs are non-decreasing:
@@ -330,7 +361,7 @@ impl NilasPolicy {
             }
         }
         // Empty hosts all share exit == now.
-        let empty_cost = self.config.buckets.cost(vm_exit.saturating_since(now));
+        let empty_cost = self.quantised_cost(vm_exit, now);
         if best.as_ref().is_none_or(|b| empty_cost <= b.cost) {
             for host in cluster.pool().empty_hosts() {
                 if Some(host.id()) == exclude || !host.can_fit(request) {
@@ -388,6 +419,12 @@ impl PlacementPolicy for NilasPolicy {
 
     fn on_vm_exited(&mut self, cluster: &mut Cluster, host: HostId, _now: SimTime) {
         cluster.invalidate_exit(host);
+    }
+
+    fn on_model_health(&mut self, error: f64, samples: usize) {
+        if let Some(spec) = self.config.fallback {
+            self.degraded = spec.should_degrade(error, samples, self.degraded);
+        }
     }
 }
 
@@ -600,6 +637,63 @@ mod tests {
                 "vm {id} ({hours}h)"
             );
         }
+    }
+
+    #[test]
+    fn fallback_degrades_to_best_fit_and_recovers() {
+        let mut c = cluster();
+        c.place(vm(1, 10), HostId(0)).unwrap(); // exits at 10h
+        c.place(vm(2, 2), HostId(1)).unwrap(); // exits at 2h
+        let fallback = FallbackSpec {
+            threshold: 0.5,
+            min_samples: 4,
+        };
+        for scan in [CandidateScan::Indexed, CandidateScan::Linear] {
+            let mut p = oracle_policy(NilasConfig {
+                fallback: Some(fallback),
+                scan,
+                ..NilasConfig::default()
+            });
+            // Healthy: the temporal cost steers a 5h VM to the 10h host.
+            let request = vm(10, 5);
+            assert_eq!(
+                p.choose_host(&c, &request, SimTime::ZERO, None),
+                Some(HostId(0)),
+                "{scan}: healthy"
+            );
+            // Error crosses the threshold: cost zeroed, both occupied
+            // hosts tie on waste and the lowest id wins — but crucially
+            // the temporal term no longer differentiates them. Verify via
+            // the public temporal_cost figure.
+            p.on_model_health(0.9, 4);
+            assert!(p.is_degraded());
+            let host1 = c.host(HostId(1)).unwrap().clone();
+            assert_eq!(
+                p.temporal_cost(
+                    &c,
+                    &host1,
+                    SimTime::ZERO + Duration::from_hours(5),
+                    SimTime::ZERO
+                ),
+                0,
+                "{scan}: degraded cost is zero"
+            );
+            // Too few samples never degrade; recovery needs < 80% of the
+            // threshold.
+            p.on_model_health(0.45, 4);
+            assert!(p.is_degraded(), "{scan}: hysteresis holds at 0.45");
+            p.on_model_health(0.3, 4);
+            assert!(!p.is_degraded(), "{scan}: recovered below 0.4");
+            assert_eq!(
+                p.choose_host(&c, &vm(11, 5), SimTime::ZERO, None),
+                Some(HostId(0)),
+                "{scan}: model re-engaged"
+            );
+        }
+        // Without a fallback spec, model health is ignored entirely.
+        let mut p = oracle_policy(NilasConfig::default());
+        p.on_model_health(10.0, 1000);
+        assert!(!p.is_degraded());
     }
 
     #[test]

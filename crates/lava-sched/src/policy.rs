@@ -67,6 +67,49 @@ pub struct CacheCounters {
     pub predictions: u64,
 }
 
+/// When a lifetime-aware policy should stop trusting its model: once the
+/// measured misprediction error crosses `threshold`, NILAS/LAVA zero their
+/// temporal (exit-time) score terms and fall back toward best-fit — the
+/// Theorem 1 regime, whose guarantee holds without lifetime knowledge. The
+/// fallback is hysteretic: the policy re-engages the model once the error
+/// drops below 80 % of the threshold, so a run hovering at the boundary
+/// does not flap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FallbackSpec {
+    /// Mean absolute log10 misprediction error above which the policy
+    /// degrades to best-fit (e.g. `0.5` = predictions off by ~3× on
+    /// average).
+    pub threshold: f64,
+    /// Minimum number of observed exits before the measured error is
+    /// trusted at all.
+    pub min_samples: usize,
+}
+
+impl Default for FallbackSpec {
+    fn default() -> FallbackSpec {
+        FallbackSpec {
+            threshold: 0.5,
+            min_samples: 32,
+        }
+    }
+}
+
+impl FallbackSpec {
+    /// Whether a policy with this spec should be degraded given the
+    /// currently measured error, its previous degraded state (hysteresis)
+    /// and the observation count.
+    pub fn should_degrade(&self, error: f64, samples: usize, currently_degraded: bool) -> bool {
+        if samples < self.min_samples {
+            return false;
+        }
+        if currently_degraded {
+            error >= self.threshold * 0.8
+        } else {
+            error >= self.threshold
+        }
+    }
+}
+
 /// A VM-to-host placement algorithm.
 pub trait PlacementPolicy: Send {
     /// Short name used in reports and experiment output.
@@ -93,6 +136,14 @@ pub trait PlacementPolicy: Send {
     /// Called periodically by the simulator so that deadline-based state
     /// transitions (LAVA's misprediction detection) can run.
     fn on_tick(&mut self, _cluster: &mut Cluster, _now: SimTime) {}
+
+    /// Called by the scheduler whenever its measured model health changes
+    /// (after each observed exit): `error` is the mean absolute log10
+    /// misprediction error over the scheduler's recent-exit window,
+    /// `samples` the window's size. Policies with a [`FallbackSpec`] use
+    /// this to degrade toward best-fit; the default implementation ignores
+    /// model health entirely.
+    fn on_model_health(&mut self, _error: f64, _samples: usize) {}
 }
 
 /// Errors returned by [`crate::scheduler::Scheduler`].
@@ -154,5 +205,23 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ScheduleError>();
+    }
+
+    #[test]
+    fn fallback_spec_is_hysteretic_and_needs_samples() {
+        let spec = FallbackSpec::default();
+        assert_eq!(spec.threshold, 0.5);
+        // Not enough samples: never degrade, whatever the error.
+        assert!(!spec.should_degrade(10.0, spec.min_samples - 1, false));
+        // Healthy model stays engaged below the threshold.
+        assert!(!spec.should_degrade(0.49, spec.min_samples, false));
+        assert!(spec.should_degrade(0.5, spec.min_samples, false));
+        // Hysteresis: once degraded, recovery needs error < 0.8 × threshold.
+        assert!(spec.should_degrade(0.45, spec.min_samples, true));
+        assert!(!spec.should_degrade(0.39, spec.min_samples, true));
+        // Round-trips through serde.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FallbackSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
     }
 }

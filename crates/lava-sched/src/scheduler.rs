@@ -78,6 +78,74 @@ pub enum SchedulerEvent {
     },
 }
 
+/// A bounded window of observed misprediction residuals: for each VM exit
+/// the scheduler compares the scheduling-time total-lifetime prediction
+/// against the lifetime actually observed (exit time − creation time) and
+/// records the signed log10 residual `log10(observed) − log10(predicted)`.
+///
+/// Two consumers read it:
+///
+/// * **model health** — the mean *absolute* residual over the window (kept
+///   as a running sum, O(1) per exit), pushed to the policy via
+///   [`PlacementPolicy::on_model_health`] and surfaced on
+///   [`CellSummary::misprediction_log10`] for misprediction-aware routing;
+/// * **recalibration** — [`ModelHealth::take_residuals`] drains the signed
+///   residuals so an online recalibrator can fit a correction against
+///   observations made *since its last fit* (draining prevents one biased
+///   era from being corrected twice).
+#[derive(Debug, Default)]
+pub struct ModelHealth {
+    residuals: std::collections::VecDeque<f64>,
+    abs_sum: f64,
+}
+
+impl ModelHealth {
+    /// Window size: enough exits to average over, small enough that the
+    /// health signal tracks a mid-run model swap within a few thousand
+    /// simulated seconds at production exit rates.
+    pub const WINDOW: usize = 256;
+
+    fn observe(&mut self, residual: f64) {
+        if !residual.is_finite() {
+            return;
+        }
+        if self.residuals.len() == Self::WINDOW {
+            if let Some(old) = self.residuals.pop_front() {
+                self.abs_sum -= old.abs();
+            }
+        }
+        self.residuals.push_back(residual);
+        self.abs_sum += residual.abs();
+    }
+
+    /// Mean absolute log10 error over the window (0 when empty).
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.residuals.is_empty() {
+            0.0
+        } else {
+            // Guard against accumulated floating-point drift going
+            // fractionally negative on an all-zero window.
+            (self.abs_sum / self.residuals.len() as f64).max(0.0)
+        }
+    }
+
+    /// Number of residuals currently in the window.
+    pub fn len(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Whether no exits have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.residuals.is_empty()
+    }
+
+    /// Drain the signed residuals (oldest first), resetting the window.
+    pub fn take_residuals(&mut self) -> Vec<f64> {
+        self.abs_sum = 0.0;
+        self.residuals.drain(..).collect()
+    }
+}
+
 /// The scheduling driver.
 pub struct Scheduler {
     cluster: Cluster,
@@ -88,6 +156,8 @@ pub struct Scheduler {
     /// so the hot path stays allocation-free by default.
     events: Vec<SchedulerEvent>,
     log_events: bool,
+    /// Misprediction observations from exited VMs.
+    model_health: ModelHealth,
 }
 
 impl Scheduler {
@@ -105,6 +175,7 @@ impl Scheduler {
             stats: SchedulerStats::default(),
             events: Vec::new(),
             log_events: false,
+            model_health: ModelHealth::default(),
         }
     }
 
@@ -206,6 +277,7 @@ impl Scheduler {
             free: pool.total_free(),
             live_vms,
             mean_predicted_exit,
+            misprediction_log10: self.model_health.mean_abs_error(),
         }
     }
 
@@ -246,11 +318,34 @@ impl Scheduler {
     /// Returns [`CoreError::VmNotFound`] if the VM is not live (e.g. its
     /// creation was rejected earlier).
     pub fn exit(&mut self, vm: VmId, now: SimTime) -> Result<HostId, CoreError> {
-        let (_, host) = self.cluster.remove(vm)?;
+        let (record, host) = self.cluster.remove(vm)?;
+        if let Some(predicted) = record.initial_prediction() {
+            // Observed lifetime is "however long it actually ran" — honest
+            // even for VMs killed early by an incident, which *is* a
+            // misprediction from the model's point of view.
+            let observed = record.uptime(now);
+            let residual = observed.log10_secs() - predicted.log10_secs();
+            self.model_health.observe(residual);
+            self.policy
+                .on_model_health(self.model_health.mean_abs_error(), self.model_health.len());
+        }
         self.policy.on_vm_exited(&mut self.cluster, host, now);
         self.stats.exited += 1;
         self.record(SchedulerEvent::Exited { vm, host, at: now });
         Ok(host)
+    }
+
+    /// The scheduler's current model-health window: `(mean absolute log10
+    /// misprediction error, number of observed exits in the window)`.
+    pub fn model_health(&self) -> (f64, usize) {
+        (self.model_health.mean_abs_error(), self.model_health.len())
+    }
+
+    /// Drain the signed log10 misprediction residuals accumulated since the
+    /// last drain (oldest first). Used by the simulation's online
+    /// recalibrator to fit a correction from fresh observations only.
+    pub fn take_model_residuals(&mut self) -> Vec<f64> {
+        self.model_health.take_residuals()
     }
 
     /// Periodic tick: lets the policy run deadline-based corrections.
@@ -445,6 +540,56 @@ mod tests {
             SimTime::ZERO + Duration::from_hours(6)
         );
         assert_eq!(summary.as_of, SimTime::ZERO);
+    }
+
+    #[test]
+    fn model_health_tracks_misprediction_on_exit() {
+        let mut s = scheduler(Box::new(WasteMinimizationPolicy::new()));
+        assert_eq!(s.model_health(), (0.0, 0));
+
+        // Oracle prediction honoured exactly: zero residual.
+        s.schedule(vm(1, 5), SimTime::ZERO).unwrap();
+        s.exit(VmId(1), SimTime::ZERO + Duration::from_hours(5))
+            .unwrap();
+        let (error, samples) = s.model_health();
+        assert_eq!(samples, 1);
+        assert!(error.abs() < 1e-12, "on-time exit has zero residual");
+
+        // A VM killed at 1/10th of its predicted lifetime is one decade of
+        // log10 error.
+        s.schedule(vm(2, 10), SimTime::ZERO).unwrap();
+        s.exit(VmId(2), SimTime::ZERO + Duration::from_hours(1))
+            .unwrap();
+        let (error, samples) = s.model_health();
+        assert_eq!(samples, 2);
+        assert!((error - 0.5).abs() < 1e-9, "mean of 0 and 1.0, got {error}");
+
+        // The summary surfaces the same figure, and draining resets it.
+        let summary = s.cell_summary(CellId(0), SimTime::ZERO, 64);
+        assert!((summary.misprediction_log10 - error).abs() < 1e-12);
+        let residuals = s.take_model_residuals();
+        assert_eq!(residuals.len(), 2);
+        assert!((residuals[1] + 1.0).abs() < 1e-9, "signed, oldest first");
+        assert_eq!(s.model_health(), (0.0, 0));
+    }
+
+    #[test]
+    fn model_health_window_is_bounded() {
+        let mut health = ModelHealth::default();
+        for _ in 0..ModelHealth::WINDOW {
+            health.observe(2.0);
+        }
+        assert_eq!(health.len(), ModelHealth::WINDOW);
+        assert!((health.mean_abs_error() - 2.0).abs() < 1e-9);
+        // New observations evict the oldest; non-finite ones are dropped.
+        health.observe(f64::NAN);
+        health.observe(f64::INFINITY);
+        assert_eq!(health.len(), ModelHealth::WINDOW);
+        for _ in 0..ModelHealth::WINDOW {
+            health.observe(0.0);
+        }
+        assert_eq!(health.len(), ModelHealth::WINDOW);
+        assert_eq!(health.mean_abs_error(), 0.0);
     }
 
     #[test]

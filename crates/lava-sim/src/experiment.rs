@@ -34,8 +34,9 @@
 
 use crate::ab::{paired_comparison, AbResult};
 use crate::causal::{causal_impact, CausalConfig, CausalImpactReport};
+use crate::chaos::{AdaptationSpec, ChaosController, ChaosSource, IncidentPlan};
 use crate::defrag::{simulate_migration_queue, EvacuationCollector, MigrationOrder};
-use crate::fleet::{self, FleetConfig, FleetReport};
+use crate::fleet::{self, FleetChaos, FleetConfig, FleetReport};
 use crate::observer::{MetricRecorder, ObserverContext, SimObserver, StrandingProbe};
 use crate::recording::{PredictionRecord, RecordingPredictor};
 use crate::simulator::SimulationResult;
@@ -48,6 +49,7 @@ use lava_core::pool::Pool;
 use lava_core::source::EventSource;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
+use lava_model::adaptive::SwappablePredictor;
 use lava_model::dataset::DatasetBuilder;
 use lava_model::gbdt::GbdtConfig;
 use lava_model::predictor::{
@@ -57,7 +59,7 @@ use lava_sched::cluster::Cluster;
 use lava_sched::la_binary::{LaBinaryConfig, LaBinaryPolicy};
 use lava_sched::lava::{LavaConfig, LavaPolicy};
 use lava_sched::nilas::{NilasConfig, NilasPolicy};
-use lava_sched::policy::{CandidateScan, PlacementPolicy};
+use lava_sched::policy::{CandidateScan, FallbackSpec, PlacementPolicy};
 use lava_sched::scheduler::{Scheduler, SchedulerEvent};
 use lava_sched::Algorithm;
 use serde::{Deserialize, Serialize};
@@ -75,6 +77,11 @@ pub enum PredictorSpec {
     Noisy {
         /// Fraction of correctly predicted VMs, in percent (0–100).
         accuracy_pct: u8,
+        /// Systematic bias applied to every prediction, in percent
+        /// (−90 = predictions shrink to 10 %, +100 = they double).
+        /// Models train/serve skew on top of the accuracy dial.
+        #[serde(default)]
+        bias_pct: i16,
     },
     /// The production-style GBDT, trained on a historical trace generated
     /// from the same workload configuration with a shifted seed, served by
@@ -94,7 +101,14 @@ impl PredictorSpec {
     pub fn label(&self) -> String {
         match self {
             PredictorSpec::Oracle => "oracle".to_string(),
-            PredictorSpec::Noisy { accuracy_pct } => format!("noisy-{accuracy_pct}"),
+            PredictorSpec::Noisy {
+                accuracy_pct,
+                bias_pct: 0,
+            } => format!("noisy-{accuracy_pct}"),
+            PredictorSpec::Noisy {
+                accuracy_pct,
+                bias_pct,
+            } => format!("noisy-{accuracy_pct}-bias{bias_pct}"),
             PredictorSpec::Learned => "model".to_string(),
             PredictorSpec::LearnedFast => "model-fast".to_string(),
         }
@@ -110,8 +124,12 @@ impl PredictorSpec {
     pub fn build(&self, workload: &PoolConfig) -> Arc<dyn LifetimePredictor> {
         match self {
             PredictorSpec::Oracle => Arc::new(OraclePredictor::new()),
-            PredictorSpec::Noisy { accuracy_pct } => Arc::new(NoisyOraclePredictor::new(
+            PredictorSpec::Noisy {
+                accuracy_pct,
+                bias_pct,
+            } => Arc::new(NoisyOraclePredictor::with_bias(
                 *accuracy_pct as f64 / 100.0,
+                *bias_pct,
                 workload.seed ^ 0xab,
             )),
             PredictorSpec::Learned => Self::train_learned(workload),
@@ -185,6 +203,13 @@ pub struct PolicySpec {
     /// Whether repredictions are enabled (the Fig. 16 "no reprediction"
     /// ablation sets this to `false`; NILAS/LAVA only).
     pub repredict: bool,
+    /// Misprediction-aware graceful degradation (NILAS/LAVA only): when
+    /// the observed mean |log10 residual| crosses the threshold, the
+    /// policy falls back toward plain best-fit until accuracy recovers
+    /// (the Theorem 1 regime). `None` (the default, what pre-existing
+    /// spec JSON parses to) keeps lifetime-aware placement unconditional.
+    #[serde(default)]
+    pub fallback: Option<FallbackSpec>,
     /// Display label override (defaults to the algorithm name).
     pub label: Option<String>,
 }
@@ -197,8 +222,15 @@ impl PolicySpec {
             scan: CandidateScan::default(),
             cache: CachePolicy::Default,
             repredict: true,
+            fallback: None,
             label: None,
         }
+    }
+
+    /// Enable misprediction-aware fallback toward best-fit.
+    pub fn with_fallback(mut self, fallback: FallbackSpec) -> PolicySpec {
+        self.fallback = Some(fallback);
+        self
     }
 
     /// Set the candidate scan mode.
@@ -242,6 +274,7 @@ impl PolicySpec {
             },
             repredict: self.repredict,
             scan: self.scan,
+            fallback: self.fallback,
             ..defaults
         }
     }
@@ -366,6 +399,17 @@ pub struct ExperimentSpec {
     /// [`Scenario::ColdStart`] shapes.
     #[serde(default)]
     pub fleet: Option<FleetConfig>,
+    /// Deterministic fault injection: seeded incidents (cell outages,
+    /// predictor degradations, drift shifts, arrival storms) scheduled on
+    /// the run's timeline. Defaults to the empty plan — what pre-incident
+    /// spec JSON parses to — which leaves the run bit-identical to the
+    /// incident-free engine.
+    #[serde(default)]
+    pub incidents: IncidentPlan,
+    /// Adaptive model management (online quantile recalibration). Defaults
+    /// to everything off.
+    #[serde(default)]
+    pub adaptation: AdaptationSpec,
     /// Record every lifetime prediction (with ground truth) made during the
     /// primary run and return them in the report (Fig. 12's error
     /// analysis). Under `AbSplit` only the final arm records.
@@ -383,6 +427,8 @@ impl Default for ExperimentSpec {
             cadence: Cadence::default(),
             source: SourceMode::default(),
             fleet: None,
+            incidents: IncidentPlan::default(),
+            adaptation: AdaptationSpec::default(),
             record_predictions: false,
         }
     }
@@ -431,6 +477,30 @@ pub enum SpecError {
     /// Prediction recording is not supported on fleet runs (cells record
     /// in parallel; a shared recorder would not be deterministic).
     FleetRecordingUnsupported,
+    /// An incident has a zero-duration effect (zero-host outage, zero
+    /// recovery window, zero-length or empty storm).
+    ZeroDurationIncident {
+        /// Index of the offending incident in the plan.
+        index: usize,
+    },
+    /// A cell outage names a cell index `>= cells`.
+    IncidentCellOutOfRange {
+        /// Index of the offending incident in the plan.
+        index: usize,
+    },
+    /// Two same-cell outages (or two predictor degradations) overlap in
+    /// time; the controller tracks one active window per target.
+    OverlappingIncidents {
+        /// Plan index of the earlier incident.
+        first: usize,
+        /// Plan index of the later, conflicting incident.
+        second: usize,
+    },
+    /// A drift shift has a non-finite or non-positive lifetime scale.
+    InvalidDriftScale {
+        /// Index of the offending incident in the plan.
+        index: usize,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -478,6 +548,24 @@ impl fmt::Display for SpecError {
             SpecError::FleetRecordingUnsupported => {
                 write!(f, "prediction recording is not supported on fleet runs")
             }
+            SpecError::ZeroDurationIncident { index } => {
+                write!(f, "incident {index} has a zero-duration effect")
+            }
+            SpecError::IncidentCellOutOfRange { index } => {
+                write!(f, "incident {index} names a cell index out of range")
+            }
+            SpecError::OverlappingIncidents { first, second } => {
+                write!(
+                    f,
+                    "incidents {first} and {second} overlap on the same target"
+                )
+            }
+            SpecError::InvalidDriftScale { index } => {
+                write!(
+                    f,
+                    "incident {index} has a non-finite or non-positive lifetime scale"
+                )
+            }
         }
     }
 }
@@ -508,7 +596,7 @@ impl ExperimentSpec {
         if self.cadence.sample_interval.is_zero() {
             return Err(SpecError::ZeroSampleInterval);
         }
-        if let PredictorSpec::Noisy { accuracy_pct } = self.predictor {
+        if let PredictorSpec::Noisy { accuracy_pct, .. } = self.predictor {
             if accuracy_pct > 100 {
                 return Err(SpecError::AccuracyOutOfRange);
             }
@@ -554,6 +642,8 @@ impl ExperimentSpec {
                 return Err(SpecError::FleetRecordingUnsupported);
             }
         }
+        let cells = self.fleet.as_ref().map_or(1, |f| f.cells);
+        self.incidents.validate(cells)?;
         Ok(())
     }
 
@@ -720,6 +810,24 @@ impl ExperimentBuilder {
     /// Shard the workload into a fleet of cells behind a router.
     pub fn fleet(mut self, fleet: FleetConfig) -> Self {
         self.spec.fleet = Some(fleet);
+        self
+    }
+
+    /// Schedule a fault-injection plan on the run.
+    pub fn incidents(mut self, incidents: IncidentPlan) -> Self {
+        self.spec.incidents = incidents;
+        self
+    }
+
+    /// Enable adaptive model management (online recalibration).
+    pub fn adaptation(mut self, adaptation: AdaptationSpec) -> Self {
+        self.spec.adaptation = adaptation;
+        self
+    }
+
+    /// Enable misprediction-aware fallback toward best-fit on the policy.
+    pub fn fallback(mut self, fallback: FallbackSpec) -> Self {
+        self.spec.policy.fallback = Some(fallback);
         self
     }
 
@@ -1176,11 +1284,27 @@ impl Experiment {
         timing: &DriveTiming,
     ) -> FleetReport {
         let spec = &self.spec;
-        let cells = fleet_config.build_cells(&spec.workload, |_| {
-            let evaluated = spec.policy.build(predictor.clone());
+        // With an incident plan or adaptation knobs, every cell gets its
+        // own swappable predictor seam; the cell's policies are built over
+        // the same swap so degradations reach placement decisions too. The
+        // router keeps the pristine base predictor (see FleetChaos docs).
+        let chaos_active = !spec.incidents.is_empty() || !spec.adaptation.is_empty();
+        let chaos = chaos_active.then(|| FleetChaos {
+            incidents: spec.incidents.clone(),
+            adaptation: spec.adaptation,
+            swaps: (0..fleet_config.cells)
+                .map(|_| SwappablePredictor::new(predictor.clone()))
+                .collect(),
+        });
+        let cells = fleet_config.build_cells(&spec.workload, |cell| {
+            let cell_predictor: Arc<dyn LifetimePredictor> = match &chaos {
+                Some(chaos) => chaos.swaps[cell.0 as usize].clone(),
+                None => predictor.clone(),
+            };
+            let evaluated = spec.policy.build(cell_predictor.clone());
             if timing.warmup_with_baseline && !timing.warmup.is_zero() {
                 (
-                    Algorithm::Baseline.build_policy(predictor.clone()),
+                    Algorithm::Baseline.build_policy(cell_predictor),
                     Some(evaluated),
                 )
             } else {
@@ -1191,6 +1315,11 @@ impl Experiment {
             SourceMode::Materialized => Box::new(self.trace().source()),
             SourceMode::Streaming => Box::new(StreamingWorkload::new(spec.workload.clone())),
         };
+        // Drift shifts and arrival storms rewrite the event stream itself,
+        // fleet-wide, before routing — wrap the coordinator source.
+        if spec.incidents.needs_source() {
+            source = Box::new(ChaosSource::new(source, &spec.incidents));
+        }
         let outcome = fleet::run_fleet(
             cells,
             predictor.clone(),
@@ -1199,6 +1328,7 @@ impl Experiment {
             timing,
             source.as_mut(),
             fleet_config.threads,
+            chaos.as_ref(),
         );
         FleetReport::from_outcome(
             outcome,
@@ -1225,7 +1355,7 @@ impl Experiment {
         extra: &mut [&mut dyn SimObserver],
     ) -> (SimulationResult, Vec<PredictionRecord>) {
         let predictor_name = predictor.name().to_string();
-        let (run_predictor, recorder): (
+        let (base_predictor, recorder): (
             Arc<dyn LifetimePredictor>,
             Option<Arc<RecordingPredictor>>,
         ) = if record_predictions {
@@ -1234,6 +1364,17 @@ impl Experiment {
         } else {
             (predictor.clone(), None)
         };
+        // Chaos runs interpose the hot-swap seam so the controller can
+        // degrade/restore/recalibrate the live model; incident-free specs
+        // keep the exact pre-incident predictor plumbing (bit-identity).
+        let chaos_active = !self.spec.incidents.is_empty() || !self.spec.adaptation.is_empty();
+        let (run_predictor, swap): (Arc<dyn LifetimePredictor>, Option<Arc<SwappablePredictor>>) =
+            if chaos_active {
+                let swap = SwappablePredictor::new(base_predictor);
+                (swap.clone(), Some(swap))
+            } else {
+                (base_predictor, None)
+            };
 
         let pool = Pool::with_uniform_hosts(
             self.spec.workload.pool_id,
@@ -1252,7 +1393,14 @@ impl Experiment {
         };
         let mut scheduler = Scheduler::new(cluster, initial, run_predictor);
 
-        let mut metrics = MetricRecorder::new();
+        let mut metrics = if chaos_active {
+            // The accuracy probe repredicts live VMs on the sample grid,
+            // so it is only enabled on chaos runs (extra predictor calls
+            // would perturb recorded-prediction counts otherwise).
+            MetricRecorder::with_accuracy_probe()
+        } else {
+            MetricRecorder::new()
+        };
         let mut stranding =
             stranding_every.map(|every| StrandingProbe::new(every, InflationMix::default()));
         let rejected = {
@@ -1270,13 +1418,20 @@ impl Experiment {
                     Box::new(StreamingWorkload::new(self.spec.workload.clone()))
                 }
             };
-            drive(
-                source.as_mut(),
-                &mut scheduler,
-                deferred,
-                timing,
-                &mut observers,
-            )
+            if self.spec.incidents.needs_source() {
+                source = Box::new(ChaosSource::new(source, &self.spec.incidents));
+            }
+            let mut driver = DriveLoop::new(&mut scheduler, deferred, timing);
+            if chaos_active {
+                driver.attach_chaos(ChaosController::new(
+                    &self.spec.incidents,
+                    &self.spec.adaptation,
+                    0,
+                    swap,
+                ));
+            }
+            driver.step(source.as_mut(), &mut scheduler, &mut observers, None, false);
+            driver.finish(&mut scheduler, &mut observers)
         };
 
         let result = SimulationResult {
@@ -1423,6 +1578,8 @@ pub(crate) struct DriveLoop {
     /// when its own routed events end; `None` (the plain [`drive`] path)
     /// keeps the classic stop-at-last-event behaviour.
     cadence_horizon: Option<SimTime>,
+    /// The cell's incident controller, when the spec schedules chaos.
+    chaos: Option<ChaosController>,
 }
 
 impl DriveLoop {
@@ -1462,7 +1619,16 @@ impl DriveLoop {
             source_exhausted: false,
             last_event_time: None,
             cadence_horizon: None,
+            chaos: None,
         }
+    }
+
+    /// Attach an incident controller: its start/end actions (and the
+    /// recalibration cadence, when enabled) are scheduled on this loop's
+    /// timeline and executed by [`DriveLoop::step`].
+    pub(crate) fn attach_chaos(&mut self, controller: ChaosController) {
+        controller.schedule(&mut self.timeline);
+        self.chaos = Some(controller);
     }
 
     /// Extend the cadence window to at least `horizon` (see
@@ -1531,6 +1697,29 @@ impl DriveLoop {
                     if let Some(policy) = self.deferred_policy.take() {
                         scheduler.set_policy(policy);
                         dispatch(scheduler, at, observers, |o, ctx| o.on_policy_switched(ctx));
+                    }
+                }
+                TimelineItem::Action(TimelineAction::IncidentStart(index), at) => {
+                    if let Some(chaos) = &mut self.chaos {
+                        chaos.start(index, scheduler, at);
+                        // Hard-kill outages exit VMs; surface those events.
+                        drain_scheduler_events(scheduler, &mut self.event_scratch, observers);
+                    }
+                }
+                TimelineItem::Action(TimelineAction::IncidentEnd(index), _) => {
+                    if let Some(chaos) = &mut self.chaos {
+                        chaos.end(index, scheduler);
+                    }
+                }
+                TimelineItem::Action(TimelineAction::Recalibrate, at) => {
+                    if let Some(chaos) = &mut self.chaos {
+                        chaos.recalibrate(scheduler);
+                        let cadence = chaos
+                            .recalibration()
+                            .expect("recalibrations are scheduled only with a cadence")
+                            .cadence;
+                        self.timeline
+                            .schedule(TimelineAction::Recalibrate, at + cadence);
                     }
                 }
                 TimelineItem::Action(TimelineAction::DefragTrigger, at) => {
@@ -1664,7 +1853,10 @@ mod tests {
         );
         assert_eq!(
             ExperimentBuilder::new()
-                .predictor(PredictorSpec::Noisy { accuracy_pct: 101 })
+                .predictor(PredictorSpec::Noisy {
+                    accuracy_pct: 101,
+                    bias_pct: 0
+                })
                 .build()
                 .unwrap_err(),
             SpecError::AccuracyOutOfRange
@@ -1827,7 +2019,10 @@ mod tests {
         // Same workload, different predictor: trace adopted, predictor not.
         let mut noisy = Experiment::new(
             tiny_builder()
-                .predictor(PredictorSpec::Noisy { accuracy_pct: 80 })
+                .predictor(PredictorSpec::Noisy {
+                    accuracy_pct: 80,
+                    bias_pct: 0,
+                })
                 .build()
                 .expect("valid"),
         )
@@ -1845,7 +2040,10 @@ mod tests {
     fn spec_json_round_trips() {
         let spec = tiny_builder()
             .algorithm(Algorithm::Lava)
-            .predictor(PredictorSpec::Noisy { accuracy_pct: 90 })
+            .predictor(PredictorSpec::Noisy {
+                accuracy_pct: 90,
+                bias_pct: 0,
+            })
             .build()
             .expect("valid");
         let json = spec.to_json().expect("serializes");
@@ -1880,16 +2078,23 @@ mod tests {
         };
         assert_eq!(PredictorSpec::Oracle.label(), "oracle");
         assert_eq!(
-            PredictorSpec::Noisy { accuracy_pct: 80 }.label(),
+            PredictorSpec::Noisy {
+                accuracy_pct: 80,
+                bias_pct: 0
+            }
+            .label(),
             "noisy-80"
         );
         assert_eq!(PredictorSpec::Learned.label(), "model");
         assert_eq!(PredictorSpec::LearnedFast.label(), "model-fast");
         assert_eq!(PredictorSpec::Oracle.build(&workload).name(), "oracle");
         assert_eq!(
-            PredictorSpec::Noisy { accuracy_pct: 80 }
-                .build(&workload)
-                .name(),
+            PredictorSpec::Noisy {
+                accuracy_pct: 80,
+                bias_pct: 0
+            }
+            .build(&workload)
+            .name(),
             "noisy-oracle"
         );
         // The compiled predictor is distinguishable from the reference

@@ -12,8 +12,9 @@
 //!   host counts and SKU shapes) and names the [`RouterSpec`].
 //! * [`Router`]s assign each arrival to a cell. [`RouterSpec::Hash`] and
 //!   [`RouterSpec::RoundRobin`] are stateless/counter-based;
-//!   [`RouterSpec::LeastLoaded`] and [`RouterSpec::LifetimeAware`] read
-//!   **bounded-staleness [`CellSummary`]s** — see below.
+//!   [`RouterSpec::LeastLoaded`], [`RouterSpec::LifetimeAware`] and
+//!   [`RouterSpec::MispredictionAware`] read **bounded-staleness
+//!   [`CellSummary`]s** — see below.
 //! * [`run_fleet`] drives the whole fleet over one event source and
 //!   returns per-cell outcomes plus the material for fleet-wide
 //!   aggregation ([`FleetReport`]).
@@ -54,6 +55,7 @@
 //!
 //! [`Experiment`]: crate::experiment::Experiment
 
+use crate::chaos::{AdaptationSpec, ChaosController, IncidentPlan};
 use crate::experiment::{DriveLoop, DriveTiming};
 use crate::metrics::{MetricSample, MetricSeries};
 use crate::observer::{MetricRecorder, SimObserver};
@@ -67,6 +69,7 @@ use lava_core::resources::Resources;
 use lava_core::source::EventSource;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
+use lava_model::adaptive::SwappablePredictor;
 use lava_model::predictor::LifetimePredictor;
 use lava_sched::cluster::Cluster;
 use lava_sched::policy::PlacementPolicy;
@@ -108,21 +111,36 @@ pub enum RouterSpec {
     /// extending NILAS's exit-time packing to fleet granularity. Falls
     /// back to `LeastLoaded` when no summarised cell has enough free CPU.
     LifetimeAware,
+    /// Lifetime-aware admission with a misprediction penalty: like
+    /// `LifetimeAware`, but each feasible cell's exit-distance score is
+    /// inflated by the cell's summarised recent misprediction magnitude
+    /// (`CellSummary::misprediction_log10`), so arrivals are steered away
+    /// from cells whose lifetime model has been wrong lately — e.g. a
+    /// cell whose predictor was degraded by an incident. Same
+    /// `LeastLoaded` fallback when no summarised cell is feasible.
+    MispredictionAware,
 }
 
 impl RouterSpec {
     /// Every router, in a fixed sweep order.
-    pub const ALL: [RouterSpec; 4] = [
+    pub const ALL: [RouterSpec; 5] = [
         RouterSpec::Hash,
         RouterSpec::RoundRobin,
         RouterSpec::LeastLoaded,
         RouterSpec::LifetimeAware,
+        RouterSpec::MispredictionAware,
     ];
 
     /// Whether this router consumes cell summaries (given `cells` cells) —
     /// a single-cell fleet never needs them.
     pub fn needs_summaries(&self, cells: usize) -> bool {
-        cells > 1 && matches!(self, RouterSpec::LeastLoaded | RouterSpec::LifetimeAware)
+        cells > 1
+            && matches!(
+                self,
+                RouterSpec::LeastLoaded
+                    | RouterSpec::LifetimeAware
+                    | RouterSpec::MispredictionAware
+            )
     }
 }
 
@@ -133,6 +151,7 @@ impl fmt::Display for RouterSpec {
             RouterSpec::RoundRobin => "round-robin",
             RouterSpec::LeastLoaded => "least-loaded",
             RouterSpec::LifetimeAware => "lifetime-aware",
+            RouterSpec::MispredictionAware => "misprediction-aware",
         };
         write!(f, "{name}")
     }
@@ -147,8 +166,10 @@ impl FromStr for RouterSpec {
             "round-robin" | "roundrobin" => Ok(RouterSpec::RoundRobin),
             "least-loaded" | "leastloaded" => Ok(RouterSpec::LeastLoaded),
             "lifetime-aware" | "lifetimeaware" => Ok(RouterSpec::LifetimeAware),
+            "misprediction-aware" | "mispredictionaware" => Ok(RouterSpec::MispredictionAware),
             other => Err(format!(
-                "unknown router `{other}` (hash|round-robin|least-loaded|lifetime-aware)"
+                "unknown router `{other}` \
+                 (hash|round-robin|least-loaded|lifetime-aware|misprediction-aware)"
             )),
         }
     }
@@ -325,6 +346,24 @@ impl FleetConfig {
     }
 }
 
+/// The fleet tier's chaos wiring, handed to [`run_fleet`] when the spec
+/// carries an [`IncidentPlan`] or [`AdaptationSpec`]: the shared plan plus
+/// one [`SwappablePredictor`] per cell. Each cell's scheduler (and its
+/// policies, which the caller builds over the same swap) predicts through
+/// its own swap, so a [`ChaosController`] can degrade, restore and
+/// recalibrate one cell's model without touching its neighbours — exactly
+/// how a production fleet's per-cell model servers fail independently.
+/// The *router* keeps the pristine base predictor: the admission tier
+/// runs its own model replica, which the per-cell incidents don't reach.
+pub struct FleetChaos {
+    /// The incident plan (already validated against the cell count).
+    pub incidents: IncidentPlan,
+    /// The adaptation knobs (recalibration cadence).
+    pub adaptation: AdaptationSpec,
+    /// One swappable predictor seam per cell, indexed by [`CellId`].
+    pub swaps: Vec<Arc<SwappablePredictor>>,
+}
+
 /// One runnable cell handed to [`run_fleet`]: its pool and policies. The
 /// cell's [`CellId`] is its index in the `cells` vector.
 pub struct FleetCell {
@@ -462,6 +501,7 @@ fn aggregate(cells: &[CellReport], algorithm: &str, predictor: &str) -> Simulati
         let mut cpu = 0.0f64;
         let mut memory = 0.0f64;
         let mut live_vms = 0usize;
+        let mut accuracy = 0.0f64;
         let mut time = None;
         for c in cells {
             let Some(s) = c.result.series.samples().get(k) else {
@@ -476,6 +516,7 @@ fn aggregate(cells: &[CellReport], algorithm: &str, predictor: &str) -> Simulati
             cpu += w * s.cpu_utilization;
             memory += w * s.memory_utilization;
             live_vms += s.live_vms;
+            accuracy += w * s.mean_abs_log10_error;
         }
         let (Some(time), true) = (time, weight > 0.0) else {
             continue;
@@ -488,6 +529,7 @@ fn aggregate(cells: &[CellReport], algorithm: &str, predictor: &str) -> Simulati
             cpu_utilization: cpu / weight,
             memory_utilization: memory / weight,
             live_vms,
+            mean_abs_log10_error: accuracy / weight,
         });
     }
     SimulationResult {
@@ -582,6 +624,12 @@ impl Router {
                             event.time + predictor.predict_remaining(&record, event.time);
                         self.lifetime_aware(predicted_exit, spec.resources())
                     }
+                    RouterSpec::MispredictionAware => {
+                        let record = Vm::new(*vm, spec.clone(), event.time, *lifetime);
+                        let predicted_exit =
+                            event.time + predictor.predict_remaining(&record, event.time);
+                        self.misprediction_aware(predicted_exit, spec.resources())
+                    }
                 };
                 if !matches!(self.spec, RouterSpec::Hash) {
                     self.vm_cell.insert(*vm, cell as u32);
@@ -638,6 +686,40 @@ impl Router {
         }
         best.map_or_else(|| self.least_loaded(), |(_, _, i)| i)
     }
+
+    /// Lifetime-aware scoring with a misprediction penalty: each feasible
+    /// cell's exit-time distance (in hours) is inflated by
+    /// `1 + misprediction_log10` from its frozen summary, so two cells at
+    /// the same exit distance are split by how trustworthy their recent
+    /// predictions were, and a badly mispredicting cell only wins when its
+    /// exit profile is much closer. Lowest score wins (ties: more adjusted
+    /// free CPU, then lower cell id — all pure f64/u64 arithmetic on the
+    /// frozen snapshot, so the choice is deterministic); least-loaded
+    /// fallback when no summarised cell has enough free CPU.
+    fn misprediction_aware(&self, predicted_exit: SimTime, request: Resources) -> usize {
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (i, (summary, routed)) in self.summaries.iter().zip(&self.routed_cpu).enumerate() {
+            let free = summary.free.cpu_milli.saturating_sub(*routed);
+            if free < request.cpu_milli {
+                continue;
+            }
+            let distance_hours = summary
+                .mean_predicted_exit
+                .as_secs()
+                .abs_diff(predicted_exit.as_secs()) as f64
+                / 3600.0;
+            let penalty = 1.0 + summary.misprediction_log10.max(0.0);
+            let score = (1.0 + distance_hours) * penalty;
+            let better = match best {
+                None => true,
+                Some((bs, bf, _)) => score < bs || (score == bs && free > bf),
+            };
+            if better {
+                best = Some((score, free, i));
+            }
+        }
+        best.map_or_else(|| self.least_loaded(), |(_, _, i)| i)
+    }
 }
 
 // --- per-cell execution --------------------------------------------------
@@ -690,10 +772,32 @@ impl CellRunner {
         cell: FleetCell,
         predictor: Arc<dyn LifetimePredictor>,
         timing: &DriveTiming,
+        chaos: Option<&FleetChaos>,
     ) -> CellRunner {
         let hosts = cell.pool.host_count();
-        let mut scheduler = Scheduler::new(Cluster::new(cell.pool), cell.policy, predictor);
-        let driver = DriveLoop::new(&mut scheduler, cell.deferred_policy, timing);
+        // Under chaos the cell schedules through its own swap seam (the
+        // caller built the cell's policies over the same Arc), so per-cell
+        // degradations and recalibrations stay local to this cell.
+        let swap = chaos.map(|c| c.swaps[index].clone());
+        let cell_predictor: Arc<dyn LifetimePredictor> = match &swap {
+            Some(s) => s.clone(),
+            None => predictor,
+        };
+        let mut scheduler = Scheduler::new(Cluster::new(cell.pool), cell.policy, cell_predictor);
+        let mut driver = DriveLoop::new(&mut scheduler, cell.deferred_policy, timing);
+        if let Some(chaos) = chaos {
+            driver.attach_chaos(ChaosController::new(
+                &chaos.incidents,
+                &chaos.adaptation,
+                index as u32,
+                swap,
+            ));
+        }
+        let metrics = if chaos.is_some() {
+            MetricRecorder::with_accuracy_probe()
+        } else {
+            MetricRecorder::new()
+        };
         CellRunner {
             id: CellId(index as u32),
             hosts,
@@ -703,7 +807,7 @@ impl CellRunner {
                 queue: VecDeque::new(),
                 last_arrival: None,
             },
-            metrics: MetricRecorder::new(),
+            metrics,
             routed_vms: 0,
             rejected_vms: 0,
         }
@@ -830,6 +934,14 @@ where
 /// per-cell outcomes are returned in cell order. See the
 /// [module docs](self) for why this is bit-identical at any thread
 /// count.
+///
+/// When `chaos` is set, every cell runs with its own
+/// [`ChaosController`] (scheduling that cell's incident and
+/// recalibration timeline items) and its per-cell swap from
+/// [`FleetChaos::swaps`] as the scheduler predictor; incident actions
+/// are ordinary timeline items inside each cell's deterministic drive
+/// loop, so the bit-identity guarantee is unchanged.
+#[allow(clippy::too_many_arguments)]
 pub fn run_fleet(
     cells: Vec<FleetCell>,
     predictor: Arc<dyn LifetimePredictor>,
@@ -838,17 +950,25 @@ pub fn run_fleet(
     timing: &DriveTiming,
     source: &mut dyn EventSource,
     threads: usize,
+    chaos: Option<&FleetChaos>,
 ) -> FleetOutcome {
     assert!(!cells.is_empty(), "fleet needs at least one cell");
     assert!(
         !summary_refresh.is_zero(),
         "summary refresh cadence must be non-zero"
     );
+    if let Some(chaos) = chaos {
+        assert_eq!(
+            chaos.swaps.len(),
+            cells.len(),
+            "fleet chaos needs one swappable predictor per cell"
+        );
+    }
     let cell_count = cells.len();
     let mut runners: Vec<Mutex<CellRunner>> = cells
         .into_iter()
         .enumerate()
-        .map(|(i, cell)| Mutex::new(CellRunner::new(i, cell, predictor.clone(), timing)))
+        .map(|(i, cell)| Mutex::new(CellRunner::new(i, cell, predictor.clone(), timing, chaos)))
         .collect();
     let mut router = Router::new(router, cell_count);
     let workers = worker_count(threads, cell_count);
@@ -917,6 +1037,7 @@ mod tests {
             free: Resources::new(free_cores * 1000, 0, 0),
             live_vms: 1,
             mean_predicted_exit: SimTime(mean_exit),
+            misprediction_log10: 0.0,
         }
     }
 
@@ -948,7 +1069,9 @@ mod tests {
         assert!(!RouterSpec::RoundRobin.needs_summaries(8));
         assert!(RouterSpec::LeastLoaded.needs_summaries(8));
         assert!(RouterSpec::LifetimeAware.needs_summaries(8));
+        assert!(RouterSpec::MispredictionAware.needs_summaries(8));
         assert!(!RouterSpec::LeastLoaded.needs_summaries(1));
+        assert!(!RouterSpec::MispredictionAware.needs_summaries(1));
     }
 
     #[test]
@@ -1023,6 +1146,40 @@ mod tests {
         // fallback (equal fractions minus routed → cell with more left).
         let fallback = router.route(&create(3, 0, 64, 1), &oracle);
         assert!(fallback < 2);
+    }
+
+    #[test]
+    fn misprediction_penalty_steers_away_from_wrong_cells() {
+        let oracle = OraclePredictor::new();
+        let hour = 3600u64;
+        // Equidistant exit profiles, equal free CPU — only the
+        // misprediction penalty splits the cells.
+        let mut wrong = summary(0, 32, 64, 10 * hour);
+        wrong.misprediction_log10 = 2.0;
+        let clean = summary(1, 32, 64, 10 * hour);
+        let mut router = Router::new(RouterSpec::MispredictionAware, 2);
+        router.refresh(vec![wrong, clean]);
+        assert_eq!(router.route(&create(1, 0, 2, 10), &oracle), 1);
+
+        // The plain lifetime-aware router ignores the penalty and keeps
+        // the lower cell id on the tie.
+        let mut plain = Router::new(RouterSpec::LifetimeAware, 2);
+        plain.refresh(vec![wrong, clean]);
+        assert_eq!(plain.route(&create(2, 0, 2, 10), &oracle), 0);
+
+        // A much closer exit profile still beats the penalty: nearness
+        // can outweigh distrust, it is a discount not a veto.
+        let mut near_but_wrong = summary(0, 32, 64, 10 * hour);
+        near_but_wrong.misprediction_log10 = 0.2;
+        let far_but_clean = summary(1, 32, 64, 200 * hour);
+        let mut router = Router::new(RouterSpec::MispredictionAware, 2);
+        router.refresh(vec![near_but_wrong, far_but_clean]);
+        assert_eq!(router.route(&create(3, 0, 2, 10), &oracle), 0);
+
+        // Infeasible request → least-loaded fallback, like LifetimeAware.
+        let mut router = Router::new(RouterSpec::MispredictionAware, 2);
+        router.refresh(vec![wrong, clean]);
+        assert!(router.route(&create(4, 0, 64, 10), &oracle) < 2);
     }
 
     #[test]

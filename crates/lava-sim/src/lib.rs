@@ -15,6 +15,11 @@
 //!   pluggable, lifetime-aware [`fleet::RouterSpec`] consuming
 //!   bounded-staleness cell summaries, with deterministic parallel cell
 //!   execution ([`fleet::run_fleet`]),
+//! * [`chaos`] — **deterministic fault injection and adaptation**: the
+//!   spec's [`chaos::IncidentPlan`] (cell outages, predictor
+//!   degradations, drift shifts, arrival storms) executed by
+//!   [`chaos::ChaosSource`] / [`chaos::ChaosController`], plus the
+//!   online-recalibration loop of [`chaos::AdaptationSpec`],
 //! * [`suite`] — [`suite::ExperimentSuite`], parallel multi-arm sweeps
 //!   with bit-identical per-arm results,
 //! * [`observer`] — the [`SimObserver`] trait and the provided observers
@@ -62,6 +67,7 @@
 
 pub mod ab;
 pub mod causal;
+pub mod chaos;
 pub mod defrag;
 pub mod experiment;
 pub mod fleet;
@@ -76,11 +82,12 @@ pub mod trace;
 pub mod validation;
 pub mod workload;
 
+pub use chaos::{AdaptationSpec, Incident, IncidentPlan, OutageMode, RecalibrationSpec};
 pub use experiment::{
     Experiment, ExperimentBuilder, ExperimentReport, ExperimentSpec, PolicySpec, PredictorSpec,
     Scenario, SourceMode,
 };
-pub use fleet::{CellOverride, FleetConfig, FleetReport, RouterSpec};
+pub use fleet::{CellOverride, FleetChaos, FleetConfig, FleetReport, RouterSpec};
 pub use observer::{ObserverContext, SimObserver};
 pub use suite::ExperimentSuite;
 pub use trace::TraceSource;

@@ -31,6 +31,12 @@ pub struct MetricSample {
     pub memory_utilization: f64,
     /// Number of live VMs.
     pub live_vms: usize,
+    /// Mean |log10(predicted remaining) − log10(actual remaining)| over a
+    /// strided sample of live VMs — the live prediction-accuracy probe.
+    /// Only populated when the recorder's accuracy probe is enabled
+    /// (chaos/adaptation runs); `0.0` otherwise and in pre-probe JSON.
+    #[serde(default)]
+    pub mean_abs_log10_error: f64,
 }
 
 /// Compute a metric snapshot for a pool.
@@ -62,6 +68,7 @@ pub fn sample_pool(pool: &Pool, time: SimTime) -> MetricSample {
             capacity.get(ResourceKind::Memory),
         ),
         live_vms: pool.vm_count(),
+        mean_abs_log10_error: 0.0,
     }
 }
 
@@ -131,6 +138,25 @@ impl MetricSeries {
     /// Mean CPU utilisation over the series.
     pub fn mean_cpu_utilization(&self) -> f64 {
         self.mean_of(|s| s.cpu_utilization)
+    }
+
+    /// Mean live prediction error (|log10| space) over the series. Zero
+    /// unless the accuracy probe was enabled on the run.
+    pub fn mean_abs_log10_error(&self) -> f64 {
+        self.mean_of(|s| s.mean_abs_log10_error)
+    }
+
+    /// Restrict to samples inside `[start, end)` — phase slicing for
+    /// before/during/after incident analysis.
+    pub fn between(&self, start: SimTime, end: SimTime) -> MetricSeries {
+        MetricSeries {
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.time >= start && s.time < end)
+                .copied()
+                .collect(),
+        }
     }
 
     /// Restrict to samples taken at or after `start`.

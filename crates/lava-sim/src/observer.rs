@@ -85,12 +85,32 @@ pub trait SimObserver {
 #[derive(Debug, Clone, Default)]
 pub struct MetricRecorder {
     series: MetricSeries,
+    accuracy_probe: bool,
 }
+
+/// Cap on VMs repredicted per accuracy-probe sample (strided over the
+/// live set, so the probe's cost is bounded regardless of pool size).
+const ACCURACY_PROBE_CAP: usize = 64;
 
 impl MetricRecorder {
     /// Create an empty recorder.
     pub fn new() -> MetricRecorder {
         MetricRecorder::default()
+    }
+
+    /// A recorder that additionally measures live prediction accuracy at
+    /// every sample: the mean |log10 predicted − log10 actual| remaining
+    /// lifetime over a strided sample of at most [`ACCURACY_PROBE_CAP`]
+    /// live VMs, stored in [`MetricSample::mean_abs_log10_error`].
+    ///
+    /// Off by default because the probe issues extra predictor calls,
+    /// which would perturb prediction-recording runs; the experiment
+    /// layer enables it on chaos/adaptation runs.
+    pub fn with_accuracy_probe() -> MetricRecorder {
+        MetricRecorder {
+            series: MetricSeries::new(),
+            accuracy_probe: true,
+        }
     }
 
     /// The series recorded so far.
@@ -104,9 +124,33 @@ impl MetricRecorder {
     }
 }
 
+/// Mean |log10| error of the live predictions, strided to at most
+/// [`ACCURACY_PROBE_CAP`] VMs. Iteration order is the cluster's VM-id
+/// order, so the probe is deterministic.
+fn live_prediction_error(ctx: &ObserverContext<'_>) -> f64 {
+    let live = ctx.cluster.vm_count();
+    if live == 0 {
+        return 0.0;
+    }
+    let stride = live.div_ceil(ACCURACY_PROBE_CAP);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for vm in ctx.cluster.vms().step_by(stride) {
+        let predicted = ctx.predictor.predict_remaining(vm, ctx.now);
+        let actual = (vm.created_at() + vm.actual_lifetime()).saturating_since(ctx.now);
+        sum += (predicted.log10_secs() - actual.log10_secs()).abs();
+        count += 1;
+    }
+    sum / count as f64
+}
+
 impl SimObserver for MetricRecorder {
     fn on_sample(&mut self, ctx: &ObserverContext<'_>) {
-        self.series.push(sample_pool(ctx.cluster.pool(), ctx.now));
+        let mut sample = sample_pool(ctx.cluster.pool(), ctx.now);
+        if self.accuracy_probe {
+            sample.mean_abs_log10_error = live_prediction_error(ctx);
+        }
+        self.series.push(sample);
     }
 }
 

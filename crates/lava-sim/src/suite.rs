@@ -260,7 +260,10 @@ mod tests {
             ],
         };
         let mut noisy = arm_spec(5, Algorithm::Lava);
-        noisy.predictor = PredictorSpec::Noisy { accuracy_pct: 80 };
+        noisy.predictor = PredictorSpec::Noisy {
+            accuracy_pct: 80,
+            bias_pct: 0,
+        };
         let suite = ExperimentSuite::from_specs([ab, noisy])
             .expect("valid specs")
             .with_threads(2);

@@ -18,20 +18,35 @@
 //!
 //! 1. **policy switch** — the evaluated policy is in control for
 //!    everything that happens from the switch time onwards;
-//! 2. **defrag triggers** — drain decisions see the pool as of *just
+//! 2. **incident ends** — a recovery scheduled at the same instant as
+//!    other work completes first, so the repaired state is what everything
+//!    else at that timestamp sees;
+//! 3. **incident starts** — injections land before capacity churn at
+//!    their timestamp, so the incident affects every event from its start
+//!    time onwards (and an end + start at the same instant means
+//!    "recovered, then the next incident begins");
+//! 4. **defrag triggers** — drain decisions see the pool as of *just
 //!    before* their trigger time (the legacy per-event collector checked
 //!    its trigger before applying the event that crossed the due time);
-//! 3. **exits** — capacity is freed before new placements at the same
+//! 5. **exits** — capacity is freed before new placements at the same
 //!    timestamp;
-//! 4. **creates**;
-//! 5. **ticks** — deadline corrections run against the post-event state of
+//! 6. **creates**;
+//! 7. **ticks** — deadline corrections run against the post-event state of
 //!    their timestamp;
-//! 6. **samples** — metrics observe the state after everything else that
+//! 8. **recalibrations** — the model refit consumes every exit observed up
+//!    to and including this timestamp, but runs before the sample so a
+//!    coinciding metric probe measures the *recalibrated* model;
+//! 9. **samples** — metrics observe the state after everything else that
 //!    happened at their timestamp.
 //!
 //! Events with equal time and rank (e.g. two exits in the same second)
-//! order by VM id, matching [`TraceEvent::sort_key`], so the timeline is a
-//! strict total order and replay is deterministic.
+//! order by VM id, matching [`TraceEvent::sort_key`]. Incident starts
+//! (and, separately, ends) at the same timestamp order by their index in
+//! the [`crate::chaos::IncidentPlan`], carried in the entry's VM-id slot.
+//! The timeline is therefore a strict total order and replay is
+//! deterministic — in particular, fleet runs stay bit-identical at any
+//! worker-thread count because every cell pops its own timeline in this
+//! same order regardless of when other cells' workers run.
 
 use lava_core::events::{TraceEvent, TraceEventKind};
 use lava_core::time::SimTime;
@@ -44,10 +59,16 @@ use std::collections::BinaryHeap;
 pub enum TimelineAction {
     /// Swap the warm-up policy for the evaluated policy.
     PolicySwitch,
+    /// End (recover from) the incident with this index in the plan.
+    IncidentEnd(u32),
+    /// Start the incident with this index in the plan.
+    IncidentStart(u32),
     /// Check the defragmentation drain trigger.
     DefragTrigger,
     /// Run a periodic policy tick (deadline checks).
     Tick,
+    /// Refit the adaptive predictor against recently observed exits.
+    Recalibrate,
     /// Take a periodic metric sample.
     Sample,
 }
@@ -56,18 +77,33 @@ impl TimelineAction {
     fn rank(self) -> u8 {
         match self {
             TimelineAction::PolicySwitch => 0,
-            TimelineAction::DefragTrigger => 1,
-            // Exits are 2, creates 3 (see `event_rank`).
-            TimelineAction::Tick => 4,
-            TimelineAction::Sample => 5,
+            TimelineAction::IncidentEnd(_) => 1,
+            TimelineAction::IncidentStart(_) => 2,
+            TimelineAction::DefragTrigger => 3,
+            // Exits are 4, creates 5 (see `event_rank`).
+            TimelineAction::Tick => 6,
+            TimelineAction::Recalibrate => 7,
+            TimelineAction::Sample => 8,
+        }
+    }
+
+    /// The same-rank tiebreak carried in the entry's VM-id slot: incident
+    /// actions order by their plan index; every other action kind has at
+    /// most one pending instance, so zero suffices.
+    fn tiebreak(self) -> VmId {
+        match self {
+            TimelineAction::IncidentStart(index) | TimelineAction::IncidentEnd(index) => {
+                VmId(index as u64)
+            }
+            _ => VmId(0),
         }
     }
 }
 
 fn event_rank(kind: &TraceEventKind) -> u8 {
     match kind {
-        TraceEventKind::Exit { .. } => 2,
-        TraceEventKind::Create { .. } => 3,
+        TraceEventKind::Exit { .. } => 4,
+        TraceEventKind::Create { .. } => 5,
     }
 }
 
@@ -90,9 +126,9 @@ enum Payload {
 struct Entry {
     time: SimTime,
     rank: u8,
-    /// VM-id tiebreak for events; zero for actions (at most one instance
-    /// of each action kind is ever pending, so no further tiebreak is
-    /// needed).
+    /// VM-id tiebreak for events; the plan index for incident actions;
+    /// zero for other actions (at most one instance of each of those is
+    /// ever pending, so no further tiebreak is needed).
     vm: VmId,
     payload: Payload,
 }
@@ -153,7 +189,7 @@ impl Timeline {
         self.heap.push(Reverse(Entry {
             time: at,
             rank: action.rank(),
-            vm: VmId(0),
+            vm: action.tiebreak(),
             payload: Payload::Action(action),
         }));
     }
@@ -198,6 +234,7 @@ mod tests {
         let t = SimTime(100);
         let mut timeline = Timeline::new();
         timeline.schedule(TimelineAction::Sample, t);
+        timeline.schedule(TimelineAction::Recalibrate, t);
         timeline.schedule(TimelineAction::Tick, t);
         timeline.schedule_event(TraceEvent::create(
             t,
@@ -207,8 +244,10 @@ mod tests {
         ));
         timeline.schedule_event(TraceEvent::exit(t, VmId(9)));
         timeline.schedule(TimelineAction::DefragTrigger, t);
+        timeline.schedule(TimelineAction::IncidentStart(1), t);
+        timeline.schedule(TimelineAction::IncidentEnd(0), t);
         timeline.schedule(TimelineAction::PolicySwitch, t);
-        assert_eq!(timeline.len(), 6);
+        assert_eq!(timeline.len(), 9);
 
         let order: Vec<TimelineItem> = std::iter::from_fn(|| timeline.pop()).collect();
         assert_eq!(
@@ -217,19 +256,51 @@ mod tests {
         );
         assert_eq!(
             order[1],
+            TimelineItem::Action(TimelineAction::IncidentEnd(0), t)
+        );
+        assert_eq!(
+            order[2],
+            TimelineItem::Action(TimelineAction::IncidentStart(1), t)
+        );
+        assert_eq!(
+            order[3],
             TimelineItem::Action(TimelineAction::DefragTrigger, t)
         );
         assert!(matches!(
-            &order[2],
+            &order[4],
             TimelineItem::Event(e) if matches!(e.kind, TraceEventKind::Exit { .. })
         ));
         assert!(matches!(
-            &order[3],
+            &order[5],
             TimelineItem::Event(e) if matches!(e.kind, TraceEventKind::Create { .. })
         ));
-        assert_eq!(order[4], TimelineItem::Action(TimelineAction::Tick, t));
-        assert_eq!(order[5], TimelineItem::Action(TimelineAction::Sample, t));
+        assert_eq!(order[6], TimelineItem::Action(TimelineAction::Tick, t));
+        assert_eq!(
+            order[7],
+            TimelineItem::Action(TimelineAction::Recalibrate, t)
+        );
+        assert_eq!(order[8], TimelineItem::Action(TimelineAction::Sample, t));
         assert!(timeline.is_empty());
+    }
+
+    #[test]
+    fn incident_actions_at_equal_time_order_by_plan_index() {
+        let t = SimTime(50);
+        let mut timeline = Timeline::new();
+        timeline.schedule(TimelineAction::IncidentStart(3), t);
+        timeline.schedule(TimelineAction::IncidentStart(1), t);
+        timeline.schedule(TimelineAction::IncidentEnd(2), t);
+        timeline.schedule(TimelineAction::IncidentEnd(0), t);
+        let order: Vec<TimelineItem> = std::iter::from_fn(|| timeline.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                TimelineItem::Action(TimelineAction::IncidentEnd(0), t),
+                TimelineItem::Action(TimelineAction::IncidentEnd(2), t),
+                TimelineItem::Action(TimelineAction::IncidentStart(1), t),
+                TimelineItem::Action(TimelineAction::IncidentStart(3), t),
+            ]
+        );
     }
 
     #[test]

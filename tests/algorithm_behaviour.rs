@@ -42,7 +42,10 @@ fn lava_tolerates_low_accuracy_better_than_it_degrades() {
     // baseline by more than noise.
     let report = Experiment::builder()
         .workload(pool(13, 60, 0.8, 8))
-        .predictor(PredictorSpec::Noisy { accuracy_pct: 60 })
+        .predictor(PredictorSpec::Noisy {
+            accuracy_pct: 60,
+            bias_pct: 0,
+        })
         .ab_arms(vec![
             PolicySpec::new(Algorithm::Baseline),
             PolicySpec::new(Algorithm::Lava),

@@ -55,7 +55,10 @@ fn spec_round_trips_through_json_for_every_scenario() {
     for scenario in scenarios {
         let mut spec = tiny_spec(5);
         spec.scenario = scenario;
-        spec.predictor = PredictorSpec::Noisy { accuracy_pct: 85 };
+        spec.predictor = PredictorSpec::Noisy {
+            accuracy_pct: 85,
+            bias_pct: 0,
+        };
         spec.record_predictions = true;
         let json = spec.to_json().expect("spec serializes");
         let parsed = ExperimentSpec::from_json(&json).expect("spec parses");

@@ -17,9 +17,11 @@
 
 use lava::core::time::Duration;
 use lava::sched::Algorithm;
+use lava::sim::chaos::DegradedPredictor;
 use lava::sim::experiment::{Experiment, ExperimentSpec, Scenario, SpecError};
 use lava::sim::fleet::{CellOverride, FleetConfig, RouterSpec};
 use lava::sim::workload::PoolConfig;
+use lava::sim::{AdaptationSpec, Incident, IncidentPlan, OutageMode, RecalibrationSpec};
 use proptest::prelude::*;
 
 fn base_spec(seed: u64, hosts: usize, hours: u64) -> ExperimentSpec {
@@ -266,5 +268,65 @@ proptest! {
                 "router {} diverged between 1 and per-CPU threads", router
             );
         }
+    }
+
+    /// The same guarantee with the fault-injection layer active: a
+    /// cell outage and a predictor degradation both in flight, plus the
+    /// online recalibrator, must stay bit-identical at 1, 2 and per-CPU
+    /// workers. Incident actions are timeline items inside each cell's
+    /// own deterministic drive loop, so parallelism cannot reorder them.
+    #[test]
+    fn chaos_fleet_runs_are_bit_identical_across_thread_counts(
+        seed in 0u64..100_000,
+        cells in 2usize..5,
+        hosts in 16usize..28,
+        outage_at_hours in 4u64..12,
+        outage_hosts in 1usize..4,
+        degrade_at_hours in 4u64..12,
+    ) {
+        let hard_kill = seed % 2 == 0;
+        let router = RouterSpec::ALL[(seed / 2) as usize % RouterSpec::ALL.len()];
+        let build = |threads: usize| {
+            let mut spec = base_spec(seed, hosts, 24);
+            spec.incidents = IncidentPlan {
+                seed,
+                incidents: vec![
+                    Incident::CellOutage {
+                        cell: (seed % cells as u64) as u32,
+                        hosts: Some(outage_hosts),
+                        mode: if hard_kill { OutageMode::HardKill } else { OutageMode::Drain },
+                        at: Duration::from_hours(outage_at_hours),
+                        recovery: Some(Duration::from_hours(6)),
+                    },
+                    Incident::PredictorDegradation {
+                        degraded: DegradedPredictor::Biased { bias_pct: -80 },
+                        at: Duration::from_hours(degrade_at_hours),
+                        recovery: Some(Duration::from_hours(5)),
+                    },
+                ],
+            };
+            spec.adaptation = AdaptationSpec {
+                recalibration: Some(RecalibrationSpec {
+                    cadence: Duration::from_hours(2),
+                    min_samples: 8,
+                }),
+            };
+            let fleet = FleetConfig::new(cells)
+                .with_router(router)
+                .with_summary_refresh(Duration::from_mins(45))
+                .with_threads(threads);
+            with_fleet(spec, fleet)
+        };
+        let serial = Experiment::new(build(1)).expect("valid").run();
+        let two = Experiment::new(build(2)).expect("valid").run();
+        let per_cpu = Experiment::new(build(0)).expect("valid").run();
+        prop_assert_eq!(
+            serial.fleet.as_ref(), two.fleet.as_ref(),
+            "chaos fleet ({}) diverged between 1 and 2 threads", router
+        );
+        prop_assert_eq!(
+            serial.fleet.as_ref(), per_cpu.fleet.as_ref(),
+            "chaos fleet ({}) diverged between 1 and per-CPU threads", router
+        );
     }
 }
