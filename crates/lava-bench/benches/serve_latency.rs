@@ -1,0 +1,308 @@
+//! Offered-load sweep against the online placement service: p50/p99/p999
+//! placement latency, goodput and shed rate per arm, on the microsecond
+//! virtual clock — so every number replays bit-identically.
+//!
+//! Three things are asserted in-binary, not just printed:
+//!
+//! 1. **Deterministic replay** — rerunning the 1.0× arm with the same
+//!    seed reproduces the exact decision digest and latency histogram.
+//! 2. **Graceful degradation** — goodput at 2.0× the decision capacity
+//!    stays within 2× of goodput at 1.0×; saturation must shed and slow,
+//!    not collapse.
+//! 3. **Admission control earns its keep** — under a burst storm, a
+//!    depth-shedding arm beats naive FIFO on p99 placement latency.
+//!
+//! Usage:
+//!   cargo bench -p lava-bench --bench serve_latency -- [--quick] \
+//!       [--seed N] [--json BENCH_serve_latency.json]
+//!
+//! `cargo bench` passes `--bench`; it and other unknown flags are ignored.
+
+use lava_core::time::Duration;
+use lava_sched::Algorithm;
+use lava_serve::{run_serve, ServeReport};
+use lava_sim::arrivals::{AdmissionPolicy, ArrivalProcess, ServeConfig, ServiceModel};
+use lava_sim::experiment::{Experiment, ExperimentSpec, PredictorSpec};
+use lava_sim::fleet::{FleetConfig, RouterSpec};
+
+const HOSTS: usize = 32;
+const CELLS: usize = 4;
+
+struct Config {
+    quick: bool,
+    seed: u64,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        quick: false,
+        seed: 42,
+        json_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--seed" => {
+                if let Some(v) = args.next() {
+                    config.seed = v.parse().expect("--seed takes an integer");
+                }
+            }
+            "--json" => config.json_path = args.next(),
+            _ => {} // `cargo bench` passes --bench and friends; ignore.
+        }
+    }
+    config
+}
+
+/// A deliberately slow virtual decision server (~1ms base) so the sweep
+/// reaches saturation at request volumes that finish quickly.
+fn service_model() -> ServiceModel {
+    ServiceModel {
+        base_decision_us: 1000,
+        per_host_ns: 500,
+        per_vm_ns: 100,
+    }
+}
+
+/// Nominal decisions/sec of the single-server decision loop against an
+/// empty cell — the x-axis the load multipliers scale.
+fn nominal_capacity() -> f64 {
+    service_model().capacity_per_sec(HOSTS / CELLS, 0)
+}
+
+fn serve_spec(seed: u64, horizon: Duration, serve: ServeConfig) -> ExperimentSpec {
+    Experiment::builder()
+        .name("serve-latency")
+        .hosts(HOSTS)
+        .duration(horizon)
+        .seed(seed)
+        .predictor(PredictorSpec::Oracle)
+        .algorithm(Algorithm::Nilas)
+        .fleet(
+            FleetConfig::new(CELLS)
+                .with_router(RouterSpec::LifetimeAware)
+                .with_summary_refresh(Duration::from_secs(5)),
+        )
+        .serve(serve)
+        .build()
+        .expect("valid serve spec")
+}
+
+struct Arm {
+    label: String,
+    multiplier: f64,
+    report: ServeReport,
+}
+
+fn run_arm(label: &str, multiplier: f64, seed: u64, horizon: Duration, serve: ServeConfig) -> Arm {
+    let report = run_serve(&serve_spec(seed, horizon, serve)).expect("serving run");
+    Arm {
+        label: label.to_string(),
+        multiplier,
+        report,
+    }
+}
+
+fn print_arm(arm: &Arm) {
+    let r = &arm.report;
+    println!(
+        "{:<16} {:>5.2}x  offered={:<7} placed={:<7} goodput={:>7.1}/s shed={:>5.1}%  p50={:>9.0}us p99={:>9.0}us p999={:>9.0}us hw={}",
+        arm.label,
+        arm.multiplier,
+        r.offered,
+        r.placed,
+        r.goodput_per_sec(),
+        100.0 * r.shed_rate(),
+        r.latency.quantile(0.50),
+        r.latency.quantile(0.99),
+        r.latency.quantile(0.999),
+        r.queue_high_water,
+    );
+}
+
+fn arm_json(arm: &Arm) -> String {
+    let r = &arm.report;
+    format!(
+        concat!(
+            "{{\"label\":{:?},\"load_multiplier\":{},\"offered\":{},\"placed\":{},",
+            "\"no_capacity\":{},\"shed\":{},\"queue_full\":{},\"goodput_per_sec\":{},",
+            "\"shed_rate\":{},\"latency_us\":{{\"p50\":{},\"p99\":{},\"p999\":{},",
+            "\"mean\":{},\"max\":{}}},\"queue_high_water\":{},\"decision_digest\":{}}}"
+        ),
+        arm.label,
+        arm.multiplier,
+        r.offered,
+        r.placed,
+        r.no_capacity,
+        r.shed,
+        r.queue_full,
+        r.goodput_per_sec(),
+        r.shed_rate(),
+        r.latency.quantile(0.50),
+        r.latency.quantile(0.99),
+        r.latency.quantile(0.999),
+        r.latency.mean(),
+        r.latency.max(),
+        r.queue_high_water,
+        r.decision_digest,
+    )
+}
+
+fn main() {
+    let config = parse_args();
+    let horizon = if config.quick {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(60)
+    };
+    let capacity = nominal_capacity();
+    let multipliers: &[f64] = if config.quick {
+        &[0.5, 1.0, 2.0]
+    } else {
+        &[0.5, 0.8, 1.0, 1.2, 1.5, 2.0]
+    };
+
+    println!(
+        "# serve_latency: offered-load sweep ({} hosts, {} cells, lifetime-aware router)",
+        HOSTS, CELLS
+    );
+    println!(
+        "# nominal decision capacity ~{capacity:.0}/s ({}us base decision), horizon {}s, seed {}",
+        service_model().base_decision_us,
+        horizon.as_secs(),
+        config.seed
+    );
+
+    // ---- Load sweep: Poisson arrivals, naive FIFO admission. ------------
+    let mut sweep = Vec::new();
+    for &m in multipliers {
+        let serve = ServeConfig::at_rate(capacity * m).with_service(service_model());
+        let arm = run_arm(&format!("poisson/{m}x"), m, config.seed, horizon, serve);
+        print_arm(&arm);
+        sweep.push(arm);
+    }
+
+    // ---- Assert 1: deterministic replay of the 1.0x arm. ----------------
+    let baseline = sweep
+        .iter()
+        .find(|a| a.multiplier == 1.0)
+        .expect("sweep includes 1.0x");
+    let replay = run_arm(
+        "poisson/replay",
+        1.0,
+        config.seed,
+        horizon,
+        ServeConfig::at_rate(capacity).with_service(service_model()),
+    );
+    assert_eq!(
+        replay.report.decision_digest, baseline.report.decision_digest,
+        "same seed must replay the identical decision sequence"
+    );
+    assert_eq!(
+        replay.report.latency.count(),
+        baseline.report.latency.count(),
+        "replay must admit the identical request set"
+    );
+    println!(
+        "replay: decision digest {:#018x} reproduced bit-identically",
+        replay.report.decision_digest
+    );
+
+    // ---- Assert 2: goodput degrades gracefully past saturation. ---------
+    let overload = sweep
+        .iter()
+        .find(|a| a.multiplier == 2.0)
+        .expect("sweep includes 2.0x");
+    let (good_1x, good_2x) = (
+        baseline.report.goodput_per_sec(),
+        overload.report.goodput_per_sec(),
+    );
+    assert!(good_1x > 0.0, "baseline arm must place something");
+    assert!(
+        good_2x >= 0.5 * good_1x,
+        "goodput must not collapse past saturation: {good_2x:.1}/s at 2.0x vs {good_1x:.1}/s at 1.0x"
+    );
+    println!("degradation: goodput {good_1x:.1}/s at 1.0x -> {good_2x:.1}/s at 2.0x (graceful)");
+
+    // ---- Assert 3: depth shedding beats FIFO on p99 under a burst. ------
+    // Same seed, same storm: 1.2x mean load arriving as 6x-amplitude
+    // bursts. The FIFO arm queues the whole storm; the shedding arm keeps
+    // the backlog (and therefore queueing delay) bounded at the threshold.
+    let storm = ArrivalProcess::Burst {
+        period: Duration::from_secs(10),
+        burst_len: Duration::from_secs(2),
+        amplitude: 6.0,
+    };
+    let storm_rate = capacity * 1.2;
+    let storm_horizon = if config.quick {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(30)
+    };
+    let fifo = run_arm(
+        "burst/fifo",
+        1.2,
+        config.seed,
+        storm_horizon,
+        ServeConfig::at_rate(storm_rate)
+            .with_arrival(storm)
+            .with_service(service_model())
+            .with_queue_bound(4096),
+    );
+    let shed = run_arm(
+        "burst/depth-shed",
+        1.2,
+        config.seed,
+        storm_horizon,
+        ServeConfig::at_rate(storm_rate)
+            .with_arrival(storm)
+            .with_service(service_model())
+            .with_queue_bound(4096)
+            .with_admission(AdmissionPolicy::DepthShed { shed_threshold: 64 }),
+    );
+    print_arm(&fifo);
+    print_arm(&shed);
+    let (fifo_p99, shed_p99) = (
+        fifo.report.latency.quantile(0.99),
+        shed.report.latency.quantile(0.99),
+    );
+    assert!(
+        shed.report.shed > 0,
+        "the storm must actually trigger shedding"
+    );
+    assert!(
+        shed_p99 < fifo_p99,
+        "admission control must beat naive FIFO on p99 under burst: shed {shed_p99:.0}us vs fifo {fifo_p99:.0}us"
+    );
+    println!(
+        "burst storm: p99 {fifo_p99:.0}us (fifo) -> {shed_p99:.0}us (depth-shed), {:.1}x better",
+        fifo_p99 / shed_p99.max(1.0)
+    );
+
+    // ---- JSON artifact. -------------------------------------------------
+    if let Some(path) = &config.json_path {
+        let mut arms: Vec<String> = sweep.iter().map(arm_json).collect();
+        arms.push(arm_json(&fifo));
+        arms.push(arm_json(&shed));
+        let json = format!(
+            concat!(
+                "{{\"bench\":\"serve_latency\",\"seed\":{},\"quick\":{},",
+                "\"hosts\":{},\"cells\":{},\"nominal_capacity_per_sec\":{},",
+                "\"horizon_secs\":{},\"arms\":[{}]}}\n"
+            ),
+            config.seed,
+            config.quick,
+            HOSTS,
+            CELLS,
+            capacity,
+            horizon.as_secs(),
+            arms.join(",")
+        );
+        std::fs::write(path, json).expect("write JSON artifact");
+        println!("wrote {path}");
+    }
+
+    println!("serve_latency: all in-binary assertions passed");
+}

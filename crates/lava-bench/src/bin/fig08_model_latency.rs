@@ -5,12 +5,16 @@
 //! paper's compile-into-the-binary step. The `model_latency` bench holds
 //! the two engines to bit-parity and measures the batched path as well.
 //!
+//! Latency aggregation uses the shared log-bucketed
+//! [`LatencyHistogram`](lava_core::latency::LatencyHistogram) — the same
+//! percentile machinery the serving tier's SLO reporting uses.
+//!
 //! Usage: `cargo run --release -p lava-bench --bin fig08_model_latency -- [--seed N]`
 
 use lava_bench::ExperimentArgs;
+use lava_core::latency::LatencyHistogram;
 use lava_core::time::Duration;
 use lava_model::gbdt::GbdtConfig;
-use lava_model::metrics::Histogram;
 use lava_sim::experiment::{train_gbdt_predictor, Experiment};
 use lava_sim::workload::PoolConfig;
 use std::time::Instant;
@@ -33,53 +37,46 @@ fn main() {
         for (spec, _) in specs.iter().take(1000) {
             let _ = predict(spec, Duration::from_hours(1));
         }
-        let mut histogram = Histogram::new(50.0, 50); // microseconds
-        let mut latencies = Vec::with_capacity(specs.len());
+        let mut histogram = LatencyHistogram::new(); // microseconds
         for (i, (spec, _)) in specs.iter().enumerate() {
             let uptime = Duration::from_secs((i as u64 % 36) * 100);
             let start = Instant::now();
             let prediction = predict(spec, uptime);
-            let micros = start.elapsed().as_nanos() as f64 / 1000.0;
-            histogram.record(micros);
-            latencies.push(micros);
+            histogram.record(start.elapsed().as_nanos() as f64 / 1000.0);
             std::hint::black_box(prediction);
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        (histogram, latencies)
+        histogram
     };
 
-    let (histogram, latencies) = measure(&|spec, uptime| predictor.predict_spec(spec, uptime));
-    let (_, fast_latencies) = measure(&|spec, uptime| compiled.predict_spec(spec, uptime));
-    let pct = |l: &[f64], q: f64| l[((l.len() - 1) as f64 * q) as usize];
+    let histogram = measure(&|spec, uptime| predictor.predict_spec(spec, uptime));
+    let fast = measure(&|spec, uptime| compiled.predict_spec(spec, uptime));
 
     println!(
         "# Figure 8: model execution latency ({} predictions, {} trees)",
-        latencies.len(),
+        histogram.count(),
         predictor.model().tree_count()
     );
     println!(
         "reference (gbdt):      median = {:.1} us   p90 = {:.1} us   p99 = {:.1} us   mean = {:.1} us",
-        pct(&latencies, 0.5),
-        pct(&latencies, 0.9),
-        pct(&latencies, 0.99),
+        histogram.quantile(0.5),
+        histogram.quantile(0.9),
+        histogram.quantile(0.99),
         histogram.mean()
     );
     println!(
         "compiled  (gbdt-fast): median = {:.1} us   p90 = {:.1} us   p99 = {:.1} us",
-        pct(&fast_latencies, 0.5),
-        pct(&fast_latencies, 0.9),
-        pct(&fast_latencies, 0.99),
+        fast.quantile(0.5),
+        fast.quantile(0.9),
+        fast.quantile(0.99),
     );
-    println!("\n{:<12} {:>10}", "bucket (us)", "count");
-    for (lower, count) in histogram.buckets() {
-        if count > 0 {
-            println!(
-                "{:<12.1} {:>10} {}",
-                lower,
-                count,
-                "#".repeat((60 * count / latencies.len() as u64).min(80) as usize)
-            );
-        }
+    println!("\n{:<22} {:>10}", "bucket (us)", "count");
+    for (lower, upper, count) in histogram.buckets() {
+        println!(
+            "{:<22} {:>10} {}",
+            format!("[{lower:.1}, {upper:.1})"),
+            count,
+            "#".repeat((60 * count / histogram.count()).min(80) as usize)
+        );
     }
     println!();
     println!("# Paper: most predictions complete in under 10 us (median ~9 us), 780x faster than LA's remote inference.");

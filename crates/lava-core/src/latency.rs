@@ -1,0 +1,329 @@
+//! A log-bucketed, mergeable latency histogram.
+//!
+//! Every latency-reporting surface in the repo (the model-inference bench,
+//! the serving tier's placement-latency SLOs) needs the same thing: cheap
+//! recording of many samples, tail quantiles (p99/p999) that stay accurate
+//! across several orders of magnitude, and the ability to merge per-shard
+//! histograms into one. [`LatencyHistogram`] is that single source of
+//! truth — fixed logarithmic bucket layout (constant relative error),
+//! exact min/max/mean, and `merge` so per-worker histograms combine
+//! without resampling.
+//!
+//! The histogram is unit-agnostic: callers pick a unit (microseconds,
+//! nanoseconds, …) and use it consistently; quantiles come back in the
+//! same unit.
+
+use std::fmt;
+
+/// Buckets per decade. 20 sub-buckets per power of ten gives a worst-case
+/// relative quantile error of ~12% (half a bucket width), plenty for
+/// p50/p99/p999 reporting while keeping the histogram a few hundred
+/// counters.
+const BUCKETS_PER_DECADE: usize = 20;
+
+/// Decades covered: [1, 1e12). Values below 1 land in the underflow
+/// bucket; values at or above 1e12 clamp into the last bucket.
+const DECADES: usize = 12;
+
+const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+/// A fixed-layout logarithmic histogram for latency samples.
+///
+/// * `record` is O(1) (a log10 and an index).
+/// * `quantile` interpolates to the geometric bucket midpoint and clamps
+///   to the exact observed `[min, max]` range.
+/// * `merge` adds another histogram's counts in; two shards merged are
+///   exactly the histogram of the combined stream.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples in `[10^(i/K), 10^((i+1)/K))` where
+    /// `K = BUCKETS_PER_DECADE`.
+    buckets: Vec<u64>,
+    /// Samples `< 1` (including zero and negative), which have no log
+    /// bucket of their own.
+    underflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            underflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> Option<usize> {
+        if value < 1.0 {
+            return None;
+        }
+        let idx = (value.log10() * BUCKETS_PER_DECADE as f64).floor() as usize;
+        Some(idx.min(NUM_BUCKETS - 1))
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_low(i: usize) -> f64 {
+        10f64.powf(i as f64 / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Record one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        match Self::bucket_index(value) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.underflow += 1,
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of all samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), approximated to the geometric
+    /// midpoint of the bucket containing the target rank and clamped to
+    /// the exact observed range. Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample (1-based), same convention as
+        // nearest-rank percentiles on a sorted array.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            // The target rank is the maximum sample, which we track exactly.
+            return self.max;
+        }
+        let mut seen = self.underflow;
+        if rank <= seen {
+            // All underflow samples are < 1; report the observed min.
+            return self.min;
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if rank <= seen {
+                let low = Self::bucket_low(i);
+                let high = Self::bucket_low(i + 1);
+                let mid = (low * high).sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_edge, upper_edge, count)` triples, in
+    /// increasing order — for textual bucket displays. The underflow
+    /// bucket, if populated, appears first as `(0, 1, count)`.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        let mut out = Vec::new();
+        if self.underflow > 0 {
+            out.push((0.0, 1.0, self.underflow));
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                out.push((Self::bucket_low(i), Self::bucket_low(i + 1), n));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={:.1} p99={:.1} p999={:.1} max={:.1}",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [3.0, 10.0, 250.0, 1_000_000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 250_065.75).abs() < 1e-9);
+        assert_eq!(h.min(), 3.0);
+        assert_eq!(h.max(), 1_000_000.0);
+    }
+
+    #[test]
+    fn quantiles_track_exact_within_bucket_tolerance() {
+        // Deterministic multi-decade sample stream via a tiny LCG.
+        let mut state = 0x1234_5678_u64;
+        let mut samples = Vec::new();
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread over [1, 1e6) with a log-uniform shape.
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let v = 10f64.powf(u * 6.0);
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&samples, q);
+            let approx = h.quantile(q);
+            // Half-bucket geometric tolerance: 10^(1/20) ≈ 1.122.
+            let ratio = approx / exact;
+            assert!(
+                (0.85..=1.15).contains(&ratio),
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(42.0);
+        // Single sample: every quantile is that sample.
+        assert_eq!(h.quantile(0.0), 42.0);
+        assert_eq!(h.quantile(0.5), 42.0);
+        assert_eq!(h.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_captured() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(0.5);
+        h.record(1e13);
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 1e13);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (0.0, 1.0, 2));
+        // Low quantiles report the exact min for underflow samples.
+        assert_eq!(h.quantile(0.1), 0.0);
+        // Top quantile clamps to the observed max.
+        assert_eq!(h.quantile(1.0), 1e13);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut state = 7u64;
+        for i in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let v = 1.0 + u * 99_999.0;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+}

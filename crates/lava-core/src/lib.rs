@@ -15,7 +15,12 @@
 //! * [`time`] — the simulated clock,
 //! * [`events`] — trace events shared between trace generation and replay,
 //! * [`source`] — the pull-based [`source::EventSource`] abstraction the
-//!   streaming discrete-event engine consumes events through.
+//!   streaming discrete-event engine consumes events through,
+//! * [`serve`] — the request/response vocabulary of the online placement
+//!   service ([`serve::PlaceRequest`], backpressure signals, the
+//!   microsecond [`serve::VirtualClock`]),
+//! * [`latency`] — the shared log-bucketed, mergeable
+//!   [`latency::LatencyHistogram`] every latency-reporting surface uses.
 //!
 //! # Example
 //!
@@ -38,9 +43,11 @@ pub mod cell;
 pub mod error;
 pub mod events;
 pub mod host;
+pub mod latency;
 pub mod lifetime;
 pub mod pool;
 pub mod resources;
+pub mod serve;
 pub mod source;
 pub mod time;
 pub mod vm;
@@ -51,9 +58,14 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::events::{TraceEvent, TraceEventKind};
     pub use crate::host::{Host, HostId, HostLifetimeState, HostSpec};
+    pub use crate::latency::LatencyHistogram;
     pub use crate::lifetime::{LifetimeClass, TemporalCostBuckets};
     pub use crate::pool::{Pool, PoolId};
     pub use crate::resources::Resources;
+    pub use crate::serve::{
+        Micros, PlaceOutcome, PlaceRequest, PlaceResponse, Rejected, ReleaseRequest, RequestId,
+        VirtualClock,
+    };
     pub use crate::source::EventSource;
     pub use crate::time::{Duration, SimTime};
     pub use crate::vm::{ProvisioningModel, Vm, VmFamily, VmId, VmPriority, VmSpec};

@@ -1,0 +1,370 @@
+//! Request/response vocabulary for the online placement service, and the
+//! microsecond-resolution virtual clock it runs on.
+//!
+//! Batch simulation ([`crate::time::SimTime`]) uses whole seconds: event
+//! *ordering* is what matters and second granularity keeps the timeline
+//! exact. A serving tier is different — its observable is **placement
+//! latency**, the time from a request entering the admission queue to the
+//! placement decision, and meaningful latency SLOs live in the
+//! microsecond-to-millisecond range. This module therefore introduces a
+//! second, finer time domain:
+//!
+//! * [`Micros`] — a virtual timestamp in whole microseconds since service
+//!   start. Integer, so request ordering and latency arithmetic are exact
+//!   and replays are bit-reproducible (the same reason `SimTime` is
+//!   integer seconds).
+//! * [`VirtualClock`] — the monotonic clock a deterministic serving engine
+//!   advances as it processes arrivals; never wall clock, so the same
+//!   request stream always produces the same decision sequence.
+//!
+//! The message types mirror a production allocator front-end:
+//! [`PlaceRequest`] and [`ReleaseRequest`] are the inbound messages,
+//! [`PlaceResponse`] the outcome of a decision, and [`Rejected`] the
+//! backpressure signal returned when admission control refuses to queue a
+//! request ([`Rejected::QueueFull`] when the bounded queue is at capacity,
+//! [`Rejected::Shed`] when a shedding policy drops the request with a
+//! retry-after hint).
+
+use crate::cell::CellId;
+use crate::host::HostId;
+use crate::time::{Duration, SimTime};
+use crate::vm::{VmId, VmSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual service time, in whole microseconds since service
+/// start.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// The service start.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Microseconds per simulated second.
+    pub const PER_SEC: u64 = 1_000_000;
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Micros {
+        Micros(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Micros {
+        Micros(ms.saturating_mul(1000))
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(secs: u64) -> Micros {
+        Micros(secs.saturating_mul(Self::PER_SEC))
+    }
+
+    /// The instant of a coarse simulation timestamp.
+    #[inline]
+    pub fn from_sim_time(t: SimTime) -> Micros {
+        Micros::from_secs(t.as_secs())
+    }
+
+    /// The microsecond span of a coarse simulation duration.
+    #[inline]
+    pub fn from_duration(d: Duration) -> Micros {
+        Micros::from_secs(d.as_secs())
+    }
+
+    /// Whole microseconds since service start.
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds since service start.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Fractional seconds since service start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / Self::PER_SEC as f64
+    }
+
+    /// The coarse simulation timestamp this instant falls in (floor to the
+    /// whole second) — how the serving tier addresses the second-resolution
+    /// cell schedulers underneath it.
+    #[inline]
+    pub fn to_sim_time(self) -> SimTime {
+        SimTime(self.0 / Self::PER_SEC)
+    }
+
+    /// Elapsed span since `earlier`, saturating at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: Micros) -> Micros {
+        Micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    #[inline]
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Micros {
+    #[inline]
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    /// Difference between two instants, saturating at zero.
+    #[inline]
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us < 1000 {
+            write!(f, "{us}us")
+        } else if us < Micros::PER_SEC {
+            write!(f, "{:.1}ms", us as f64 / 1000.0)
+        } else {
+            write!(f, "{:.2}s", us as f64 / Micros::PER_SEC as f64)
+        }
+    }
+}
+
+/// The monotonic virtual clock a serving engine runs on.
+///
+/// The engine advances it explicitly as it consumes the open-loop arrival
+/// stream; it never reads wall clock, so a seeded run is bit-reproducible.
+/// Advancing to a time in the past is a no-op (monotonicity is part of the
+/// determinism contract).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: Micros,
+}
+
+impl VirtualClock {
+    /// A clock at service start.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Advance to `t` if it is in the future; a past `t` leaves the clock
+    /// unchanged. Returns the (possibly unchanged) current time.
+    #[inline]
+    pub fn advance_to(&mut self, t: Micros) -> Micros {
+        self.now = self.now.max(t);
+        self.now
+    }
+}
+
+/// Identifier of one placement request, unique within a service run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// An inbound placement request: "find a host for this VM".
+///
+/// `lifetime` is the ground-truth lifetime carried for oracles and
+/// evaluation, mirroring the convention of
+/// [`TraceEvent`](crate::events::TraceEvent) — learned predictors must only
+/// look at the spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceRequest {
+    /// Request id (assigned by the arrival source, strictly increasing).
+    pub id: RequestId,
+    /// The VM to place.
+    pub vm: VmId,
+    /// Request-time attributes.
+    pub spec: VmSpec,
+    /// Ground-truth lifetime (visible to oracles / evaluation only).
+    pub lifetime: Duration,
+    /// When the request arrived at the service, in virtual time.
+    pub submitted: Micros,
+}
+
+/// An inbound release request: "this VM is gone, free its capacity".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseRequest {
+    /// The VM to release.
+    pub vm: VmId,
+    /// When the release arrived at the service, in virtual time.
+    pub submitted: Micros,
+}
+
+/// Why admission control refused to queue a request — the backpressure
+/// signal a caller sees instead of a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rejected {
+    /// The bounded request queue is at capacity. The caller should back
+    /// off; there is no useful retry hint because the queue is already
+    /// past its depth target.
+    QueueFull,
+    /// An admission policy shed the request to protect latency for the
+    /// requests already queued.
+    Shed {
+        /// Advisory backoff: roughly how long until the queue is expected
+        /// to drain back below its shed threshold.
+        retry_after: Micros,
+    },
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "queue full"),
+            Rejected::Shed { retry_after } => write!(f, "shed (retry after {retry_after})"),
+        }
+    }
+}
+
+/// What a placement decision concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlaceOutcome {
+    /// The VM was placed.
+    Placed {
+        /// The cell the router chose.
+        cell: CellId,
+        /// The host the cell's policy chose.
+        host: HostId,
+    },
+    /// No feasible host in the routed cell.
+    NoCapacity {
+        /// The cell the router chose.
+        cell: CellId,
+    },
+}
+
+/// The outcome of one admitted request, with the timestamps the latency
+/// SLO is computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaceResponse {
+    /// The request this responds to.
+    pub request: RequestId,
+    /// The VM the request was for.
+    pub vm: VmId,
+    /// What the decision concluded.
+    pub outcome: PlaceOutcome,
+    /// When the request entered the queue.
+    pub enqueued: Micros,
+    /// When the placement decision completed.
+    pub decided: Micros,
+}
+
+impl PlaceResponse {
+    /// Enqueue-to-decision latency — the quantity the serving tier's
+    /// p50/p99/p999 SLOs are defined over.
+    #[inline]
+    pub fn latency(&self) -> Micros {
+        self.decided.saturating_since(self.enqueued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::Resources;
+
+    #[test]
+    fn micros_conversions_and_arithmetic() {
+        assert_eq!(Micros::from_secs(2), Micros(2_000_000));
+        assert_eq!(Micros::from_millis(3), Micros(3000));
+        assert_eq!(Micros::from_sim_time(SimTime(5)), Micros(5_000_000));
+        assert_eq!(
+            Micros::from_duration(Duration::from_mins(1)),
+            Micros(60_000_000)
+        );
+        assert_eq!(Micros(2_500_000).to_sim_time(), SimTime(2));
+        assert_eq!(Micros(1500).as_millis_f64(), 1.5);
+        assert!((Micros(250_000).as_secs_f64() - 0.25).abs() < 1e-12);
+        assert_eq!(Micros(10) + Micros(5), Micros(15));
+        assert_eq!(Micros(10) - Micros(15), Micros::ZERO);
+        assert_eq!(Micros(15).saturating_since(Micros(10)), Micros(5));
+        assert_eq!(Micros(u64::MAX) + Micros(1), Micros(u64::MAX));
+    }
+
+    #[test]
+    fn micros_displays_human_scale() {
+        assert_eq!(Micros(500).to_string(), "500us");
+        assert_eq!(Micros(1500).to_string(), "1.5ms");
+        assert_eq!(Micros(2_500_000).to_string(), "2.50s");
+    }
+
+    #[test]
+    fn virtual_clock_is_monotonic() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now(), Micros::ZERO);
+        assert_eq!(clock.advance_to(Micros(100)), Micros(100));
+        // A past timestamp never rewinds the clock.
+        assert_eq!(clock.advance_to(Micros(50)), Micros(100));
+        assert_eq!(clock.now(), Micros(100));
+    }
+
+    #[test]
+    fn response_latency_is_enqueue_to_decision() {
+        let response = PlaceResponse {
+            request: RequestId(7),
+            vm: VmId(7),
+            outcome: PlaceOutcome::Placed {
+                cell: CellId(1),
+                host: HostId(3),
+            },
+            enqueued: Micros(1000),
+            decided: Micros(3500),
+        };
+        assert_eq!(response.latency(), Micros(2500));
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let request = PlaceRequest {
+            id: RequestId(1),
+            vm: VmId(9),
+            spec: VmSpec::builder(Resources::cores_gib(2, 8)).build(),
+            lifetime: Duration::from_hours(2),
+            submitted: Micros(42),
+        };
+        let json = serde_json::to_string(&request).unwrap();
+        let back: PlaceRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(request, back);
+
+        for rejected in [
+            Rejected::QueueFull,
+            Rejected::Shed {
+                retry_after: Micros(100),
+            },
+        ] {
+            let json = serde_json::to_string(&rejected).unwrap();
+            let back: Rejected = serde_json::from_str(&json).unwrap();
+            assert_eq!(rejected, back);
+        }
+    }
+}

@@ -31,6 +31,21 @@ pub struct SchedulerStats {
     pub migrations: u64,
 }
 
+/// The deterministic size of one placement decision's work, captured from
+/// cluster state at decision time.
+///
+/// The serving tier converts this into a virtual service time (its latency
+/// model): using measured wall-clock time would make replays
+/// machine-dependent, while host and live-VM counts are bit-reproducible
+/// and are what candidate generation and scoring actually scale with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionCost {
+    /// Hosts in the cluster at decision time.
+    pub hosts: usize,
+    /// Live VMs in the cluster at decision time.
+    pub live_vms: usize,
+}
+
 /// One scheduler action, emitted on the scheduler's event stream when event
 /// logging is enabled (see [`Scheduler::enable_event_log`]).
 ///
@@ -311,6 +326,32 @@ impl Scheduler {
         Ok(host)
     }
 
+    /// Schedule a new VM at `now`, also reporting the [`DecisionCost`] of
+    /// the decision — the deterministic size of the work the policy just
+    /// did, captured from cluster state at decision time.
+    ///
+    /// The serving tier uses this as the service-time input for its
+    /// virtual-clock latency model: wall-clock timing would make replays
+    /// machine-dependent, whereas (host count, live-VM count) reproduces
+    /// bit-identically and tracks how decision work actually scales.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Scheduler::schedule`]; the cost is reported for
+    /// rejected decisions too (a "no feasible host" answer still cost a
+    /// candidate scan).
+    pub fn schedule_costed(
+        &mut self,
+        vm: Vm,
+        now: SimTime,
+    ) -> (Result<HostId, ScheduleError>, DecisionCost) {
+        let cost = DecisionCost {
+            hosts: self.cluster.pool().host_count(),
+            live_vms: self.cluster.vm_count(),
+        };
+        (self.schedule(vm, now), cost)
+    }
+
     /// Process a VM exit at `now`. Returns the host it was on.
     ///
     /// # Errors
@@ -515,6 +556,42 @@ mod tests {
     fn predictor_accessor_returns_shared_instance() {
         let s = scheduler(Box::new(WasteMinimizationPolicy::new()));
         assert_eq!(s.predictor().name(), "oracle");
+    }
+
+    #[test]
+    fn schedule_costed_reports_decision_time_state() {
+        let mut s = scheduler(Box::new(WasteMinimizationPolicy::new()));
+        let (placed, cost) = s.schedule_costed(vm(1, 4), SimTime::ZERO);
+        assert!(placed.is_ok());
+        assert_eq!(
+            cost,
+            DecisionCost {
+                hosts: 4,
+                live_vms: 0
+            }
+        );
+
+        // The second decision sees the first VM live.
+        let (placed, cost) = s.schedule_costed(vm(2, 4), SimTime::ZERO);
+        assert!(placed.is_ok());
+        assert_eq!(
+            cost,
+            DecisionCost {
+                hosts: 4,
+                live_vms: 1
+            }
+        );
+
+        // Cost is reported for rejected decisions too.
+        let huge = Vm::new(
+            VmId(3),
+            VmSpec::builder(Resources::cores_gib(1000, 4000)).build(),
+            SimTime::ZERO,
+            Duration::from_hours(1),
+        );
+        let (placed, cost) = s.schedule_costed(huge, SimTime::ZERO);
+        assert!(placed.is_err());
+        assert_eq!(cost.live_vms, 2);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! The bounded request queue the service's mailboxes are built on.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue with a high-water mark.
+///
+/// This is the deterministic, single-threaded core of a bounded MPSC
+/// mailbox: the serving engine runs on a virtual clock, so "concurrent"
+/// producers are already serialised into one arrival-ordered stream by the
+/// time they reach the queue, and what remains of an MPSC channel is
+/// exactly this — a FIFO with a capacity bound that rejects instead of
+/// blocking (`try_send` semantics; a virtual-time engine must never
+/// block), plus the depth instrumentation admission control reads.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    bound: usize,
+    high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `bound` items.
+    pub fn new(bound: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            items: VecDeque::new(),
+            bound,
+            high_water: 0,
+        }
+    }
+
+    /// Enqueue `item`, or hand it back if the queue is full (the
+    /// `try_send` backpressure signal).
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.bound {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The oldest item, if any, without dequeueing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_bound() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        // Full: the rejected item comes back to the caller.
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek(), Some(&1));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        q.pop();
+        q.pop();
+        q.push(4).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.bound(), 8);
+    }
+}

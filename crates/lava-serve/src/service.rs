@@ -1,0 +1,617 @@
+//! The placement service engine: a virtual-time single-server queueing
+//! system over the fleet router and per-cell schedulers.
+
+use crate::queue::BoundedQueue;
+use lava_core::cell::CellId;
+use lava_core::events::TraceEvent;
+use lava_core::latency::LatencyHistogram;
+use lava_core::serve::{
+    Micros, PlaceOutcome, PlaceRequest, PlaceResponse, Rejected, ReleaseRequest, VirtualClock,
+};
+use lava_core::time::Duration;
+use lava_core::vm::{Vm, VmId};
+use lava_model::predictor::LifetimePredictor;
+use lava_sched::cluster::Cluster;
+use lava_sched::scheduler::Scheduler;
+use lava_sim::arrivals::{AdmissionPolicy, ArrivalGenerator, ServeConfig};
+use lava_sim::experiment::{ExperimentSpec, SpecError};
+use lava_sim::fleet::{FleetConfig, Router};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Reprediction sample cap used when refreshing cell summaries — same
+/// bound the batch fleet engine uses (`fleet::SUMMARY_SAMPLE_CAP`).
+const SUMMARY_SAMPLE_CAP: usize = 64;
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Aggregate outcome of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests offered (admitted + rejected).
+    pub offered: u64,
+    /// Requests placed on a host.
+    pub placed: u64,
+    /// Admitted requests whose routed cell had no feasible host.
+    pub no_capacity: u64,
+    /// Requests shed by the admission policy.
+    pub shed: u64,
+    /// Requests rejected because the queue was physically full.
+    pub queue_full: u64,
+    /// VM exits applied (internally scheduled ones plus external
+    /// releases).
+    pub released: u64,
+    /// Enqueue-to-decision latency of every admitted request, in
+    /// microseconds.
+    pub latency: LatencyHistogram,
+    /// Deepest the place queue ever was.
+    pub queue_high_water: usize,
+    /// Largest backlog of pending releases/exits.
+    pub release_backlog_high_water: usize,
+    /// Rolling hash over the full decision sequence (request id, outcome,
+    /// cell/host, decision time). Two runs of the same seed must produce
+    /// the same digest — the deterministic-replay contract.
+    pub decision_digest: u64,
+    /// The offered-arrival horizon the run covered.
+    pub horizon: Micros,
+    /// Virtual time of the last decision.
+    pub finished_at: Micros,
+}
+
+impl ServeReport {
+    /// Successfully placed requests per offered second — the "useful work"
+    /// rate the saturation sweep watches for collapse.
+    pub fn goodput_per_sec(&self) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.placed as f64 / secs
+        }
+    }
+
+    /// Fraction of offered requests rejected before placement (shed or
+    /// queue-full).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.shed + self.queue_full) as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Errors a serving run can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The spec has no `serve` section.
+    MissingServeConfig,
+    /// The spec failed validation.
+    Spec(SpecError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::MissingServeConfig => {
+                write!(f, "experiment spec has no serve configuration")
+            }
+            ServeError::Spec(e) => write!(f, "invalid spec: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<SpecError> for ServeError {
+    fn from(e: SpecError) -> ServeError {
+        ServeError::Spec(e)
+    }
+}
+
+/// The request-driven placement engine.
+///
+/// One `PlacementService` wraps a fleet — a [`Router`] and one
+/// [`Scheduler`] per cell — behind a bounded place queue and runs it as a
+/// single-server queueing system on a microsecond [`VirtualClock`]:
+///
+/// 1. **Admission** happens at arrival time: a physically full queue
+///    rejects with [`Rejected::QueueFull`]; otherwise the configured
+///    [`AdmissionPolicy`] may shed with a retry-after hint.
+/// 2. **Service** consumes the queue in FIFO order. A decision starts at
+///    `max(server free, request arrival)`, routes the request through the
+///    fleet router, asks the routed cell's scheduler for a host
+///    ([`Scheduler::schedule_costed`]) and completes after the virtual
+///    service time the [`ServiceModel`](lava_sim::arrivals::ServiceModel)
+///    assigns to that decision's cost.
+/// 3. **Releases** (internally scheduled VM exits, plus any external
+///    [`ReleaseRequest`]s) are merged into the same virtual timeline, so
+///    capacity frees exactly when it should relative to decisions.
+///
+/// Everything is a pure function of (config, seed): no wall clock, no
+/// thread scheduling, no hashing nondeterminism — the decision digest of
+/// a run replays bit-identically.
+pub struct PlacementService {
+    config: ServeConfig,
+    clock: VirtualClock,
+    /// When the decision server frees up.
+    busy_until: Micros,
+    /// Virtual service time of the most recent decision (retry-after
+    /// estimates).
+    last_service: Micros,
+    queue: BoundedQueue<PlaceRequest>,
+    router: Router,
+    cells: Vec<Scheduler>,
+    /// Shared by the router and the admission policy (the cells predict
+    /// through their policies' own clones).
+    predictor: Arc<dyn LifetimePredictor>,
+    /// Pending capacity releases: internally scheduled exits of placed
+    /// VMs plus external release requests, ordered by due time then VM id.
+    releases: BinaryHeap<Reverse<(Micros, VmId)>>,
+    release_backlog_high_water: usize,
+    /// Next summary-refresh boundary (`Micros::MAX`-like sentinel when the
+    /// router does not consume summaries).
+    next_refresh: Option<Micros>,
+    refresh_every: Micros,
+    offered: u64,
+    placed: u64,
+    no_capacity: u64,
+    shed: u64,
+    queue_full: u64,
+    released: u64,
+    latency: LatencyHistogram,
+    digest: u64,
+    finished_at: Micros,
+}
+
+impl PlacementService {
+    /// Build a service over pre-built cells.
+    ///
+    /// `cells` are (pool, policy) pairs as produced by
+    /// [`FleetConfig::build_cells`]; `fleet` supplies the router spec and
+    /// the summary-refresh cadence; `predictor` is shared by the router
+    /// and the admission policy (the per-cell schedulers hold their own
+    /// clone of it via their policies).
+    pub fn new(
+        config: ServeConfig,
+        fleet: &FleetConfig,
+        cells: Vec<lava_sim::fleet::FleetCell>,
+        predictor: Arc<dyn LifetimePredictor>,
+    ) -> PlacementService {
+        let router = Router::new(fleet.router, cells.len());
+        let schedulers: Vec<Scheduler> = cells
+            .into_iter()
+            .map(|cell| Scheduler::new(Cluster::new(cell.pool), cell.policy, predictor.clone()))
+            .collect();
+        let refresh_every = Micros::from_duration(fleet.summary_refresh);
+        // Summary routers get their first snapshot before the first
+        // decision, mirroring the batch fleet engine's epoch-start refresh.
+        let next_refresh = router.needs_summaries().then_some(Micros::ZERO);
+        let queue = BoundedQueue::new(config.queue_bound);
+        PlacementService {
+            config,
+            clock: VirtualClock::new(),
+            busy_until: Micros::ZERO,
+            last_service: Micros::ZERO,
+            queue,
+            router,
+            cells: schedulers,
+            predictor,
+            releases: BinaryHeap::new(),
+            release_backlog_high_water: 0,
+            next_refresh,
+            refresh_every,
+            offered: 0,
+            placed: 0,
+            no_capacity: 0,
+            shed: 0,
+            queue_full: 0,
+            released: 0,
+            latency: LatencyHistogram::new(),
+            digest: 0,
+            finished_at: Micros::ZERO,
+        }
+    }
+
+    /// Offer one placement request. Returns `Ok(())` if it was admitted to
+    /// the queue, or the backpressure signal if it was rejected.
+    pub fn offer(&mut self, request: PlaceRequest) -> Result<(), Rejected> {
+        let now = self.clock.advance_to(request.submitted);
+        self.drain_until(now);
+        self.offered += 1;
+
+        if self.queue.len() >= self.queue.bound() {
+            self.queue_full += 1;
+            return Err(Rejected::QueueFull);
+        }
+        if let Some(threshold) = self.config.admission.shed_threshold() {
+            if self.queue.len() >= threshold && !self.spared(&request, now) {
+                self.shed += 1;
+                // Advisory backoff: the excess backlog times a typical
+                // decision, i.e. roughly when the queue drains back below
+                // the threshold.
+                let excess = (self.queue.len() + 1 - threshold) as u64;
+                let typical = self
+                    .last_service
+                    .as_micros()
+                    .max(self.config.service.base_decision_us);
+                return Err(Rejected::Shed {
+                    retry_after: Micros(excess.saturating_mul(typical)),
+                });
+            }
+        }
+        self.queue
+            .push(request)
+            .expect("depth checked against bound above");
+        Ok(())
+    }
+
+    /// Whether a lifetime-aware policy spares this request from shedding.
+    fn spared(&self, request: &PlaceRequest, now: Micros) -> bool {
+        match self.config.admission {
+            AdmissionPolicy::LifetimeShed { min_predicted, .. } => {
+                let at = now.to_sim_time();
+                let record = Vm::new(request.vm, request.spec.clone(), at, request.lifetime);
+                self.predictor.predict_remaining(&record, at) >= min_predicted
+            }
+            _ => false,
+        }
+    }
+
+    /// Submit an external release (VM exit). Releases are merged into the
+    /// virtual timeline and applied at their submission time; they must
+    /// name a VM this service placed.
+    pub fn release(&mut self, release: ReleaseRequest) {
+        let now = self.clock.advance_to(release.submitted);
+        self.schedule_release(release.submitted.max(now), release.vm);
+        self.drain_until(now);
+    }
+
+    fn schedule_release(&mut self, due: Micros, vm: VmId) {
+        self.releases.push(Reverse((due, vm)));
+        self.release_backlog_high_water = self.release_backlog_high_water.max(self.releases.len());
+    }
+
+    /// Process every release, refresh and queued decision due up to `now`,
+    /// in virtual-timestamp order.
+    fn drain_until(&mut self, now: Micros) {
+        loop {
+            // Next decision start, if the server could begin one.
+            let decision_start = self
+                .queue
+                .peek()
+                .map(|head| self.busy_until.max(head.submitted));
+            let release_due = self.releases.peek().map(|Reverse((due, _))| *due);
+            // The earliest actionable event; releases break ties so
+            // capacity frees before the decision that could use it.
+            let next = match (decision_start, release_due) {
+                (None, None) => break,
+                (Some(s), None) => s,
+                (None, Some(e)) => e,
+                (Some(s), Some(e)) => s.min(e),
+            };
+            if next > now {
+                break;
+            }
+            if let Some(refresh_at) = self.next_refresh {
+                if refresh_at <= next {
+                    self.refresh_summaries(refresh_at);
+                    continue;
+                }
+            }
+            if release_due.is_some_and(|e| e <= next) {
+                let Reverse((due, vm)) = self.releases.pop().expect("peeked above");
+                self.apply_release(due, vm);
+            } else {
+                let start = next;
+                let request = self.queue.pop().expect("peeked above");
+                self.decide(request, start);
+            }
+        }
+    }
+
+    /// Refresh the router's frozen cell summaries at an epoch boundary.
+    fn refresh_summaries(&mut self, at: Micros) {
+        let sim_now = at.to_sim_time();
+        let summaries = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| cell.cell_summary(CellId(i as u32), sim_now, SUMMARY_SAMPLE_CAP))
+            .collect();
+        self.router.refresh(summaries);
+        self.next_refresh = Some(at + self.refresh_every);
+    }
+
+    /// Apply one VM exit: route it to the cell that placed the VM and free
+    /// the capacity there.
+    fn apply_release(&mut self, due: Micros, vm: VmId) {
+        let sim_now = due.to_sim_time();
+        let cell = self
+            .router
+            .route(&TraceEvent::exit(sim_now, vm), &*self.predictor);
+        // A release for a VM the cell rejected (or never saw) is a no-op.
+        if self.cells[cell].exit(vm, sim_now).is_ok() {
+            self.released += 1;
+        }
+    }
+
+    /// Serve one admitted request: route, place, account the decision.
+    fn decide(&mut self, request: PlaceRequest, start: Micros) {
+        let sim_now = start.to_sim_time();
+        let event = TraceEvent::create(sim_now, request.vm, request.spec.clone(), request.lifetime);
+        let cell = self.router.route(&event, &*self.predictor);
+        let record = Vm::new(request.vm, request.spec.clone(), sim_now, request.lifetime);
+        let (placed, cost) = self.cells[cell].schedule_costed(record, sim_now);
+        let service_time = self.config.service.service_time(cost.hosts, cost.live_vms);
+        let decided = start + service_time;
+        self.busy_until = decided;
+        self.last_service = service_time;
+        self.finished_at = decided;
+
+        let outcome = match placed {
+            Ok(host) => {
+                self.placed += 1;
+                // Schedule the VM's own exit so capacity frees itself —
+                // the internal half of the release stream.
+                self.schedule_release(
+                    decided + Micros::from_duration(request.lifetime.max(Duration::from_secs(1))),
+                    request.vm,
+                );
+                PlaceOutcome::Placed {
+                    cell: CellId(cell as u32),
+                    host,
+                }
+            }
+            Err(_) => {
+                self.no_capacity += 1;
+                PlaceOutcome::NoCapacity {
+                    cell: CellId(cell as u32),
+                }
+            }
+        };
+        let response = PlaceResponse {
+            request: request.id,
+            vm: request.vm,
+            outcome,
+            enqueued: request.submitted,
+            decided,
+        };
+        self.latency.record(response.latency().as_micros() as f64);
+        self.digest = mix64(
+            self.digest
+                ^ mix64(request.id.0)
+                ^ mix64(decided.as_micros())
+                ^ match outcome {
+                    PlaceOutcome::Placed { cell, host } => {
+                        mix64(1 ^ ((cell.0 as u64) << 8) ^ (host.0 << 24))
+                    }
+                    PlaceOutcome::NoCapacity { cell } => mix64(2 ^ ((cell.0 as u64) << 8)),
+                },
+        );
+    }
+
+    /// Current place-queue depth (admitted, not yet decided).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drain every queued decision and pending release, then produce the
+    /// run's report. `horizon` is the offered-arrival window goodput is
+    /// normalised over.
+    pub fn finish(mut self, horizon: Micros) -> ServeReport {
+        // Everything still queued gets served; releases beyond the horizon
+        // just unwind bookkeeping.
+        self.drain_until(Micros(u64::MAX));
+        ServeReport {
+            offered: self.offered,
+            placed: self.placed,
+            no_capacity: self.no_capacity,
+            shed: self.shed,
+            queue_full: self.queue_full,
+            released: self.released,
+            latency: self.latency,
+            queue_high_water: self.queue.high_water(),
+            release_backlog_high_water: self.release_backlog_high_water,
+            decision_digest: self.digest,
+            horizon,
+            finished_at: self.finished_at,
+        }
+    }
+}
+
+/// Run the serving scenario an [`ExperimentSpec`] describes: build the
+/// fleet (or a single default cell), generate the open-loop arrival
+/// stream, offer every request, and report.
+///
+/// # Errors
+///
+/// [`ServeError::MissingServeConfig`] when the spec has no `serve`
+/// section; [`ServeError::Spec`] when validation fails.
+pub fn run_serve(spec: &ExperimentSpec) -> Result<ServeReport, ServeError> {
+    spec.validate()?;
+    let serve = spec.serve.clone().ok_or(ServeError::MissingServeConfig)?;
+    let fleet = spec.fleet.clone().unwrap_or_else(|| FleetConfig::new(1));
+    let predictor = spec.predictor.build(&spec.workload);
+    let cells = fleet.build_cells(&spec.workload, |_| {
+        (spec.policy.build(predictor.clone()), None)
+    });
+    let mut service = PlacementService::new(serve.clone(), &fleet, cells, predictor);
+
+    let workload = lava_sim::workload::WorkloadGenerator::new(spec.workload.clone());
+    let horizon = Micros::from_duration(spec.workload.duration);
+    let mut arrivals = ArrivalGenerator::from_config(workload, &serve, horizon);
+    while let Some(request) = arrivals.next_request() {
+        let _ = service.offer(request);
+    }
+    Ok(service.finish(horizon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lava_core::time::Duration;
+    use lava_sched::Algorithm;
+    use lava_sim::arrivals::ArrivalProcess;
+    use lava_sim::experiment::{Experiment, PredictorSpec};
+    use lava_sim::RouterSpec;
+
+    fn serve_spec(seed: u64, rate: f64) -> ExperimentSpec {
+        Experiment::builder()
+            .name("serve-test")
+            .hosts(24)
+            .duration(Duration::from_mins(30))
+            .seed(seed)
+            .predictor(PredictorSpec::Oracle)
+            .algorithm(Algorithm::Nilas)
+            .serve(ServeConfig::at_rate(rate))
+            .build()
+            .expect("valid spec")
+    }
+
+    /// An overload scenario that stays cheap to execute: a deliberately
+    /// slow decision server (~500 decisions/s) offered 2× its capacity
+    /// for 20 virtual seconds.
+    fn overload_spec(seed: u64) -> (ExperimentSpec, ServeConfig) {
+        let mut spec = serve_spec(seed, 1000.0);
+        spec.workload.duration = Duration::from_secs(20);
+        let serve = ServeConfig::at_rate(1000.0).with_service(lava_sim::arrivals::ServiceModel {
+            base_decision_us: 2000,
+            per_host_ns: 500,
+            per_vm_ns: 100,
+        });
+        (spec, serve)
+    }
+
+    #[test]
+    fn missing_serve_config_is_an_error() {
+        let mut spec = serve_spec(1, 10.0);
+        spec.serve = None;
+        assert_eq!(
+            run_serve(&spec).map(|_| ()),
+            Err(ServeError::MissingServeConfig)
+        );
+    }
+
+    #[test]
+    fn invalid_spec_is_surfaced() {
+        let mut spec = serve_spec(1, 10.0);
+        spec.serve = Some(ServeConfig::at_rate(0.0));
+        assert!(matches!(run_serve(&spec), Err(ServeError::Spec(_))));
+    }
+
+    #[test]
+    fn light_decision_load_keeps_latency_near_service_time() {
+        // 5 req/s against a ~4000/s decision server: the queue never
+        // builds, so every admitted request's latency is one service time.
+        // (The 24-host *pool* does saturate — lifetimes are hours — so
+        // NoCapacity decisions are expected physics; the serving tier's
+        // own observables are what this test pins.)
+        let report = run_serve(&serve_spec(3, 5.0)).expect("runs");
+        assert!(report.offered > 1000, "offered {}", report.offered);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.queue_full, 0);
+        assert_eq!(report.placed + report.no_capacity, report.offered);
+        assert!(report.placed > 0);
+        assert_eq!(report.latency.count(), report.offered);
+        assert!(
+            report.latency.quantile(0.5) < 5_000.0,
+            "p50 {}",
+            report.latency.quantile(0.5)
+        );
+        assert_eq!(report.shed_rate(), 0.0);
+        assert!(report.queue_high_water <= 2);
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let a = run_serve(&serve_spec(7, 20.0)).expect("runs");
+        let b = run_serve(&serve_spec(7, 20.0)).expect("runs");
+        assert_eq!(a.decision_digest, b.decision_digest);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.latency.quantile(0.99), b.latency.quantile(0.99));
+        let c = run_serve(&serve_spec(8, 20.0)).expect("runs");
+        assert_ne!(a.decision_digest, c.decision_digest);
+    }
+
+    #[test]
+    fn tiny_queue_signals_queue_full() {
+        let (mut spec, serve) = overload_spec(5);
+        spec.serve = Some(serve.with_queue_bound(4));
+        let report = run_serve(&spec).expect("runs");
+        assert!(report.queue_full > 0, "expected QueueFull rejections");
+        assert!(report.queue_high_water <= 4);
+        assert!(report.shed_rate() > 0.0);
+    }
+
+    #[test]
+    fn depth_shed_keeps_queue_below_bound() {
+        let (mut spec, serve) = overload_spec(5);
+        spec.serve = Some(
+            serve
+                .with_queue_bound(64)
+                .with_admission(AdmissionPolicy::DepthShed { shed_threshold: 8 }),
+        );
+        let report = run_serve(&spec).expect("runs");
+        assert!(report.shed > 0, "expected sheds");
+        assert_eq!(report.queue_full, 0, "shedding must preempt QueueFull");
+        // The shed threshold caps the backlog well below the bound.
+        assert!(
+            report.queue_high_water <= 9,
+            "high water {}",
+            report.queue_high_water
+        );
+    }
+
+    #[test]
+    fn lifetime_shed_spares_long_lived_vms() {
+        let (mut spec, serve) = overload_spec(5);
+        spec.serve = Some(serve.with_queue_bound(64).with_admission(
+            AdmissionPolicy::LifetimeShed {
+                shed_threshold: 8,
+                min_predicted: Duration::from_hours(12),
+            },
+        ));
+        let report = run_serve(&spec).expect("runs");
+        assert!(report.shed > 0);
+        // Sparing long-lived VMs lets the queue exceed the bare threshold.
+        assert!(report.queue_high_water > 8);
+    }
+
+    #[test]
+    fn fleet_run_routes_across_cells() {
+        let mut spec = serve_spec(11, 40.0);
+        spec.workload.hosts = 32;
+        spec.workload.duration = Duration::from_mins(10);
+        spec.fleet = Some(FleetConfig::new(4).with_router(RouterSpec::LifetimeAware));
+        let report = run_serve(&spec).expect("runs");
+        assert!(report.offered > 1000);
+        assert!(report.placed > 0);
+        assert_eq!(report.placed + report.no_capacity, report.offered);
+    }
+
+    #[test]
+    fn burst_arrivals_run_end_to_end() {
+        let mut spec = serve_spec(13, 50.0);
+        spec.workload.duration = Duration::from_mins(10);
+        spec.serve = Some(
+            ServeConfig::at_rate(50.0).with_arrival(ArrivalProcess::Burst {
+                period: Duration::from_secs(120),
+                burst_len: Duration::from_secs(15),
+                amplitude: 6.0,
+            }),
+        );
+        let report = run_serve(&spec).expect("runs");
+        assert!(report.offered > 1000);
+        assert_eq!(report.placed + report.no_capacity, report.offered);
+    }
+}

@@ -33,6 +33,7 @@
 //! ```
 
 use crate::ab::{paired_comparison, AbResult};
+use crate::arrivals::{ArrivalProcess, ServeConfig};
 use crate::causal::{causal_impact, CausalConfig, CausalImpactReport};
 use crate::chaos::{AdaptationSpec, ChaosController, ChaosSource, IncidentPlan};
 use crate::defrag::{simulate_migration_queue, EvacuationCollector, MigrationOrder};
@@ -410,6 +411,12 @@ pub struct ExperimentSpec {
     /// to everything off.
     #[serde(default)]
     pub adaptation: AdaptationSpec,
+    /// The optional serving tier: run this spec's workload/fleet as an
+    /// online placement service under an open-loop arrival process (see
+    /// [`ServeConfig`](crate::arrivals::ServeConfig)). `None` — what
+    /// pre-serve spec JSON parses to — means batch simulation.
+    #[serde(default)]
+    pub serve: Option<ServeConfig>,
     /// Record every lifetime prediction (with ground truth) made during the
     /// primary run and return them in the report (Fig. 12's error
     /// analysis). Under `AbSplit` only the final arm records.
@@ -429,6 +436,7 @@ impl Default for ExperimentSpec {
             fleet: None,
             incidents: IncidentPlan::default(),
             adaptation: AdaptationSpec::default(),
+            serve: None,
             record_predictions: false,
         }
     }
@@ -501,6 +509,19 @@ pub enum SpecError {
         /// Index of the offending incident in the plan.
         index: usize,
     },
+    /// The serving tier has a zero request-queue bound (every request
+    /// would be rejected `QueueFull`; nothing would ever be served).
+    ServeZeroQueueBound,
+    /// The serving tier's target arrival rate is zero, negative or
+    /// non-finite.
+    ServeZeroTargetRate,
+    /// A shedding admission policy's threshold is at or above the queue
+    /// bound, so shedding could never trigger before `QueueFull`.
+    ServeShedThresholdTooHigh,
+    /// The serving tier's arrival process has degenerate parameters
+    /// (zero period, burst longer than its period, non-positive burst
+    /// amplitude, or a diurnal amplitude outside `[0, 1)`).
+    ServeInvalidArrival,
 }
 
 impl fmt::Display for SpecError {
@@ -565,6 +586,18 @@ impl fmt::Display for SpecError {
                     f,
                     "incident {index} has a non-finite or non-positive lifetime scale"
                 )
+            }
+            SpecError::ServeZeroQueueBound => {
+                write!(f, "serving tier needs a non-zero request-queue bound")
+            }
+            SpecError::ServeZeroTargetRate => {
+                write!(f, "serving tier needs a positive, finite target rate")
+            }
+            SpecError::ServeShedThresholdTooHigh => {
+                write!(f, "admission shed threshold must be below the queue bound")
+            }
+            SpecError::ServeInvalidArrival => {
+                write!(f, "serving arrival process has degenerate parameters")
             }
         }
     }
@@ -644,6 +677,41 @@ impl ExperimentSpec {
         }
         let cells = self.fleet.as_ref().map_or(1, |f| f.cells);
         self.incidents.validate(cells)?;
+        if let Some(serve) = &self.serve {
+            if serve.queue_bound == 0 {
+                return Err(SpecError::ServeZeroQueueBound);
+            }
+            if !serve.target_rate_per_sec.is_finite() || serve.target_rate_per_sec <= 0.0 {
+                return Err(SpecError::ServeZeroTargetRate);
+            }
+            if let Some(threshold) = serve.admission.shed_threshold() {
+                if threshold >= serve.queue_bound {
+                    return Err(SpecError::ServeShedThresholdTooHigh);
+                }
+            }
+            match serve.arrival {
+                ArrivalProcess::Poisson => {}
+                ArrivalProcess::Burst {
+                    period,
+                    burst_len,
+                    amplitude,
+                } => {
+                    if period.is_zero()
+                        || burst_len.is_zero()
+                        || burst_len >= period
+                        || !amplitude.is_finite()
+                        || amplitude <= 0.0
+                    {
+                        return Err(SpecError::ServeInvalidArrival);
+                    }
+                }
+                ArrivalProcess::Diurnal { period, amplitude } => {
+                    if period.is_zero() || !(0.0..1.0).contains(&amplitude) {
+                        return Err(SpecError::ServeInvalidArrival);
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -822,6 +890,12 @@ impl ExperimentBuilder {
     /// Enable adaptive model management (online recalibration).
     pub fn adaptation(mut self, adaptation: AdaptationSpec) -> Self {
         self.spec.adaptation = adaptation;
+        self
+    }
+
+    /// Attach a serving-tier configuration (online placement service).
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.spec.serve = Some(serve);
         self
     }
 
@@ -1885,6 +1959,85 @@ mod tests {
         spec.workload.categories.clear();
         assert_eq!(spec.validate().unwrap_err(), SpecError::EmptyWorkloadMix);
         assert!(!SpecError::ZeroHosts.to_string().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_serve_configs() {
+        use crate::arrivals::{AdmissionPolicy, ArrivalProcess, ServeConfig};
+        let reject = |serve: ServeConfig, expected: SpecError| {
+            let err = ExperimentBuilder::new().serve(serve).build().unwrap_err();
+            assert_eq!(err, expected);
+            assert!(!err.to_string().is_empty());
+        };
+        reject(
+            ServeConfig::default().with_queue_bound(0),
+            SpecError::ServeZeroQueueBound,
+        );
+        reject(ServeConfig::at_rate(0.0), SpecError::ServeZeroTargetRate);
+        reject(ServeConfig::at_rate(-5.0), SpecError::ServeZeroTargetRate);
+        reject(
+            ServeConfig::at_rate(f64::INFINITY),
+            SpecError::ServeZeroTargetRate,
+        );
+        reject(
+            ServeConfig::at_rate(f64::NAN),
+            SpecError::ServeZeroTargetRate,
+        );
+        reject(
+            ServeConfig::default()
+                .with_queue_bound(64)
+                .with_admission(AdmissionPolicy::DepthShed { shed_threshold: 64 }),
+            SpecError::ServeShedThresholdTooHigh,
+        );
+        reject(
+            ServeConfig::default().with_arrival(ArrivalProcess::Burst {
+                period: Duration::from_secs(60),
+                burst_len: Duration::from_secs(60),
+                amplitude: 4.0,
+            }),
+            SpecError::ServeInvalidArrival,
+        );
+        reject(
+            ServeConfig::default().with_arrival(ArrivalProcess::Burst {
+                period: Duration::from_secs(60),
+                burst_len: Duration::from_secs(10),
+                amplitude: 0.0,
+            }),
+            SpecError::ServeInvalidArrival,
+        );
+        reject(
+            ServeConfig::default().with_arrival(ArrivalProcess::Diurnal {
+                period: Duration::ZERO,
+                amplitude: 0.5,
+            }),
+            SpecError::ServeInvalidArrival,
+        );
+        reject(
+            ServeConfig::default().with_arrival(ArrivalProcess::Diurnal {
+                period: Duration::from_hours(24),
+                amplitude: 1.0,
+            }),
+            SpecError::ServeInvalidArrival,
+        );
+
+        // Well-formed serve configs (including the shedding policies at a
+        // legal threshold) pass.
+        let ok = ExperimentBuilder::new()
+            .serve(
+                ServeConfig::at_rate(50.0)
+                    .with_queue_bound(64)
+                    .with_admission(AdmissionPolicy::LifetimeShed {
+                        shed_threshold: 32,
+                        min_predicted: Duration::from_hours(1),
+                    })
+                    .with_arrival(ArrivalProcess::Burst {
+                        period: Duration::from_secs(60),
+                        burst_len: Duration::from_secs(10),
+                        amplitude: 6.0,
+                    }),
+            )
+            .build();
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -553,7 +553,11 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// The serial routing state: assigns every source event to a cell. Lives
 /// on the coordinating thread; never touched concurrently.
-struct Router {
+///
+/// Public so the serving tier (`lava-serve`) can reuse the exact routing
+/// policies of the batch fleet engine for its request stream — one router
+/// implementation, two front-ends.
+pub struct Router {
     spec: RouterSpec,
     cells: usize,
     /// Round-robin position (persists across refreshes).
@@ -571,7 +575,8 @@ struct Router {
 }
 
 impl Router {
-    fn new(spec: RouterSpec, cells: usize) -> Router {
+    /// A router for `cells` cells following `spec`.
+    pub fn new(spec: RouterSpec, cells: usize) -> Router {
         Router {
             spec,
             cells,
@@ -582,13 +587,15 @@ impl Router {
         }
     }
 
-    fn needs_summaries(&self) -> bool {
+    /// Whether this router consumes cell summaries (and therefore needs
+    /// periodic [`Router::refresh`] calls).
+    pub fn needs_summaries(&self) -> bool {
         self.spec.needs_summaries(self.cells)
     }
 
     /// Install the epoch's frozen summaries and reset the in-flight
     /// accumulators.
-    fn refresh(&mut self, summaries: Vec<CellSummary>) {
+    pub fn refresh(&mut self, summaries: Vec<CellSummary>) {
         debug_assert_eq!(summaries.len(), self.cells);
         self.summaries = summaries;
         self.routed_cpu.iter_mut().for_each(|c| *c = 0);
@@ -596,7 +603,7 @@ impl Router {
 
     /// Assign `event` to a cell. Creates are routed by the spec'd policy;
     /// exits follow their create.
-    fn route(&mut self, event: &TraceEvent, predictor: &dyn LifetimePredictor) -> usize {
+    pub fn route(&mut self, event: &TraceEvent, predictor: &dyn LifetimePredictor) -> usize {
         if self.cells == 1 {
             return 0;
         }

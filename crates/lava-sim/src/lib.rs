@@ -20,6 +20,10 @@
 //!   degradations, drift shifts, arrival storms) executed by
 //!   [`chaos::ChaosSource`] / [`chaos::ChaosController`], plus the
 //!   online-recalibration loop of [`chaos::AdaptationSpec`],
+//! * [`arrivals`] — **open-loop arrival generation for the serving
+//!   tier**: seeded, deterministic [`arrivals::ArrivalProcess`]es
+//!   (Poisson / burst / diurnal, mean-rate normalised) and the
+//!   declarative [`arrivals::ServeConfig`] riding on the spec,
 //! * [`suite`] — [`suite::ExperimentSuite`], parallel multi-arm sweeps
 //!   with bit-identical per-arm results,
 //! * [`observer`] — the [`SimObserver`] trait and the provided observers
@@ -66,6 +70,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ab;
+pub mod arrivals;
 pub mod causal;
 pub mod chaos;
 pub mod defrag;
@@ -82,12 +87,13 @@ pub mod trace;
 pub mod validation;
 pub mod workload;
 
+pub use arrivals::{AdmissionPolicy, ArrivalGenerator, ArrivalProcess, ServeConfig, ServiceModel};
 pub use chaos::{AdaptationSpec, Incident, IncidentPlan, OutageMode, RecalibrationSpec};
 pub use experiment::{
     Experiment, ExperimentBuilder, ExperimentReport, ExperimentSpec, PolicySpec, PredictorSpec,
     Scenario, SourceMode,
 };
-pub use fleet::{CellOverride, FleetChaos, FleetConfig, FleetReport, RouterSpec};
+pub use fleet::{CellOverride, FleetChaos, FleetConfig, FleetReport, Router, RouterSpec};
 pub use observer::{ObserverContext, SimObserver};
 pub use suite::ExperimentSuite;
 pub use trace::TraceSource;

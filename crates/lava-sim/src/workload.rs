@@ -422,6 +422,19 @@ impl WorkloadGenerator {
             .build()
     }
 
+    /// Sample one request-shaped VM at virtual time `at`: a category draw,
+    /// then a spec and a (ground-truth) lifetime from that category. This
+    /// is the hook the serving tier's open-loop arrival generators use to
+    /// give their request streams the same workload mix, shapes and
+    /// drifting lifetime distributions as the batch traces, without going
+    /// through trace materialisation.
+    pub fn sample_request_vm(&self, at: SimTime, rng: &mut ChaCha8Rng) -> (VmSpec, Duration) {
+        let category = self.sample_category(rng);
+        let lifetime = self.sample_lifetime(category, at, rng);
+        let spec = self.sample_spec(category, rng);
+        (spec, lifetime)
+    }
+
     /// The standing population the pool would hold in steady state: VMs
     /// that were created before the trace window and are still running at
     /// its start. Their count per category follows Little's law

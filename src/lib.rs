@@ -1,10 +1,11 @@
 //! Umbrella crate re-exporting the LAVA workspace.
 //!
 //! Most users will depend on the individual crates (`lava-core`,
-//! `lava-model`, `lava-sched`, `lava-sim`); this crate exists so that the
-//! examples and integration tests at the repository root have a single
-//! import surface.
+//! `lava-model`, `lava-sched`, `lava-sim`, `lava-serve`); this crate
+//! exists so that the examples and integration tests at the repository
+//! root have a single import surface.
 pub use lava_core as core;
 pub use lava_model as model;
 pub use lava_sched as sched;
+pub use lava_serve as serve;
 pub use lava_sim as sim;
