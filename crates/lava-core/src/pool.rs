@@ -160,6 +160,17 @@ pub struct Pool {
     /// Consumers holding derived state (the cluster's exit-time cache)
     /// compare epochs to detect mutations that bypassed their event feed.
     mutation_epoch: u64,
+    /// Pool-wide capacity, maintained by [`Pool::add_host`] so
+    /// [`Pool::total_capacity`] is O(1). `serde(default)` keeps old
+    /// serialized pools readable (they re-aggregate to zero; no current
+    /// consumer round-trips pools through serde).
+    #[serde(default)]
+    agg_capacity: Resources,
+    /// Pool-wide free capacity, maintained on every mutation so
+    /// [`Pool::total_free`] / [`Pool::total_used`] are O(1) — they sit on
+    /// the fleet tier's per-epoch `CellSummary` extraction hot path.
+    #[serde(default)]
+    agg_free: Resources,
 }
 
 impl Pool {
@@ -171,6 +182,8 @@ impl Pool {
             vm_index: BTreeMap::new(),
             index: HostIndex::new(),
             mutation_epoch: 0,
+            agg_capacity: Resources::ZERO,
+            agg_free: Resources::ZERO,
         }
     }
 
@@ -201,6 +214,8 @@ impl Pool {
         let id = HostId(self.hosts.len() as u64);
         let host = Host::new(id, spec);
         self.index.insert(id, key_of(&host));
+        self.agg_capacity += host.capacity();
+        self.agg_free += host.free();
         self.hosts.push(host);
         id
     }
@@ -267,6 +282,8 @@ impl Pool {
         h.place(vm, request)?;
         let after = key_of(h);
         self.index.update(host, before, after);
+        self.agg_free -= before.free;
+        self.agg_free += after.free;
         self.vm_index.insert(vm, host);
         self.mutation_epoch += 1;
         Ok(())
@@ -292,6 +309,8 @@ impl Pool {
         let released = host.remove(vm)?;
         let after = key_of(host);
         self.index.update(host_id, before, after);
+        self.agg_free -= before.free;
+        self.agg_free += after.free;
         self.mutation_epoch += 1;
         Ok((host_id, released))
     }
@@ -391,6 +410,15 @@ impl Pool {
         if self.index.by_free.len() != self.hosts.len() {
             return Err("by_free has stale entries".to_string());
         }
+        let scan_capacity: Resources = self.hosts.iter().map(|h| h.capacity()).sum();
+        let scan_free: Resources = self.hosts.iter().map(|h| h.free()).sum();
+        if scan_capacity != self.agg_capacity || scan_free != self.agg_free {
+            return Err(format!(
+                "aggregates drifted: capacity {:?} vs scan {scan_capacity:?}, \
+                 free {:?} vs scan {scan_free:?}",
+                self.agg_capacity, self.agg_free
+            ));
+        }
         Ok(())
     }
 
@@ -410,19 +438,20 @@ impl Pool {
         }
     }
 
-    /// Total capacity across all hosts.
+    /// Total capacity across all hosts (O(1), incrementally maintained).
     pub fn total_capacity(&self) -> Resources {
-        self.hosts.iter().map(|h| h.capacity()).sum()
+        self.agg_capacity
     }
 
-    /// Total reserved resources across all hosts.
+    /// Total reserved resources across all hosts (O(1)).
     pub fn total_used(&self) -> Resources {
-        self.hosts.iter().map(|h| h.used()).sum()
+        self.agg_capacity - self.agg_free
     }
 
-    /// Total free resources across all hosts.
+    /// Total free resources across all hosts (O(1), incrementally
+    /// maintained on every placement, removal and [`HostMut`] mutation).
     pub fn total_free(&self) -> Resources {
-        self.hosts.iter().map(|h| h.free()).sum()
+        self.agg_free
     }
 }
 
@@ -466,6 +495,8 @@ impl Drop for HostMut<'_> {
         if after.is_empty != self.before.is_empty || after.free != self.before.free {
             self.pool.mutation_epoch += 1;
         }
+        self.pool.agg_free -= self.before.free;
+        self.pool.agg_free += after.free;
         self.pool.index.update(self.id, self.before, after);
     }
 }

@@ -34,7 +34,7 @@ use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
 use lava_model::predictor::LifetimePredictor;
 use parking_lot::{Mutex, MutexGuard};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One cached host exit time.
 #[derive(Debug, Clone, Copy)]
@@ -156,6 +156,13 @@ impl ExitCache {
 pub struct Cluster {
     pool: Pool,
     vms: BTreeMap<VmId, Vm>,
+    /// Live VM ids in placement order (swap-removed on exit), giving the
+    /// bounded O(cap) [`Cluster::sampled_vms`] an indexable view without
+    /// walking the whole `vms` map. The order is a pure function of the
+    /// placement/removal sequence, so equal event streams sample equally.
+    live_ids: Vec<VmId>,
+    /// Position of each live VM in `live_ids`, for O(1) swap-removal.
+    live_pos: HashMap<VmId, usize>,
     exit_cache: Mutex<ExitCache>,
 }
 
@@ -164,6 +171,8 @@ impl Clone for Cluster {
         Cluster {
             pool: self.pool.clone(),
             vms: self.vms.clone(),
+            live_ids: self.live_ids.clone(),
+            live_pos: self.live_pos.clone(),
             exit_cache: Mutex::new(self.exit_cache.lock().clone()),
         }
     }
@@ -175,6 +184,8 @@ impl Cluster {
         Cluster {
             pool,
             vms: BTreeMap::new(),
+            live_ids: Vec::new(),
+            live_pos: HashMap::new(),
             exit_cache: Mutex::new(ExitCache::default()),
         }
     }
@@ -218,6 +229,30 @@ impl Cluster {
         self.vms.len()
     }
 
+    /// A bounded, deterministic sample of at most `cap` live VMs: every
+    /// ⌈n/cap⌉-th VM in placement order (exits swap-remove, perturbing but
+    /// never randomising the order). O(cap) regardless of the live-VM
+    /// count — this is what keeps fleet `CellSummary` extraction bounded.
+    pub fn sampled_vms(&self, cap: usize) -> impl Iterator<Item = &Vm> + '_ {
+        let n = self.live_ids.len();
+        let step = n.div_ceil(cap.max(1)).max(1);
+        self.live_ids
+            .iter()
+            .step_by(step)
+            .filter_map(move |id| self.vms.get(id))
+    }
+
+    /// Drop a VM from the placement-order list via swap-removal.
+    fn live_forget(&mut self, vm: VmId) {
+        if let Some(pos) = self.live_pos.remove(&vm) {
+            let last = self.live_ids.pop().expect("live list non-empty");
+            if last != vm {
+                self.live_ids[pos] = last;
+                self.live_pos.insert(last, pos);
+            }
+        }
+    }
+
     /// A host by id.
     pub fn host(&self, id: HostId) -> Option<&Host> {
         self.pool.host(id)
@@ -242,7 +277,11 @@ impl Cluster {
     pub fn place(&mut self, mut vm: Vm, host: HostId) -> Result<(), CoreError> {
         self.pool.place_vm(host, vm.id(), vm.resources())?;
         vm.assign_host(host);
-        self.vms.insert(vm.id(), vm);
+        let id = vm.id();
+        if self.vms.insert(id, vm).is_none() {
+            self.live_pos.insert(id, self.live_ids.len());
+            self.live_ids.push(id);
+        }
         let cache = self.exit_cache.get_mut();
         cache.mark_placement(host);
         // Advance by exactly the one pool mutation made above: setting to
@@ -261,6 +300,7 @@ impl Cluster {
     pub fn remove(&mut self, vm: VmId) -> Result<(Vm, HostId), CoreError> {
         let (host, _) = self.pool.remove_vm(vm)?;
         let mut record = self.vms.remove(&vm).ok_or(CoreError::VmNotFound { vm })?;
+        self.live_forget(vm);
         record.clear_host();
         let cache = self.exit_cache.get_mut();
         if self.pool.host(host).is_none_or(|h| h.is_empty()) {

@@ -260,21 +260,22 @@ impl Scheduler {
     /// Extract a bounded-staleness [`CellSummary`] of this scheduler's
     /// cluster, as consumed by a fleet routing tier.
     ///
-    /// The capacity figures come straight from the pool; the predicted
-    /// exit-time profile repredicts a deterministic **sample** of at most
-    /// `sample_cap` live VMs (every ⌈n/cap⌉-th VM in id order) through
-    /// this scheduler's predictor, so extraction cost is bounded per
-    /// refresh regardless of cell size. Deterministic: the same cluster
-    /// state always yields the same summary.
+    /// The capacity figures come straight from the pool's O(1)
+    /// incremental aggregates; the predicted exit-time profile repredicts
+    /// a deterministic **sample** of at most `sample_cap` live VMs (every
+    /// ⌈n/cap⌉-th VM in placement order, via `Cluster::sampled_vms`)
+    /// through this scheduler's predictor. Extraction is therefore
+    /// O(cap), not O(cell size) — it runs once per cell per refresh epoch
+    /// on the fleet hot path. Deterministic: the same placement/removal
+    /// history always yields the same summary.
     pub fn cell_summary(&self, cell: CellId, now: SimTime, sample_cap: usize) -> CellSummary {
         let pool = self.cluster.pool();
         let live_vms = self.cluster.vm_count();
         let mut mean_predicted_exit = now;
         if live_vms > 0 && sample_cap > 0 {
-            let step = live_vms.div_ceil(sample_cap).max(1);
             let mut sum: u128 = 0;
             let mut count: u64 = 0;
-            for vm in self.cluster.vms().step_by(step) {
+            for vm in self.cluster.sampled_vms(sample_cap) {
                 let exit = now + self.predictor.predict_remaining(vm, now);
                 sum += exit.as_secs() as u128;
                 count += 1;

@@ -15,16 +15,12 @@ use lava_sched::cluster::Cluster;
 use lava_sched::scheduler::Scheduler;
 use lava_sim::arrivals::{AdmissionPolicy, ArrivalGenerator, ServeConfig};
 use lava_sim::experiment::{ExperimentSpec, SpecError};
-use lava_sim::fleet::{FleetConfig, Router};
+use lava_sim::fleet::{FleetConfig, Router, SUMMARY_SAMPLE_CAP};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-
-/// Reprediction sample cap used when refreshing cell summaries — same
-/// bound the batch fleet engine uses (`fleet::SUMMARY_SAMPLE_CAP`).
-const SUMMARY_SAMPLE_CAP: usize = 64;
 
 fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -1104,7 +1104,16 @@ impl Experiment {
 
     /// Run the experiment with the built-in observers only.
     pub fn run(&self) -> ExperimentReport {
-        self.run_with_observers(&mut [])
+        self.run_scenarios(&mut [], None)
+    }
+
+    /// Run the experiment with any fleet tier executing on `pool` instead
+    /// of the process-wide [`WorkerPool::global`]. Results are
+    /// bit-identical to [`Experiment::run`] — explicit pools exist so
+    /// tests can prove back-to-back runs on a shared pool leak no state
+    /// into each other.
+    pub fn run_on(&self, pool: &crate::workers::WorkerPool) -> ExperimentReport {
+        self.run_scenarios(&mut [], Some(pool))
     }
 
     /// Run the experiment with additional observers attached. Extra
@@ -1118,6 +1127,14 @@ impl Experiment {
     /// deterministic event order. Fleet runs report through the per-cell
     /// results on [`ExperimentReport::fleet`] instead.
     pub fn run_with_observers(&self, extra: &mut [&mut dyn SimObserver]) -> ExperimentReport {
+        self.run_scenarios(extra, None)
+    }
+
+    fn run_scenarios(
+        &self,
+        extra: &mut [&mut dyn SimObserver],
+        pool: Option<&crate::workers::WorkerPool>,
+    ) -> ExperimentReport {
         let spec = &self.spec;
         let predictor = self.predictor();
         let steady = DriveTiming {
@@ -1160,7 +1177,7 @@ impl Experiment {
                 // ColdStart.
                 _ => steady,
             };
-            let fleet_report = self.run_fleet(fleet, &predictor, &timing);
+            let fleet_report = self.run_fleet(fleet, &predictor, &timing, pool);
             report.result = fleet_report.fleet.clone();
             report.fleet = Some(fleet_report);
             return report;
@@ -1356,6 +1373,7 @@ impl Experiment {
         fleet_config: &FleetConfig,
         predictor: &Arc<dyn LifetimePredictor>,
         timing: &DriveTiming,
+        pool: Option<&crate::workers::WorkerPool>,
     ) -> FleetReport {
         let spec = &self.spec;
         // With an incident plan or adaptation knobs, every cell gets its
@@ -1403,6 +1421,7 @@ impl Experiment {
             source.as_mut(),
             fleet_config.threads,
             chaos.as_ref(),
+            pool,
         );
         FleetReport::from_outcome(
             outcome,

@@ -36,7 +36,7 @@
 //! admission tier tracks its own in-flight placements against a stale
 //! capacity feed.
 //!
-//! # Deterministic parallelism
+//! # Deterministic parallelism on a persistent worker pool
 //!
 //! Cells are independent *given the routing decisions*, and routing
 //! decisions are made serially, in arrival order, on the coordinating
@@ -46,6 +46,21 @@
 //! at any worker-thread count** — the property tests in
 //! `tests/fleet_tier.rs` replay randomized heterogeneous fleets at 1, 2
 //! and per-CPU threads and require identical reports for every router.
+//!
+//! Execution rides the persistent [`WorkerPool`](crate::workers): the
+//! coordinator pins one long-lived *session* job per worker, each owning
+//! its assigned cells' engines for the whole run (cell state never moves
+//! between threads mid-run), and feeds it per-epoch batches of routed
+//! events over a bounded channel. While workers step epoch *k*, the
+//! coordinator already drains the source for epoch *k+1* — and, for
+//! routers that never read summaries, routes and dispatches it too — so
+//! cells don't idle while the coordinator works. Summary-driven routers
+//! route epoch *k+1* only after the barrier delivers the summaries
+//! extracted at its start; either way every router observes the exact
+//! serial routing order and inputs, which is the whole bit-identity
+//! argument. [`run_fleet_reference`] keeps the original spawn-per-epoch
+//! loop alive as the executable specification the pooled engine is
+//! property-tested against.
 //!
 //! A single-cell fleet degenerates to the plain single-cluster engine:
 //! every router sends everything to cell 0 and the per-cell loop is the
@@ -60,6 +75,7 @@ use crate::experiment::{DriveLoop, DriveTiming};
 use crate::metrics::{MetricSample, MetricSeries};
 use crate::observer::{MetricRecorder, SimObserver};
 use crate::simulator::SimulationResult;
+use crate::workers::{on_pool_worker, WorkerPool, PIPELINE_DEPTH};
 use crate::workload::PoolConfig;
 use lava_core::cell::{CellId, CellSummary};
 use lava_core::events::{TraceEvent, TraceEventKind};
@@ -76,11 +92,12 @@ use lava_sched::policy::PlacementPolicy;
 use lava_sched::scheduler::{Scheduler, SchedulerStats};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 /// Maximum number of live VMs repredicted per cell when extracting a
 /// summary's exit-time profile (see
@@ -551,6 +568,32 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Hasher for [`Router::vm_cell`]: VM ids are single u64s, so one
+/// splitmix64 round (full-avalanche, ~4 arithmetic ops) replaces
+/// SipHash on the busiest map in the routing hot path — stateful
+/// routers insert and remove every VM exactly once.
+#[derive(Default, Clone)]
+struct VmIdHasher(u64);
+
+impl std::hash::Hasher for VmIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused by `VmId` (which hashes as a u64), kept total for safety.
+        for &b in bytes {
+            self.0 = splitmix64(self.0 ^ u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = splitmix64(x);
+    }
+}
+
+type VmCellMap = HashMap<VmId, u32, std::hash::BuildHasherDefault<VmIdHasher>>;
+
 /// The serial routing state: assigns every source event to a cell. Lives
 /// on the coordinating thread; never touched concurrently.
 ///
@@ -571,7 +614,40 @@ pub struct Router {
     /// Where each live VM was routed, so its exit follows it. The hash
     /// router recomputes instead (exits hash identically), keeping it
     /// entirely stateless.
-    vm_cell: HashMap<VmId, u32>,
+    vm_cell: VmCellMap,
+    /// Lazy max-heap over per-cell free fractions backing
+    /// [`Router::least_loaded`]: rebuilt at each [`Router::refresh`],
+    /// with entries going stale as creates bump `routed_cpu`. Stale
+    /// entries are re-keyed on discovery at the top, which is sound
+    /// because fractions only *decrease* between refreshes.
+    load_heap: BinaryHeap<LoadEntry>,
+}
+
+/// One cell's cached free-CPU fraction in the lazy max-heap behind
+/// [`Router::least_loaded`]. Ordered highest-fraction-first with ties
+/// going to the lowest cell id — exactly the winner the reference
+/// linear scan picks.
+#[derive(Clone, Copy, PartialEq)]
+struct LoadEntry {
+    fraction: f64,
+    cell: usize,
+}
+
+impl Eq for LoadEntry {}
+
+impl Ord for LoadEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.fraction
+            .partial_cmp(&other.fraction)
+            .expect("free fractions are never NaN")
+            .then_with(|| other.cell.cmp(&self.cell))
+    }
+}
+
+impl PartialOrd for LoadEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl Router {
@@ -583,7 +659,8 @@ impl Router {
             cursor: 0,
             summaries: Vec::new(),
             routed_cpu: vec![0; cells],
-            vm_cell: HashMap::new(),
+            vm_cell: VmCellMap::default(),
+            load_heap: BinaryHeap::new(),
         }
     }
 
@@ -599,6 +676,28 @@ impl Router {
         debug_assert_eq!(summaries.len(), self.cells);
         self.summaries = summaries;
         self.routed_cpu.iter_mut().for_each(|c| *c = 0);
+        self.load_heap.clear();
+        for i in 0..self.summaries.len() {
+            let entry = LoadEntry {
+                fraction: self.fraction_of(i),
+                cell: i,
+            };
+            self.load_heap.push(entry);
+        }
+    }
+
+    /// The cell's free-CPU fraction per its frozen summary, discounted
+    /// by the CPU routed there since the snapshot — the single scoring
+    /// expression both the heap keys and the staleness check use, so
+    /// equality between a cached and a recomputed value is exact.
+    fn fraction_of(&self, i: usize) -> f64 {
+        let summary = &self.summaries[i];
+        let free = summary.free.cpu_milli.saturating_sub(self.routed_cpu[i]);
+        if summary.capacity.cpu_milli == 0 {
+            0.0
+        } else {
+            free as f64 / summary.capacity.cpu_milli as f64
+        }
     }
 
     /// Assign `event` to a cell. Creates are routed by the spec'd policy;
@@ -650,29 +749,41 @@ impl Router {
     /// The cell with the highest free-CPU fraction per its frozen summary,
     /// discounted by the CPU routed there since the snapshot. Ties go to
     /// the lowest cell id.
-    fn least_loaded(&self) -> usize {
-        let mut best = 0usize;
-        let mut best_fraction = f64::NEG_INFINITY;
-        for (i, (summary, routed)) in self.summaries.iter().zip(&self.routed_cpu).enumerate() {
-            let free = summary.free.cpu_milli.saturating_sub(*routed);
-            let fraction = if summary.capacity.cpu_milli == 0 {
-                0.0
-            } else {
-                free as f64 / summary.capacity.cpu_milli as f64
-            };
-            if fraction > best_fraction {
-                best_fraction = fraction;
-                best = i;
-            }
+    ///
+    /// Amortized O(log cells) instead of a full scan: the heap built at
+    /// [`Router::refresh`] caches every cell's fraction, and because
+    /// `routed_cpu` only grows between refreshes, fractions only
+    /// *decrease* — so when the top entry's cached key still matches its
+    /// recomputed fraction, no other cell can exceed it (their caches
+    /// are upper bounds), and no stale equal-fraction cell with a lower
+    /// id can hide below it (its cache would have placed it on top).
+    /// A stale top is re-keyed in place and the loop retries; typically
+    /// only the previous winner is stale.
+    fn least_loaded(&mut self) -> usize {
+        if self.load_heap.is_empty() {
+            // Never refreshed (empty summaries): the reference scan over
+            // an empty snapshot returns cell 0.
+            return 0;
         }
-        best
+        loop {
+            let top = *self.load_heap.peek().expect("heap is non-empty");
+            let current = self.fraction_of(top.cell);
+            if current == top.fraction {
+                return top.cell;
+            }
+            self.load_heap.pop();
+            self.load_heap.push(LoadEntry {
+                fraction: current,
+                cell: top.cell,
+            });
+        }
     }
 
     /// The feasible cell whose summarised mean exit time is closest to the
     /// VM's predicted exit (ties: more adjusted free CPU, then lower cell
     /// id); least-loaded fallback when no summarised cell has enough free
     /// CPU for the request.
-    fn lifetime_aware(&self, predicted_exit: SimTime, request: Resources) -> usize {
+    fn lifetime_aware(&mut self, predicted_exit: SimTime, request: Resources) -> usize {
         let mut best: Option<(u64, u64, usize)> = None;
         for (i, (summary, routed)) in self.summaries.iter().zip(&self.routed_cpu).enumerate() {
             let free = summary.free.cpu_milli.saturating_sub(*routed);
@@ -703,7 +814,7 @@ impl Router {
     /// free CPU, then lower cell id — all pure f64/u64 arithmetic on the
     /// frozen snapshot, so the choice is deterministic); least-loaded
     /// fallback when no summarised cell has enough free CPU.
-    fn misprediction_aware(&self, predicted_exit: SimTime, request: Resources) -> usize {
+    fn misprediction_aware(&mut self, predicted_exit: SimTime, request: Resources) -> usize {
         let mut best: Option<(f64, u64, usize)> = None;
         for (i, (summary, routed)) in self.summaries.iter().zip(&self.routed_cpu).enumerate() {
             let free = summary.free.cpu_milli.saturating_sub(*routed);
@@ -893,13 +1004,15 @@ fn worker_count(threads: usize, cells: usize) -> usize {
 /// visited exactly once per call; cells share no mutable state, so the
 /// outcome is independent of which worker runs which cell.
 ///
-/// Workers are spawned per call — i.e. per epoch — rather than kept in a
-/// persistent pool. An epoch is `summary_refresh` of simulated time
-/// (hundreds of events per cell at production cadences), so the
-/// microseconds-per-thread spawn cost is noise against the epoch's work;
-/// a persistent pool with a barrier would save it at a real complexity
-/// cost to the determinism argument. Revisit if profiles ever show
-/// spawn overhead at very short refresh cadences.
+/// This is the **reference** executor only: it spawns scoped threads per
+/// call — i.e. per epoch — which profiles showed is ruinous at fleet
+/// scale (a run crosses thousands of epoch barriers). The production
+/// path, [`run_fleet`], keeps cell state resident in long-lived
+/// [`WorkerPool`] session jobs instead and pays only a bounded-channel
+/// hand-off per epoch; [`run_fleet_reference`] (and through it this
+/// function) survives as the executable specification the pooled engine
+/// is property-tested against, and as the fallback for nested fleet runs
+/// already executing on a pool worker.
 fn run_cells<F>(runners: &[Mutex<CellRunner>], workers: usize, f: F)
 where
     F: Fn(&mut CellRunner) + Sync,
@@ -926,7 +1039,7 @@ where
 
 /// Drive a whole fleet over one event source.
 ///
-/// The loop alternates three phases per epoch of `summary_refresh`
+/// The run alternates three phases per epoch of `summary_refresh`
 /// length:
 ///
 /// 1. **refresh** — extract every cell's [`CellSummary`] (skipped for
@@ -934,13 +1047,21 @@ where
 ///    router;
 /// 2. **route** — pull every source event due before the epoch end and
 ///    assign it to a cell, serially, in arrival order;
-/// 3. **run** — step every cell's engine to the epoch end across
-///    `threads` workers (the epoch boundary is the barrier).
+/// 3. **run** — step every cell's engine to the epoch end (the epoch
+///    boundary is the barrier).
+///
+/// With more than one worker this executes on the persistent
+/// [`WorkerPool`] (`pool`, or the process-wide [`WorkerPool::global`]
+/// when `None`): each worker owns its striped share of the cells for the
+/// whole run and the coordinator overlaps draining (and, for
+/// summary-free routers, routing) of the next epoch with execution of
+/// the current one — see the [module docs](self). One worker, or a call
+/// already executing on a pool worker (a nested fleet inside a suite
+/// arm), falls back to [`run_fleet_reference`]. Both paths produce
+/// bit-identical outcomes at any thread count.
 ///
 /// Once the source is exhausted the cells run to completion and the
-/// per-cell outcomes are returned in cell order. See the
-/// [module docs](self) for why this is bit-identical at any thread
-/// count.
+/// per-cell outcomes are returned in cell order.
 ///
 /// When `chaos` is set, every cell runs with its own
 /// [`ChaosController`] (scheduling that cell's incident and
@@ -958,7 +1079,44 @@ pub fn run_fleet(
     source: &mut dyn EventSource,
     threads: usize,
     chaos: Option<&FleetChaos>,
+    pool: Option<&WorkerPool>,
 ) -> FleetOutcome {
+    let workers = worker_count(threads, cells.len());
+    if workers <= 1 || on_pool_worker() {
+        return run_fleet_reference(
+            cells,
+            predictor,
+            router,
+            summary_refresh,
+            timing,
+            source,
+            threads,
+            chaos,
+        );
+    }
+    check_fleet_args(&cells, summary_refresh, chaos);
+    let cell_count = cells.len();
+    let runners: Vec<CellRunner> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| CellRunner::new(i, cell, predictor.clone(), timing, chaos))
+        .collect();
+    let router = Router::new(router, cell_count);
+    run_fleet_pooled(
+        runners,
+        predictor,
+        router,
+        summary_refresh,
+        source,
+        workers,
+        match pool {
+            Some(pool) => pool,
+            None => WorkerPool::global(),
+        },
+    )
+}
+
+fn check_fleet_args(cells: &[FleetCell], summary_refresh: Duration, chaos: Option<&FleetChaos>) {
     assert!(!cells.is_empty(), "fleet needs at least one cell");
     assert!(
         !summary_refresh.is_zero(),
@@ -971,6 +1129,25 @@ pub fn run_fleet(
             "fleet chaos needs one swappable predictor per cell"
         );
     }
+}
+
+/// The original spawn-per-epoch fleet loop, kept as the executable
+/// specification of fleet semantics: [`run_fleet`] must produce
+/// bit-identical outcomes (the property tests in `tests/fleet_tier.rs`
+/// enforce it). Also the execution path for one-worker runs and for
+/// fleet runs nested inside a pool worker.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_reference(
+    cells: Vec<FleetCell>,
+    predictor: Arc<dyn LifetimePredictor>,
+    router: RouterSpec,
+    summary_refresh: Duration,
+    timing: &DriveTiming,
+    source: &mut dyn EventSource,
+    threads: usize,
+    chaos: Option<&FleetChaos>,
+) -> FleetOutcome {
+    check_fleet_args(&cells, summary_refresh, chaos);
     let cell_count = cells.len();
     let mut runners: Vec<Mutex<CellRunner>> = cells
         .into_iter()
@@ -1017,6 +1194,239 @@ pub fn run_fleet(
         cells: runners
             .into_iter()
             .map(|runner| runner.into_inner().into_outcome())
+            .collect(),
+    }
+}
+
+/// One epoch's worth of work for a fleet session worker.
+enum EpochMsg {
+    /// Extract every owned cell's summary at `SimTime::ZERO` without
+    /// stepping — the pipelined equivalent of the serial loop's first
+    /// refresh, which reads untouched cells.
+    Prime,
+    /// Enqueue the routed batch, step every owned cell to `limit` (or run
+    /// to completion when `closed`), then extract summaries at `limit` if
+    /// `want_summaries` — the snapshots the router needs for the *next*
+    /// epoch, taken at exactly the state and time the serial loop would.
+    Step {
+        /// `(local slot, event)` in routing order.
+        batch: Vec<(u32, TraceEvent)>,
+        limit: SimTime,
+        closed: bool,
+        last_arrival: Option<SimTime>,
+        want_summaries: bool,
+    },
+}
+
+/// What a fleet session worker sends back to the coordinator.
+enum WorkerReply {
+    /// `(global cell index, summary)` for every owned cell.
+    Summaries(Vec<(usize, CellSummary)>),
+    /// `(global cell index, outcome)` for every owned cell; the session's
+    /// final reply.
+    Outcomes(Vec<(usize, CellOutcome)>),
+}
+
+/// The long-lived session job pinned to one pool worker: owns its cells'
+/// engines for the entire run and processes epoch messages until the
+/// closed epoch. Returning drops `reply`, which is how a panic anywhere
+/// in here surfaces to the coordinator (as a recv error).
+fn fleet_session(
+    mut owned: Vec<(usize, CellRunner)>,
+    epochs: mpsc::Receiver<EpochMsg>,
+    reply: mpsc::Sender<WorkerReply>,
+) {
+    while let Ok(msg) = epochs.recv() {
+        match msg {
+            EpochMsg::Prime => {
+                let summaries = owned
+                    .iter_mut()
+                    .map(|(index, runner)| (*index, runner.summary(SimTime::ZERO)))
+                    .collect();
+                if reply.send(WorkerReply::Summaries(summaries)).is_err() {
+                    return;
+                }
+            }
+            EpochMsg::Step {
+                batch,
+                limit,
+                closed,
+                last_arrival,
+                want_summaries,
+            } => {
+                for (slot, event) in batch {
+                    owned[slot as usize].1.enqueue(event);
+                }
+                for (_, runner) in owned.iter_mut() {
+                    runner.source.last_arrival = last_arrival;
+                    if closed {
+                        runner.run_to_completion();
+                    } else {
+                        runner.step_epoch(limit);
+                    }
+                }
+                if want_summaries {
+                    let summaries = owned
+                        .iter_mut()
+                        .map(|(index, runner)| (*index, runner.summary(limit)))
+                        .collect();
+                    if reply.send(WorkerReply::Summaries(summaries)).is_err() {
+                        return;
+                    }
+                }
+                if closed {
+                    let outcomes = owned
+                        .drain(..)
+                        .map(|(index, runner)| (index, runner.into_outcome()))
+                        .collect();
+                    let _ = reply.send(WorkerReply::Outcomes(outcomes));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The pooled fleet engine: pins one [`fleet_session`] per worker (cells
+/// striped `cell i → worker i % workers`), holds the pool's session lock
+/// for the whole run, and pipelines the coordinator's source draining
+/// against cell execution. See the [module docs](self) for the epoch
+/// protocol and the bit-parity argument against [`run_fleet_reference`].
+fn run_fleet_pooled(
+    runners: Vec<CellRunner>,
+    predictor: Arc<dyn LifetimePredictor>,
+    mut router: Router,
+    summary_refresh: Duration,
+    source: &mut dyn EventSource,
+    workers: usize,
+    pool: &WorkerPool,
+) -> FleetOutcome {
+    let cell_count = runners.len();
+    // Two concurrent fleet runs pinning sessions onto overlapping workers
+    // would deadlock on each other's bounded channels: one run at a time.
+    let _session = pool.session();
+    pool.ensure_workers(workers);
+
+    // Stripe cells across workers: cell i lives on worker i % workers at
+    // local slot i / workers (push order below guarantees the slot map).
+    let mut owned: Vec<Vec<(usize, CellRunner)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, runner) in runners.into_iter().enumerate() {
+        owned[i % workers].push((i, runner));
+    }
+    let mut epoch_txs = Vec::with_capacity(workers);
+    let mut reply_rxs = Vec::with_capacity(workers);
+    for owned in owned {
+        let (epoch_tx, epoch_rx) = mpsc::sync_channel::<EpochMsg>(PIPELINE_DEPTH);
+        let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
+        epoch_txs.push(epoch_tx);
+        reply_rxs.push(reply_rx);
+        let index = epoch_txs.len() - 1;
+        pool.submit_pinned(
+            index,
+            Box::new(move || fleet_session(owned, epoch_rx, reply_tx)),
+        );
+    }
+
+    let needs_summaries = router.needs_summaries();
+    let collect_summaries = |reply_rxs: &[mpsc::Receiver<WorkerReply>]| -> Vec<CellSummary> {
+        let mut by_cell: Vec<Option<CellSummary>> = (0..cell_count).map(|_| None).collect();
+        for rx in reply_rxs {
+            match rx.recv().expect("fleet worker died") {
+                WorkerReply::Summaries(summaries) => {
+                    for (index, summary) in summaries {
+                        by_cell[index] = Some(summary);
+                    }
+                }
+                WorkerReply::Outcomes(_) => unreachable!("outcomes before the closed epoch"),
+            }
+        }
+        by_cell
+            .into_iter()
+            .map(|s| s.expect("every cell summarised"))
+            .collect()
+    };
+
+    // Drain the source for one epoch: identical source-operation order to
+    // the serial loop (drain, peek, last_arrival — per epoch, in order).
+    let drain_epoch =
+        |source: &mut dyn EventSource, until: SimTime, pending: &mut Vec<TraceEvent>| {
+            while source.peek().is_some_and(|event| event.time < until) {
+                pending.push(source.next_event().expect("peeked non-empty"));
+            }
+            (source.peek().is_none(), source.last_arrival_time())
+        };
+
+    if needs_summaries {
+        for tx in &epoch_txs {
+            tx.send(EpochMsg::Prime).expect("fleet worker died");
+        }
+    }
+    let mut pending: Vec<TraceEvent> = Vec::new();
+    let mut epoch_end = SimTime::ZERO + summary_refresh;
+    let (mut closed, mut last_arrival) = drain_epoch(source, epoch_end, &mut pending);
+    if needs_summaries {
+        // Barrier zero: the untouched-cell summaries the serial loop's
+        // first refresh would extract (overlapped with the drain above).
+        router.refresh(collect_summaries(&reply_rxs));
+    }
+
+    let mut batches: Vec<Vec<(u32, TraceEvent)>> = (0..workers).map(|_| Vec::new()).collect();
+    loop {
+        // Route this epoch's events serially, in arrival order — same
+        // router-call sequence and summary inputs as the serial loop.
+        for event in pending.drain(..) {
+            let cell = router.route(&event, predictor.as_ref());
+            batches[cell % workers].push(((cell / workers) as u32, event));
+        }
+        let want_summaries = needs_summaries && !closed;
+        for (worker, tx) in epoch_txs.iter().enumerate() {
+            tx.send(EpochMsg::Step {
+                batch: std::mem::take(&mut batches[worker]),
+                limit: epoch_end,
+                closed,
+                last_arrival,
+                want_summaries,
+            })
+            .expect("fleet worker died");
+        }
+        if closed {
+            break;
+        }
+        // Overlap: drain the next epoch while workers step this one. For
+        // summary-free routers there is no barrier at all — the loop runs
+        // ahead until the bounded epoch channels push back.
+        let next_end = epoch_end + summary_refresh;
+        (closed, last_arrival) = drain_epoch(source, next_end, &mut pending);
+        if needs_summaries {
+            // Barrier: the summaries extracted at this epoch's limit are
+            // exactly the serial loop's refresh at the next epoch's start.
+            router.refresh(collect_summaries(&reply_rxs));
+        }
+        epoch_end = next_end;
+    }
+
+    let mut by_cell: Vec<Option<CellOutcome>> = (0..cell_count).map(|_| None).collect();
+    for rx in &reply_rxs {
+        loop {
+            match rx.recv().expect("fleet worker died") {
+                // A final want_summaries=false Step never replies with
+                // summaries, but a summary-free router's sessions send
+                // nothing until their Outcomes either — recv in a loop
+                // keeps the protocol honest if that ever changes.
+                WorkerReply::Summaries(_) => continue,
+                WorkerReply::Outcomes(outcomes) => {
+                    for (index, outcome) in outcomes {
+                        by_cell[index] = Some(outcome);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    FleetOutcome {
+        cells: by_cell
+            .into_iter()
+            .map(|outcome| outcome.expect("every cell reported"))
             .collect(),
     }
 }

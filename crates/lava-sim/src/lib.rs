@@ -26,6 +26,10 @@
 //!   declarative [`arrivals::ServeConfig`] riding on the spec,
 //! * [`suite`] — [`suite::ExperimentSuite`], parallel multi-arm sweeps
 //!   with bit-identical per-arm results,
+//! * [`workers`] — the persistent [`workers::WorkerPool`] the fleet tier
+//!   and suite execute on: long-lived threads with per-worker pinned
+//!   mailboxes (cell-owning fleet sessions) plus a shared helping queue
+//!   (suite arms), grown on demand and shared process-wide,
 //! * [`observer`] — the [`SimObserver`] trait and the provided observers
 //!   metric collection is composed from,
 //! * [`workload`] — synthetic production-like workload generation (the
@@ -85,6 +89,7 @@ pub mod suite;
 pub mod timeline;
 pub mod trace;
 pub mod validation;
+pub mod workers;
 pub mod workload;
 
 pub use arrivals::{AdmissionPolicy, ArrivalGenerator, ArrivalProcess, ServeConfig, ServiceModel};
@@ -97,4 +102,5 @@ pub use fleet::{CellOverride, FleetChaos, FleetConfig, FleetReport, Router, Rout
 pub use observer::{ObserverContext, SimObserver};
 pub use suite::ExperimentSuite;
 pub use trace::TraceSource;
+pub use workers::WorkerPool;
 pub use workload::StreamingWorkload;

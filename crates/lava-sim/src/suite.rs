@@ -3,7 +3,9 @@
 //!
 //! A sweep (Fig. 6's fleet, Fig. 15's accuracy dial, Table 1's pilots…)
 //! is a list of independent [`Experiment`]s. [`ExperimentSuite`] runs them
-//! across a configurable number of `std::thread` workers:
+//! across the persistent [`WorkerPool`](crate::workers::WorkerPool)
+//! (the same primitive the fleet tier executes on — one pool, not two
+//! threading schemes):
 //!
 //! * **Determinism** — every arm is fully determined by its own spec
 //!   (workload seed included), so an arm's [`ExperimentReport`] is
@@ -15,8 +17,11 @@
 //!   predictor) specs agree. The cells are thread-safe, so whichever
 //!   worker needs a shared artifact first materialises it exactly once
 //!   for every arm.
-//! * **Scheduling** — workers pull arms off a shared index counter, so a
-//!   long arm does not hold up the remaining work.
+//! * **Scheduling** — arms go to the pool's shared queue, which any
+//!   worker (and the submitting thread) drains, so a long arm does not
+//!   hold up the remaining work. An arm that itself starts a fleet run
+//!   detects it is on a pool worker and uses the serial fleet path —
+//!   same results, no pinned-session deadlock.
 //!
 //! ```
 //! use lava_core::time::Duration;
@@ -43,8 +48,8 @@
 //! ```
 
 use crate::experiment::{Experiment, ExperimentReport, ExperimentSpec, SpecError};
+use crate::workers::WorkerPool;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A set of experiment arms executed across worker threads.
 #[derive(Debug, Default)]
@@ -133,9 +138,10 @@ impl ExperimentSuite {
 
     /// Run every arm and return the reports in arm order.
     ///
-    /// With one worker this is a plain serial loop; with more, arms are
-    /// distributed across `std::thread::scope` workers. Either way each
-    /// report is bit-identical to a serial [`Experiment::run`] of that arm.
+    /// With one worker this is a plain serial loop; with more, arms go to
+    /// the shared queue of the process-wide [`WorkerPool`] (grown to the
+    /// requested width first). Either way each report is bit-identical to
+    /// a serial [`Experiment::run`] of that arm.
     pub fn run(&self) -> Vec<ExperimentReport> {
         let n = self.experiments.len();
         let workers = self.worker_count();
@@ -146,20 +152,12 @@ impl ExperimentSuite {
             return self.experiments.iter().map(Experiment::run).collect();
         }
 
-        let next_arm = AtomicUsize::new(0);
+        let pool = WorkerPool::global();
+        pool.ensure_workers(workers);
         let slots: Vec<Mutex<Option<ExperimentReport>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next_arm.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let report = self.experiments[i].run();
-                    *slots[i].lock() = Some(report);
-                });
-            }
+        pool.run_indexed(n, |i| {
+            *slots[i].lock() = Some(self.experiments[i].run());
         });
         slots
             .into_iter()
