@@ -1,0 +1,512 @@
+//! Outage-storm chaos scenario against the fault-tolerant placement
+//! service: a pinned cell outage overlapped with an arrival storm, run
+//! with and without the per-cell circuit-breaker/failover layer, on the
+//! microsecond virtual clock — so every number replays bit-identically.
+//!
+//! Per arm the bench reports p50/p99/p999 placement latency **before /
+//! during / after** the incident window, goodput dip depth, and
+//! time-to-SLO-recovery (epochs after cell recovery until the per-epoch
+//! p99 re-enters the pre-incident steady band).
+//!
+//! Three things are asserted in-binary, not just printed:
+//!
+//! 1. **Deterministic replay with incidents active** — rerunning the
+//!    breaker arm with the same seed reproduces the exact decision
+//!    digest.
+//! 2. **Breakers earn their keep** — the breaker/failover arm strictly
+//!    beats the breaker-less service on goodput during the outage AND on
+//!    time-to-SLO-recovery after it.
+//! 3. **Outcome conservation** — on every arm,
+//!    offered == placed + no_capacity + shed + queue_full +
+//!    deadline_exceeded, and exactly the terminal capacity decisions
+//!    report a latency.
+//!
+//! Usage:
+//!   cargo bench -p lava-bench --bench serve_chaos -- [--quick] \
+//!       [--seed N] [--json BENCH_serve_chaos.json]
+//!
+//! `cargo bench` passes `--bench`; it and other unknown flags are ignored.
+
+use lava_core::latency::LatencyHistogram;
+use lava_core::serve::Micros;
+use lava_core::time::Duration;
+use lava_sched::Algorithm;
+use lava_serve::{run_serve, ServeReport};
+use lava_sim::arrivals::{BreakerConfig, ServeConfig, ServiceModel};
+use lava_sim::chaos::{Incident, IncidentPlan, OutageMode};
+use lava_sim::experiment::{Experiment, ExperimentSpec, PredictorSpec};
+use lava_sim::fleet::{FleetConfig, RouterSpec};
+use lava_sim::workload::{LifetimeMode, VmCategory};
+
+const HOSTS: usize = 768;
+const CELLS: usize = 4;
+
+struct Config {
+    quick: bool,
+    seed: u64,
+    json_path: Option<String>,
+    epochs: bool,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        quick: false,
+        seed: 42,
+        json_path: None,
+        epochs: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--epochs" => config.epochs = true,
+            "--seed" => {
+                if let Some(v) = args.next() {
+                    config.seed = v.parse().expect("--seed takes an integer");
+                }
+            }
+            "--json" => config.json_path = args.next(),
+            _ => {} // `cargo bench` passes --bench and friends; ignore.
+        }
+    }
+    config
+}
+
+/// The incident window, in whole epochs (1 epoch = 1 virtual second):
+/// `[0, outage)` is the steady pre-window, `[outage, recover)` the
+/// incident, `[recover, horizon)` the recovery window.
+struct Scenario {
+    horizon_secs: u64,
+    outage_secs: u64,
+    recover_secs: u64,
+    storm_vms: u32,
+    storm_secs: u64,
+}
+
+impl Scenario {
+    fn pinned(quick: bool) -> Scenario {
+        if quick {
+            Scenario {
+                horizon_secs: 45,
+                outage_secs: 15,
+                recover_secs: 30,
+                storm_vms: 500,
+                storm_secs: 5,
+            }
+        } else {
+            Scenario {
+                horizon_secs: 90,
+                outage_secs: 30,
+                recover_secs: 60,
+                storm_vms: 1000,
+                storm_secs: 10,
+            }
+        }
+    }
+}
+
+/// A fixed-cost virtual decision server (2ms/decision => 500/s capacity),
+/// independent of fleet size so the offered-load fraction is exact.
+fn service_model() -> ServiceModel {
+    ServiceModel {
+        base_decision_us: 2000,
+        per_host_ns: 0,
+        per_vm_ns: 0,
+    }
+}
+
+fn nominal_capacity() -> f64 {
+    service_model().capacity_per_sec(HOSTS / CELLS, 0)
+}
+
+/// A short-lived workload mix (median 45s lifetimes, 2-core shapes) so
+/// the pool reaches a placement equilibrium well inside the bench
+/// horizon and goodput reflects decisions, not standing saturation.
+fn short_lived_mix() -> Vec<VmCategory> {
+    vec![VmCategory {
+        category_id: 1,
+        arrival_weight: 1.0,
+        lifetime_modes: vec![LifetimeMode {
+            weight: 1.0,
+            median_hours: 45.0 / 3600.0,
+            sigma_log10: 0.15,
+        }],
+        shapes: vec![(2, 8)],
+        ssd_probability: 0.0,
+        spot: false,
+    }]
+}
+
+fn serve_config(breakers: bool) -> ServeConfig {
+    let mut serve = ServeConfig::at_rate(nominal_capacity() * 0.7)
+        .with_service(service_model())
+        .with_queue_bound(4096)
+        .with_deadline(Micros::from_secs(2))
+        .with_retry_budget(2)
+        .with_epoch(Micros::from_secs(1));
+    if breakers {
+        serve = serve.with_breakers(BreakerConfig::default());
+    }
+    serve
+}
+
+/// Cell 1 drains at `outage_secs` and recovers at `recover_secs`; an
+/// arrival storm lands on top of the freshly dead cell. The hash router
+/// keeps re-routing cell-1 traffic at the outage, so the breaker-less
+/// arm burns its retry budget against the dead cell while the breaker
+/// arm fails over before spending decision time.
+fn incident_plan(seed: u64, scenario: &Scenario) -> IncidentPlan {
+    IncidentPlan {
+        seed: seed ^ 0x0bad_ce11,
+        incidents: vec![
+            Incident::CellOutage {
+                cell: 1,
+                hosts: None,
+                mode: OutageMode::Drain,
+                at: Duration::from_secs(scenario.outage_secs),
+                recovery: Some(Duration::from_secs(
+                    scenario.recover_secs - scenario.outage_secs,
+                )),
+            },
+            Incident::ArrivalStorm {
+                at: Duration::from_secs(scenario.outage_secs),
+                duration: Duration::from_secs(scenario.storm_secs),
+                vms: scenario.storm_vms,
+                cores: None,
+                lifetime: Some(Duration::from_secs(45)),
+            },
+        ],
+    }
+}
+
+fn chaos_spec(seed: u64, scenario: &Scenario, breakers: bool, incidents: bool) -> ExperimentSpec {
+    let mut spec = Experiment::builder()
+        .name("serve-chaos")
+        .hosts(HOSTS)
+        .duration(Duration::from_secs(scenario.horizon_secs))
+        .seed(seed)
+        .predictor(PredictorSpec::Oracle)
+        .algorithm(Algorithm::Nilas)
+        .fleet(FleetConfig::new(CELLS).with_router(RouterSpec::Hash))
+        .serve(serve_config(breakers))
+        .build()
+        .expect("valid serve spec");
+    spec.workload.categories = short_lived_mix();
+    spec.workload.initial_fill_fraction = 0.0;
+    if incidents {
+        spec.incidents = incident_plan(seed, scenario);
+    }
+    spec.validate().expect("chaos spec validates");
+    spec
+}
+
+/// Latency percentiles over one window of merged epochs.
+struct PhaseStats {
+    p50: f64,
+    p99: f64,
+    p999: f64,
+    samples: u64,
+}
+
+fn phase_stats(report: &ServeReport, from_epoch: u64, to_epoch: u64) -> PhaseStats {
+    let mut merged = LatencyHistogram::new();
+    for epoch in &report.epochs {
+        let index = epoch.start.0 / Micros::PER_SEC;
+        if index >= from_epoch && index < to_epoch {
+            merged.merge(&epoch.latency);
+        }
+    }
+    PhaseStats {
+        p50: merged.quantile(0.50),
+        p99: merged.quantile(0.99),
+        p999: merged.quantile(0.999),
+        samples: merged.count(),
+    }
+}
+
+/// SLO-recovery accounting for one arm.
+struct Recovery {
+    /// Mean placed/epoch over the steady pre-window.
+    pre_goodput: f64,
+    /// Total requests placed during the incident window.
+    outage_placed: u64,
+    /// 1 - (worst incident epoch goodput / steady goodput), in [0, 1].
+    dip_depth: f64,
+    /// The p99 band (µs) an epoch must re-enter to count as recovered.
+    band_us: f64,
+    /// Epochs after cell recovery until the per-epoch p99 re-enters the
+    /// band; the full post-window length if it never does.
+    recovery_epochs: u64,
+}
+
+fn recovery_stats(report: &ServeReport, scenario: &Scenario) -> Recovery {
+    let epoch_of = |e: &lava_serve::EpochStats| e.start.0 / Micros::PER_SEC;
+    let pre: Vec<&_> = report
+        .epochs
+        .iter()
+        .filter(|e| epoch_of(e) < scenario.outage_secs)
+        .collect();
+    let pre_placed: u64 = pre.iter().map(|e| e.placed).sum();
+    let pre_goodput = pre_placed as f64 / (scenario.outage_secs as f64).max(1.0);
+
+    let during: Vec<&_> = report
+        .epochs
+        .iter()
+        .filter(|e| {
+            let i = epoch_of(e);
+            i >= scenario.outage_secs && i < scenario.recover_secs
+        })
+        .collect();
+    let outage_placed: u64 = during.iter().map(|e| e.placed).sum();
+    let worst_epoch = during.iter().map(|e| e.placed).min().unwrap_or(0);
+    let dip_depth = if pre_goodput > 0.0 {
+        (1.0 - worst_epoch as f64 / pre_goodput).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    // Steady band: 1.5x the pre-incident p99, with a 5ms floor above it
+    // so a near-zero steady p99 doesn't make recovery unreachable.
+    let pre_p99 = phase_stats(report, 0, scenario.outage_secs).p99;
+    let band_us = (1.5 * pre_p99).max(pre_p99 + 5_000.0);
+    let post_len = scenario.horizon_secs - scenario.recover_secs;
+    let mut recovery_epochs = post_len;
+    for epoch in &report.epochs {
+        let i = epoch_of(epoch);
+        if i >= scenario.recover_secs && epoch.latency.quantile(0.99) <= band_us {
+            recovery_epochs = i - scenario.recover_secs;
+            break;
+        }
+    }
+    Recovery {
+        pre_goodput,
+        outage_placed,
+        dip_depth,
+        band_us,
+        recovery_epochs,
+    }
+}
+
+struct Arm {
+    label: String,
+    report: ServeReport,
+    recovery: Recovery,
+}
+
+fn run_arm(label: &str, seed: u64, scenario: &Scenario, breakers: bool, incidents: bool) -> Arm {
+    let report = run_serve(&chaos_spec(seed, scenario, breakers, incidents)).expect("serving run");
+    let recovery = recovery_stats(&report, scenario);
+    Arm {
+        label: label.to_string(),
+        report,
+        recovery,
+    }
+}
+
+fn assert_conservation(arm: &Arm) {
+    let r = &arm.report;
+    assert!(
+        r.conservation_holds(),
+        "{}: conservation broken: {} != {} + {} + {} + {} + {}",
+        arm.label,
+        r.offered,
+        r.placed,
+        r.no_capacity,
+        r.shed,
+        r.queue_full,
+        r.deadline_exceeded
+    );
+    assert_eq!(
+        r.latency.count(),
+        r.placed + r.no_capacity,
+        "{}: exactly the terminal capacity decisions report a latency",
+        arm.label
+    );
+}
+
+fn print_epochs(arm: &Arm) {
+    for epoch in &arm.report.epochs {
+        println!(
+            "  {:<12} epoch {:>3}  offered={:<5} placed={:<5} expired={:<4} p99={:>9.0}us",
+            arm.label,
+            epoch.start.0 / Micros::PER_SEC,
+            epoch.offered,
+            epoch.placed,
+            epoch.deadline_exceeded,
+            epoch.latency.quantile(0.99),
+        );
+    }
+}
+
+fn print_arm(arm: &Arm, scenario: &Scenario) {
+    let r = &arm.report;
+    let pre = phase_stats(r, 0, scenario.outage_secs);
+    let during = phase_stats(r, scenario.outage_secs, scenario.recover_secs);
+    let post = phase_stats(r, scenario.recover_secs, scenario.horizon_secs);
+    println!(
+        "{:<12} offered={:<6} placed={:<6} no_cap={:<5} expired={:<5} retried={:<5} failover={:<5} trips={}",
+        arm.label,
+        r.offered,
+        r.placed,
+        r.no_capacity,
+        r.deadline_exceeded,
+        r.retried,
+        r.failovers,
+        r.breaker_trips,
+    );
+    println!(
+        "{:<12}   p99 pre/during/post = {:>8.0} / {:>9.0} / {:>9.0} us  outage_placed={} dip={:.0}% recovery={} epochs",
+        "",
+        pre.p99,
+        during.p99,
+        post.p99,
+        arm.recovery.outage_placed,
+        100.0 * arm.recovery.dip_depth,
+        arm.recovery.recovery_epochs,
+    );
+}
+
+fn phase_json(stats: &PhaseStats) -> String {
+    format!(
+        "{{\"p50\":{},\"p99\":{},\"p999\":{},\"samples\":{}}}",
+        stats.p50, stats.p99, stats.p999, stats.samples
+    )
+}
+
+fn arm_json(arm: &Arm, scenario: &Scenario) -> String {
+    let r = &arm.report;
+    format!(
+        concat!(
+            "{{\"label\":{:?},\"offered\":{},\"placed\":{},\"no_capacity\":{},",
+            "\"shed\":{},\"queue_full\":{},\"deadline_exceeded\":{},\"retried\":{},",
+            "\"failovers\":{},\"breaker_trips\":{},\"goodput_per_sec\":{},",
+            "\"pre\":{},\"during\":{},\"post\":{},",
+            "\"pre_goodput_per_epoch\":{},\"outage_placed\":{},\"dip_depth\":{},",
+            "\"slo_band_us\":{},\"recovery_epochs\":{},\"decision_digest\":{}}}"
+        ),
+        arm.label,
+        r.offered,
+        r.placed,
+        r.no_capacity,
+        r.shed,
+        r.queue_full,
+        r.deadline_exceeded,
+        r.retried,
+        r.failovers,
+        r.breaker_trips,
+        r.goodput_per_sec(),
+        phase_json(&phase_stats(r, 0, scenario.outage_secs)),
+        phase_json(&phase_stats(r, scenario.outage_secs, scenario.recover_secs)),
+        phase_json(&phase_stats(
+            r,
+            scenario.recover_secs,
+            scenario.horizon_secs
+        )),
+        arm.recovery.pre_goodput,
+        arm.recovery.outage_placed,
+        arm.recovery.dip_depth,
+        arm.recovery.band_us,
+        arm.recovery.recovery_epochs,
+        r.decision_digest,
+    )
+}
+
+fn main() {
+    let config = parse_args();
+    let scenario = Scenario::pinned(config.quick);
+    let capacity = nominal_capacity();
+
+    println!(
+        "# serve_chaos: cell-1 drain outage [{}s, {}s) + {}-VM storm, {} hosts / {} cells, hash router",
+        scenario.outage_secs, scenario.recover_secs, scenario.storm_vms, HOSTS, CELLS
+    );
+    println!(
+        "# decision capacity {capacity:.0}/s, offered 0.7x, deadline 2s, retry budget 2, epoch 1s, seed {}",
+        config.seed
+    );
+
+    let steady = run_arm("steady", config.seed, &scenario, true, false);
+    let breakerless = run_arm("breakerless", config.seed, &scenario, false, true);
+    let breakers = run_arm("breakers", config.seed, &scenario, true, true);
+    print_arm(&steady, &scenario);
+    print_arm(&breakerless, &scenario);
+    print_arm(&breakers, &scenario);
+    if config.epochs {
+        print_epochs(&breakerless);
+        print_epochs(&breakers);
+    }
+
+    // ---- Assert 1: deterministic replay with incidents active. ----------
+    let replay = run_arm("breakers/replay", config.seed, &scenario, true, true);
+    assert_eq!(
+        replay.report.decision_digest, breakers.report.decision_digest,
+        "same seed must replay the identical decision sequence, incidents and all"
+    );
+    assert_eq!(replay.report.offered, breakers.report.offered);
+    assert_eq!(replay.report.placed, breakers.report.placed);
+    println!(
+        "replay: decision digest {:#018x} reproduced bit-identically with incidents active",
+        replay.report.decision_digest
+    );
+
+    // ---- Assert 2: breakers beat breaker-less under the outage. ---------
+    assert!(
+        breakers.report.breaker_trips > 0 && breakers.report.failovers > 0,
+        "the outage must actually trip breakers and drive failovers"
+    );
+    assert!(
+        breakers.recovery.outage_placed > breakerless.recovery.outage_placed,
+        "breaker failover must beat the breaker-less arm on goodput during the outage: {} vs {}",
+        breakers.recovery.outage_placed,
+        breakerless.recovery.outage_placed
+    );
+    assert!(
+        breakers.recovery.recovery_epochs < breakerless.recovery.recovery_epochs,
+        "breaker failover must recover the p99 SLO faster: {} vs {} epochs",
+        breakers.recovery.recovery_epochs,
+        breakerless.recovery.recovery_epochs
+    );
+    println!(
+        "outage goodput: {} placed (breakers) vs {} (breaker-less); SLO recovery {} vs {} epochs",
+        breakers.recovery.outage_placed,
+        breakerless.recovery.outage_placed,
+        breakers.recovery.recovery_epochs,
+        breakerless.recovery.recovery_epochs,
+    );
+
+    // ---- Assert 3: outcome conservation on every arm. -------------------
+    for arm in [&steady, &breakerless, &breakers, &replay] {
+        assert_conservation(arm);
+    }
+    println!("conservation: offered == placed + no_capacity + shed + queue_full + deadline_exceeded on all arms");
+
+    // ---- JSON artifact. -------------------------------------------------
+    if let Some(path) = &config.json_path {
+        let arms: Vec<String> = [&steady, &breakerless, &breakers]
+            .iter()
+            .map(|a| arm_json(a, &scenario))
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\"bench\":\"serve_chaos\",\"seed\":{},\"quick\":{},",
+                "\"hosts\":{},\"cells\":{},\"nominal_capacity_per_sec\":{},",
+                "\"horizon_secs\":{},\"outage_secs\":{},\"recover_secs\":{},",
+                "\"storm_vms\":{},\"arms\":[{}]}}\n"
+            ),
+            config.seed,
+            config.quick,
+            HOSTS,
+            CELLS,
+            capacity,
+            scenario.horizon_secs,
+            scenario.outage_secs,
+            scenario.recover_secs,
+            scenario.storm_vms,
+            arms.join(",")
+        );
+        std::fs::write(path, json).expect("write JSON artifact");
+        println!("wrote {path}");
+    }
+
+    println!("serve_chaos: all in-binary assertions passed");
+}

@@ -209,6 +209,15 @@ pub struct PlaceRequest {
     pub lifetime: Duration,
     /// When the request arrived at the service, in virtual time.
     pub submitted: Micros,
+    /// Optional absolute deadline: the decision is worthless after this
+    /// instant, so the service resolves an expired entry to
+    /// [`Rejected::DeadlineExceeded`] instead of placing it late.
+    #[serde(default)]
+    pub deadline: Option<Micros>,
+    /// How many times the service may re-queue this request after a
+    /// `no_capacity` decision before the outcome becomes terminal.
+    #[serde(default)]
+    pub retries: u32,
 }
 
 /// An inbound release request: "this VM is gone, free its capacity".
@@ -235,6 +244,10 @@ pub enum Rejected {
         /// to drain back below its shed threshold.
         retry_after: Micros,
     },
+    /// The request's deadline passed before a decision could start. The
+    /// caller should re-submit with a fresh deadline (a late placement is
+    /// worthless, so the service never delivers one).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Rejected {
@@ -242,6 +255,7 @@ impl fmt::Display for Rejected {
         match self {
             Rejected::QueueFull => write!(f, "queue full"),
             Rejected::Shed { retry_after } => write!(f, "shed (retry after {retry_after})"),
+            Rejected::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -351,16 +365,30 @@ mod tests {
             spec: VmSpec::builder(Resources::cores_gib(2, 8)).build(),
             lifetime: Duration::from_hours(2),
             submitted: Micros(42),
+            deadline: Some(Micros(5042)),
+            retries: 2,
         };
         let json = serde_json::to_string(&request).unwrap();
         let back: PlaceRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(request, back);
+
+        // Pre-deadline wire format (no `deadline`/`retries` fields) still
+        // deserializes: both default off.
+        let legacy: PlaceRequest = serde_json::from_str(
+            &json
+                .replace(",\"deadline\":5042", "")
+                .replace(",\"retries\":2", ""),
+        )
+        .unwrap();
+        assert_eq!(legacy.deadline, None);
+        assert_eq!(legacy.retries, 0);
 
         for rejected in [
             Rejected::QueueFull,
             Rejected::Shed {
                 retry_after: Micros(100),
             },
+            Rejected::DeadlineExceeded,
         ] {
             let json = serde_json::to_string(&rejected).unwrap();
             let back: Rejected = serde_json::from_str(&json).unwrap();

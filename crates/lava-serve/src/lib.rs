@@ -39,6 +39,16 @@
 //!   [`DecisionCost`](lava_sched::scheduler::DecisionCost) — so p50/p99/
 //!   p999 SLO figures replay bit-identically across machines and runs
 //!   (asserted via [`ServeReport::decision_digest`]).
+//! * **Fault tolerance**: an [`IncidentPlan`](lava_sim::chaos::IncidentPlan)
+//!   attached via [`PlacementService::attach_incidents`] schedules cell
+//!   outages, predictor degradations and arrival storms on the same
+//!   virtual clock. Per-cell circuit breakers ([`health`]) trip after
+//!   consecutive failures, fail traffic over to healthy cells with
+//!   seeded exponential backoff, and a tripped majority puts the fleet
+//!   in *brownout* (conservative routing, tighter shedding). Requests
+//!   carry optional deadlines and retry budgets; an expired request
+//!   resolves to [`Rejected::DeadlineExceeded`](lava_core::serve::Rejected)
+//!   rather than consuming decision capacity.
 //!
 //! The entry point is [`run_serve`], which runs the serving scenario an
 //! [`ExperimentSpec`](lava_sim::experiment::ExperimentSpec) declares
@@ -73,8 +83,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod health;
 pub mod queue;
 pub mod service;
 
+pub use health::{BreakerState, HealthTracker};
 pub use queue::BoundedQueue;
-pub use service::{run_serve, PlacementService, ServeError, ServeReport};
+pub use service::{run_serve, EpochStats, PlacementService, ServeError, ServeReport};

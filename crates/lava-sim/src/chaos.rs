@@ -59,11 +59,13 @@
 //! best-fit) lives in `lava-sched`
 //! ([`FallbackSpec`](lava_sched::policy::FallbackSpec)).
 
+use crate::arrivals::{ArrivalGenerator, ServeConfig};
 use crate::experiment::SpecError;
 use crate::timeline::{Timeline, TimelineAction};
 use lava_core::events::{TraceEvent, TraceEventKind};
 use lava_core::host::HostId;
 use lava_core::resources::Resources;
+use lava_core::serve::{Micros, PlaceRequest, RequestId};
 use lava_core::source::EventSource;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{VmId, VmSpec};
@@ -200,8 +202,9 @@ const STORM_DEFAULT_LIFETIME: Duration = Duration(3_600);
 impl Incident {
     /// Whether this incident is executed by the per-cell
     /// [`ChaosController`] (as opposed to being applied entirely inside
-    /// the event stream by [`ChaosSource`]).
-    fn is_runtime(&self) -> bool {
+    /// the event stream by [`ChaosSource`] / [`ChaosArrivals`]). Public so
+    /// the serving tier can schedule runtime incidents on its own clock.
+    pub fn is_runtime(&self) -> bool {
         matches!(
             self,
             Incident::CellOutage { .. } | Incident::PredictorDegradation { .. }
@@ -209,7 +212,7 @@ impl Incident {
     }
 
     /// The incident's start offset.
-    fn start_offset(&self) -> Duration {
+    pub fn start_offset(&self) -> Duration {
         match self {
             Incident::CellOutage { at, .. }
             | Incident::PredictorDegradation { at, .. }
@@ -219,7 +222,7 @@ impl Incident {
     }
 
     /// The recovery offset (from time zero), when one is scheduled.
-    fn end_offset(&self) -> Option<Duration> {
+    pub fn end_offset(&self) -> Option<Duration> {
         match self {
             Incident::CellOutage { at, recovery, .. }
             | Incident::PredictorDegradation { at, recovery, .. } => {
@@ -583,6 +586,143 @@ impl EventSource for ChaosSource<'_> {
             + usize::from(self.inner_buffered.is_some())
             + self.scaled_exits.len()
             + (self.storm.len() - self.storm_next)
+    }
+}
+
+// --- the serving-tier stream wrapper --------------------------------------
+
+/// The serving-tier analogue of [`ChaosSource`]: wraps an open-loop
+/// [`ArrivalGenerator`] with the plan's *stream-level* incidents on the
+/// microsecond clock.
+///
+/// * [`Incident::ArrivalStorm`] — storm [`PlaceRequest`]s are
+///   pre-generated with the same per-storm seeded stream the batch
+///   wrapper uses (ids from [`STORM_VM_ID_BASE`], so they never collide
+///   with generator ids) but jittered at microsecond resolution across
+///   the storm window, then merged with the generator's output in
+///   `(submitted, vm)` order. Storm requests carry the same
+///   deadline/retry stamps the [`ServeConfig`] gives organic arrivals.
+/// * [`Incident::DriftShift`] — generator requests submitted at or after
+///   a shift have their ground-truth lifetime rescaled, exactly like
+///   batch creates.
+///
+/// Runtime incidents (outages, degradations) are not the stream's
+/// business — attach the plan to the `PlacementService` for those.
+pub struct ChaosArrivals {
+    inner: ArrivalGenerator,
+    /// Pre-generated storm requests in `(submitted, vm)` order.
+    storm: Vec<PlaceRequest>,
+    storm_next: usize,
+    /// `(shift time, scale)` in time order; the latest at or before an
+    /// arrival applies.
+    shifts: Vec<(Micros, f64)>,
+    /// The generator's head, buffered (post-drift).
+    buffered: Option<PlaceRequest>,
+}
+
+impl ChaosArrivals {
+    /// Wrap `inner` with `plan`'s stream-level incidents, stamping storm
+    /// requests with `config`'s deadline and retry budget.
+    pub fn new(
+        inner: ArrivalGenerator,
+        plan: &IncidentPlan,
+        config: &ServeConfig,
+    ) -> ChaosArrivals {
+        let mut shifts: Vec<(Micros, f64)> = plan
+            .incidents
+            .iter()
+            .filter_map(|i| match i {
+                Incident::DriftShift { at, lifetime_scale } => {
+                    Some((Micros::from_duration(*at), *lifetime_scale))
+                }
+                _ => None,
+            })
+            .collect();
+        shifts.sort_by_key(|(at, _)| *at);
+
+        let mut storm: Vec<PlaceRequest> = Vec::new();
+        for (index, incident) in plan.incidents.iter().enumerate() {
+            let Incident::ArrivalStorm {
+                at,
+                duration,
+                vms,
+                cores,
+                lifetime,
+            } = incident
+            else {
+                continue;
+            };
+            // Same per-storm stream derivation as ChaosSource, so plan
+            // reordering never changes any single storm's draws.
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                plan.seed ^ 0x57a2_0000_0000 ^ (index as u64).wrapping_mul(0x9e37_79b9),
+            );
+            let window_us = Micros::from_duration(*duration).as_micros().max(1);
+            let cores = cores.unwrap_or(STORM_DEFAULT_CORES);
+            let lifetime = lifetime.unwrap_or(STORM_DEFAULT_LIFETIME);
+            let spec = VmSpec::builder(Resources::cores_gib(cores, cores * 4)).build();
+            for i in 0..*vms {
+                let arrival = Micros::from_duration(*at) + Micros(rng.gen_range(0..window_us));
+                let id = STORM_VM_ID_BASE | ((index as u64) << 32) | i as u64;
+                storm.push(PlaceRequest {
+                    id: RequestId(id),
+                    vm: VmId(id),
+                    spec: spec.clone(),
+                    lifetime,
+                    submitted: arrival,
+                    deadline: config.deadline.map(|d| arrival + d),
+                    retries: config.retry_budget,
+                });
+            }
+        }
+        storm.sort_by_key(|r| (r.submitted, r.vm.0));
+
+        ChaosArrivals {
+            inner,
+            storm,
+            storm_next: 0,
+            shifts,
+            buffered: None,
+        }
+    }
+
+    /// Apply the drift scale in force at the request's arrival.
+    fn drift(&self, mut request: PlaceRequest) -> PlaceRequest {
+        if let Some((_, scale)) = self
+            .shifts
+            .iter()
+            .rev()
+            .find(|(at, _)| *at <= request.submitted)
+        {
+            request.lifetime =
+                Duration::from_secs_f64((request.lifetime.as_secs() as f64 * scale).max(1.0));
+        }
+        request
+    }
+
+    /// The next request in `(submitted, vm)` order, merged across the
+    /// generator and storm streams.
+    pub fn next_request(&mut self) -> Option<PlaceRequest> {
+        if self.buffered.is_none() {
+            self.buffered = self.inner.next_request().map(|r| self.drift(r));
+        }
+        let storm_head = self.storm.get(self.storm_next);
+        match (&self.buffered, storm_head) {
+            (None, None) => None,
+            (Some(_), None) => self.buffered.take(),
+            (None, Some(_)) => {
+                self.storm_next += 1;
+                Some(self.storm[self.storm_next - 1].clone())
+            }
+            (Some(inner), Some(storm)) => {
+                if (inner.submitted, inner.vm.0) <= (storm.submitted, storm.vm.0) {
+                    self.buffered.take()
+                } else {
+                    self.storm_next += 1;
+                    Some(self.storm[self.storm_next - 1].clone())
+                }
+            }
+        }
     }
 }
 
@@ -1306,5 +1446,105 @@ mod tests {
         for _ in 0..20 {
             empty.recalibrate(&mut idle);
         }
+    }
+
+    fn serve_stream(config: &ServeConfig, plan: &IncidentPlan) -> Vec<PlaceRequest> {
+        use crate::workload::{PoolConfig, WorkloadGenerator};
+        let generator = ArrivalGenerator::from_config(
+            WorkloadGenerator::new(PoolConfig::small(7)),
+            config,
+            Micros::from_secs(10),
+        );
+        let mut stream = ChaosArrivals::new(generator, plan, config);
+        let mut out = Vec::new();
+        while let Some(request) = stream.next_request() {
+            out.push(request);
+        }
+        out
+    }
+
+    #[test]
+    fn chaos_arrivals_merges_storms_in_order_and_replays() {
+        let config = ServeConfig::at_rate(50.0)
+            .with_deadline(Micros::from_millis(100))
+            .with_retry_budget(2);
+        let storm_plan = plan(vec![Incident::ArrivalStorm {
+            at: Duration::from_secs(2),
+            duration: Duration::from_secs(3),
+            vms: 40,
+            cores: None,
+            lifetime: None,
+        }]);
+        let merged = serve_stream(&config, &storm_plan);
+        let bare = serve_stream(&config, &IncidentPlan::default());
+        assert_eq!(merged.len(), bare.len() + 40);
+        // The merged stream is globally ordered by (submitted, vm).
+        for pair in merged.windows(2) {
+            assert!(
+                (pair[0].submitted, pair[0].vm.0) <= (pair[1].submitted, pair[1].vm.0),
+                "stream out of order at {:?} -> {:?}",
+                pair[0].submitted,
+                pair[1].submitted
+            );
+        }
+        // Storm requests live in their own id space, land inside the storm
+        // window at microsecond jitter, and carry the config's
+        // deadline/retry stamps like organic arrivals.
+        let storm: Vec<&PlaceRequest> = merged
+            .iter()
+            .filter(|r| r.vm.0 >= STORM_VM_ID_BASE)
+            .collect();
+        assert_eq!(storm.len(), 40);
+        for request in &storm {
+            assert!(request.submitted >= Micros::from_secs(2));
+            assert!(request.submitted < Micros::from_secs(5));
+            assert_eq!(
+                request.deadline,
+                Some(request.submitted + Micros::from_millis(100))
+            );
+            assert_eq!(request.retries, 2);
+        }
+        assert!(
+            storm
+                .iter()
+                .any(|r| r.submitted.as_micros() % Micros::PER_SEC != 0),
+            "storm jitter is sub-second on the serve clock"
+        );
+        // The generator's own requests pass through untouched.
+        let organic: Vec<&PlaceRequest> = merged
+            .iter()
+            .filter(|r| r.vm.0 < STORM_VM_ID_BASE)
+            .collect();
+        assert_eq!(organic.len(), bare.len());
+        assert!(organic.iter().zip(&bare).all(|(a, b)| **a == *b));
+        // Same plan, same draws: the wrapper replays bit-identically.
+        assert_eq!(merged, serve_stream(&config, &storm_plan));
+    }
+
+    #[test]
+    fn chaos_arrivals_applies_drift_to_generator_lifetimes() {
+        let config = ServeConfig::at_rate(50.0);
+        let shift_at = Duration::from_secs(5);
+        let drift_plan = plan(vec![Incident::DriftShift {
+            at: shift_at,
+            lifetime_scale: 3.0,
+        }]);
+        let drifted = serve_stream(&config, &drift_plan);
+        let bare = serve_stream(&config, &IncidentPlan::default());
+        assert_eq!(drifted.len(), bare.len());
+        let boundary = Micros::from_duration(shift_at);
+        let mut scaled = 0;
+        for (a, b) in drifted.iter().zip(&bare) {
+            assert_eq!(a.submitted, b.submitted);
+            if a.submitted < boundary {
+                assert_eq!(a.lifetime, b.lifetime);
+            } else {
+                let expected =
+                    Duration::from_secs_f64((b.lifetime.as_secs() as f64 * 3.0).max(1.0));
+                assert_eq!(a.lifetime, expected);
+                scaled += 1;
+            }
+        }
+        assert!(scaled > 0, "the shift window must cover some arrivals");
     }
 }

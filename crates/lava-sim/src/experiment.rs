@@ -35,7 +35,7 @@
 use crate::ab::{paired_comparison, AbResult};
 use crate::arrivals::{ArrivalProcess, ServeConfig};
 use crate::causal::{causal_impact, CausalConfig, CausalImpactReport};
-use crate::chaos::{AdaptationSpec, ChaosController, ChaosSource, IncidentPlan};
+use crate::chaos::{AdaptationSpec, ChaosController, ChaosSource, Incident, IncidentPlan};
 use crate::defrag::{simulate_migration_queue, EvacuationCollector, MigrationOrder};
 use crate::fleet::{self, FleetChaos, FleetConfig, FleetReport};
 use crate::observer::{MetricRecorder, ObserverContext, SimObserver, StrandingProbe};
@@ -47,6 +47,7 @@ use crate::trace::Trace;
 use crate::workload::{PoolConfig, StreamingWorkload, WorkloadGenerator};
 use lava_core::events::TraceEventKind;
 use lava_core::pool::Pool;
+use lava_core::serve::Micros;
 use lava_core::source::EventSource;
 use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
@@ -522,6 +523,22 @@ pub enum SpecError {
     /// (zero period, burst longer than its period, non-positive burst
     /// amplitude, or a diurnal amplitude outside `[0, 1)`).
     ServeInvalidArrival,
+    /// A serving run schedules an arrival storm whose window extends past
+    /// the workload horizon: the service stops offering at the horizon,
+    /// so part of the storm could never arrive and the plan would not
+    /// mean what it says.
+    ServeStormPastHorizon {
+        /// Index of the offending incident in the plan.
+        index: usize,
+    },
+    /// The serving tier's per-request deadline is shorter than the
+    /// service model's base decision time, so every request would expire
+    /// before a single decision could complete.
+    ServeDeadlineTooShort,
+    /// The serving tier's breaker config is degenerate: zero failure
+    /// threshold, zero base backoff, a max backoff below the base, or a
+    /// jitter fraction outside `[0, 1)`.
+    ServeInvalidBreaker,
 }
 
 impl fmt::Display for SpecError {
@@ -595,6 +612,25 @@ impl fmt::Display for SpecError {
             }
             SpecError::ServeShedThresholdTooHigh => {
                 write!(f, "admission shed threshold must be below the queue bound")
+            }
+            SpecError::ServeStormPastHorizon { index } => {
+                write!(
+                    f,
+                    "incident {index}: arrival storm window extends past the workload horizon"
+                )
+            }
+            SpecError::ServeDeadlineTooShort => {
+                write!(
+                    f,
+                    "serve deadline is shorter than the base decision time; every request would expire"
+                )
+            }
+            SpecError::ServeInvalidBreaker => {
+                write!(
+                    f,
+                    "breaker config is degenerate (threshold and base backoff must be non-zero, \
+                     max backoff >= base, jitter in [0, 1))"
+                )
             }
             SpecError::ServeInvalidArrival => {
                 write!(f, "serving arrival process has degenerate parameters")
@@ -708,6 +744,28 @@ impl ExperimentSpec {
                 ArrivalProcess::Diurnal { period, amplitude } => {
                     if period.is_zero() || !(0.0..1.0).contains(&amplitude) {
                         return Err(SpecError::ServeInvalidArrival);
+                    }
+                }
+            }
+            if let Some(deadline) = serve.deadline {
+                if deadline < Micros(serve.service.base_decision_us) {
+                    return Err(SpecError::ServeDeadlineTooShort);
+                }
+            }
+            if let Some(breakers) = serve.breakers {
+                if breakers.failure_threshold == 0
+                    || breakers.base_backoff_us == 0
+                    || breakers.max_backoff_us < breakers.base_backoff_us
+                    || !(0.0..1.0).contains(&breakers.jitter)
+                {
+                    return Err(SpecError::ServeInvalidBreaker);
+                }
+            }
+            let horizon = Micros::from_duration(self.workload.duration);
+            for (index, incident) in self.incidents.incidents.iter().enumerate() {
+                if let Incident::ArrivalStorm { at, duration, .. } = incident {
+                    if Micros::from_duration(*at) + Micros::from_duration(*duration) > horizon {
+                        return Err(SpecError::ServeStormPastHorizon { index });
                     }
                 }
             }
@@ -2057,6 +2115,87 @@ mod tests {
             )
             .build();
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_serve_chaos_combos() {
+        use crate::arrivals::{BreakerConfig, ServeConfig};
+        use lava_core::serve::Micros;
+
+        // A storm window that extends past the workload horizon is invalid
+        // *for serving runs* (the service stops offering at the horizon)…
+        let storm_past_horizon = IncidentPlan {
+            seed: 7,
+            incidents: vec![Incident::ArrivalStorm {
+                at: Duration::from_mins(9),
+                duration: Duration::from_mins(2),
+                vms: 50,
+                cores: None,
+                lifetime: None,
+            }],
+        };
+        let err = ExperimentBuilder::new()
+            .duration(Duration::from_mins(10))
+            .serve(ServeConfig::at_rate(50.0))
+            .incidents(storm_past_horizon.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::ServeStormPastHorizon { index: 0 });
+        assert!(!err.to_string().is_empty());
+        // …but fine for batch runs, where ChaosSource clamps to the trace.
+        assert!(ExperimentBuilder::new()
+            .duration(Duration::from_mins(10))
+            .incidents(storm_past_horizon)
+            .build()
+            .is_ok());
+
+        // A deadline below the base decision time can never be met.
+        let err = ExperimentBuilder::new()
+            .serve(ServeConfig::at_rate(50.0).with_deadline(Micros(100)))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::ServeDeadlineTooShort);
+        assert!(!err.to_string().is_empty());
+        assert!(ExperimentBuilder::new()
+            .serve(ServeConfig::at_rate(50.0).with_deadline(Micros::from_millis(50)))
+            .build()
+            .is_ok());
+
+        // Degenerate breaker tunings.
+        for breakers in [
+            BreakerConfig {
+                failure_threshold: 0,
+                ..BreakerConfig::default()
+            },
+            BreakerConfig {
+                base_backoff_us: 0,
+                ..BreakerConfig::default()
+            },
+            BreakerConfig {
+                base_backoff_us: 1000,
+                max_backoff_us: 500,
+                ..BreakerConfig::default()
+            },
+            BreakerConfig {
+                jitter: 1.0,
+                ..BreakerConfig::default()
+            },
+            BreakerConfig {
+                jitter: -0.1,
+                ..BreakerConfig::default()
+            },
+        ] {
+            let err = ExperimentBuilder::new()
+                .serve(ServeConfig::at_rate(50.0).with_breakers(breakers))
+                .build()
+                .unwrap_err();
+            assert_eq!(err, SpecError::ServeInvalidBreaker);
+            assert!(!err.to_string().is_empty());
+        }
+        assert!(ExperimentBuilder::new()
+            .serve(ServeConfig::at_rate(50.0).with_breakers(BreakerConfig::default()))
+            .build()
+            .is_ok());
     }
 
     #[test]

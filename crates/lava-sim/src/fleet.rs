@@ -75,7 +75,7 @@ use crate::experiment::{DriveLoop, DriveTiming};
 use crate::metrics::{MetricSample, MetricSeries};
 use crate::observer::{MetricRecorder, SimObserver};
 use crate::simulator::SimulationResult;
-use crate::workers::{on_pool_worker, WorkerPool, PIPELINE_DEPTH};
+use crate::workers::{on_pool_worker, panic_message, WorkerPool, PIPELINE_DEPTH};
 use crate::workload::PoolConfig;
 use lava_core::cell::{CellId, CellSummary};
 use lava_core::events::{TraceEvent, TraceEventKind};
@@ -708,7 +708,14 @@ impl Router {
         }
         match &event.kind {
             TraceEventKind::Exit { vm } => match self.spec {
-                RouterSpec::Hash => (splitmix64(vm.0) % self.cells as u64) as usize,
+                // Stateless except for repinned VMs: a failover placement
+                // ([`Router::repin`]) left a pin so its release follows it
+                // to the cell that actually holds it, not the hash target.
+                RouterSpec::Hash => self
+                    .vm_cell
+                    .remove(vm)
+                    .map(|c| c as usize)
+                    .unwrap_or_else(|| (splitmix64(vm.0) % self.cells as u64) as usize),
                 _ => self
                     .vm_cell
                     .remove(vm)
@@ -744,6 +751,23 @@ impl Router {
                 cell
             }
         }
+    }
+
+    /// Move a just-routed VM's pin from `from` to `to` — the failover hook
+    /// for the serving tier's circuit breakers. [`Router::route`] has
+    /// already charged `cpu_milli` of in-flight CPU to `from` and (for
+    /// stateful routers) pinned the VM there; repinning transfers both so
+    /// the VM's eventual exit follows it to the cell that actually placed
+    /// it and summary discounting stays truthful. For the hash router this
+    /// *adds* a pin (its exits check the pin map before rehashing).
+    pub fn repin(&mut self, vm: VmId, from: usize, to: usize, cpu_milli: u64) {
+        debug_assert!(from < self.cells && to < self.cells);
+        if from == to {
+            return;
+        }
+        self.routed_cpu[from] = self.routed_cpu[from].saturating_sub(cpu_milli);
+        self.routed_cpu[to] += cpu_milli;
+        self.vm_cell.insert(vm, to as u32);
     }
 
     /// The cell with the highest free-CPU fraction per its frozen summary,
@@ -1287,6 +1311,48 @@ fn fleet_session(
     }
 }
 
+/// A cell-owning fleet session worker died mid-run (its pinned job
+/// panicked). Raised by the coordinator via `std::panic::panic_any` in
+/// place of the bare "fleet worker died" channel hang-up, so the failure
+/// names **which** worker died, **which** cells it owned (their state is
+/// lost), and the original panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetWorkerError {
+    /// Pool worker index whose session job died.
+    pub worker: usize,
+    /// Global indices of the cells the dead worker owned.
+    pub cells: Vec<usize>,
+    /// The swallowed panic payload, stringified when possible.
+    pub panic: String,
+}
+
+impl fmt::Display for FleetWorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fleet worker {} (owning cells {:?}) died: {}",
+            self.worker, self.cells, self.panic
+        )
+    }
+}
+
+impl std::error::Error for FleetWorkerError {}
+
+/// Abort the run with a [`FleetWorkerError`] for worker `worker`,
+/// harvesting the panic payload its session job left in the pool.
+fn fleet_worker_died(pool: &WorkerPool, worker: usize, cell_count: usize, workers: usize) -> ! {
+    let panic = pool
+        .take_panic(worker)
+        .map(|payload| panic_message(payload.as_ref()))
+        .unwrap_or_else(|| "worker channel closed without a captured panic".to_string());
+    let cells = (0..cell_count).filter(|c| c % workers == worker).collect();
+    std::panic::panic_any(FleetWorkerError {
+        worker,
+        cells,
+        panic,
+    });
+}
+
 /// The pooled fleet engine: pins one [`fleet_session`] per worker (cells
 /// striped `cell i → worker i % workers`), holds the pool's session lock
 /// for the whole run, and pipelines the coordinator's source draining
@@ -1330,8 +1396,11 @@ fn run_fleet_pooled(
     let needs_summaries = router.needs_summaries();
     let collect_summaries = |reply_rxs: &[mpsc::Receiver<WorkerReply>]| -> Vec<CellSummary> {
         let mut by_cell: Vec<Option<CellSummary>> = (0..cell_count).map(|_| None).collect();
-        for rx in reply_rxs {
-            match rx.recv().expect("fleet worker died") {
+        for (worker, rx) in reply_rxs.iter().enumerate() {
+            match rx
+                .recv()
+                .unwrap_or_else(|_| fleet_worker_died(pool, worker, cell_count, workers))
+            {
                 WorkerReply::Summaries(summaries) => {
                     for (index, summary) in summaries {
                         by_cell[index] = Some(summary);
@@ -1357,8 +1426,10 @@ fn run_fleet_pooled(
         };
 
     if needs_summaries {
-        for tx in &epoch_txs {
-            tx.send(EpochMsg::Prime).expect("fleet worker died");
+        for (worker, tx) in epoch_txs.iter().enumerate() {
+            if tx.send(EpochMsg::Prime).is_err() {
+                fleet_worker_died(pool, worker, cell_count, workers);
+            }
         }
     }
     let mut pending: Vec<TraceEvent> = Vec::new();
@@ -1380,14 +1451,16 @@ fn run_fleet_pooled(
         }
         let want_summaries = needs_summaries && !closed;
         for (worker, tx) in epoch_txs.iter().enumerate() {
-            tx.send(EpochMsg::Step {
+            let step = EpochMsg::Step {
                 batch: std::mem::take(&mut batches[worker]),
                 limit: epoch_end,
                 closed,
                 last_arrival,
                 want_summaries,
-            })
-            .expect("fleet worker died");
+            };
+            if tx.send(step).is_err() {
+                fleet_worker_died(pool, worker, cell_count, workers);
+            }
         }
         if closed {
             break;
@@ -1406,9 +1479,12 @@ fn run_fleet_pooled(
     }
 
     let mut by_cell: Vec<Option<CellOutcome>> = (0..cell_count).map(|_| None).collect();
-    for rx in &reply_rxs {
+    for (worker, rx) in reply_rxs.iter().enumerate() {
         loop {
-            match rx.recv().expect("fleet worker died") {
+            match rx
+                .recv()
+                .unwrap_or_else(|_| fleet_worker_died(pool, worker, cell_count, workers))
+            {
                 // A final want_summaries=false Step never replies with
                 // summaries, but a summary-free router's sessions send
                 // nothing until their Outcomes either — recv in a loop
@@ -1509,6 +1585,123 @@ mod tests {
         assert!(
             counts.iter().all(|&c| c > 0),
             "degenerate spread {counts:?}"
+        );
+    }
+
+    #[test]
+    fn dead_session_worker_reports_structured_error() {
+        use crate::workload::StreamingWorkload;
+        use lava_core::host::HostId;
+        use lava_sched::baseline::BestFitPolicy;
+        use lava_sched::cluster::Cluster as SchedCluster;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        /// Panics on its first placement decision — a stand-in for a
+        /// buggy policy blowing up inside a cell-owning session worker.
+        struct ExplodingPolicy;
+        impl PlacementPolicy for ExplodingPolicy {
+            fn name(&self) -> &'static str {
+                "exploding"
+            }
+            fn choose_host(
+                &mut self,
+                _cluster: &SchedCluster,
+                vm: &Vm,
+                _now: SimTime,
+                _exclude: Option<HostId>,
+            ) -> Option<HostId> {
+                panic!("policy exploded placing {:?}", vm.id());
+            }
+        }
+
+        let config = FleetConfig {
+            cells: 4,
+            router: RouterSpec::RoundRobin,
+            summary_refresh: Duration::from_mins(15),
+            overrides: Vec::new(),
+            threads: 2,
+        };
+        let base = base_pool(8);
+        // Cells 1 and 3 stripe onto worker 1 of a 2-worker pool; the
+        // round-robin router sends cell 1 traffic immediately, killing
+        // that worker's session mid-run.
+        let cells = config.build_cells(&base, |id| {
+            let policy: Box<dyn PlacementPolicy> = if id.0 == 1 {
+                Box::new(ExplodingPolicy)
+            } else {
+                Box::new(BestFitPolicy)
+            };
+            (policy, None)
+        });
+        let predictor: Arc<dyn LifetimePredictor> = Arc::new(OraclePredictor::new());
+        let pool = WorkerPool::new(2);
+        let mut source = StreamingWorkload::new(base);
+        let timing = DriveTiming {
+            warmup: Duration::ZERO,
+            warmup_with_baseline: false,
+            tick_interval: Duration::from_mins(5),
+            sample_interval: Duration::from_hours(1),
+            sample_during_warmup: false,
+            defrag_trigger: None,
+        };
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            run_fleet(
+                cells,
+                predictor,
+                RouterSpec::RoundRobin,
+                config.summary_refresh,
+                &timing,
+                &mut source,
+                config.threads,
+                None,
+                Some(&pool),
+            )
+        }))
+        .expect_err("a dead session worker must abort the run");
+        let err = payload
+            .downcast::<FleetWorkerError>()
+            .expect("the abort payload is the structured error");
+        assert_eq!(err.worker, 1);
+        assert_eq!(err.cells, vec![1, 3]);
+        assert!(
+            err.panic.contains("policy exploded"),
+            "original panic message preserved: {}",
+            err.panic
+        );
+        let shown = err.to_string();
+        assert!(shown.contains("fleet worker 1"), "display: {shown}");
+        assert!(shown.contains("[1, 3]"), "display: {shown}");
+    }
+
+    #[test]
+    fn repin_redirects_exit_and_in_flight_cpu() {
+        let oracle = OraclePredictor::new();
+        // Hash: a repinned VM's exit follows the pin, not the rehash.
+        let mut router = Router::new(RouterSpec::Hash, 5);
+        let vm = 7u64;
+        let hashed = router.route(&create(vm, 0, 2, 1), &oracle);
+        let target = (hashed + 1) % 5;
+        router.repin(VmId(vm), hashed, target, 2000);
+        assert_eq!(
+            router.route(&TraceEvent::exit(SimTime(10), VmId(vm)), &oracle),
+            target
+        );
+        assert!(router.vm_cell.is_empty(), "pin consumed by the exit");
+        // Un-repinned VMs still rehash statelessly.
+        let other = router.route(&create(vm + 1, 0, 2, 1), &oracle);
+        assert_eq!(
+            router.route(&TraceEvent::exit(SimTime(10), VmId(vm + 1)), &oracle),
+            other
+        );
+
+        // Stateful: repin overwrites the pin and moves the in-flight CPU.
+        let mut router = Router::new(RouterSpec::RoundRobin, 3);
+        assert_eq!(router.route(&create(1, 0, 4, 1), &oracle), 0);
+        router.repin(VmId(1), 0, 2, 4000);
+        assert_eq!(router.routed_cpu, vec![0, 0, 4000]);
+        assert_eq!(
+            router.route(&TraceEvent::exit(SimTime(10), VmId(1)), &oracle),
+            2
         );
     }
 

@@ -98,7 +98,9 @@ pub use experiment::{
     Experiment, ExperimentBuilder, ExperimentReport, ExperimentSpec, PolicySpec, PredictorSpec,
     Scenario, SourceMode,
 };
-pub use fleet::{CellOverride, FleetChaos, FleetConfig, FleetReport, Router, RouterSpec};
+pub use fleet::{
+    CellOverride, FleetChaos, FleetConfig, FleetReport, FleetWorkerError, Router, RouterSpec,
+};
 pub use observer::{ObserverContext, SimObserver};
 pub use suite::ExperimentSuite;
 pub use trace::TraceSource;

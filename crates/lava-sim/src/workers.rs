@@ -102,6 +102,12 @@ struct PoolState {
 struct PoolShared {
     state: Mutex<PoolState>,
     work_ready: Condvar,
+    /// Panic payloads the worker loop swallowed (a pinned job that died),
+    /// tagged with the worker index. Coordinators that detect a dead
+    /// session through a closed channel harvest these via
+    /// [`WorkerPool::take_panic`] to build a structured error instead of
+    /// reporting a bare hang-up.
+    panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>>,
 }
 
 /// Book-keeping for one [`WorkerPool::run_indexed`] call.
@@ -135,6 +141,7 @@ impl WorkerPool {
                     shutdown: false,
                 }),
                 work_ready: Condvar::new(),
+                panics: Mutex::new(Vec::new()),
             }),
             handles: Mutex::new(Vec::new()),
             session: Mutex::new(()),
@@ -270,6 +277,40 @@ impl WorkerPool {
             resume_unwind(payload);
         }
     }
+
+    /// Take the panic payload a pinned job left behind on worker `index`,
+    /// if any (oldest first when several died).
+    ///
+    /// Callers reach for this after observing the job's channel hang up,
+    /// which happens *during* the unwind — strictly before the worker
+    /// loop stores the payload — so this waits briefly for the store to
+    /// land rather than racing it. `None` after the wait means the
+    /// channel closed without a panic (e.g. the job returned early).
+    pub fn take_panic(&self, index: usize) -> Option<Box<dyn std::any::Any + Send>> {
+        for attempt in 0..200 {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let mut panics = lock(&self.shared.panics);
+            if let Some(pos) = panics.iter().position(|(worker, _)| *worker == index) {
+                return Some(panics.remove(pos).1);
+            }
+        }
+        None
+    }
+}
+
+/// Render a captured panic payload as a message: the `&str` / `String`
+/// payloads `panic!` produces, or a placeholder for exotic `panic_any`
+/// payloads.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Drop for WorkerPool {
@@ -295,9 +336,12 @@ fn worker_loop(shared: Arc<PoolShared>, index: usize) {
             // A panicking job must not take the worker down with it (the
             // global pool lives for the whole process). Session jobs
             // surface the failure to their coordinator through their
-            // dropped reply channel; shared jobs carry their own panic
-            // capture.
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            // dropped reply channel; the payload is kept so the
+            // coordinator can say *what* died (`take_panic`). Shared jobs
+            // carry their own panic capture and never reach this store.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                lock(&shared.panics).push((index, payload));
+            }
             state = lock(&shared.state);
             continue;
         }
@@ -389,6 +433,23 @@ mod tests {
             }
         });
         assert_eq!(seen.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn pinned_panics_are_harvestable_by_worker() {
+        let pool = WorkerPool::new(2);
+        pool.submit_pinned(1, Box::new(|| panic!("session job died mid-epoch")));
+        let payload = pool.take_panic(1).expect("payload captured");
+        assert_eq!(
+            panic_message(payload.as_ref()),
+            "session job died mid-epoch"
+        );
+        // The payload is consumed, and worker 0 never panicked. The pool
+        // itself survived: worker 1 still runs jobs.
+        assert!(pool.take_panic(0).is_none());
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit_pinned(1, Box::new(move || tx.send(41 + 1).unwrap()));
+        assert_eq!(rx.recv().unwrap(), 42);
     }
 
     #[test]
