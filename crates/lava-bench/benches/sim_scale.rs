@@ -4,32 +4,48 @@
 //! Drives a [`StreamingWorkload`] through the unified timeline over a
 //! large host count and millions of events, reporting events/sec and the
 //! source's peak pending-buffer size (which stays O(live VMs), horizon
-//! independent). Two rows are measured:
+//! independent). Measured rows:
 //!
+//! * **streaming-binary-trace** — a binary trace is streamed to disk with
+//!   [`BinaryTraceWriter`] (never materialised) and replayed through the
+//!   engine with [`BinaryTraceSource`] at 30- and 90-day horizons. Peak
+//!   RSS is recorded for both; tripling the horizon must leave peak
+//!   memory flat (the O(read-buffer) guarantee). These rows run first
+//!   because peak RSS is process-monotonic.
+//! * **layout head-to-head** — the same materialised event stream is
+//!   replayed through the pre-refactor pointer-chasing layout
+//!   ([`lava_bench::ReferenceCluster`]: per-host `BTreeMap`s, `BTreeMap`
+//!   VM registry/index) and through the live arena/SoA state, with the
+//!   identical most-free first-fit rule. Decision digests must match
+//!   bit-for-bit and the SoA layout must win by >= 1.3x events/sec.
 //! * **engine** — placement is a trivial most-free-first walk of the
 //!   pool's free-capacity index (O(1) amortised), so the row isolates the
 //!   engine itself: source generation, timeline ordering, cluster
-//!   bookkeeping and observer dispatch. This is the row that scales to
-//!   100 000 hosts / millions of events.
+//!   bookkeeping and observer dispatch. In full mode this row covers 10M+
+//!   events at 100 000 hosts.
 //! * **nilas** — the full lifetime-aware policy at a smaller host count,
 //!   for context (per-placement policy cost is measured in detail by the
 //!   `scheduling_throughput` bench).
 //!
-//! Before the timed rows, a medium-sized parity check asserts that a
-//! `TraceSource` replay and a `StreamingWorkload` run of the same spec
-//! produce bit-identical `SimulationResult`s.
+//! Before the timed rows, parity checks assert that (a) a `TraceSource`
+//! replay and a `StreamingWorkload` run of the same spec produce
+//! bit-identical `SimulationResult`s, and (b) an experiment replaying a
+//! binary-round-tripped trace matches one replaying the JSON round-trip
+//! bit-for-bit.
 //!
 //! Flags (after `--`):
 //!
 //! * `--quick` — CI-scale settings (fewer hosts/events);
 //! * `--hosts N` / `--events N` — override the engine row's scale;
 //! * `--json PATH` — write the measurements as a JSON artifact
-//!   (`BENCH_sim_scale.json` in CI).
+//!   (`BENCH_sim_scale.json` in CI, including the peak-RSS fields).
 //!
 //! Usage: `cargo bench -p lava-bench --bench sim_scale -- [--quick] [--json BENCH_sim_scale.json]`
 
-use lava_bench::MostFreeFirstPolicy;
+use lava_bench::{replay_soa, MostFreeFirstPolicy, ReferenceCluster};
+use lava_core::arena::VmArena;
 use lava_core::pool::Pool;
+use lava_core::source::EventSource;
 use lava_core::time::Duration;
 use lava_model::predictor::OraclePredictor;
 use lava_sched::cluster::Cluster;
@@ -38,7 +54,9 @@ use lava_sched::scheduler::Scheduler;
 use lava_sched::Algorithm;
 use lava_sim::experiment::{drive, DriveTiming, Experiment, SourceMode};
 use lava_sim::observer::SimObserver;
+use lava_sim::trace::{BinaryTraceSource, BinaryTraceWriter, Trace};
 use lava_sim::workload::{PoolConfig, StreamingWorkload, WorkloadGenerator};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,7 +72,7 @@ fn parse_args() -> Config {
     let mut config = Config {
         quick: false,
         hosts: 100_000,
-        target_events: 4_000_000,
+        target_events: 10_000_000,
         json_path: None,
     };
     let mut hosts_override = None;
@@ -107,6 +125,33 @@ fn scale_pool(hosts: usize, target_events: u64) -> PoolConfig {
     pool
 }
 
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`; 0 where unavailable). Monotonic over the process
+/// lifetime, so memory-sensitive rows must run before anything bulky.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn engine_timing() -> DriveTiming {
+    DriveTiming {
+        warmup: Duration::ZERO,
+        warmup_with_baseline: false,
+        tick_interval: Duration::from_mins(5),
+        sample_interval: Duration::from_hours(1),
+        sample_during_warmup: false,
+        defrag_trigger: None,
+    }
+}
+
 struct RowOutcome {
     events: u64,
     elapsed: f64,
@@ -127,14 +172,7 @@ fn run_row(label: &str, pool_config: &PoolConfig, policy: Box<dyn PlacementPolic
     );
     let predictor = Arc::new(OraclePredictor::new());
     let mut scheduler = Scheduler::new(Cluster::new(pool), policy, predictor);
-    let timing = DriveTiming {
-        warmup: Duration::ZERO,
-        warmup_with_baseline: false,
-        tick_interval: Duration::from_mins(5),
-        sample_interval: Duration::from_hours(1),
-        sample_during_warmup: false,
-        defrag_trigger: None,
-    };
+    let timing = engine_timing();
 
     let started = Instant::now();
     let rejected = {
@@ -161,6 +199,135 @@ fn run_row(label: &str, pool_config: &PoolConfig, policy: Box<dyn PlacementPolic
         max_pending,
         placed: stats.placed,
         rejected,
+    }
+}
+
+struct StreamingTraceRow {
+    days: u64,
+    events: u64,
+    events_per_sec: f64,
+    trace_bytes: u64,
+    peak_rss_kb: u64,
+}
+
+/// The O(read-buffer) row: stream a `days`-long workload straight into a
+/// binary trace file (never materialising it), then replay that file
+/// through the engine with [`BinaryTraceSource`] and record peak RSS.
+fn run_streaming_binary_row(hosts: usize, days: u64, dir: &Path) -> StreamingTraceRow {
+    let pool_config = PoolConfig {
+        hosts,
+        duration: Duration::from_days(days),
+        seed: 2424,
+        ..PoolConfig::default()
+    };
+    let path = dir.join(format!("trace-{days}d.lvtr"));
+
+    // Record: StreamingWorkload -> BinaryTraceWriter, O(live VMs) memory.
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let mut writer = BinaryTraceWriter::new(std::io::BufWriter::new(file), pool_config.pool_id)
+        .expect("write trace header");
+    let mut generator = StreamingWorkload::new(pool_config.clone());
+    while let Some(event) = generator.next_event() {
+        writer.push(&event).expect("canonical event order");
+    }
+    writer.finish().expect("finalise trace");
+    let trace_bytes = std::fs::metadata(&path).expect("trace written").len();
+
+    // Replay: BinaryTraceSource -> drive, O(read-buffer) memory.
+    let file = std::fs::File::open(&path).expect("open trace file");
+    let mut source = BinaryTraceSource::new(file).expect("valid trace header");
+    let pool = Pool::with_uniform_hosts(
+        pool_config.pool_id,
+        pool_config.hosts,
+        pool_config.host_spec(),
+    );
+    let predictor = Arc::new(OraclePredictor::new());
+    let mut scheduler =
+        Scheduler::new(Cluster::new(pool), Box::new(MostFreeFirstPolicy), predictor);
+    let timing = engine_timing();
+    let started = Instant::now();
+    {
+        let mut observers: Vec<&mut dyn SimObserver> = Vec::new();
+        drive(&mut source, &mut scheduler, None, &timing, &mut observers);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    assert!(
+        source.error().is_none(),
+        "binary replay hit a decode error: {:?}",
+        source.error()
+    );
+
+    let stats = scheduler.stats();
+    let events = stats.placed + stats.exited + 2 * stats.failed;
+    let row = StreamingTraceRow {
+        days,
+        events,
+        events_per_sec: events as f64 / elapsed.max(1e-9),
+        trace_bytes,
+        peak_rss_kb: peak_rss_kb(),
+    };
+    println!(
+        "sim_scale[streaming-binary-trace]: {hosts} hosts, {days}-day horizon, {events} events, \
+         {:.1} MB on disk, replay {:.0} events/sec, peak RSS {} KiB",
+        row.trace_bytes as f64 / 1e6,
+        row.events_per_sec,
+        row.peak_rss_kb
+    );
+    row
+}
+
+struct CompareOutcome {
+    events: u64,
+    reference_events_per_sec: f64,
+    soa_events_per_sec: f64,
+    speedup: f64,
+}
+
+/// Replay one materialised event stream through the pre-refactor layout
+/// and the live arena/SoA layout; digests must match and SoA must win.
+fn run_layout_head_to_head(hosts: usize, target_events: u64) -> CompareOutcome {
+    let pool_config = scale_pool(hosts, target_events);
+    let trace = WorkloadGenerator::new(pool_config.clone()).generate();
+    let events = trace.events();
+
+    let mut reference = ReferenceCluster::new(pool_config.hosts, pool_config.host_spec());
+    let started = Instant::now();
+    let ref_outcome = reference.replay(events);
+    let ref_elapsed = started.elapsed().as_secs_f64();
+
+    let mut pool = Pool::with_uniform_hosts(
+        pool_config.pool_id,
+        pool_config.hosts,
+        pool_config.host_spec(),
+    );
+    let mut vms = VmArena::new();
+    pool.reserve_vm_index(trace.vm_count() as u64 + 1);
+    vms.reserve(trace.vm_count() as u64 + 1, reference.vm_count().max(1024));
+    let started = Instant::now();
+    let soa_outcome = replay_soa(&mut pool, &mut vms, events);
+    let soa_elapsed = started.elapsed().as_secs_f64();
+
+    assert_eq!(
+        ref_outcome, soa_outcome,
+        "pre-refactor and SoA layouts diverged on the same stream"
+    );
+    let reference_events_per_sec = ref_outcome.events as f64 / ref_elapsed.max(1e-9);
+    let soa_events_per_sec = soa_outcome.events as f64 / soa_elapsed.max(1e-9);
+    let speedup = soa_events_per_sec / reference_events_per_sec.max(1e-9);
+    println!(
+        "sim_scale[layout]: {hosts} hosts, {} events; reference {:.0} events/sec, SoA {:.0} \
+         events/sec -> {speedup:.2}x (digest {:#018x}, bit-identical)",
+        ref_outcome.events, reference_events_per_sec, soa_events_per_sec, soa_outcome.digest
+    );
+    assert!(
+        speedup >= 1.3,
+        "SoA layout must beat the pre-refactor layout by >= 1.3x (got {speedup:.2}x)"
+    );
+    CompareOutcome {
+        events: ref_outcome.events,
+        reference_events_per_sec,
+        soa_events_per_sec,
+        speedup,
     }
 }
 
@@ -191,11 +358,84 @@ fn assert_source_parity() {
     println!("parity check passed: TraceSource and StreamingWorkload runs are bit-identical");
 }
 
+/// In-bench parity assert: running an experiment on a binary-round-tripped
+/// trace matches the JSON round-trip bit-for-bit.
+fn assert_trace_format_parity() {
+    let workload = PoolConfig {
+        hosts: 64,
+        duration: Duration::from_days(4),
+        seed: 91,
+        ..PoolConfig::default()
+    };
+    let spec = || {
+        Experiment::builder()
+            .workload(workload.clone())
+            .warmup(Duration::from_hours(6))
+            .algorithm(Algorithm::Nilas)
+            .build()
+            .and_then(Experiment::new)
+            .expect("valid spec")
+    };
+    let original = spec();
+    let trace = original.trace();
+    let via_binary = Trace::from_binary(&trace.to_binary()).expect("binary round-trip");
+    let via_json = Trace::from_json(&trace.to_json().expect("serialise")).expect("json round-trip");
+    assert_eq!(&via_binary, trace);
+    assert_eq!(&via_json, trace);
+    let run = |trace: Trace| {
+        let experiment = spec();
+        assert!(experiment.set_trace(trace), "fresh experiment cell");
+        experiment.run().result
+    };
+    assert_eq!(
+        run(via_binary),
+        run(via_json),
+        "binary- and JSON-round-tripped traces produced different results"
+    );
+    println!("parity check passed: binary and JSON trace round-trips are bit-identical");
+}
+
 fn main() {
     let config = parse_args();
-    assert_source_parity();
 
-    // Engine row: full scale, trivial placement.
+    // Peak RSS is monotonic for the process, so the memory-sensitive
+    // streaming rows must run before anything that materialises a trace.
+    let rss_hosts = if config.quick { 400 } else { 1_500 };
+    let scratch = std::env::temp_dir().join(format!("lava-sim-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let rss_30 = run_streaming_binary_row(rss_hosts, 30, &scratch);
+    let rss_90 = run_streaming_binary_row(rss_hosts, 90, &scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    assert!(
+        rss_90.events > 2 * rss_30.events,
+        "90-day horizon should replay far more events ({} vs {})",
+        rss_90.events,
+        rss_30.events
+    );
+    // The O(read-buffer) guarantee: tripling the horizon (and the on-disk
+    // trace) leaves peak memory flat, within allocator slack. The paged
+    // vm tables release emptied id ranges, so memory tracks the live VM
+    // window, not the total id space.
+    let rss_delta_kb = rss_90.peak_rss_kb.saturating_sub(rss_30.peak_rss_kb);
+    let rss_slack_kb = (rss_30.peak_rss_kb / 8).max(8 * 1024);
+    assert!(
+        rss_delta_kb <= rss_slack_kb,
+        "streaming binary replay peak RSS grew {rss_delta_kb} KiB across 30->90 days \
+         (allowed {rss_slack_kb} KiB): memory is not flat in the horizon"
+    );
+    println!(
+        "memory check passed: 30->90-day streaming replay grew peak RSS by {rss_delta_kb} KiB \
+         (<= {rss_slack_kb} KiB slack)"
+    );
+
+    assert_source_parity();
+    assert_trace_format_parity();
+
+    // Layout head-to-head at the engine row's host count.
+    let compare_events = if config.quick { 300_000 } else { 1_200_000 };
+    let compare = run_layout_head_to_head(config.hosts, compare_events);
+
+    // Engine row: full scale, trivial placement (10M+ events in full mode).
     let engine_pool = scale_pool(config.hosts, config.target_events);
     println!(
         "sim_scale: engine row at {} hosts, ~{:.1}M target events, {:.2}-day horizon ({})",
@@ -233,14 +473,37 @@ fn main() {
     );
 
     if let Some(path) = &config.json_path {
+        let streaming_row = |row: &StreamingTraceRow| {
+            format!(
+                "{{\n      \"days\": {},\n      \"events\": {},\n      \
+                 \"events_per_sec\": {:.0},\n      \"trace_bytes\": {},\n      \
+                 \"peak_rss_kb\": {}\n    }}",
+                row.days, row.events, row.events_per_sec, row.trace_bytes, row.peak_rss_kb
+            )
+        };
         let json = format!(
-            "{{\n  \"mode\": \"{}\",\n  \"engine\": {{\n    \"hosts\": {},\n    \"events\": {},\n    \
-             \"elapsed_seconds\": {:.3},\n    \"events_per_sec\": {:.0},\n    \
+            "{{\n  \"mode\": \"{}\",\n  \"streaming_binary_trace\": {{\n    \"hosts\": {},\n    \
+             \"rows\": [{}, {}],\n    \"peak_rss_delta_kb\": {},\n    \
+             \"peak_rss_slack_kb\": {}\n  }},\n  \"layout_head_to_head\": {{\n    \
+             \"hosts\": {},\n    \"events\": {},\n    \
+             \"reference_events_per_sec\": {:.0},\n    \"soa_events_per_sec\": {:.0},\n    \
+             \"speedup\": {:.3}\n  }},\n  \"engine\": {{\n    \"hosts\": {},\n    \
+             \"events\": {},\n    \"elapsed_seconds\": {:.3},\n    \"events_per_sec\": {:.0},\n    \
              \"max_pending_events\": {},\n    \"placed\": {},\n    \"rejected\": {}\n  }},\n  \
              \"nilas\": {{\n    \"hosts\": {},\n    \"events\": {},\n    \
              \"elapsed_seconds\": {:.3},\n    \"events_per_sec\": {:.0},\n    \
              \"max_pending_events\": {}\n  }}\n}}\n",
             if config.quick { "quick" } else { "full" },
+            rss_hosts,
+            streaming_row(&rss_30),
+            streaming_row(&rss_90),
+            rss_delta_kb,
+            rss_slack_kb,
+            config.hosts,
+            compare.events,
+            compare.reference_events_per_sec,
+            compare.soa_events_per_sec,
+            compare.speedup,
             engine_pool.hosts,
             engine.events,
             engine.elapsed,

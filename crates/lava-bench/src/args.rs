@@ -20,6 +20,10 @@
 //! * `--router R` — the fleet routing policy
 //!   (`hash|round-robin|least-loaded|lifetime-aware`; only meaningful with
 //!   `--cells > 1`),
+//! * `--trace-out PATH` / `--trace-in PATH` — persist or replay the
+//!   experiment's workload trace (`.json` writes streamed JSON, any other
+//!   extension the compact binary format; reads sniff the format from the
+//!   magic bytes) — see [`crate::harness::apply_trace_io`],
 //! * `--full` — paper-scale settings (24 pools, 7-day traces),
 //! * `--quick` — the smallest sensible settings (for CI smoke runs).
 
@@ -52,6 +56,13 @@ pub struct ExperimentArgs {
     pub router: RouterSpec,
     /// True when `--full` was passed.
     pub full: bool,
+    /// Write the experiment's trace to this path after generating it
+    /// (`.json` = streamed JSON, anything else = compact binary).
+    pub trace_out: Option<String>,
+    /// Load the experiment's trace from this path instead of generating
+    /// it (format sniffed from the `LVTR` magic, so either format works
+    /// regardless of extension).
+    pub trace_in: Option<String>,
 }
 
 impl Default for ExperimentArgs {
@@ -66,6 +77,8 @@ impl Default for ExperimentArgs {
             cells: 1,
             router: RouterSpec::default(),
             full: false,
+            trace_out: None,
+            trace_in: None,
         }
     }
 }
@@ -128,6 +141,14 @@ impl ExperimentArgs {
                     if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
                         parsed.router = v;
                     }
+                    i += 1;
+                }
+                "--trace-out" => {
+                    parsed.trace_out = value(i);
+                    i += 1;
+                }
+                "--trace-in" => {
+                    parsed.trace_in = value(i);
                     i += 1;
                 }
                 "--full" => {
@@ -228,6 +249,16 @@ mod tests {
         let quick = ExperimentArgs::parse(["--quick"]);
         assert_eq!(quick.pools, 2);
         assert_eq!(quick.hosts, Some(32));
+    }
+
+    #[test]
+    fn trace_io_flags_parse() {
+        let args = ExperimentArgs::parse(["--trace-out", "t.bin", "--trace-in", "t.json"]);
+        assert_eq!(args.trace_out.as_deref(), Some("t.bin"));
+        assert_eq!(args.trace_in.as_deref(), Some("t.json"));
+        let none = ExperimentArgs::parse(Vec::<String>::new());
+        assert_eq!(none.trace_out, None);
+        assert_eq!(none.trace_in, None);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Figure 1: distribution of VM lifetimes of scheduled VMs vs. their
 //! resource consumption (CDF by VM count and by CPU·time).
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig01_lifetime_cdf -- [--days N] [--seed N]`
+//! Usage: `cargo run --release -p lava-bench --bin fig01_lifetime_cdf -- [--days N] [--seed N]
+//! [--trace-out PATH] [--trace-in PATH]`
 
+use lava_bench::harness::apply_trace_io;
 use lava_bench::ExperimentArgs;
 use lava_core::time::Duration;
 use lava_sim::experiment::Experiment;
@@ -21,6 +23,10 @@ fn main() {
         .build()
         .and_then(Experiment::new)
         .expect("valid spec");
+    if let Err(err) = apply_trace_io(&args, &experiment) {
+        eprintln!("fig01_lifetime_cdf: {err}");
+        std::process::exit(1);
+    }
     let trace = experiment.trace();
     let obs = trace.observations();
 

@@ -1,8 +1,10 @@
 //! Figure 14 (Appendix F): simulator validation — simulated CPU utilisation
 //! tracks the trace-implied utilisation closely.
 //!
-//! Usage: `cargo run --release -p lava-bench --bin fig14_validation -- [--seed N] [--days N]`
+//! Usage: `cargo run --release -p lava-bench --bin fig14_validation -- [--seed N] [--days N]
+//! [--trace-out PATH] [--trace-in PATH]`
 
+use lava_bench::harness::apply_trace_io;
 use lava_bench::{policy_spec, ExperimentArgs};
 use lava_sched::Algorithm;
 use lava_sim::experiment::Experiment;
@@ -23,6 +25,10 @@ fn main() {
         .build()
         .and_then(Experiment::new)
         .expect("valid spec");
+    if let Err(err) = apply_trace_io(&args, &experiment) {
+        eprintln!("fig14_validation: {err}");
+        std::process::exit(1);
+    }
     let trace = experiment.trace();
     let result = experiment.run().result;
     let report = validate(

@@ -138,6 +138,58 @@ pub fn heterogeneous_overrides(cells: usize, hosts: usize) -> Vec<CellOverride> 
         .collect()
 }
 
+/// Honour the `--trace-in` / `--trace-out` flags against an experiment:
+/// load a pre-recorded trace into its trace cell, then (or instead)
+/// persist the trace it will run.
+///
+/// Formats: reads sniff the `LVTR` magic, so either format loads
+/// regardless of extension; writes pick by extension (`.json` = streamed
+/// JSON, anything else = compact binary). Returns an error string suitable
+/// for a binary's `main` to print and exit on.
+///
+/// # Errors
+///
+/// Fails when a trace file can't be read/parsed/written, when `--trace-in`
+/// races a populated trace cell, or when the loaded trace targets a
+/// different pool id than the experiment expects.
+pub fn apply_trace_io(
+    args: &ExperimentArgs,
+    experiment: &lava_sim::experiment::Experiment,
+) -> Result<(), String> {
+    use lava_sim::trace::Trace;
+    if let Some(path) = &args.trace_in {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut magic = [0u8; 4];
+        std::io::Read::read_exact(&mut reader, &mut magic)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        let trace = if magic == lava_sim::trace::MAGIC {
+            Trace::read_binary(std::io::Read::chain(&magic[..], reader))
+        } else {
+            Trace::from_reader(std::io::Read::chain(&magic[..], reader))
+        }
+        .map_err(|e| format!("parse {path}: {e}"))?;
+        if !experiment.set_trace(trace) {
+            return Err(format!(
+                "--trace-in {path}: experiment trace already materialised"
+            ));
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = experiment.trace();
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut writer = std::io::BufWriter::new(file);
+        if path.ends_with(".json") {
+            trace.to_writer(&mut writer)
+        } else {
+            trace.write_binary(&mut writer)
+        }
+        .map_err(|e| format!("write {path}: {e}"))?;
+        std::io::Write::flush(&mut writer).map_err(|e| format!("flush {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 /// Empty-host improvement of `treatment` over `baseline`, in percentage
 /// points (the unit of Fig. 6 and Table 1).
 pub fn improvement_pp(treatment: &SimulationResult, baseline: &SimulationResult) -> f64 {
@@ -266,6 +318,48 @@ mod tests {
         assert!(row.contains("pool-3"));
         assert!(row.contains("nilas=+1.23"));
         assert!(row.contains("lava=-0.50"));
+    }
+
+    #[test]
+    fn trace_io_roundtrips_through_both_formats() {
+        let dir = std::env::temp_dir().join(format!("lava-trace-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = || {
+            Experiment::builder()
+                .workload(tiny_pool())
+                .warmup(Duration::from_hours(6))
+                .algorithm(Algorithm::Baseline)
+                .build()
+                .and_then(Experiment::new)
+                .expect("valid spec")
+        };
+        for name in ["trace.bin", "trace.json"] {
+            let path = dir.join(name).to_string_lossy().into_owned();
+            let writer_exp = spec();
+            let out_args = ExperimentArgs {
+                trace_out: Some(path.clone()),
+                ..ExperimentArgs::default()
+            };
+            apply_trace_io(&out_args, &writer_exp).unwrap();
+            let reader_exp = spec();
+            let in_args = ExperimentArgs {
+                trace_in: Some(path.clone()),
+                ..ExperimentArgs::default()
+            };
+            apply_trace_io(&in_args, &reader_exp).unwrap();
+            assert_eq!(writer_exp.trace(), reader_exp.trace(), "{name}");
+            // A second --trace-in must fail: the cell is already set.
+            assert!(apply_trace_io(&in_args, &reader_exp).is_err());
+        }
+        assert!(apply_trace_io(
+            &ExperimentArgs {
+                trace_in: Some(dir.join("missing.bin").to_string_lossy().into_owned()),
+                ..ExperimentArgs::default()
+            },
+            &spec()
+        )
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,8 +12,6 @@ use crate::resources::Resources;
 use crate::time::SimTime;
 use crate::vm::VmId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// Unique identifier of a host within a pool.
@@ -78,9 +76,14 @@ pub struct Host {
     id: HostId,
     spec: HostSpec,
     used: Resources,
-    /// Resources reserved per VM. A `BTreeMap` keeps iteration order
-    /// deterministic across runs.
-    vms: BTreeMap<VmId, Resources>,
+    /// Resources reserved per VM, as a dense id-sorted list: iteration
+    /// order stays deterministic (ascending id, like the `BTreeMap` this
+    /// replaced) while the per-host VM walk — the unit of work for exit
+    /// -time recomputes and defrag candidate scoring — is one contiguous
+    /// scan instead of a pointer chase. Hosts hold tens of VMs, so the
+    /// O(n) sorted insert is a short `memmove` within one cache line
+    /// region.
+    vms: Vec<(VmId, Resources)>,
     /// Whether the host is withheld from scheduling (defragmentation /
     /// maintenance in progress, §4.4).
     unavailable: bool,
@@ -89,8 +92,9 @@ pub struct Host {
     state: HostLifetimeState,
     lifetime_class: Option<LifetimeClass>,
     /// VMs that were present when the host last (re-)entered a class; the
-    /// host steps its class down when all of them have exited.
-    residual_vms: BTreeSet<VmId>,
+    /// host steps its class down when all of them have exited. Id-sorted
+    /// for the same determinism/contiguity reasons as `vms`.
+    residual_vms: Vec<VmId>,
     /// Deadline after which the host is assumed to be under-predicted and is
     /// bumped one class up.
     deadline: Option<SimTime>,
@@ -103,11 +107,11 @@ impl Host {
             id,
             spec,
             used: Resources::ZERO,
-            vms: BTreeMap::new(),
+            vms: Vec::new(),
             unavailable: false,
             state: HostLifetimeState::Empty,
             lifetime_class: None,
-            residual_vms: BTreeSet::new(),
+            residual_vms: Vec::new(),
             deadline: None,
         }
     }
@@ -157,24 +161,30 @@ impl Host {
     /// Iterator over the VMs on the host and their reservations, in
     /// deterministic (id) order.
     pub fn vms(&self) -> impl Iterator<Item = (VmId, Resources)> + '_ {
-        self.vms.iter().map(|(id, r)| (*id, *r))
+        self.vms.iter().copied()
     }
 
     /// Ids of the VMs on the host, in deterministic order.
     pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
-        self.vms.keys().copied()
+        self.vms.iter().map(|(id, _)| *id)
+    }
+
+    /// Position of `vm` in the sorted list, or the insertion point.
+    #[inline]
+    fn vm_idx(&self, vm: VmId) -> Result<usize, usize> {
+        self.vms.binary_search_by_key(&vm, |(id, _)| *id)
     }
 
     /// Whether a VM with this id is on the host.
     #[inline]
     pub fn contains(&self, vm: VmId) -> bool {
-        self.vms.contains_key(&vm)
+        self.vm_idx(vm).is_ok()
     }
 
     /// The reservation of a specific VM, if present.
     #[inline]
     pub fn reservation(&self, vm: VmId) -> Option<Resources> {
-        self.vms.get(&vm).copied()
+        self.vm_idx(vm).ok().map(|i| self.vms[i].1)
     }
 
     /// True if `request` fits in the currently free resources and the host
@@ -197,14 +207,15 @@ impl Host {
     /// Returns [`CoreError::InsufficientCapacity`] if the request does not
     /// fit and [`CoreError::DuplicateVm`] if the VM is already present.
     pub fn place(&mut self, vm: VmId, request: Resources) -> Result<(), CoreError> {
-        if self.vms.contains_key(&vm) {
-            return Err(CoreError::DuplicateVm { host: self.id, vm });
-        }
+        let idx = match self.vm_idx(vm) {
+            Ok(_) => return Err(CoreError::DuplicateVm { host: self.id, vm }),
+            Err(idx) => idx,
+        };
         if !self.free().fits(&request) {
             return Err(CoreError::InsufficientCapacity { host: self.id, vm });
         }
         self.used += request;
-        self.vms.insert(vm, request);
+        self.vms.insert(idx, (vm, request));
         Ok(())
     }
 
@@ -215,9 +226,12 @@ impl Host {
     ///
     /// Returns [`CoreError::VmNotFound`] if the VM is not on this host.
     pub fn remove(&mut self, vm: VmId) -> Result<Resources, CoreError> {
-        let request = self.vms.remove(&vm).ok_or(CoreError::VmNotFound { vm })?;
+        let idx = self.vm_idx(vm).map_err(|_| CoreError::VmNotFound { vm })?;
+        let (_, request) = self.vms.remove(idx);
         self.used = self.used.saturating_sub(&request);
-        self.residual_vms.remove(&vm);
+        if let Ok(r) = self.residual_vms.binary_search(&vm) {
+            self.residual_vms.remove(r);
+        }
         Ok(request)
     }
 
@@ -304,8 +318,10 @@ impl Host {
     /// host's own class is placed on an *open* host, so that the class only
     /// steps down once all same-class VMs have exited).
     pub fn mark_residual(&mut self, vm: VmId) {
-        if self.vms.contains_key(&vm) {
-            self.residual_vms.insert(vm);
+        if self.contains(vm) {
+            if let Err(idx) = self.residual_vms.binary_search(&vm) {
+                self.residual_vms.insert(idx, vm);
+            }
         }
     }
 
@@ -319,7 +335,8 @@ impl Host {
     }
 
     fn mark_all_residual(&mut self) {
-        self.residual_vms = self.vms.keys().copied().collect();
+        self.residual_vms.clear();
+        self.residual_vms.extend(self.vms.iter().map(|(id, _)| *id));
     }
 }
 

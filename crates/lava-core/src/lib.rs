@@ -5,6 +5,8 @@
 //!
 //! * [`resources::Resources`] — multi-dimensional resource vectors (CPU,
 //!   memory, SSD) with fit/arithmetic helpers,
+//! * [`arena`] — the flat [`arena::VmTable`] and generational
+//!   [`arena::VmArena`] slab backing the simulation hot path,
 //! * [`vm`] — VM specifications and runtime records,
 //! * [`host`] — host specifications, occupancy bookkeeping and the LAVA host
 //!   state machine (empty / open / recycling),
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod cell;
 pub mod error;
 pub mod events;
@@ -54,6 +57,7 @@ pub mod vm;
 
 /// Convenient glob import of the most commonly used types.
 pub mod prelude {
+    pub use crate::arena::{HostHandle, VmArena, VmHandle, VmTable};
     pub use crate::cell::{CellId, CellSummary};
     pub use crate::error::CoreError;
     pub use crate::events::{TraceEvent, TraceEventKind};

@@ -23,12 +23,13 @@
 //! re-indexes the host when dropped. There is deliberately no unguarded
 //! `&mut Host` access.
 
+use crate::arena::{HostHandle, HostSlot, VmTable};
 use crate::host::{Host, HostId, HostLifetimeState, HostSpec};
 use crate::lifetime::LifetimeClass;
 use crate::resources::Resources;
 use crate::vm::VmId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
@@ -143,18 +144,78 @@ impl HostIndex {
     }
 }
 
+/// Hot per-host fields mirrored into contiguous parallel arrays
+/// (structure-of-arrays), maintained in lock-step with the host records
+/// on every mutation. Pool-wide walks that only need these fields —
+/// metric sampling, capacity profiling, state/class censuses — touch
+/// four dense arrays instead of striding through full [`Host`] records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+struct HostHot {
+    /// Free (unreserved) resources per host.
+    free: Vec<Resources>,
+    /// Total capacity per host (static after [`Pool::add_host`]).
+    capacity: Vec<Resources>,
+    /// LAVA lifetime state per host.
+    state: Vec<HostLifetimeState>,
+    /// LAVA lifetime class per host.
+    class: Vec<Option<LifetimeClass>>,
+    /// Number of VMs per host.
+    vm_count: Vec<u32>,
+}
+
+impl HostHot {
+    fn push(&mut self, host: &Host) {
+        self.free.push(host.free());
+        self.capacity.push(host.capacity());
+        self.state.push(host.lifetime_state());
+        self.class.push(host.lifetime_class());
+        self.vm_count.push(host.vm_count() as u32);
+    }
+
+    fn sync(&mut self, idx: usize, host: &Host) {
+        self.free[idx] = host.free();
+        self.state[idx] = host.lifetime_state();
+        self.class[idx] = host.lifetime_class();
+        self.vm_count[idx] = host.vm_count() as u32;
+    }
+}
+
+/// A read-only view over the pool's structure-of-arrays hot fields: the
+/// cache-dense way to walk per-host capacity state. All slices are
+/// indexed by `HostId.0` and have length [`Pool::host_count`].
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityProfile<'a> {
+    /// Free resources per host.
+    pub free: &'a [Resources],
+    /// Total capacity per host.
+    pub capacity: &'a [Resources],
+    /// Lifetime state per host.
+    pub state: &'a [HostLifetimeState],
+    /// Lifetime class per host.
+    pub class: &'a [Option<LifetimeClass>],
+    /// VM count per host.
+    pub vm_count: &'a [u32],
+}
+
 /// A pool of hosts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Pool {
     id: PoolId,
-    /// Hosts stored densely: `hosts[i].id() == HostId(i)`. Host ids are
-    /// assigned sequentially by [`Pool::add_host`] and never removed, so
-    /// every host lookup on the placement hot path is O(1).
-    hosts: Vec<Host>,
-    /// Reverse index from VM to host for O(log n) lookups.
-    vm_index: BTreeMap<VmId, HostId>,
+    /// Hosts stored densely in generational slots:
+    /// `hosts[i].host.id() == HostId(i)`. Host ids are assigned
+    /// sequentially by [`Pool::add_host`] and slots are never deleted, so
+    /// every host lookup on the placement hot path is O(1); retiring a
+    /// host ([`Pool::retire_host`]) bumps the slot generation so stale
+    /// [`HostHandle`]s are detected rather than dereferenced.
+    hosts: Vec<HostSlot>,
+    /// Reverse index from VM to host: a flat dense table for the
+    /// sequential ids real workloads use (one array read per lookup),
+    /// with an ordered spill for sparse synthetic ids.
+    vm_index: VmTable<HostId>,
     /// Secondary candidate indexes, maintained on every mutation.
     index: HostIndex,
+    /// Structure-of-arrays mirror of the hot host fields.
+    hot: HostHot,
     /// Incremented on every occupancy-affecting mutation (placements,
     /// removals, including those made through a [`HostMut`] guard).
     /// Consumers holding derived state (the cluster's exit-time cache)
@@ -179,8 +240,9 @@ impl Pool {
         Pool {
             id,
             hosts: Vec::new(),
-            vm_index: BTreeMap::new(),
+            vm_index: VmTable::new(),
             index: HostIndex::new(),
+            hot: HostHot::default(),
             mutation_epoch: 0,
             agg_capacity: Resources::ZERO,
             agg_free: Resources::ZERO,
@@ -216,7 +278,8 @@ impl Pool {
         self.index.insert(id, key_of(&host));
         self.agg_capacity += host.capacity();
         self.agg_free += host.free();
-        self.hosts.push(host);
+        self.hot.push(&host);
+        self.hosts.push(HostSlot { gen: 0, host });
         id
     }
 
@@ -229,14 +292,53 @@ impl Pool {
     /// A host by id.
     #[inline]
     pub fn host(&self, id: HostId) -> Option<&Host> {
-        self.hosts.get(id.0 as usize)
+        self.hosts.get(id.0 as usize).map(|s| &s.host)
+    }
+
+    /// A generation-checked handle to a host. The handle keeps resolving
+    /// until the host is retired; after that, [`Pool::resolve_host`]
+    /// returns `None` instead of the retired record.
+    pub fn host_handle(&self, id: HostId) -> Option<HostHandle> {
+        let slot = self.hosts.get(id.0 as usize)?;
+        Some(HostHandle { id, gen: slot.gen })
+    }
+
+    /// Resolve a [`HostHandle`] taken earlier; `None` if the host has been
+    /// retired since (stale handles are detected, not dereferenced).
+    pub fn resolve_host(&self, handle: HostHandle) -> Option<&Host> {
+        let slot = self.hosts.get(handle.id.0 as usize)?;
+        if slot.gen != handle.gen {
+            return None;
+        }
+        Some(&slot.host)
+    }
+
+    /// Retire an *empty* host: it is withheld from scheduling permanently
+    /// and its slot generation is bumped, so handles taken before the
+    /// retirement go stale. Returns `false` (and does nothing) if the
+    /// host is unknown or still has VMs.
+    pub fn retire_host(&mut self, id: HostId) -> bool {
+        let Some(slot) = self.hosts.get_mut(id.0 as usize) else {
+            return false;
+        };
+        if !slot.host.is_empty() {
+            return false;
+        }
+        let before = key_of(&slot.host);
+        slot.host.set_unavailable(true);
+        slot.gen = slot.gen.wrapping_add(1);
+        let after = key_of(&slot.host);
+        self.index.update(id, before, after);
+        self.hot
+            .sync(id.0 as usize, &self.hosts[id.0 as usize].host);
+        true
     }
 
     /// A mutable host by id, behind a guard that re-indexes the host when
     /// dropped (state, class, occupancy or free-capacity changes all move
     /// the host between index buckets).
     pub fn host_mut(&mut self, id: HostId) -> Option<HostMut<'_>> {
-        let before = key_of(self.hosts.get(id.0 as usize)?);
+        let before = key_of(&self.hosts.get(id.0 as usize)?.host);
         Some(HostMut {
             pool: self,
             id,
@@ -246,13 +348,26 @@ impl Pool {
 
     /// Iterator over all hosts in deterministic (id) order.
     pub fn hosts(&self) -> impl Iterator<Item = &Host> + '_ {
-        self.hosts.iter()
+        self.hosts.iter().map(|s| &s.host)
+    }
+
+    /// The structure-of-arrays view of the hot host fields (free,
+    /// capacity, state, class, VM count), indexed by `HostId.0` — the
+    /// cache-dense input for pool-wide capacity walks.
+    pub fn capacity_profile(&self) -> CapacityProfile<'_> {
+        CapacityProfile {
+            free: &self.hot.free,
+            capacity: &self.hot.capacity,
+            state: &self.hot.state,
+            class: &self.hot.class,
+            vm_count: &self.hot.vm_count,
+        }
     }
 
     /// Which host a VM is currently placed on.
     #[inline]
     pub fn host_of(&self, vm: VmId) -> Option<HostId> {
-        self.vm_index.get(&vm).copied()
+        self.vm_index.get(vm).copied()
     }
 
     /// Number of VMs currently placed in the pool.
@@ -274,13 +389,14 @@ impl Pool {
         vm: VmId,
         request: Resources,
     ) -> Result<(), crate::error::CoreError> {
-        let h = self
+        let slot = self
             .hosts
             .get_mut(host.0 as usize)
             .ok_or(crate::error::CoreError::HostNotFound { host })?;
-        let before = key_of(h);
-        h.place(vm, request)?;
-        let after = key_of(h);
+        let before = key_of(&slot.host);
+        slot.host.place(vm, request)?;
+        let after = key_of(&slot.host);
+        self.hot.sync(host.0 as usize, &slot.host);
         self.index.update(host, before, after);
         self.agg_free -= before.free;
         self.agg_free += after.free;
@@ -299,20 +415,28 @@ impl Pool {
     pub fn remove_vm(&mut self, vm: VmId) -> Result<(HostId, Resources), crate::error::CoreError> {
         let host_id = self
             .vm_index
-            .remove(&vm)
+            .remove(vm)
             .ok_or(crate::error::CoreError::VmNotFound { vm })?;
-        let host = self
+        let slot = self
             .hosts
             .get_mut(host_id.0 as usize)
             .ok_or(crate::error::CoreError::HostNotFound { host: host_id })?;
-        let before = key_of(host);
-        let released = host.remove(vm)?;
-        let after = key_of(host);
+        let before = key_of(&slot.host);
+        let released = slot.host.remove(vm)?;
+        let after = key_of(&slot.host);
+        self.hot.sync(host_id.0 as usize, &slot.host);
         self.index.update(host_id, before, after);
         self.agg_free -= before.free;
         self.agg_free += after.free;
         self.mutation_epoch += 1;
         Ok((host_id, released))
+    }
+
+    /// Pre-size the vm → host table for a workload whose ids stay below
+    /// `max_id`: the covering pages are allocated and pinned up front, so
+    /// steady-state place/remove churn never touches the allocator.
+    pub fn reserve_vm_index(&mut self, max_id: u64) {
+        self.vm_index.reserve_dense(max_id);
     }
 
     // --- candidate index queries -----------------------------------------
@@ -326,7 +450,7 @@ impl Pool {
     ) -> impl Iterator<Item = &Host> + '_ {
         self.index.buckets[bucket_slot(state, class)]
             .iter()
-            .filter_map(move |id| self.hosts.get(id.0 as usize))
+            .filter_map(move |id| self.host(*id))
     }
 
     /// Number of hosts currently in `(state, class)`.
@@ -343,15 +467,12 @@ impl Pool {
         self.index
             .occupied
             .iter()
-            .filter_map(move |id| self.hosts.get(id.0 as usize))
+            .filter_map(move |id| self.host(*id))
     }
 
     /// Hosts with no VMs, in id order.
     pub fn empty_hosts(&self) -> impl Iterator<Item = &Host> + '_ {
-        self.index
-            .empty
-            .iter()
-            .filter_map(move |id| self.hosts.get(id.0 as usize))
+        self.index.empty.iter().filter_map(move |id| self.host(*id))
     }
 
     /// Number of hosts with at least one VM.
@@ -367,7 +488,7 @@ impl Pool {
         self.index
             .by_free
             .iter()
-            .filter_map(move |(_, _, _, id)| self.hosts.get(id.0 as usize))
+            .filter_map(move |(_, _, _, id)| self.host(*id))
     }
 
     /// Verify that every index agrees with the authoritative host map.
@@ -382,8 +503,7 @@ impl Pool {
             bucket_total += bucket.len();
             for id in bucket {
                 let host = self
-                    .hosts
-                    .get(id.0 as usize)
+                    .host(*id)
                     .ok_or_else(|| format!("bucket {slot} contains unknown host {id}"))?;
                 if bucket_slot(host.lifetime_state(), host.lifetime_class()) != slot {
                     return Err(format!("host {id} is in the wrong bucket {slot}"));
@@ -396,7 +516,7 @@ impl Pool {
                 self.hosts.len()
             ));
         }
-        for host in self.hosts.iter() {
+        for host in self.hosts() {
             let key = key_of(host);
             let in_empty = self.index.empty.contains(&host.id());
             let in_occupied = self.index.occupied.contains(&host.id());
@@ -406,12 +526,24 @@ impl Pool {
             if !self.index.by_free.contains(&free_key(key.free, host.id())) {
                 return Err(format!("host {} missing from by_free", host.id()));
             }
+            let idx = host.id().0 as usize;
+            if self.hot.free[idx] != host.free()
+                || self.hot.capacity[idx] != host.capacity()
+                || self.hot.state[idx] != host.lifetime_state()
+                || self.hot.class[idx] != host.lifetime_class()
+                || self.hot.vm_count[idx] != host.vm_count() as u32
+            {
+                return Err(format!("host {} hot arrays out of sync", host.id()));
+            }
         }
         if self.index.by_free.len() != self.hosts.len() {
             return Err("by_free has stale entries".to_string());
         }
-        let scan_capacity: Resources = self.hosts.iter().map(|h| h.capacity()).sum();
-        let scan_free: Resources = self.hosts.iter().map(|h| h.free()).sum();
+        if self.hot.free.len() != self.hosts.len() {
+            return Err("hot arrays have the wrong length".to_string());
+        }
+        let scan_capacity: Resources = self.hosts().map(|h| h.capacity()).sum();
+        let scan_free: Resources = self.hosts().map(|h| h.free()).sum();
         if scan_capacity != self.agg_capacity || scan_free != self.agg_free {
             return Err(format!(
                 "aggregates drifted: capacity {:?} vs scan {scan_capacity:?}, \
@@ -468,35 +600,33 @@ impl Deref for HostMut<'_> {
     type Target = Host;
 
     fn deref(&self) -> &Host {
-        self.pool
-            .hosts
-            .get(self.id.0 as usize)
-            .expect("guarded host exists")
+        self.pool.host(self.id).expect("guarded host exists")
     }
 }
 
 impl DerefMut for HostMut<'_> {
     fn deref_mut(&mut self) -> &mut Host {
-        self.pool
+        &mut self
+            .pool
             .hosts
             .get_mut(self.id.0 as usize)
             .expect("guarded host exists")
+            .host
     }
 }
 
 impl Drop for HostMut<'_> {
     fn drop(&mut self) {
-        let after = key_of(
-            self.pool
-                .hosts
-                .get(self.id.0 as usize)
-                .expect("guarded host exists"),
-        );
+        let idx = self.id.0 as usize;
+        let host = &self.pool.hosts.get(idx).expect("guarded host exists").host;
+        let after = key_of(host);
         if after.is_empty != self.before.is_empty || after.free != self.before.free {
             self.pool.mutation_epoch += 1;
         }
         self.pool.agg_free -= self.before.free;
         self.pool.agg_free += after.free;
+        let host = &self.pool.hosts[idx].host;
+        self.pool.hot.sync(idx, host);
         self.pool.index.update(self.id, self.before, after);
     }
 }

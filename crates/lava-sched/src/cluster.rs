@@ -26,6 +26,7 @@
 //!   first temporal-cost bucket boundary it cannot improve on.
 
 use crate::policy::CacheCounters;
+use lava_core::arena::VmArena;
 use lava_core::error::CoreError;
 use lava_core::host::{Host, HostId, HostSpec};
 use lava_core::pool::{HostMut, Pool, PoolId};
@@ -34,7 +35,7 @@ use lava_core::time::{Duration, SimTime};
 use lava_core::vm::{Vm, VmId};
 use lava_model::predictor::LifetimePredictor;
 use parking_lot::{Mutex, MutexGuard};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One cached host exit time.
 #[derive(Debug, Clone, Copy)]
@@ -152,17 +153,16 @@ impl ExitCache {
 }
 
 /// A pool of hosts together with the live VM records.
+///
+/// VM records live in a generational slab arena ([`VmArena`]): lookups
+/// are one flat-table read plus one slot read, iteration is id-ordered,
+/// and steady-state create/exit churn re-uses warm slots with zero heap
+/// allocations (see the arena's placement-order live list, which also
+/// backs [`Cluster::sampled_vms`]).
 #[derive(Debug)]
 pub struct Cluster {
     pool: Pool,
-    vms: BTreeMap<VmId, Vm>,
-    /// Live VM ids in placement order (swap-removed on exit), giving the
-    /// bounded O(cap) [`Cluster::sampled_vms`] an indexable view without
-    /// walking the whole `vms` map. The order is a pure function of the
-    /// placement/removal sequence, so equal event streams sample equally.
-    live_ids: Vec<VmId>,
-    /// Position of each live VM in `live_ids`, for O(1) swap-removal.
-    live_pos: HashMap<VmId, usize>,
+    vms: VmArena,
     exit_cache: Mutex<ExitCache>,
 }
 
@@ -171,8 +171,6 @@ impl Clone for Cluster {
         Cluster {
             pool: self.pool.clone(),
             vms: self.vms.clone(),
-            live_ids: self.live_ids.clone(),
-            live_pos: self.live_pos.clone(),
             exit_cache: Mutex::new(self.exit_cache.lock().clone()),
         }
     }
@@ -183,9 +181,7 @@ impl Cluster {
     pub fn new(pool: Pool) -> Cluster {
         Cluster {
             pool,
-            vms: BTreeMap::new(),
-            live_ids: Vec::new(),
-            live_pos: HashMap::new(),
+            vms: VmArena::new(),
             exit_cache: Mutex::new(ExitCache::default()),
         }
     }
@@ -211,17 +207,17 @@ impl Cluster {
 
     /// A live VM record by id.
     pub fn vm(&self, id: VmId) -> Option<&Vm> {
-        self.vms.get(&id)
+        self.vms.get(id)
     }
 
     /// A mutable live VM record by id.
     pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
-        self.vms.get_mut(&id)
+        self.vms.get_mut(id)
     }
 
     /// Iterator over the live VM records in id order.
     pub fn vms(&self) -> impl Iterator<Item = &Vm> + '_ {
-        self.vms.values()
+        self.vms.iter()
     }
 
     /// Number of live VMs.
@@ -229,28 +225,22 @@ impl Cluster {
         self.vms.len()
     }
 
+    /// Pre-size the VM arena for a workload whose ids stay below
+    /// `max_id` with at most `live` concurrent VMs: steady-state
+    /// create/exit churn within those bounds then never grows the arena
+    /// (the zero-allocation drive contract the counting-allocator tests
+    /// pin down).
+    pub fn reserve_vm_capacity(&mut self, max_id: u64, live: usize) {
+        self.vms.reserve(max_id, live);
+        self.pool.reserve_vm_index(max_id);
+    }
+
     /// A bounded, deterministic sample of at most `cap` live VMs: every
     /// ⌈n/cap⌉-th VM in placement order (exits swap-remove, perturbing but
     /// never randomising the order). O(cap) regardless of the live-VM
     /// count — this is what keeps fleet `CellSummary` extraction bounded.
     pub fn sampled_vms(&self, cap: usize) -> impl Iterator<Item = &Vm> + '_ {
-        let n = self.live_ids.len();
-        let step = n.div_ceil(cap.max(1)).max(1);
-        self.live_ids
-            .iter()
-            .step_by(step)
-            .filter_map(move |id| self.vms.get(id))
-    }
-
-    /// Drop a VM from the placement-order list via swap-removal.
-    fn live_forget(&mut self, vm: VmId) {
-        if let Some(pos) = self.live_pos.remove(&vm) {
-            let last = self.live_ids.pop().expect("live list non-empty");
-            if last != vm {
-                self.live_ids[pos] = last;
-                self.live_pos.insert(last, pos);
-            }
-        }
+        self.vms.sampled(cap)
     }
 
     /// A host by id.
@@ -277,11 +267,7 @@ impl Cluster {
     pub fn place(&mut self, mut vm: Vm, host: HostId) -> Result<(), CoreError> {
         self.pool.place_vm(host, vm.id(), vm.resources())?;
         vm.assign_host(host);
-        let id = vm.id();
-        if self.vms.insert(id, vm).is_none() {
-            self.live_pos.insert(id, self.live_ids.len());
-            self.live_ids.push(id);
-        }
+        self.vms.insert(vm);
         let cache = self.exit_cache.get_mut();
         cache.mark_placement(host);
         // Advance by exactly the one pool mutation made above: setting to
@@ -299,8 +285,7 @@ impl Cluster {
     /// Returns [`CoreError::VmNotFound`] if the VM is not live.
     pub fn remove(&mut self, vm: VmId) -> Result<(Vm, HostId), CoreError> {
         let (host, _) = self.pool.remove_vm(vm)?;
-        let mut record = self.vms.remove(&vm).ok_or(CoreError::VmNotFound { vm })?;
-        self.live_forget(vm);
+        let mut record = self.vms.remove(vm).ok_or(CoreError::VmNotFound { vm })?;
         record.clear_host();
         let cache = self.exit_cache.get_mut();
         if self.pool.host(host).is_none_or(|h| h.is_empty()) {
@@ -322,7 +307,7 @@ impl Cluster {
     /// Fails if the VM is not live or the target host cannot fit it; in the
     /// failure case the VM stays on its original host.
     pub fn migrate(&mut self, vm: VmId, target: HostId) -> Result<HostId, CoreError> {
-        let record = self.vms.get(&vm).ok_or(CoreError::VmNotFound { vm })?;
+        let record = self.vms.get(vm).ok_or(CoreError::VmNotFound { vm })?;
         let request = record.resources();
         let source = record.host().ok_or(CoreError::VmNotFound { vm })?;
         // Check the target can fit before removing from the source.
@@ -337,7 +322,7 @@ impl Cluster {
         }
         self.pool.remove_vm(vm)?;
         self.pool.place_vm(target, vm, request)?;
-        if let Some(record) = self.vms.get_mut(&vm) {
+        if let Some(record) = self.vms.get_mut(vm) {
             record.assign_host(target);
         }
         let cache = self.exit_cache.get_mut();

@@ -767,6 +767,17 @@ impl PlacementService {
         self.queue.len()
     }
 
+    /// Pre-size every cell's VM bookkeeping for a run of ids up to
+    /// `max_id` with at most `live` concurrently-live VMs (see
+    /// [`Cluster::reserve_vm_capacity`]). With this done up front,
+    /// steady-state decisions never grow the flat id tables — the
+    /// serve-path allocation test pins decisions at zero heap allocs.
+    pub fn reserve_vm_capacity(&mut self, max_id: u64, live: usize) {
+        for cell in &mut self.cells {
+            cell.cluster_mut().reserve_vm_capacity(max_id, live);
+        }
+    }
+
     /// Drain every queued decision and pending release, then produce the
     /// run's report. `horizon` is the offered-arrival window goodput is
     /// normalised over.

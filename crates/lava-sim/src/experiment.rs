@@ -1112,6 +1112,15 @@ impl Experiment {
             .get_or_init(|| Arc::new(self.spec.generate_trace()))
     }
 
+    /// Inject a pre-recorded trace into the experiment's trace cell (e.g.
+    /// one loaded from a `--trace-in` file) instead of generating one from
+    /// the workload spec. Returns `false` — and changes nothing — if the
+    /// cell was already populated (or shared and populated elsewhere);
+    /// inject before the first [`Experiment::trace`] call.
+    pub fn set_trace(&self, trace: Trace) -> bool {
+        self.trace_cache.set(Arc::new(trace)).is_ok()
+    }
+
     /// The experiment's predictor (built — and for the learned specs,
     /// trained — at most once per shared cache cell). `Learned` and
     /// `LearnedFast` draw the same trained model from the shared GBDT

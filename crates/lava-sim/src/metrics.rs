@@ -40,19 +40,31 @@ pub struct MetricSample {
 }
 
 /// Compute a metric snapshot for a pool.
+///
+/// The per-host walk reads the pool's structure-of-arrays
+/// [`capacity profile`](Pool::capacity_profile) — three contiguous
+/// arrays — instead of striding through full host records, so the
+/// per-sample cost is a cache-dense linear scan even at 100k+ hosts.
 pub fn sample_pool(pool: &Pool, time: SimTime) -> MetricSample {
     let mut empty_free_cpu = 0u64;
     let mut total_free_cpu = 0u64;
     let mut nonempty_alloc_cpu = 0u64;
     let mut nonempty_total_cpu = 0u64;
-    for host in pool.hosts() {
-        let free = host.free().get(ResourceKind::Cpu);
-        total_free_cpu += free;
-        if host.is_empty() {
-            empty_free_cpu += free;
+    let profile = pool.capacity_profile();
+    for ((free, capacity), vm_count) in profile
+        .free
+        .iter()
+        .zip(profile.capacity.iter())
+        .zip(profile.vm_count.iter())
+    {
+        let free_cpu = free.get(ResourceKind::Cpu);
+        total_free_cpu += free_cpu;
+        if *vm_count == 0 {
+            empty_free_cpu += free_cpu;
         } else {
-            nonempty_alloc_cpu += host.used().get(ResourceKind::Cpu);
-            nonempty_total_cpu += host.capacity().get(ResourceKind::Cpu);
+            let capacity_cpu = capacity.get(ResourceKind::Cpu);
+            nonempty_alloc_cpu += capacity_cpu - free_cpu;
+            nonempty_total_cpu += capacity_cpu;
         }
     }
     let capacity = pool.total_capacity();
